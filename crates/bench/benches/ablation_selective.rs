@@ -1,0 +1,52 @@
+//! Ablation (paper §IV-A): profiled *selective* differential convolution
+//! — apply DC per layer only where it wins. The paper: "While this
+//! eliminated the per layer slowdowns compared to PRA, the overall
+//! improvement was negligible and below 1% at best."
+
+use diffy_bench::{all_ci_bundles, banner, bench_options};
+use diffy_core::summary::TextTable;
+use diffy_sim::{selective_network, term_serial_network, AcceleratorConfig, ValueMode};
+
+fn main() {
+    let mut opts = bench_options();
+    opts.samples_per_dataset = opts.samples_per_dataset.min(1);
+    banner("Ablation (§IV-A)", "always-on vs per-layer selective DC", &opts);
+
+    let cfg = AcceleratorConfig::table4();
+    let mut table = TextTable::new(vec![
+        "network",
+        "Diffy cycles",
+        "selective cycles",
+        "gain",
+        "layers reverted to raw",
+    ]);
+    for (model, bundles) in all_ci_bundles(&opts) {
+        let mut diffy = 0u64;
+        let mut sel = 0u64;
+        let mut reverted = 0usize;
+        let mut layer_total = 0usize;
+        for b in &bundles {
+            let d = term_serial_network(&b.trace, &cfg, ValueMode::Differential);
+            let r = term_serial_network(&b.trace, &cfg, ValueMode::Raw);
+            let s = selective_network(&b.trace, &cfg);
+            diffy += d.total_cycles();
+            sel += s.total_cycles();
+            for (dl, rl) in d.layers.iter().zip(r.layers.iter()) {
+                layer_total += 1;
+                if rl.cycles < dl.cycles {
+                    reverted += 1;
+                }
+            }
+        }
+        table.row(vec![
+            model.name().to_string(),
+            diffy.to_string(),
+            sel.to_string(),
+            format!("{:.2}%", 100.0 * (diffy as f64 - sel as f64) / diffy as f64),
+            format!("{reverted}/{layer_total}"),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("paper: selective DC removes the rare per-layer slowdowns but the");
+    println!("       overall improvement is negligible (below 1%).");
+}

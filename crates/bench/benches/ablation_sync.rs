@@ -1,0 +1,68 @@
+//! Ablation: where do Diffy's losses come from? Decomposes the gap
+//! between the Fig. 4 potential and the achieved speedup into the two
+//! causes the paper names (§IV-A): cross-lane synchronization and filter
+//! underutilization, by comparing the T16 design, the T1 design (no lane
+//! sync) and the raw potential.
+
+use diffy_bench::{all_ci_bundles, banner, bench_options};
+use diffy_core::summary::TextTable;
+use diffy_sim::potential::network_potential;
+use diffy_sim::{term_serial_network, vaa_network, AcceleratorConfig, ValueMode};
+
+fn main() {
+    let mut opts = bench_options();
+    opts.samples_per_dataset = opts.samples_per_dataset.min(1);
+    banner(
+        "Ablation",
+        "potential vs T1 (no lane sync) vs T16 (shipping design)",
+        &opts,
+    );
+
+    let t16 = AcceleratorConfig::table4();
+    let mut t1 = AcceleratorConfig::table4();
+    t1.lanes = 1;
+    t1.terms_per_group = 1;
+
+    let mut table = TextTable::new(vec![
+        "network",
+        "potential (deltaE)",
+        "T1 speedup",
+        "T16 speedup",
+        "sync loss",
+        "other losses",
+    ]);
+    for (model, bundles) in all_ci_bundles(&opts) {
+        let mut pot_all = 0u64;
+        let mut pot_delta = 0u64;
+        let mut vaa16 = 0u64;
+        let mut diffy16 = 0u64;
+        let mut vaa1 = 0u64;
+        let mut diffy1 = 0u64;
+        for b in &bundles {
+            let p = network_potential(&b.trace);
+            pot_all += p.all_terms;
+            pot_delta += p.delta_terms;
+            vaa16 += vaa_network(&b.trace, &t16).total_cycles();
+            diffy16 +=
+                term_serial_network(&b.trace, &t16, ValueMode::Differential).total_cycles();
+            vaa1 += vaa_network(&b.trace, &t1).total_cycles();
+            diffy1 +=
+                term_serial_network(&b.trace, &t1, ValueMode::Differential).total_cycles();
+        }
+        let potential = pot_all as f64 / pot_delta.max(1) as f64;
+        let s16 = vaa16 as f64 / diffy16 as f64;
+        let s1 = vaa1 as f64 / diffy1 as f64;
+        table.row(vec![
+            model.name().to_string(),
+            format!("{potential:.2}x"),
+            format!("{s1:.2}x"),
+            format!("{s16:.2}x"),
+            format!("{:.2}x", s1 / s16),
+            format!("{:.2}x", potential / s1),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("sync loss: T1/T16 — what cross-lane synchronization costs.");
+    println!("other losses: potential/T1 — filter underutilization, pallet");
+    println!("edges and the raw leftmost window per row.");
+}

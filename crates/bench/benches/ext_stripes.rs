@@ -1,0 +1,58 @@
+//! Extension (paper §V): differential convolution on a Dynamic-Stripes
+//! style bit-serial accelerator. The paper suggests "Since deltas are
+//! smaller values than the activations, their precision requirements will
+//! be lower as well" — this bench quantifies that follow-up, alongside
+//! the PRA/Diffy pair for context.
+
+use diffy_bench::{all_ci_bundles, banner, bench_options, geomean};
+use diffy_core::summary::TextTable;
+use diffy_sim::{
+    stripes_network, term_serial_network, vaa_network, AcceleratorConfig, ValueMode,
+};
+
+fn main() {
+    let mut opts = bench_options();
+    opts.samples_per_dataset = opts.samples_per_dataset.min(1);
+    banner(
+        "Extension (paper §V)",
+        "delta processing on Dynamic Stripes (speedup over VAA)",
+        &opts,
+    );
+
+    let cfg = AcceleratorConfig::table4();
+    let mut table = TextTable::new(vec![
+        "network",
+        "DStripes",
+        "DStripes+delta",
+        "PRA",
+        "Diffy",
+    ]);
+    let mut geo: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for (model, bundles) in all_ci_bundles(&opts) {
+        let mut cyc = [0u64; 5];
+        for b in &bundles {
+            cyc[0] += vaa_network(&b.trace, &cfg).total_cycles();
+            cyc[1] += stripes_network(&b.trace, &cfg, ValueMode::Raw).total_cycles();
+            cyc[2] += stripes_network(&b.trace, &cfg, ValueMode::Differential).total_cycles();
+            cyc[3] += term_serial_network(&b.trace, &cfg, ValueMode::Raw).total_cycles();
+            cyc[4] +=
+                term_serial_network(&b.trace, &cfg, ValueMode::Differential).total_cycles();
+        }
+        let mut row = vec![model.name().to_string()];
+        for i in 1..5 {
+            let s = cyc[0] as f64 / cyc[i] as f64;
+            geo[i - 1].push(s);
+            row.push(format!("{s:.2}x"));
+        }
+        table.row(row);
+    }
+    let mut row = vec!["geomean".to_string()];
+    for g in &geo {
+        row.push(format!("{:.2}x", geomean(g)));
+    }
+    table.row(row);
+    println!("{}", table.render());
+    println!("expected shape: DStripes < PRA (bits >= terms per value), and");
+    println!("delta processing lifts the bit-serial design just as it lifts");
+    println!("PRA — confirming the paper's §V follow-up suggestion.");
+}

@@ -1,0 +1,58 @@
+//! Fig. 5: off-chip footprint of all imaps under six storage schemes,
+//! normalized to fixed 16-bit storage (NoCompression).
+
+use diffy_bench::{all_ci_bundles, banner, bench_options};
+use diffy_core::summary::TextTable;
+use diffy_encoding::precision::profiled_precision;
+use diffy_encoding::StorageScheme;
+use diffy_memsys::traffic::tensor_signedness;
+use diffy_tensor::stats::MagnitudeHistogram;
+use diffy_tensor::Tensor3;
+
+fn encoded_bits(t: &Tensor3<i16>, scheme: StorageScheme) -> u64 {
+    scheme.tensor_bits(t, tensor_signedness(t))
+}
+
+fn profiled_scheme(t: &Tensor3<i16>) -> StorageScheme {
+    let mut h = MagnitudeHistogram::new();
+    h.extend_from_slice(t.as_slice());
+    StorageScheme::Profiled { bits: profiled_precision(&h, tensor_signedness(t), 0.999) }
+}
+
+fn main() {
+    let opts = bench_options();
+    banner("Fig. 5", "imap off-chip footprint per storage scheme", &opts);
+
+    let labels = ["RLEz", "RLE", "Profiled", "RawD16", "DeltaD16"];
+    let mut table = TextTable::new(vec![
+        "network", "RLEz", "RLE", "Profiled", "RawD16", "DeltaD16",
+    ]);
+    for (model, bundles) in all_ci_bundles(&opts) {
+        let mut baseline = 0u64;
+        let mut totals = [0u64; 5];
+        for b in &bundles {
+            for l in &b.trace.layers {
+                baseline += encoded_bits(&l.imap, StorageScheme::NoCompression);
+                let schemes = [
+                    StorageScheme::RleZ,
+                    StorageScheme::Rle,
+                    profiled_scheme(&l.imap),
+                    StorageScheme::raw_d(16),
+                    StorageScheme::delta_d(16),
+                ];
+                for (slot, scheme) in totals.iter_mut().zip(schemes) {
+                    *slot += encoded_bits(&l.imap, scheme);
+                }
+            }
+        }
+        let mut row = vec![model.name().to_string()];
+        for (&t, _) in totals.iter().zip(labels) {
+            row.push(format!("{:.1}%", 100.0 * t as f64 / baseline as f64));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+    println!("values are % of NoCompression (16 b/value); lower is better.");
+    println!("paper: Profiled 47-61%, RawD16 9.7-38.6%, DeltaD16 8-30%;");
+    println!("       RLEz/RLE help little except for sparse VDSR.");
+}

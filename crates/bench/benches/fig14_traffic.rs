@@ -1,0 +1,65 @@
+//! Fig. 14: off-chip activation traffic (imap reads + omap writes,
+//! including the per-group headers) under every scheme, normalized to
+//! NoCompression.
+
+use diffy_bench::{all_ci_bundles, banner, bench_options, geomean};
+use diffy_core::summary::TextTable;
+use diffy_encoding::StorageScheme;
+use diffy_memsys::traffic::{network_traffic, network_traffic_profiled};
+use diffy_models::NetworkTrace;
+
+fn activation_bytes(trace: &NetworkTrace, scheme: StorageScheme) -> u64 {
+    network_traffic(trace, scheme).iter().map(|t| t.activation_bytes()).sum()
+}
+
+fn main() {
+    let opts = bench_options();
+    banner("Fig. 14", "off-chip activation traffic per scheme", &opts);
+
+    let labels =
+        ["RLEz", "RLE", "Profiled", "RawD256", "RawD16", "RawD8", "DeltaD256", "DeltaD16"];
+    let mut header = vec!["network"];
+    header.extend(labels);
+    let mut table = TextTable::new(header);
+    let mut geo: Vec<Vec<f64>> = vec![Vec::new(); labels.len()];
+
+    for (model, bundles) in all_ci_bundles(&opts) {
+        let mut base = 0u64;
+        let mut totals = vec![0u64; labels.len()];
+        for b in &bundles {
+            base += activation_bytes(&b.trace, StorageScheme::NoCompression);
+            let per_scheme = [
+                activation_bytes(&b.trace, StorageScheme::RleZ),
+                activation_bytes(&b.trace, StorageScheme::Rle),
+                network_traffic_profiled(&b.trace, 0.999)
+                    .iter()
+                    .map(|t| t.activation_bytes())
+                    .sum(),
+                activation_bytes(&b.trace, StorageScheme::raw_d(256)),
+                activation_bytes(&b.trace, StorageScheme::raw_d(16)),
+                activation_bytes(&b.trace, StorageScheme::raw_d(8)),
+                activation_bytes(&b.trace, StorageScheme::delta_d(256)),
+                activation_bytes(&b.trace, StorageScheme::delta_d(16)),
+            ];
+            for (slot, v) in totals.iter_mut().zip(per_scheme) {
+                *slot += v;
+            }
+        }
+        let mut row = vec![model.name().to_string()];
+        for (i, &t) in totals.iter().enumerate() {
+            let frac = t as f64 / base as f64;
+            geo[i].push(frac);
+            row.push(format!("{:.1}%", frac * 100.0));
+        }
+        table.row(row);
+    }
+    let mut row = vec!["geomean".to_string()];
+    for g in &geo {
+        row.push(format!("{:.1}%", geomean(g) * 100.0));
+    }
+    table.row(row);
+    println!("{}", table.render());
+    println!("values are % of NoCompression traffic; lower is better.");
+    println!("paper: Profiled ~54%, RawD256 ~39%, RawD16/RawD8 ~28%, DeltaD16");
+    println!("       ~22% (1.43x less than RawD16); RLEz/RLE help only VDSR.");
+}

@@ -1,0 +1,57 @@
+//! Fig. 15: Diffy performance (normalized to VAA) across off-chip memory
+//! technologies, for NoCompression / Profiled / DeltaD16 — showing that
+//! delta compression sustains near-peak performance even on low-end
+//! memory nodes.
+
+use diffy_bench::{all_ci_bundles, banner, bench_options};
+use diffy_core::accelerator::{EvalOptions, SchemeChoice};
+use diffy_core::summary::TextTable;
+use diffy_encoding::StorageScheme;
+use diffy_memsys::{MemoryNode, MemorySystem};
+use diffy_sim::Architecture;
+
+fn main() {
+    let opts = bench_options();
+    banner("Fig. 15", "Diffy speedup over VAA across memory nodes", &opts);
+
+    let schemes: [(&str, SchemeChoice); 3] = [
+        ("NoCompression", SchemeChoice::Scheme(StorageScheme::NoCompression)),
+        ("Profiled", SchemeChoice::Profiled { quantile: 0.999 }),
+        ("DeltaD16", SchemeChoice::Scheme(StorageScheme::delta_d(16))),
+    ];
+
+    for (model, bundles) in all_ci_bundles(&opts) {
+        let vaa_cycles: u64 = bundles
+            .iter()
+            .map(|b| {
+                b.evaluate(&EvalOptions::new(
+                    Architecture::Vaa,
+                    SchemeChoice::Scheme(StorageScheme::NoCompression),
+                ))
+                .total_cycles()
+            })
+            .sum();
+        println!("{}:", model.name());
+        let mut table =
+            TextTable::new(vec!["memory node", "NoCompression", "Profiled", "DeltaD16"]);
+        for node in MemoryNode::FIG15_SWEEP {
+            let mut row = vec![node.name().to_string()];
+            for (_, scheme) in schemes {
+                let cycles: u64 = bundles
+                    .iter()
+                    .map(|b| {
+                        let mut e = EvalOptions::new(Architecture::Diffy, scheme);
+                        e.memory = MemorySystem::single(node);
+                        b.evaluate(&e).total_cycles()
+                    })
+                    .sum();
+                row.push(format!("{:.2}x", vaa_cycles as f64 / cycles as f64));
+            }
+            table.row(row);
+        }
+        println!("{}", table.render());
+    }
+    println!("paper: without compression all models need HBM2 to avoid slow-");
+    println!("       down; DeltaD16 runs near-peak from LPDDR4-3200 upward,");
+    println!("       and within 2% even on LPDDR3E-2133 (JointNet excepted).");
+}

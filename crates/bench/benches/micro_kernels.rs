@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks of the library's hot kernels: Booth term
+//! counting, the delta transform, storage-scheme encoding, and the three
+//! convolution implementations.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use diffy_core::dc::differential_conv2d;
+use diffy_encoding::bitstream::BitWriter;
+use diffy_encoding::delta::delta_rows_wrapping;
+use diffy_encoding::precision::Signedness;
+use diffy_encoding::{booth_terms, StorageScheme};
+use diffy_tensor::{conv2d, conv2d_fast, conv2d_im2col, ConvGeometry, Tensor3, Tensor4};
+use std::hint::black_box;
+
+fn pseudo_values(n: usize) -> Vec<i16> {
+    (0..n)
+        .map(|i| ((i as u64).wrapping_mul(6364136223846793005) >> 48) as i16)
+        .collect()
+}
+
+fn bench_booth(c: &mut Criterion) {
+    let values = pseudo_values(64 * 1024);
+    let mut g = c.benchmark_group("booth_terms");
+    g.throughput(Throughput::Elements(values.len() as u64));
+    g.bench_function("lookup_64k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &v in &values {
+                acc += booth_terms(black_box(v)) as u64;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let t = Tensor3::from_vec(16, 64, 64, pseudo_values(16 * 64 * 64));
+    let mut g = c.benchmark_group("delta_transform");
+    g.throughput(Throughput::Elements(t.len() as u64));
+    g.bench_function("wrapping_rows_64x64x16", |b| {
+        b.iter(|| delta_rows_wrapping(black_box(&t), 1))
+    });
+    g.finish();
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let row: Vec<i16> = pseudo_values(1024).iter().map(|v| v.unsigned_abs() as i16).collect();
+    let mut g = c.benchmark_group("scheme_encode");
+    g.throughput(Throughput::Elements(row.len() as u64));
+    for scheme in [
+        StorageScheme::raw_d(16),
+        StorageScheme::delta_d(16),
+        StorageScheme::RleZ,
+    ] {
+        g.bench_function(scheme.to_string(), |b| {
+            b.iter(|| {
+                let mut w = BitWriter::new();
+                scheme.encode_row(black_box(&row), Signedness::Unsigned, &mut w);
+                w.finish()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let imap = Tensor3::from_vec(16, 32, 32, pseudo_values(16 * 32 * 32));
+    let fmaps = Tensor4::from_vec(16, 16, 3, 3, pseudo_values(16 * 16 * 9));
+    let geom = ConvGeometry::same(3, 3);
+    let macs = (16 * 32 * 32 * 16 * 9) as u64;
+    let mut g = c.benchmark_group("conv2d_32x32x16_k16");
+    g.throughput(Throughput::Elements(macs));
+    g.bench_function("reference", |b| {
+        b.iter(|| conv2d(black_box(&imap), black_box(&fmaps), None, geom))
+    });
+    g.bench_function("fast", |b| {
+        b.iter(|| conv2d_fast(black_box(&imap), black_box(&fmaps), None, geom))
+    });
+    g.bench_function("im2col", |b| {
+        b.iter(|| conv2d_im2col(black_box(&imap), black_box(&fmaps), None, geom))
+    });
+    g.bench_function("differential", |b| {
+        b.iter(|| differential_conv2d(black_box(&imap), black_box(&fmaps), None, geom))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_booth, bench_delta, bench_schemes, bench_conv);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Table I: the CI-DNNs studied — conv/ReLU layer counts and filter
+//! sizes, computed from the model zoo specs.
+
+use diffy_core::summary::{fmt_bytes, TextTable};
+use diffy_models::CiModel;
+
+fn main() {
+    println!("== Table I: CI-DNNs studied ==\n");
+    let mut table = TextTable::new(vec![
+        "network",
+        "conv layers",
+        "relu layers",
+        "max filter size",
+        "max total filter size/layer",
+        "total weights",
+    ]);
+    for model in CiModel::ALL {
+        let spec = model.spec();
+        // Filter sizes are resolution-independent; any valid size works.
+        let (h, w) = (64, 64);
+        table.row(vec![
+            model.name().to_string(),
+            spec.conv_layers().to_string(),
+            spec.relu_layers().to_string(),
+            fmt_bytes(spec.max_filter_bytes(h, w) as u64),
+            fmt_bytes(spec.max_total_filter_bytes(h, w) as u64),
+            fmt_bytes(spec.total_weight_bytes(h, w) as u64),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("paper (Table I): conv layers 20/10/7/19/20, relu 19/9/6/16/19,");
+    println!("max filter ~1.1 KB, max total per layer 72/162/72/144/72 KB.");
+}

@@ -1,0 +1,41 @@
+//! Table IV: the VAA, PRA and Diffy configurations evaluated.
+
+use diffy_core::summary::{fmt_bytes, TextTable};
+use diffy_sim::{AcceleratorConfig, Architecture};
+
+fn main() {
+    println!("== Table IV: accelerator configurations ==\n");
+    let cfg = AcceleratorConfig::table4();
+    let mut table = TextTable::new(vec![
+        "architecture",
+        "tiles",
+        "filters/tile",
+        "lanes/filter",
+        "windows",
+        "peak eq. MACs/cycle",
+        "freq",
+        "AM",
+        "WM",
+    ]);
+    for (arch, windows, am) in [
+        (Architecture::Vaa, 1usize, 1u64 << 20),
+        (Architecture::Pra, cfg.windows, 1 << 20),
+        // Diffy provisions a halved AM thanks to DeltaD16 (Table V).
+        (Architecture::Diffy, cfg.windows, 512 << 10),
+    ] {
+        table.row(vec![
+            arch.name().to_string(),
+            cfg.tiles.to_string(),
+            cfg.filters_per_tile.to_string(),
+            cfg.lanes.to_string(),
+            windows.to_string(),
+            cfg.peak_macs_per_cycle().to_string(),
+            format!("{} GHz", cfg.frequency_ghz),
+            fmt_bytes(am),
+            fmt_bytes(512 << 10),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("all three architectures are normalized to the same 1K equivalent");
+    println!("16x16b MACs/cycle peak (4 tiles x 16 filters x 16 lanes) at 1 GHz.");
+}

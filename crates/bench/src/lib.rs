@@ -1,0 +1,99 @@
+//! Shared plumbing for the table/figure benches.
+//!
+//! Every bench target under `benches/` regenerates one artefact of the
+//! paper (see `diffy_core::experiment::ExperimentId`). The workload size
+//! is configurable without recompiling:
+//!
+//! * `DIFFY_BENCH_RES` — square trace resolution (default 96).
+//! * `DIFFY_BENCH_SAMPLES` — samples per dataset (default 2; the original
+//!   corpora are larger — the cap is printed, never silent).
+
+
+#![warn(missing_docs)]
+
+use diffy_core::runner::{
+    ci_trace_bundle_with_weights, ci_weights, datasets_for, TraceBundle, WorkloadOptions,
+};
+use diffy_models::CiModel;
+
+/// Reads the bench workload options from the environment.
+pub fn bench_options() -> WorkloadOptions {
+    let resolution = std::env::var("DIFFY_BENCH_RES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(96);
+    let samples_per_dataset = std::env::var("DIFFY_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    WorkloadOptions { resolution, samples_per_dataset, seed: 1 }
+}
+
+/// Prints the standard bench banner: which artefact this regenerates and
+/// the workload cap.
+pub fn banner(artefact: &str, what: &str, opts: &WorkloadOptions) {
+    println!("== {artefact}: {what} ==");
+    println!(
+        "workload: {}x{} synthetic traces, {} sample(s) per dataset \
+         (original corpora are larger; cap set by DIFFY_BENCH_SAMPLES)",
+        opts.resolution, opts.resolution, opts.samples_per_dataset
+    );
+    println!();
+}
+
+/// Traces every Table I model over its datasets at the bench workload.
+///
+/// Returns `(model, bundles)` pairs; weights are generated once per
+/// model.
+pub fn all_ci_bundles(opts: &WorkloadOptions) -> Vec<(CiModel, Vec<TraceBundle>)> {
+    CiModel::ALL
+        .into_iter()
+        .map(|m| (m, ci_bundles(m, opts)))
+        .collect()
+}
+
+/// Traces one model over its datasets at the bench workload.
+pub fn ci_bundles(model: CiModel, opts: &WorkloadOptions) -> Vec<TraceBundle> {
+    let weights = ci_weights(model, opts.seed);
+    let mut bundles = Vec::new();
+    for dataset in datasets_for(model) {
+        for sample in 0..opts.samples_per_dataset.min(dataset.samples()) {
+            bundles.push(ci_trace_bundle_with_weights(
+                model, &weights, dataset, sample, opts,
+            ));
+        }
+    }
+    bundles
+}
+
+/// Geometric mean of a non-empty slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_known_values() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[7.0]) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn options_default_sanely() {
+        let o = bench_options();
+        assert!(o.resolution >= 16);
+        assert!(o.samples_per_dataset >= 1);
+    }
+
+    #[test]
+    fn small_bundle_generation_works() {
+        let opts = WorkloadOptions::test_small();
+        let bundles = ci_bundles(CiModel::Ircnn, &opts);
+        assert_eq!(bundles.len(), diffy_core::runner::datasets_for(CiModel::Ircnn).len());
+    }
+}

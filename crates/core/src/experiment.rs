@@ -1,0 +1,165 @@
+//! The experiment registry: every table and figure of the paper's
+//! evaluation, mapped to the bench target that regenerates it.
+//!
+//! `cargo bench --bench <target>` prints the corresponding rows;
+//! EXPERIMENTS.md records paper-vs-measured for each entry.
+
+/// One reproducible artefact of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExperimentId {
+    /// Fig. 1: H(A), H(A|A'), H(Δ) per CI-DNN.
+    Fig01Entropy,
+    /// Fig. 2: Barbara heatmap statistics on DnCNN conv_3.
+    Fig02Heatmap,
+    /// Fig. 3: CDF of effectual terms per activation/delta.
+    Fig03TermCdf,
+    /// Fig. 4: potential speedups (ALL vs RawE vs ΔE).
+    Fig04Potential,
+    /// Fig. 5: off-chip footprint per compression scheme.
+    Fig05Footprint,
+    /// Table I: the CI-DNN zoo.
+    Tab01Models,
+    /// Table II: the dataset registry.
+    Tab02Datasets,
+    /// Table III: profiled per-layer activation precisions.
+    Tab03Profiled,
+    /// Table IV: accelerator configurations.
+    Tab04Configs,
+    /// Fig. 11: PRA/Diffy speedup over VAA per compression scheme.
+    Fig11Speedup,
+    /// Fig. 12: per-layer lane utilization breakdown.
+    Fig12Utilization,
+    /// Fig. 13: absolute FPS at HD.
+    Fig13FpsHd,
+    /// Table V: on-chip storage per scheme.
+    Tab05OnChip,
+    /// Fig. 14: off-chip traffic per scheme.
+    Fig14Traffic,
+    /// Fig. 15: performance across off-chip memory nodes.
+    Fig15MemNodes,
+    /// Table VI: power breakdown and energy efficiency.
+    Tab06Power,
+    /// Table VII: area breakdown.
+    Tab07Area,
+    /// Fig. 16: tiling (T_x) sensitivity.
+    Fig16Tiling,
+    /// Fig. 17: FPS at low resolutions.
+    Fig17LowRes,
+    /// Fig. 18: minimum configuration for real-time HD.
+    Fig18Realtime,
+    /// Fig. 19: classification/detection model speedups.
+    Fig19Classification,
+    /// Fig. 20: Diffy vs SCNN under weight sparsity.
+    Fig20Scnn,
+}
+
+impl ExperimentId {
+    /// Every experiment, in paper order.
+    pub const ALL: [ExperimentId; 22] = [
+        ExperimentId::Fig01Entropy,
+        ExperimentId::Fig02Heatmap,
+        ExperimentId::Fig03TermCdf,
+        ExperimentId::Fig04Potential,
+        ExperimentId::Fig05Footprint,
+        ExperimentId::Tab01Models,
+        ExperimentId::Tab02Datasets,
+        ExperimentId::Tab03Profiled,
+        ExperimentId::Tab04Configs,
+        ExperimentId::Fig11Speedup,
+        ExperimentId::Fig12Utilization,
+        ExperimentId::Fig13FpsHd,
+        ExperimentId::Tab05OnChip,
+        ExperimentId::Fig14Traffic,
+        ExperimentId::Fig15MemNodes,
+        ExperimentId::Tab06Power,
+        ExperimentId::Tab07Area,
+        ExperimentId::Fig16Tiling,
+        ExperimentId::Fig17LowRes,
+        ExperimentId::Fig18Realtime,
+        ExperimentId::Fig19Classification,
+        ExperimentId::Fig20Scnn,
+    ];
+
+    /// The bench target that regenerates this artefact
+    /// (`cargo bench --bench <target>`).
+    pub fn bench_target(&self) -> &'static str {
+        match self {
+            ExperimentId::Fig01Entropy => "fig01_entropy",
+            ExperimentId::Fig02Heatmap => "fig02_heatmap",
+            ExperimentId::Fig03TermCdf => "fig03_term_cdf",
+            ExperimentId::Fig04Potential => "fig04_potential",
+            ExperimentId::Fig05Footprint => "fig05_footprint",
+            ExperimentId::Tab01Models => "tab01_models",
+            ExperimentId::Tab02Datasets => "tab02_datasets",
+            ExperimentId::Tab03Profiled => "tab03_profiled",
+            ExperimentId::Tab04Configs => "tab04_configs",
+            ExperimentId::Fig11Speedup => "fig11_speedup",
+            ExperimentId::Fig12Utilization => "fig12_utilization",
+            ExperimentId::Fig13FpsHd => "fig13_fps_hd",
+            ExperimentId::Tab05OnChip => "tab05_onchip",
+            ExperimentId::Fig14Traffic => "fig14_traffic",
+            ExperimentId::Fig15MemNodes => "fig15_memnodes",
+            ExperimentId::Tab06Power => "tab06_power",
+            ExperimentId::Tab07Area => "tab07_area",
+            ExperimentId::Fig16Tiling => "fig16_tiling",
+            ExperimentId::Fig17LowRes => "fig17_lowres",
+            ExperimentId::Fig18Realtime => "fig18_realtime",
+            ExperimentId::Fig19Classification => "fig19_classification",
+            ExperimentId::Fig20Scnn => "fig20_scnn",
+        }
+    }
+
+    /// The paper artefact this reproduces ("Fig. 11", "Table V", …).
+    pub fn paper_artefact(&self) -> &'static str {
+        match self {
+            ExperimentId::Fig01Entropy => "Fig. 1",
+            ExperimentId::Fig02Heatmap => "Fig. 2",
+            ExperimentId::Fig03TermCdf => "Fig. 3",
+            ExperimentId::Fig04Potential => "Fig. 4",
+            ExperimentId::Fig05Footprint => "Fig. 5",
+            ExperimentId::Tab01Models => "Table I",
+            ExperimentId::Tab02Datasets => "Table II",
+            ExperimentId::Tab03Profiled => "Table III",
+            ExperimentId::Tab04Configs => "Table IV",
+            ExperimentId::Fig11Speedup => "Fig. 11",
+            ExperimentId::Fig12Utilization => "Fig. 12",
+            ExperimentId::Fig13FpsHd => "Fig. 13",
+            ExperimentId::Tab05OnChip => "Table V",
+            ExperimentId::Fig14Traffic => "Fig. 14",
+            ExperimentId::Fig15MemNodes => "Fig. 15",
+            ExperimentId::Tab06Power => "Table VI",
+            ExperimentId::Tab07Area => "Table VII",
+            ExperimentId::Fig16Tiling => "Fig. 16",
+            ExperimentId::Fig17LowRes => "Fig. 17",
+            ExperimentId::Fig18Realtime => "Fig. 18",
+            ExperimentId::Fig19Classification => "Fig. 19",
+            ExperimentId::Fig20Scnn => "Fig. 20",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn registry_covers_every_table_and_figure() {
+        // 5 motivation figures + 4 setup tables + 13 evaluation artefacts.
+        assert_eq!(ExperimentId::ALL.len(), 22);
+    }
+
+    #[test]
+    fn bench_targets_are_unique() {
+        let targets: HashSet<_> = ExperimentId::ALL.iter().map(|e| e.bench_target()).collect();
+        assert_eq!(targets.len(), ExperimentId::ALL.len());
+    }
+
+    #[test]
+    fn artefact_labels_are_paper_style() {
+        for e in ExperimentId::ALL {
+            let a = e.paper_artefact();
+            assert!(a.starts_with("Fig.") || a.starts_with("Table"), "{a}");
+        }
+    }
+}

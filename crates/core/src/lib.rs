@@ -1,0 +1,49 @@
+//! The paper's primary contribution as a library: **differential
+//! convolution** and the **Diffy** accelerator evaluation stack.
+//!
+//! * [`dc`] — differential convolution (Eqs. 3/4): computing each output
+//!   from its left neighbour plus an inner product with the window
+//!   *deltas*, with an exactness guarantee against direct convolution.
+//! * [`accelerator`] — the end-to-end evaluation of one network trace on
+//!   one architecture: cycle model + storage scheme + off-chip memory →
+//!   execution time, stalls, traffic, FPS.
+//! * [`runner`] — workload orchestration: datasets → prepared inputs →
+//!   traces (with weight caching), plus the resolution-scaling rules for
+//!   HD projections (DESIGN.md §2.3).
+//! * [`scaling`] — the Fig. 17/18 studies: FPS across resolutions and the
+//!   minimum tiles × memory-node search for real-time HD.
+//! * [`experiment`] — the registry mapping every table and figure of the
+//!   paper to its bench target.
+//! * [`summary`] — fixed-width table formatting shared by the bench
+//!   harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use diffy_core::dc::differential_conv2d;
+//! use diffy_tensor::{conv2d, ConvGeometry, Tensor3, Tensor4};
+//!
+//! let imap = Tensor3::from_vec(1, 2, 4, vec![3i16, 4, 4, 5, 9, 9, 8, 7]);
+//! let fmaps = Tensor4::from_vec(1, 1, 2, 2, vec![1i16, -1, 2, 1]);
+//! let direct = conv2d(&imap, &fmaps, None, ConvGeometry::unit());
+//! let differential = differential_conv2d(&imap, &fmaps, None, ConvGeometry::unit());
+//! assert_eq!(direct, differential); // bit-exact, by construction
+//! ```
+
+
+#![warn(missing_docs)]
+
+pub mod accelerator;
+pub mod datapath;
+pub mod dc;
+pub mod experiment;
+pub mod reporting;
+pub mod runner;
+pub mod scaling;
+pub mod summary;
+pub mod system;
+pub mod tile;
+
+pub use accelerator::{evaluate_network, EvalOptions, NetworkResult, SchemeChoice};
+pub use dc::differential_conv2d;
+pub use runner::{ci_trace_bundle, class_trace_bundle, TraceBundle, WorkloadOptions};

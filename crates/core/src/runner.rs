@@ -1,0 +1,221 @@
+//! Workload orchestration: datasets → prepared inputs → traces.
+//!
+//! Traces are gathered at moderate resolutions and projected to HD
+//! analytically (DESIGN.md §2.3): CI-DNNs are fully convolutional so
+//! their per-pixel work and value statistics are resolution-stationary.
+//! A [`TraceBundle`] carries the traced source-pixel count so projections
+//! stay honest.
+
+use crate::accelerator::{evaluate_network, EvalOptions, NetworkResult};
+use diffy_imaging::datasets::DatasetId;
+use diffy_imaging::scenes::{render_scene, SceneKind};
+use diffy_models::{run_network, CiModel, ClassModel, NetworkTrace, NetworkWeights};
+use diffy_tensor::Quantizer;
+
+/// Full-HD pixel count (1920 × 1080), the paper's headline resolution.
+pub const HD_PIXELS: u64 = 1920 * 1080;
+
+/// A trace plus the provenance needed to scale results.
+#[derive(Debug, Clone)]
+pub struct TraceBundle {
+    /// The recorded execution.
+    pub trace: NetworkTrace,
+    /// Pixels of the *source image* the input was prepared from.
+    pub source_pixels: u64,
+    /// Dataset the source image came from, if any.
+    pub dataset: Option<DatasetId>,
+    /// Sample index within the dataset.
+    pub sample: usize,
+}
+
+impl TraceBundle {
+    /// Evaluates this trace and returns the result together with the
+    /// source pixel count (convenience for FPS projections).
+    pub fn evaluate(&self, opts: &EvalOptions) -> NetworkResult {
+        evaluate_network(&self.trace, opts)
+    }
+
+    /// FPS at HD resolution for an evaluation of this bundle.
+    pub fn hd_fps(&self, result: &NetworkResult) -> f64 {
+        result.fps_scaled(self.source_pixels, HD_PIXELS)
+    }
+}
+
+/// Workload options shared by the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadOptions {
+    /// Square trace resolution for the source images.
+    pub resolution: usize,
+    /// Samples drawn per dataset (the original corpora are larger; every
+    /// bench prints this cap — no silent truncation).
+    pub samples_per_dataset: usize,
+    /// Base seed for weights and degradations.
+    pub seed: u64,
+}
+
+impl WorkloadOptions {
+    /// Bench defaults: 96×96 traces, 2 samples per dataset.
+    pub fn bench_default() -> Self {
+        Self { resolution: 96, samples_per_dataset: 2, seed: 1 }
+    }
+
+    /// Small configuration for tests.
+    pub fn test_small() -> Self {
+        Self { resolution: 32, samples_per_dataset: 1, seed: 1 }
+    }
+}
+
+/// Traces one CI model on one dataset sample.
+///
+/// Weights are regenerated deterministically from the model and seed, so
+/// repeated calls are consistent; callers tracing many samples should
+/// reuse [`ci_weights`].
+pub fn ci_trace_bundle(
+    model: CiModel,
+    dataset: DatasetId,
+    sample: usize,
+    opts: &WorkloadOptions,
+) -> TraceBundle {
+    let weights = ci_weights(model, opts.seed);
+    ci_trace_bundle_with_weights(model, &weights, dataset, sample, opts)
+}
+
+/// Weights for a CI model (cacheable across samples).
+pub fn ci_weights(model: CiModel, seed: u64) -> NetworkWeights {
+    NetworkWeights::generate(&model.spec(), model.weight_gen(seed), Quantizer::default())
+}
+
+/// Traces one CI model with pre-generated weights.
+pub fn ci_trace_bundle_with_weights(
+    model: CiModel,
+    weights: &NetworkWeights,
+    dataset: DatasetId,
+    sample: usize,
+    opts: &WorkloadOptions,
+) -> TraceBundle {
+    let img = dataset.sample_scaled(sample, opts.resolution, opts.resolution);
+    let input = model.prepare_input(&img, opts.seed ^ sample as u64);
+    let trace = run_network(&model.spec(), weights, &input);
+    TraceBundle {
+        trace,
+        source_pixels: (opts.resolution * opts.resolution) as u64,
+        dataset: Some(dataset),
+        sample,
+    }
+}
+
+/// Traces a classification/detection model on a synthetic scene at the
+/// given square resolution (its inputs are photographic scenes, so the
+/// nature/city mix is used).
+///
+/// # Panics
+///
+/// Panics if `resolution` is below the model's
+/// [`ClassModel::min_resolution`].
+pub fn class_trace_bundle(model: ClassModel, resolution: usize, seed: u64) -> TraceBundle {
+    assert!(
+        resolution >= model.min_resolution(),
+        "{model} needs at least {} px",
+        model.min_resolution()
+    );
+    let kind = if seed.is_multiple_of(2) { SceneKind::Nature } else { SceneKind::City };
+    let img = render_scene(kind, resolution, resolution, seed ^ 0x000C_1A55);
+    let input = diffy_imaging::to_fixed(&img, Quantizer::default());
+    let spec = model.spec();
+    let weights = NetworkWeights::generate(
+        &spec,
+        diffy_models::WeightGen::new(seed ^ 0xC0DE).with_bias_shift(-0.25),
+        Quantizer::default(),
+    );
+    let trace = run_network(&spec, &weights, &input);
+    TraceBundle {
+        trace,
+        source_pixels: (resolution * resolution) as u64,
+        dataset: None,
+        sample: 0,
+    }
+}
+
+/// The datasets a CI model is evaluated on (all of Table II; callers cap
+/// samples via [`WorkloadOptions::samples_per_dataset`]).
+pub fn datasets_for(model: CiModel) -> Vec<DatasetId> {
+    match model {
+        // Denoisers: the denoising corpora.
+        CiModel::DnCnn | CiModel::Ircnn => {
+            vec![DatasetId::Cbsd68, DatasetId::Kodak24, DatasetId::Rni15, DatasetId::Hd33]
+        }
+        CiModel::FfdNet => vec![DatasetId::Cbsd68, DatasetId::Kodak24, DatasetId::Hd33],
+        // Demosaicking.
+        CiModel::JointNet => vec![DatasetId::McMaster, DatasetId::Kodak24, DatasetId::Hd33],
+        // Super-resolution.
+        CiModel::Vdsr => {
+            vec![DatasetId::Live1, DatasetId::Set5Set14, DatasetId::Hd33]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerator::SchemeChoice;
+    use diffy_sim::Architecture;
+
+    #[test]
+    fn ci_bundle_runs_end_to_end() {
+        let opts = WorkloadOptions::test_small();
+        let b = ci_trace_bundle(CiModel::Ircnn, DatasetId::Kodak24, 0, &opts);
+        assert_eq!(b.trace.layers.len(), 7);
+        assert_eq!(b.source_pixels, 32 * 32);
+        assert_eq!(b.dataset, Some(DatasetId::Kodak24));
+    }
+
+    #[test]
+    fn half_resolution_models_trace_at_half_size() {
+        let opts = WorkloadOptions::test_small();
+        let b = ci_trace_bundle(CiModel::JointNet, DatasetId::McMaster, 0, &opts);
+        let s = b.trace.layers[0].imap.shape();
+        assert_eq!((s.h, s.w), (16, 16));
+        assert_eq!(s.c, 4);
+    }
+
+    #[test]
+    fn weights_are_reused_consistently() {
+        let opts = WorkloadOptions::test_small();
+        let w = ci_weights(CiModel::Ircnn, opts.seed);
+        let a = ci_trace_bundle_with_weights(CiModel::Ircnn, &w, DatasetId::Cbsd68, 0, &opts);
+        let b = ci_trace_bundle(CiModel::Ircnn, DatasetId::Cbsd68, 0, &opts);
+        assert_eq!(a.trace.layers[3].imap, b.trace.layers[3].imap);
+    }
+
+    #[test]
+    fn hd_projection_uses_source_pixels() {
+        let opts = WorkloadOptions::test_small();
+        let b = ci_trace_bundle(CiModel::Ircnn, DatasetId::Hd33, 0, &opts);
+        let r = b.evaluate(&EvalOptions::new(Architecture::Vaa, SchemeChoice::Ideal));
+        let hd = b.hd_fps(&r);
+        let native = r.fps();
+        let expect = native * (32.0 * 32.0) / HD_PIXELS as f64;
+        assert!((hd / expect - 1.0).abs() < 0.01, "hd {hd} expect {expect}");
+    }
+
+    #[test]
+    fn class_bundle_respects_min_resolution() {
+        let b = class_trace_bundle(ClassModel::Vgg16, 32, 3);
+        assert_eq!(b.trace.layers.len(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs at least")]
+    fn class_bundle_rejects_tiny_inputs() {
+        let _ = class_trace_bundle(ClassModel::AlexNet, 16, 1);
+    }
+
+    #[test]
+    fn every_model_has_datasets_including_hd33() {
+        for m in CiModel::ALL {
+            let ds = datasets_for(m);
+            assert!(!ds.is_empty());
+            assert!(ds.contains(&DatasetId::Hd33), "{m} must include HD33");
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! A multi-tile system emulator built on [`crate::tile`].
+//!
+//! The full accelerator (Table IV: 4 tiles and up) partitions work the
+//! way the analytical model's `tile_partition` describes: filters are
+//! spread `filters_per_tile` per tile, and when tiles outnumber a
+//! layer's filter groups the surplus tiles split the output rows
+//! spatially (how scaled-up Fig. 18 configurations keep shallow-K layers
+//! busy). This module executes that schedule with real tile emulators —
+//! every tile produces its slice of the omap — and cross-validates both
+//! the functional result (identical to a single tile's) and the
+//! system-level cycle count (tiles run in lockstep on the same weight
+//! stream, so the system takes the slowest tile's time per assignment
+//! wave).
+
+use crate::tile::{run_tile, TileConfig, TileRun};
+use diffy_models::LayerTrace;
+use diffy_sim::report::tile_partition;
+use diffy_tensor::Tensor3;
+
+/// System-level configuration: a tile plus how many of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// Number of tiles.
+    pub tiles: usize,
+    /// Per-tile geometry.
+    pub tile: TileConfig,
+}
+
+impl Default for SystemConfig {
+    /// The Table IV default: 4 tiles.
+    fn default() -> Self {
+        Self { tiles: 4, tile: TileConfig::default() }
+    }
+}
+
+/// The result of emulating one layer on the whole system.
+#[derive(Debug, Clone)]
+pub struct SystemRun {
+    /// Post-activation omap, assembled from the tiles' slices.
+    pub omap: Tensor3<i16>,
+    /// System cycles: waves of concurrent tile assignments, each costing
+    /// its slowest member.
+    pub compute_cycles: u64,
+    /// Total effectual offsets across all tiles.
+    pub offsets_processed: u64,
+}
+
+/// One work assignment: a filter range over a row range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Assignment {
+    k0: usize,
+    k1: usize,
+    y0: usize,
+    y1: usize,
+}
+
+/// Emulates one layer across `cfg.tiles` tiles.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_tile`].
+pub fn run_system(trace: &LayerTrace, cfg: &SystemConfig) -> SystemRun {
+    let out = trace.out_shape();
+    let (_, spatial) =
+        tile_partition(out.c, out.h, cfg.tile.filter_rows, cfg.tiles);
+    // Spatial row-splitting is emulated for the stride-1 layers that
+    // dominate CI-DNNs (slice/window alignment requires the pad to land
+    // on a window boundary); strided layers fall back to filter
+    // splitting only.
+    let spatial = if trace.geom.stride == 1 { spatial as usize } else { 1 };
+
+    // Build the assignment list: filter groups × spatial row slices.
+    let mut assignments = Vec::new();
+    let groups = out.c.div_ceil(cfg.tile.filter_rows);
+    for g in 0..groups {
+        let k0 = g * cfg.tile.filter_rows;
+        let k1 = (k0 + cfg.tile.filter_rows).min(out.c);
+        for s in 0..spatial {
+            let y0 = out.h * s / spatial;
+            let y1 = out.h * (s + 1) / spatial;
+            if y0 < y1 {
+                assignments.push(Assignment { k0, k1, y0, y1 });
+            }
+        }
+    }
+
+    let mut omap = Tensor3::<i16>::new(out.c, out.h, out.w);
+    let mut compute_cycles = 0u64;
+    let mut offsets = 0u64;
+
+    // Waves of `tiles` concurrent assignments.
+    for wave in assignments.chunks(cfg.tiles) {
+        let mut wave_max = 0u64;
+        for a in wave {
+            let run = run_slice(trace, cfg, *a);
+            wave_max = wave_max.max(run.compute_cycles);
+            offsets += run.offsets_processed;
+            for k in a.k0..a.k1 {
+                for y in a.y0..a.y1 {
+                    for x in 0..out.w {
+                        *omap.at_mut(k, y, x) = *run.omap.at(k - a.k0, y - a.y0, x);
+                    }
+                }
+            }
+        }
+        compute_cycles += wave_max;
+    }
+
+    SystemRun { omap, compute_cycles, offsets_processed: offsets }
+}
+
+/// Runs one assignment on one tile by slicing the trace.
+fn run_slice(trace: &LayerTrace, cfg: &SystemConfig, a: Assignment) -> TileRun {
+    let ishape = trace.imap.shape();
+    let fshape = trace.fmaps.shape();
+    let geom = trace.geom;
+
+    // The row slice [y0, y1) of the omap reads imap rows
+    // [y0*s - pad, (y1-1)*s - pad + extent). Clamp to the imap and track
+    // the offset so window coordinates stay aligned; out-of-range rows
+    // are re-materialized as explicit zero padding so the slice sees the
+    // same values the full layer does.
+    let extent = geom.effective_extent(fshape.h);
+    let iy_lo = a.y0 as isize * geom.stride as isize - geom.pad as isize;
+    let iy_hi = (a.y1 - 1) as isize * geom.stride as isize - geom.pad as isize + extent as isize;
+    let rows = (iy_hi - iy_lo) as usize;
+    let mut sub_imap = Tensor3::<i16>::new(ishape.c, rows, ishape.w);
+    for c in 0..ishape.c {
+        for (ry, iy) in (iy_lo..iy_hi).enumerate() {
+            if iy < 0 || iy as usize >= ishape.h {
+                continue; // stays zero, exactly like the pad
+            }
+            for x in 0..ishape.w {
+                *sub_imap.at_mut(c, ry, x) = *trace.imap.at(c, iy as usize, x);
+            }
+        }
+    }
+
+    // Slice the filters to [k0, k1).
+    let kn = a.k1 - a.k0;
+    let mut sub_fmaps = diffy_tensor::Tensor4::<i16>::new(kn, fshape.c, fshape.h, fshape.w);
+    for k in 0..kn {
+        for c in 0..fshape.c {
+            for j in 0..fshape.h {
+                for i in 0..fshape.w {
+                    *sub_fmaps.at_mut(k, c, j, i) = *trace.fmaps.at(a.k0 + k, c, j, i);
+                }
+            }
+        }
+    }
+
+    // Vertical padding is baked into sub_imap; horizontal padding still
+    // applies. Express that as pad columns only by keeping `pad` and
+    // compensating the extra top rows we materialized.
+    let sub_trace = LayerTrace {
+        name: trace.name.clone(),
+        index: trace.index,
+        imap: sub_imap,
+        fmaps: sub_fmaps,
+        geom: diffy_tensor::ConvGeometry {
+            stride: geom.stride,
+            pad: geom.pad,
+            dilation: geom.dilation,
+        },
+        relu: trace.relu,
+        requant_shift: trace.requant_shift,
+        requant_bias: trace.requant_bias,
+        next_stride: trace.next_stride,
+    };
+    // The slice already materializes the vertical pad region, while the
+    // tile re-pads it; sub-output row r has its window top at
+    // iy_lo + r·s − pad, so the rows belonging to [y0, y1) start at
+    // r = pad/s (stride-1 here whenever spatial splitting is active).
+    let run = run_tile(&sub_trace, &cfg.tile);
+    let want_rows = a.y1 - a.y0;
+    let skip = geom.pad.div_ceil(geom.stride);
+    let out_w = run.omap.shape().w;
+    let mut omap = Tensor3::<i16>::new(kn, want_rows, out_w);
+    for k in 0..kn {
+        for r in 0..want_rows {
+            for x in 0..out_w {
+                *omap.at_mut(k, r, x) = *run.omap.at(k, skip + r, x);
+            }
+        }
+    }
+    TileRun {
+        omap,
+        omap_deltas: run.omap_deltas,
+        compute_cycles: run.compute_cycles,
+        offsets_processed: run.offsets_processed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffy_tensor::{ConvGeometry, Tensor4};
+
+    fn mk_trace(c: usize, h: usize, w: usize, k: usize) -> LayerTrace {
+        let data: Vec<i16> = (0..c * h * w)
+            .map(|i| ((i as u64).wrapping_mul(6364136223846793005) >> 52) as i16)
+            .collect();
+        let wdata: Vec<i16> = (0..k * c * 9)
+            .map(|i| ((i as u64 * 40503) % 201) as i16 - 100)
+            .collect();
+        LayerTrace {
+            name: "sys".into(),
+            index: 0,
+            imap: Tensor3::from_vec(c, h, w, data.iter().map(|v| v.abs()).collect()),
+            fmaps: Tensor4::from_vec(k, c, 3, 3, wdata),
+            geom: ConvGeometry::same(3, 3),
+            relu: true,
+            requant_shift: 6,
+            requant_bias: 0,
+            next_stride: 1,
+        }
+    }
+
+    #[test]
+    fn system_output_matches_single_tile() {
+        // K=8, 4 tiles: one filter group, 4-way spatial split — the
+        // assembled omap must equal a single tile over the whole layer.
+        let t = mk_trace(4, 8, 20, 8);
+        let single = run_tile(&t, &TileConfig::default());
+        let system = run_system(&t, &SystemConfig::default());
+        assert_eq!(system.omap, single.omap);
+    }
+
+    #[test]
+    fn system_output_matches_with_filter_split() {
+        // K=40 on 16-row tiles: 3 filter groups over 4 tiles.
+        let t = mk_trace(3, 6, 18, 40);
+        let single = run_tile(&t, &TileConfig::default());
+        let system = run_system(&t, &SystemConfig::default());
+        assert_eq!(system.omap, single.omap);
+    }
+
+    #[test]
+    fn more_tiles_do_not_change_the_answer_but_cut_cycles() {
+        let t = mk_trace(4, 12, 24, 16);
+        let one = run_system(&t, &SystemConfig { tiles: 1, tile: TileConfig::default() });
+        let four = run_system(&t, &SystemConfig::default());
+        assert_eq!(one.omap, four.omap);
+        assert!(four.compute_cycles < one.compute_cycles);
+        // Same total effectual work modulo the halo rows each spatial
+        // slice re-reads (its windows overlap the neighbour slice).
+        assert!(four.offsets_processed >= one.offsets_processed);
+    }
+
+    #[test]
+    fn system_cycles_are_bounded_by_single_tile_cycles() {
+        let t = mk_trace(4, 8, 20, 32);
+        let single = run_tile(&t, &TileConfig::default());
+        let system = run_system(&t, &SystemConfig::default());
+        assert!(system.compute_cycles <= single.compute_cycles);
+        assert!(system.compute_cycles > 0);
+    }
+}

@@ -1,0 +1,436 @@
+//! A microarchitectural emulator of one Diffy tile (Figs. 9 and 10).
+//!
+//! Where `diffy-sim` prices execution analytically, this module *executes
+//! the hardware algorithm* structurally, one mechanism at a time:
+//!
+//! * **Offset generators** recode each activation (or delta) into its
+//!   stream of signed powers of two (`±2^e`), the "oneffsets" PRA
+//!   processes serially.
+//! * **SIPs** — one per (filter row, window column) — consume one offset
+//!   per lane per cycle, accumulating `(w << e)` with the offset's sign;
+//!   lanes within a `T_x` group advance in lockstep, and a weight brick is
+//!   held until every column finishes it.
+//! * **DR engines** (Fig. 9) reconstruct outputs in a cascade: column 0's
+//!   finished brick seeds column 1, and so on; across pallets of the same
+//!   row, column 15 passes its brick round-robin back to column 0. The
+//!   per-DR multiplexer writes the row-leading raw window unmodified.
+//! * **Delta_out** (Fig. 10) drains the ABout ring: for each output
+//!   column it reads the brick `s_next` columns to the left (wrapping to
+//!   the previous pallet through the 4-deep ABout), applies the
+//!   activation function, and writes the element-wise difference to AM.
+//!
+//! The emulator returns bit-exact omaps (validated against
+//! [`crate::dc::differential_conv2d`] and the reference convolution) *and*
+//! a cycle count (validated against `diffy_sim::term_serial_layer` for
+//! matching configurations) — the cross-check that keeps the fast
+//! analytical model honest.
+
+use diffy_encoding::booth::booth_term_stream;
+use diffy_models::LayerTrace;
+use diffy_tensor::{sat16, Tensor3};
+
+/// Geometry of the emulated tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileConfig {
+    /// SIP rows (filters processed concurrently).
+    pub filter_rows: usize,
+    /// SIP columns (windows processed concurrently — the pallet width).
+    pub columns: usize,
+    /// Activation lanes per SIP.
+    pub lanes: usize,
+    /// Cross-lane synchronization group (`T_x`).
+    pub terms_per_group: usize,
+    /// Depth of each column's ABout ring (4 in the paper, supporting
+    /// strides up to 48).
+    pub about_depth: usize,
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        Self { filter_rows: 16, columns: 16, lanes: 16, terms_per_group: 16, about_depth: 4 }
+    }
+}
+
+/// The result of emulating one layer on one tile.
+#[derive(Debug, Clone)]
+pub struct TileRun {
+    /// Post-activation omap, exactly as the layer would publish it.
+    pub omap: Tensor3<i16>,
+    /// The delta-encoded omap Delta_out writes to the activation memory
+    /// (wrapped 16-bit deltas at the next layer's stride).
+    pub omap_deltas: Tensor3<i16>,
+    /// Cycles the SIP array spent (offset-serial compute only; DR and
+    /// Delta_out are overlapped, as in the paper).
+    pub compute_cycles: u64,
+    /// Total effectual offsets processed (energy-model activity).
+    pub offsets_processed: u64,
+}
+
+/// One SIP column's state while processing a pallet: the accumulators of
+/// every filter row for its window.
+struct Column {
+    /// `filter_rows` accumulators (64-bit here; the RTL uses a narrower
+    /// saturating datapath, irrelevant to the values these tests reach).
+    acc: Vec<i64>,
+    /// Whether this column's window was fed raw (row-leading) values.
+    raw_window: bool,
+    /// The window's output coordinates.
+    oy: usize,
+    ox: usize,
+    /// Live column (pallet tails may leave columns idle).
+    active: bool,
+}
+
+/// Emulates one layer on a single Diffy tile.
+///
+/// Supports up to `cfg.filter_rows` filters per pass; more filters run in
+/// additional passes exactly like the hardware (weights are re-streamed,
+/// activations re-read from AM).
+///
+/// # Panics
+///
+/// Panics if the layer's output is empty or `s_next` exceeds what the
+/// ABout ring can serve (`columns × (about_depth − 1)`).
+pub fn run_tile(trace: &LayerTrace, cfg: &TileConfig) -> TileRun {
+    let ishape = trace.imap.shape();
+    let fshape = trace.fmaps.shape();
+    let out = trace.out_shape();
+    assert!(!out.is_empty(), "empty output");
+    let s_next = trace.next_stride;
+    assert!(
+        s_next <= cfg.columns * (cfg.about_depth - 1),
+        "stride {s_next} beyond ABout reach"
+    );
+
+    let geom = trace.geom;
+    let pad = geom.pad as isize;
+    let s = geom.stride;
+    let d = geom.dilation;
+
+    // Padded activation fetch in imap coordinates.
+    let fetch = |c: usize, iy: isize, ix: isize| -> i32 {
+        if iy < 0 || ix < 0 || iy as usize >= ishape.h || ix as usize >= ishape.w {
+            0
+        } else {
+            *trace.imap.at(c, iy as usize, ix as usize) as i32
+        }
+    };
+
+    let mut omap_acc = Tensor3::<i64>::new(out.c, out.h, out.w);
+    let mut compute_cycles = 0u64;
+    let mut offsets_processed = 0u64;
+
+    let passes = out.c.div_ceil(cfg.filter_rows);
+    for pass in 0..passes {
+        let k0 = pass * cfg.filter_rows;
+        let k1 = (k0 + cfg.filter_rows).min(out.c);
+
+        // Walk windows row-major, a pallet (columns) at a time; the
+        // dispatcher packs pallets across row boundaries.
+        let windows: Vec<(usize, usize)> =
+            (0..out.h).flat_map(|oy| (0..out.w).map(move |ox| (oy, ox))).collect();
+
+        // Carried output bricks per output row: o(n, oy, ox-1), used to
+        // seed the DR cascade when a pallet continues a row.
+        let mut row_carry: Vec<Option<Vec<i64>>> = vec![None; out.h];
+
+        for pallet in windows.chunks(cfg.columns) {
+            let mut cols: Vec<Column> = pallet
+                .iter()
+                .map(|&(oy, ox)| Column {
+                    acc: vec![0i64; k1 - k0],
+                    raw_window: ox == 0,
+                    oy,
+                    ox,
+                    active: true,
+                })
+                .collect();
+
+            // Phase 1: offset-serial inner products. Each column advances
+            // at its own pace through the brick steps (per-column
+            // dispatcher slack); the pallet completes when its slowest
+            // column does.
+            let mut col_cycles = vec![0u64; cols.len()];
+            for j in 0..fshape.h {
+                for i in 0..fshape.w {
+                    // Within each brick step, lanes advance in T_x groups.
+                    let mut g0 = 0usize;
+                    while g0 < fshape.c {
+                        let g1 = (g0 + cfg.terms_per_group).min(fshape.c);
+                        // Per column, per lane: the offset stream of its
+                        // (possibly differential) activation.
+                        for (ci, col) in cols.iter_mut().enumerate() {
+                            if !col.active {
+                                continue;
+                            }
+                            let iy = (col.oy * s) as isize + (j * d) as isize - pad;
+                            let ix_base = (col.ox * s) as isize + (i * d) as isize - pad;
+                            let mut col_group_max = 0usize;
+                            for c in g0..g1 {
+                                let a = fetch(c, iy, ix_base);
+                                let v = if col.raw_window {
+                                    a
+                                } else {
+                                    a - fetch(c, iy, ix_base - s as isize)
+                                };
+                                let stream = booth_term_stream(v);
+                                col_group_max = col_group_max.max(stream.len());
+                                offsets_processed += stream.len() as u64 * (k1 - k0) as u64;
+                                // Every SIP row applies the offset to its
+                                // own weight.
+                                for (fi, acc) in col.acc.iter_mut().enumerate() {
+                                    let w = *trace.fmaps.at(k0 + fi, c, j, i) as i64;
+                                    for t in &stream {
+                                        let term = w << t.exponent;
+                                        *acc += if t.negative { -term } else { term };
+                                    }
+                                }
+                            }
+                            col_cycles[ci] += col_group_max as u64;
+                        }
+                        g0 = g1;
+                    }
+                }
+            }
+            compute_cycles += col_cycles.iter().copied().max().unwrap_or(0);
+
+            // Phase 2: DR cascade (overlapped in hardware; free here).
+            // Raw windows publish as-is and re-seed the chain; the first
+            // differential column of a row continuation is seeded by the
+            // row carry handed round-robin from the previous pallet.
+            for ci in 0..cols.len() {
+                if !cols[ci].active {
+                    continue;
+                }
+                let (oy, _ox) = (cols[ci].oy, cols[ci].ox);
+                if cols[ci].raw_window {
+                    // Row-leading window: written unmodified via the DR mux.
+                } else {
+                    let seed: Vec<i64> = if ci == 0 {
+                        row_carry[oy].clone().expect("row carry present")
+                    } else {
+                        cols[ci - 1].acc.clone()
+                    };
+                    for (acc, prev) in cols[ci].acc.iter_mut().zip(seed.iter()) {
+                        *acc += prev;
+                    }
+                }
+                row_carry[oy] = Some(cols[ci].acc.clone());
+                let (oy, ox) = (cols[ci].oy, cols[ci].ox);
+                for (fi, &v) in cols[ci].acc.iter().enumerate() {
+                    *omap_acc.at_mut(k0 + fi, oy, ox) = v;
+                }
+            }
+        }
+    }
+
+    // Activation function + requantization (the `f` units of Fig. 9/10).
+    let mut omap = Tensor3::<i16>::new(out.c, out.h, out.w);
+    for k in 0..out.c {
+        for y in 0..out.h {
+            for x in 0..out.w {
+                let mut v =
+                    sat16((*omap_acc.at(k, y, x) + trace.requant_bias) >> trace.requant_shift);
+                if trace.relu && v < 0 {
+                    v = 0;
+                }
+                *omap.at_mut(k, y, x) = v;
+            }
+        }
+    }
+
+    // Delta_out (Fig. 10): per output brick, subtract the brick s_next
+    // columns to the left (post-activation), wrapping through the ABout
+    // ring; the leftmost s_next columns of each row are stored raw.
+    let mut omap_deltas = Tensor3::<i16>::new(out.c, out.h, out.w);
+    for k in 0..out.c {
+        for y in 0..out.h {
+            for x in 0..out.w {
+                let cur = *omap.at(k, y, x);
+                let v = if x < s_next {
+                    cur
+                } else {
+                    cur.wrapping_sub(*omap.at(k, y, x - s_next))
+                };
+                *omap_deltas.at_mut(k, y, x) = v;
+            }
+        }
+    }
+
+    TileRun { omap, omap_deltas, compute_cycles, offsets_processed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::differential_conv2d;
+    use diffy_encoding::delta::delta_rows_wrapping;
+    use diffy_sim::{term_serial_layer, AcceleratorConfig, ValueMode};
+    use diffy_tensor::{conv2d, requantize, ConvGeometry, Tensor4};
+
+    fn mk_trace(
+        imap: Tensor3<i16>,
+        fmaps: Tensor4<i16>,
+        geom: ConvGeometry,
+        relu: bool,
+        shift: u32,
+        next_stride: usize,
+    ) -> LayerTrace {
+        LayerTrace {
+            name: "tile".into(),
+            index: 0,
+            imap,
+            fmaps,
+            geom,
+            relu,
+            requant_shift: shift,
+            requant_bias: 0,
+            next_stride,
+        }
+    }
+
+    fn pseudo_imap(c: usize, h: usize, w: usize, seed: u64, nonneg: bool) -> Tensor3<i16> {
+        let data: Vec<i16> = (0..c * h * w)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+                let v = (x >> 50) as i16; // 14-bit range
+                if nonneg { v.abs() } else { v }
+            })
+            .collect();
+        Tensor3::from_vec(c, h, w, data)
+    }
+
+    fn pseudo_fmaps(k: usize, c: usize, f: usize, seed: u64) -> Tensor4<i16> {
+        let data: Vec<i16> = (0..k * c * f * f)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(2862933555777941757).wrapping_add(seed);
+                ((x >> 56) as i16) - 128
+            })
+            .collect();
+        Tensor4::from_vec(k, c, f, f, data)
+    }
+
+    #[test]
+    fn tile_output_matches_reference_convolution() {
+        let imap = pseudo_imap(5, 6, 20, 1, false);
+        let fmaps = pseudo_fmaps(7, 5, 3, 2);
+        let geom = ConvGeometry::same(3, 3);
+        let trace = mk_trace(imap, fmaps, geom, true, 6, 1);
+        let run = run_tile(&trace, &TileConfig::default());
+
+        let acc = conv2d(&trace.imap, &trace.fmaps, None, geom);
+        let mut expect = requantize(&acc, 6);
+        diffy_tensor::ops::relu_inplace(&mut expect);
+        assert_eq!(run.omap, expect);
+    }
+
+    #[test]
+    fn tile_matches_differential_convolution_accumulators() {
+        // The tile IS differential convolution in hardware form; the
+        // library function is its mathematical spec.
+        let imap = pseudo_imap(3, 5, 18, 3, false);
+        let fmaps = pseudo_fmaps(4, 3, 3, 4);
+        let geom = ConvGeometry { stride: 2, pad: 1, dilation: 1 };
+        let trace = mk_trace(imap, fmaps, geom, false, 0, 1);
+        let run = run_tile(&trace, &TileConfig::default());
+        let spec = differential_conv2d(&trace.imap, &trace.fmaps, None, geom);
+        let spec16 = spec.map(sat16);
+        assert_eq!(run.omap, spec16);
+    }
+
+    #[test]
+    fn delta_out_writes_wrapped_deltas_at_next_stride() {
+        let imap = pseudo_imap(4, 4, 24, 5, true);
+        let fmaps = pseudo_fmaps(6, 4, 3, 6);
+        for next_stride in [1usize, 2, 3] {
+            let trace = mk_trace(
+                imap.clone(),
+                fmaps.clone(),
+                ConvGeometry::same(3, 3),
+                true,
+                6,
+                next_stride,
+            );
+            let run = run_tile(&trace, &TileConfig::default());
+            let expect = delta_rows_wrapping(&run.omap, next_stride);
+            assert_eq!(run.omap_deltas, expect, "s_next={next_stride}");
+        }
+    }
+
+    #[test]
+    fn tile_cycles_match_the_analytical_model() {
+        // Cross-validation: the fast analytical model and the structural
+        // emulator must count the same compute cycles for a single-tile
+        // configuration on post-ReLU (non-negative) imaps.
+        let imap = pseudo_imap(8, 5, 20, 7, true);
+        let fmaps = pseudo_fmaps(10, 8, 3, 8);
+        let trace = mk_trace(imap, fmaps, ConvGeometry::same(3, 3), true, 6, 1);
+
+        let tile_cfg = TileConfig::default();
+        let run = run_tile(&trace, &tile_cfg);
+
+        let mut sim_cfg = AcceleratorConfig::table4();
+        sim_cfg.tiles = 1;
+        let model = term_serial_layer(&trace, &sim_cfg, ValueMode::Differential);
+        assert_eq!(run.compute_cycles, model.cycles);
+    }
+
+    #[test]
+    fn tile_cycles_match_model_at_t4() {
+        let imap = pseudo_imap(8, 3, 18, 9, true);
+        let fmaps = pseudo_fmaps(4, 8, 1, 10);
+        let trace = mk_trace(imap, fmaps, ConvGeometry::unit(), true, 4, 1);
+        let tile_cfg = TileConfig { terms_per_group: 4, ..Default::default() };
+        let run = run_tile(&trace, &tile_cfg);
+        let mut sim_cfg = AcceleratorConfig::table4();
+        sim_cfg.tiles = 1;
+        sim_cfg.terms_per_group = 4;
+        let model = term_serial_layer(&trace, &sim_cfg, ValueMode::Differential);
+        assert_eq!(run.compute_cycles, model.cycles);
+    }
+
+    #[test]
+    fn multi_pass_filters_are_handled() {
+        // 20 filters on a 16-row tile: two passes, same results.
+        let imap = pseudo_imap(3, 4, 17, 11, false);
+        let fmaps = pseudo_fmaps(20, 3, 3, 12);
+        let geom = ConvGeometry::same(3, 3);
+        let trace = mk_trace(imap, fmaps, geom, true, 5, 1);
+        let run = run_tile(&trace, &TileConfig::default());
+        let acc = conv2d(&trace.imap, &trace.fmaps, None, geom);
+        let mut expect = requantize(&acc, 5);
+        diffy_tensor::ops::relu_inplace(&mut expect);
+        assert_eq!(run.omap, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "ABout reach")]
+    fn oversized_stride_rejected() {
+        let trace = mk_trace(
+            pseudo_imap(1, 2, 4, 1, true),
+            pseudo_fmaps(1, 1, 1, 1),
+            ConvGeometry::unit(),
+            true,
+            0,
+            49, // paper: "any stride up to 48"
+        );
+        let _ = run_tile(&trace, &TileConfig::default());
+    }
+
+    #[test]
+    fn offsets_processed_counts_effectual_work() {
+        // A zero imap does no effectual work and finishes instantly.
+        let trace = mk_trace(
+            Tensor3::<i16>::new(4, 3, 16),
+            pseudo_fmaps(4, 4, 1, 3),
+            ConvGeometry::unit(),
+            true,
+            0,
+            1,
+        );
+        let run = run_tile(&trace, &TileConfig::default());
+        assert_eq!(run.offsets_processed, 0);
+        assert_eq!(run.compute_cycles, 0);
+        assert!(run.omap.iter().all(|&v| v == 0));
+    }
+}

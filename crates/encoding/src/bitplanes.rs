@@ -1,0 +1,172 @@
+//! Bit-plane (virtual column) packing — the on-chip layout of §III-F.
+//!
+//! "On-chip, when compression is used the activations are stored in
+//! virtual columns as in Proteus and a separate virtual column contains
+//! the precisions per group." A group of `N` activations at dynamic
+//! precision `p` is stored *transposed*: `p` planes of `N` bits each,
+//! least-significant plane first. This is what lets a bit/term-serial
+//! datapath stream one significance level per cycle across all lanes
+//! without any unpacking logic, and it is why the effective AM capacity
+//! scales with the detected precision.
+//!
+//! This module implements the transpose and its inverse bit-exactly, and
+//! accounts the physical footprint including the 4-bit precision column.
+
+use crate::precision::{group_precision, Signedness, GROUP_HEADER_BITS};
+
+/// A packed group: `precision` bit-planes over `len` lanes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedGroup {
+    /// Lanes in the group (16 in the paper).
+    pub len: usize,
+    /// Detected precision in bits.
+    pub precision: u32,
+    /// `precision` planes, LSB plane first; bit `i` of `planes[b]` is bit
+    /// `b` of lane `i`'s two's-complement (or unsigned) representation.
+    pub planes: Vec<u16>,
+}
+
+impl PackedGroup {
+    /// Physical bits this group occupies in the virtual columns,
+    /// including its precision-column entry.
+    pub fn footprint_bits(&self) -> u64 {
+        self.precision as u64 * self.len as u64 + GROUP_HEADER_BITS
+    }
+}
+
+/// Packs one group of up to 16 values into bit-planes at its detected
+/// dynamic precision.
+///
+/// # Panics
+///
+/// Panics if the group is empty or longer than 16 lanes, or contains a
+/// negative value under [`Signedness::Unsigned`].
+pub fn pack_group(values: &[i16], signedness: Signedness) -> PackedGroup {
+    assert!(!values.is_empty() && values.len() <= 16, "group must be 1..=16 lanes");
+    let wide: Vec<i32> = values.iter().map(|&v| v as i32).collect();
+    let precision = group_precision(&wide, signedness);
+    let mut planes = vec![0u16; precision as usize];
+    for (lane, &v) in values.iter().enumerate() {
+        let raw = v as u16; // two's complement bits
+        for (b, plane) in planes.iter_mut().enumerate() {
+            if (raw >> b) & 1 != 0 {
+                *plane |= 1 << lane;
+            }
+        }
+    }
+    PackedGroup { len: values.len(), precision, planes }
+}
+
+/// Unpacks a group back to its values.
+///
+/// Under [`Signedness::Signed`] the top stored bit is sign-extended;
+/// under [`Signedness::Unsigned`] upper bits are zero-filled.
+pub fn unpack_group(group: &PackedGroup, signedness: Signedness) -> Vec<i16> {
+    let p = group.precision;
+    (0..group.len)
+        .map(|lane| {
+            let mut raw = 0u16;
+            for (b, plane) in group.planes.iter().enumerate() {
+                if (plane >> lane) & 1 != 0 {
+                    raw |= 1 << b;
+                }
+            }
+            match signedness {
+                Signedness::Unsigned => raw as i16,
+                Signedness::Signed => {
+                    // Sign-extend from bit p-1.
+                    if p < 16 && (raw >> (p - 1)) & 1 != 0 {
+                        (raw | (u16::MAX << p)) as i16
+                    } else {
+                        raw as i16
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Packs a whole row into groups of `group_size`, returning the packed
+/// groups and the total physical footprint in bits.
+pub fn pack_row(
+    values: &[i16],
+    group_size: usize,
+    signedness: Signedness,
+) -> (Vec<PackedGroup>, u64) {
+    assert!(group_size > 0 && group_size <= 16, "group size must be 1..=16");
+    let groups: Vec<PackedGroup> =
+        values.chunks(group_size).map(|g| pack_group(g, signedness)).collect();
+    let bits = groups.iter().map(|g| g.footprint_bits()).sum();
+    (groups, bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::StorageScheme;
+
+    #[test]
+    fn roundtrip_unsigned_group() {
+        let vals: Vec<i16> = vec![0, 1, 255, 128, 7, 32767, 4, 9];
+        let g = pack_group(&vals, Signedness::Unsigned);
+        assert_eq!(g.precision, 15);
+        assert_eq!(unpack_group(&g, Signedness::Unsigned), vals);
+    }
+
+    #[test]
+    fn roundtrip_signed_group_with_negatives() {
+        let vals: Vec<i16> = vec![-1, 1, -128, 127, 0, -32768, 42, -7];
+        let g = pack_group(&vals, Signedness::Signed);
+        assert_eq!(g.precision, 16);
+        assert_eq!(unpack_group(&g, Signedness::Signed), vals);
+    }
+
+    #[test]
+    fn small_deltas_pack_into_few_planes() {
+        let vals: Vec<i16> = vec![1, -2, 0, 1, -1, 2, 0, 0, 1, -1, 0, 2, -2, 1, 0, 1];
+        let g = pack_group(&vals, Signedness::Signed);
+        assert_eq!(g.precision, 3); // [-2, 2] needs 3 signed bits
+        assert_eq!(g.planes.len(), 3);
+        assert_eq!(unpack_group(&g, Signedness::Signed), vals);
+    }
+
+    #[test]
+    fn footprint_matches_dynamic_scheme_accounting() {
+        // The virtual-column layout and the RawD16 footprint formula must
+        // agree: p x 16 + 4 per group.
+        let row: Vec<i16> = (0..64).map(|i| (i * 37 % 512) as i16).collect();
+        let (_, bits) = pack_row(&row, 16, Signedness::Unsigned);
+        let scheme_bits = StorageScheme::raw_d(16).row_bits(&row, Signedness::Unsigned);
+        assert_eq!(bits, scheme_bits);
+    }
+
+    #[test]
+    fn plane_layout_is_transposed() {
+        // Lane i's bit b sits at bit i of plane b.
+        let vals: Vec<i16> = vec![0b01, 0b10];
+        let g = pack_group(&vals, Signedness::Unsigned);
+        assert_eq!(g.precision, 2);
+        assert_eq!(g.planes[0], 0b01); // LSBs: lane0=1, lane1=0
+        assert_eq!(g.planes[1], 0b10); // next bits: lane0=0, lane1=1
+    }
+
+    #[test]
+    fn partial_tail_group_roundtrips() {
+        let row: Vec<i16> = (0..21).map(|i| i as i16 * 3).collect();
+        let (groups, _) = pack_row(&row, 16, Signedness::Unsigned);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[1].len, 5);
+        let mut back = Vec::new();
+        for g in &groups {
+            back.extend(unpack_group(g, Signedness::Unsigned));
+        }
+        assert_eq!(back, row);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=16")]
+    fn oversized_group_rejected() {
+        let vals = vec![0i16; 17];
+        let _ = pack_group(&vals, Signedness::Unsigned);
+    }
+}

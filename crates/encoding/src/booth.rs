@@ -1,0 +1,255 @@
+//! Effectual-term counting via canonical signed-power-of-two recoding.
+//!
+//! PRA (Bit-Pragmatic) processes an activation one *effectual term* at a
+//! time: the activation is recoded into a stream of signed powers of two
+//! ("oneffsets") after "applying a modified Booth encoding" (§III-B of the
+//! Diffy paper), and a cycle is spent per term shifting-and-adding the
+//! weight. The number of effectual terms is therefore the execution-time
+//! currency of both PRA and Diffy.
+//!
+//! We use the *non-adjacent form* (NAF) — the canonical signed-digit
+//! recoding with digits in `{-1, 0, 1}` and no two adjacent nonzero
+//! digits. NAF provably minimizes the number of nonzero signed
+//! power-of-two terms, which is exactly the quantity the offset
+//! generators produce: e.g. `7 = 8 - 1` (2 terms), `2 = 2` (1 term),
+//! `0x00FF = 256 - 1` (2 terms).
+
+use std::sync::OnceLock;
+
+/// Maximum number of effectual terms in a 16-bit value under NAF
+/// recoding: ⌈17/2⌉ = 9 (the sign extension can add one digit).
+pub const MAX_TERMS_16: u32 = 9;
+
+/// Maximum number of effectual terms of any `i32` (34-bit NAF).
+pub const MAX_TERMS_I32: u32 = 17;
+
+/// One term of a recoded value: `±2^exponent`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BoothTerm {
+    /// Bit position of the term: the term's value is `±2^exponent`.
+    pub exponent: u8,
+    /// `true` if the term is subtracted.
+    pub negative: bool,
+}
+
+impl BoothTerm {
+    /// The signed value `±2^exponent` this term contributes.
+    pub fn value(&self) -> i64 {
+        let v = 1i64 << self.exponent;
+        if self.negative {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+/// Signed digits of the non-adjacent form of `v`, least significant first.
+///
+/// Digit `i` has weight `2^i`; every digit is `-1`, `0` or `1`; no two
+/// consecutive digits are both nonzero; and `v = Σ digits[i] · 2^i`.
+///
+/// # Example
+///
+/// ```
+/// use diffy_encoding::booth_digits;
+/// // 7 = 8 - 1 -> digits [-1, 0, 0, 1]
+/// assert_eq!(booth_digits(7), vec![-1, 0, 0, 1]);
+/// ```
+pub fn booth_digits(v: i32) -> Vec<i8> {
+    let mut x = v as i64;
+    let mut digits = Vec::new();
+    while x != 0 {
+        if x & 1 != 0 {
+            // Choose the digit that makes the remainder divisible by 4,
+            // guaranteeing the next digit is zero (the NAF property).
+            let d = 2 - (x & 3); // x mod 4 == 1 -> +1; == 3 -> -1
+            digits.push(d as i8);
+            x -= d;
+        } else {
+            digits.push(0);
+        }
+        x >>= 1;
+    }
+    digits
+}
+
+/// The effectual terms (signed powers of two) of a signed value, in
+/// increasing exponent order.
+///
+/// # Example
+///
+/// ```
+/// use diffy_encoding::booth::booth_term_stream;
+/// let terms = booth_term_stream(7);
+/// let sum: i64 = terms.iter().map(|t| t.value()).sum();
+/// assert_eq!(sum, 7);
+/// assert_eq!(terms.len(), 2); // 7 = 8 - 1
+/// ```
+pub fn booth_term_stream(v: i32) -> Vec<BoothTerm> {
+    booth_digits(v)
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != 0)
+        .map(|(i, &d)| BoothTerm { exponent: i as u8, negative: d < 0 })
+        .collect()
+}
+
+/// Number of effectual terms of a signed 32-bit value (used for deltas
+/// wider than 16 bits).
+#[inline]
+pub fn booth_terms_i32(v: i32) -> u32 {
+    let mut x = v as i64;
+    let mut n = 0u32;
+    while x != 0 {
+        if x & 1 != 0 {
+            let d = 2 - (x & 3);
+            x -= d;
+            n += 1;
+        }
+        x >>= 1;
+    }
+    n
+}
+
+fn terms_table() -> &'static [u8; 65536] {
+    static TABLE: OnceLock<Box<[u8; 65536]>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = Box::new([0u8; 65536]);
+        for raw in 0..=u16::MAX {
+            t[raw as usize] = booth_terms_i32(raw as i16 as i32) as u8;
+        }
+        t
+    })
+}
+
+/// Number of effectual terms of a 16-bit activation.
+///
+/// Backed by a lazily built 64 K-entry lookup table: term counting is the
+/// innermost operation of the cycle models, executed once per
+/// weight-activation pair.
+///
+/// # Example
+///
+/// ```
+/// use diffy_encoding::booth_terms;
+/// assert_eq!(booth_terms(0), 0);
+/// assert_eq!(booth_terms(1), 1);
+/// assert_eq!(booth_terms(2), 1);
+/// assert_eq!(booth_terms(7), 2);  // 8 - 1
+/// assert_eq!(booth_terms(-1), 1);
+/// ```
+#[inline]
+pub fn booth_terms(v: i16) -> u32 {
+    terms_table()[v as u16 as usize] as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(digits: &[i8]) -> i64 {
+        digits
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| d as i64 * (1i64 << i))
+            .sum()
+    }
+
+    #[test]
+    fn digits_reconstruct_every_i16() {
+        for v in i16::MIN..=i16::MAX {
+            let d = booth_digits(v as i32);
+            assert_eq!(reconstruct(&d), v as i64, "v={v}");
+        }
+    }
+
+    #[test]
+    fn digits_reconstruct_wide_values() {
+        for &v in &[i32::MAX, i32::MIN, 65535, -65536, 1 << 20, -(1 << 20) - 7] {
+            assert_eq!(reconstruct(&booth_digits(v)), v as i64, "v={v}");
+        }
+    }
+
+    #[test]
+    fn digits_are_nonadjacent_and_ternary() {
+        for v in (-70000i32..70000).step_by(7) {
+            let d = booth_digits(v);
+            for w in d.windows(2) {
+                assert!(
+                    w[0] == 0 || w[1] == 0,
+                    "adjacent nonzero digits for v={v}: {d:?}"
+                );
+            }
+            assert!(d.iter().all(|&x| (-1..=1).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn term_stream_sums_to_value() {
+        for v in (-70000i32..70000).step_by(13) {
+            let s: i64 = booth_term_stream(v).iter().map(|t| t.value()).sum();
+            assert_eq!(s, v as i64, "v={v}");
+        }
+    }
+
+    #[test]
+    fn term_count_matches_stream_length() {
+        for v in i16::MIN..=i16::MAX {
+            assert_eq!(
+                booth_terms(v),
+                booth_term_stream(v as i32).len() as u32,
+                "v={v}"
+            );
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_values_stay_within_max_terms() {
+        let max = (i16::MIN..=i16::MAX).map(booth_terms).max().unwrap();
+        assert!(max <= MAX_TERMS_16, "max={max}");
+        // Alternating bit patterns hit the bound region.
+        assert!(booth_terms(0x5555) >= 8);
+    }
+
+    #[test]
+    fn zero_has_zero_terms() {
+        assert_eq!(booth_terms(0), 0);
+        assert!(booth_term_stream(0).is_empty());
+        assert!(booth_digits(0).is_empty());
+    }
+
+    #[test]
+    fn powers_of_two_have_one_term() {
+        for e in 0..15 {
+            assert_eq!(booth_terms(1 << e), 1, "2^{e}");
+            assert_eq!(booth_terms(-(1 << e)), 1, "-2^{e}");
+        }
+        assert_eq!(booth_terms(i16::MIN), 1); // -2^15
+    }
+
+    #[test]
+    fn recoding_is_minimal_on_known_values() {
+        assert_eq!(booth_terms(3), 2); // 4 - 1 or 2 + 1
+        assert_eq!(booth_terms(0x00FF), 2); // 256 - 1
+        assert_eq!(booth_terms(0x0FFF), 2); // 4096 - 1
+        assert_eq!(booth_terms(6), 2); // 8 - 2
+        assert_eq!(booth_terms(-6), 2);
+    }
+
+    #[test]
+    fn small_deltas_have_few_terms() {
+        // The premise of differential convolution: values near zero carry
+        // few terms.
+        for v in -4i16..=4 {
+            assert!(booth_terms(v) <= 2, "v={v} terms={}", booth_terms(v));
+        }
+    }
+
+    #[test]
+    fn i32_and_table_agree_on_i16_range() {
+        for v in (i16::MIN..=i16::MAX).step_by(37) {
+            assert_eq!(booth_terms(v), booth_terms_i32(v as i32));
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Precision detection: profiled per-layer precisions (Table III) and
+//! dynamic per-group precisions (Dynamic Stripes, §III-F).
+//!
+//! The paper stores activations in groups of 16 with a 4-bit header giving
+//! the number of bits every activation in the group uses; Diffy applies the
+//! same detection to *deltas*, which — being small for correlated imaps —
+//! need fewer bits per group.
+
+use diffy_tensor::stats::MagnitudeHistogram;
+
+/// Whether a value population is stored as unsigned magnitudes (post-ReLU
+/// activations) or as two's-complement signed values (deltas, or the
+/// outputs of a final layer without ReLU).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Signedness {
+    /// Non-negative values; no sign bit needed.
+    Unsigned,
+    /// Two's-complement values with a sign bit.
+    Signed,
+}
+
+impl Signedness {
+    /// Detects the signedness needed to represent every value in `vs`.
+    pub fn detect(vs: &[i32]) -> Self {
+        if vs.iter().any(|&v| v < 0) {
+            Signedness::Signed
+        } else {
+            Signedness::Unsigned
+        }
+    }
+}
+
+/// Bits needed to represent `v` under the given signedness.
+///
+/// Unsigned: minimal `p` with `v < 2^p` (so 0 needs 0 bits).
+/// Signed: minimal `p` with `-2^(p-1) <= v < 2^(p-1)`.
+///
+/// # Panics
+///
+/// Panics if `v < 0` with [`Signedness::Unsigned`].
+#[inline]
+pub fn value_bits(v: i32, signedness: Signedness) -> u32 {
+    match signedness {
+        Signedness::Unsigned => {
+            assert!(v >= 0, "negative value {v} in unsigned population");
+            32 - (v as u32).leading_zeros()
+        }
+        Signedness::Signed => {
+            if v >= 0 {
+                (32 - (v as u32).leading_zeros()) + 1
+            } else {
+                (32 - (v as u32).leading_ones()) + 1
+            }
+        }
+    }
+}
+
+/// Minimal precision covering every value of one group. A group never
+/// reports 0 bits (hardware stores at least one bit per value).
+pub fn group_precision(group: &[i32], signedness: Signedness) -> u32 {
+    group
+        .iter()
+        .map(|&v| value_bits(v, signedness))
+        .max()
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Per-group precisions for a value stream split into consecutive groups of
+/// `group_size` (the final group may be shorter).
+///
+/// # Panics
+///
+/// Panics if `group_size == 0`.
+pub fn group_precisions(vs: &[i32], group_size: usize, signedness: Signedness) -> Vec<u32> {
+    assert!(group_size > 0, "group size must be positive");
+    vs.chunks(group_size)
+        .map(|g| group_precision(g, signedness))
+        .collect()
+}
+
+/// Number of bits in the 4-bit-per-group header of the dynamic schemes.
+pub const GROUP_HEADER_BITS: u64 = 4;
+
+/// Total encoded bits of a value stream under dynamic per-group precision:
+/// each group costs a 4-bit header plus `precision × group_len` payload
+/// bits. This is the footprint model behind RawD8/RawD16/RawD256 and
+/// DeltaD16/DeltaD256 in Figs. 5 and 14.
+pub fn dynamic_encoded_bits(vs: &[i32], group_size: usize, signedness: Signedness) -> u64 {
+    assert!(group_size > 0, "group size must be positive");
+    vs.chunks(group_size)
+        .map(|g| GROUP_HEADER_BITS + group_precision(g, signedness) as u64 * g.len() as u64)
+        .sum()
+}
+
+/// Profile-derived precision for a whole layer (Table III): the smallest
+/// precision covering the given magnitude `quantile` of the activation
+/// population. Rare outliers above the quantile saturate, mirroring the
+/// accuracy-preserving profiled precisions of Stripes/Proteus.
+///
+/// # Panics
+///
+/// Panics if `quantile` is outside `[0, 1]`.
+pub fn profiled_precision(
+    hist: &MagnitudeHistogram,
+    signedness: Signedness,
+    quantile: f64,
+) -> u32 {
+    let mag = hist.magnitude_quantile(quantile) as i32;
+    let bits = value_bits(mag, Signedness::Unsigned);
+    let p = match signedness {
+        Signedness::Unsigned => bits,
+        Signedness::Signed => bits + 1,
+    };
+    p.clamp(1, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_bits_unsigned() {
+        assert_eq!(value_bits(0, Signedness::Unsigned), 0);
+        assert_eq!(value_bits(1, Signedness::Unsigned), 1);
+        assert_eq!(value_bits(255, Signedness::Unsigned), 8);
+        assert_eq!(value_bits(256, Signedness::Unsigned), 9);
+    }
+
+    #[test]
+    fn value_bits_signed() {
+        assert_eq!(value_bits(0, Signedness::Signed), 1);
+        assert_eq!(value_bits(-1, Signedness::Signed), 1);
+        assert_eq!(value_bits(1, Signedness::Signed), 2);
+        assert_eq!(value_bits(-2, Signedness::Signed), 2);
+        assert_eq!(value_bits(127, Signedness::Signed), 8);
+        assert_eq!(value_bits(-128, Signedness::Signed), 8);
+        assert_eq!(value_bits(-65536, Signedness::Signed), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn unsigned_rejects_negative() {
+        let _ = value_bits(-1, Signedness::Unsigned);
+    }
+
+    #[test]
+    fn detect_signedness() {
+        assert_eq!(Signedness::detect(&[0, 1, 2]), Signedness::Unsigned);
+        assert_eq!(Signedness::detect(&[0, -1, 2]), Signedness::Signed);
+        assert_eq!(Signedness::detect(&[]), Signedness::Unsigned);
+    }
+
+    #[test]
+    fn group_precision_is_max_over_group() {
+        assert_eq!(group_precision(&[0, 3, 255], Signedness::Unsigned), 8);
+        assert_eq!(group_precision(&[0, 0, 0], Signedness::Unsigned), 1);
+        assert_eq!(group_precision(&[-1, 1], Signedness::Signed), 2);
+    }
+
+    #[test]
+    fn group_precisions_chunking() {
+        let vs = vec![1, 1, 255, 255, 3];
+        let ps = group_precisions(&vs, 2, Signedness::Unsigned);
+        assert_eq!(ps, vec![1, 8, 2]);
+    }
+
+    #[test]
+    fn dynamic_bits_small_groups_adapt_but_pay_headers() {
+        // 16 tiny values + 16 large values.
+        let mut vs = vec![1i32; 16];
+        vs.extend(vec![255i32; 16]);
+        let d16 = dynamic_encoded_bits(&vs, 16, Signedness::Unsigned);
+        assert_eq!(d16, (4 + 16) + (4 + 16 * 8));
+        let d32 = dynamic_encoded_bits(&vs, 32, Signedness::Unsigned);
+        assert_eq!(d32, 4 + 32 * 8);
+        assert!(d16 < d32);
+    }
+
+    #[test]
+    fn dynamic_bits_headers_dominate_for_tiny_groups() {
+        let vs = vec![0i32; 64];
+        let d1 = dynamic_encoded_bits(&vs, 1, Signedness::Unsigned);
+        let d16 = dynamic_encoded_bits(&vs, 16, Signedness::Unsigned);
+        assert_eq!(d1, 64 * (4 + 1));
+        assert_eq!(d16, 4 * (4 + 16));
+        assert!(d16 < d1);
+    }
+
+    #[test]
+    fn profiled_precision_covers_quantile() {
+        let mut h = MagnitudeHistogram::new();
+        // 999 values of magnitude <= 255, one outlier at 32000.
+        for i in 0..999 {
+            h.push((i % 256) as i16);
+        }
+        h.push(32000);
+        assert_eq!(profiled_precision(&h, Signedness::Unsigned, 0.999), 8);
+        assert_eq!(profiled_precision(&h, Signedness::Unsigned, 1.0), 15);
+        assert_eq!(profiled_precision(&h, Signedness::Signed, 0.999), 9);
+    }
+
+    #[test]
+    fn profiled_precision_clamps_to_16() {
+        let mut h = MagnitudeHistogram::new();
+        h.push(i16::MIN); // magnitude 32768 -> 16 unsigned bits, 17 signed
+        assert_eq!(profiled_precision(&h, Signedness::Signed, 1.0), 16);
+        let empty = MagnitudeHistogram::new();
+        assert_eq!(profiled_precision(&empty, Signedness::Unsigned, 0.5), 1);
+    }
+}

@@ -1,0 +1,489 @@
+//! Activation storage schemes (Figs. 5 and 14 of the paper).
+//!
+//! Six families are modelled, each with footprint accounting *and* a
+//! bit-exact encoder/decoder so tests can prove losslessness:
+//!
+//! | Scheme          | Paper description |
+//! |-----------------|-------------------|
+//! | `NoCompression` | every value stored as 16 b |
+//! | `Profiled`      | per-layer profile-derived precision (Proteus/Stripes) |
+//! | `RawD{g}`       | dynamic precision per group of `g` raw values, 4-bit header |
+//! | `DeltaD{g}`     | dynamic precision per group of `g` *delta* values |
+//! | `RLEz`          | each nonzero value as 16 b + 4 b distance to the next nonzero |
+//! | `RLE`           | each value as 16 b + 4 b run length to the next different value |
+//!
+//! Rows (one `W`-extent of one channel) are the encoding unit: the delta
+//! schemes anchor at the start of each row, matching Diffy's dataflow where
+//! the leftmost window of every row is processed raw.
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::delta::{delta_slice_wrapping, undelta_slice_wrapping};
+use crate::precision::{group_precision, Signedness, GROUP_HEADER_BITS};
+use diffy_tensor::Tensor3;
+use std::fmt;
+
+/// Bits per entry of the run-length schemes: a 16-bit value plus a 4-bit
+/// distance/run field.
+const RLE_ENTRY_BITS: u64 = 20;
+/// Maximum distance/run representable in the 4-bit field.
+const RLE_MAX_FIELD: u64 = 15;
+
+/// An activation storage scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageScheme {
+    /// Fixed 16-bit storage.
+    NoCompression,
+    /// Profile-derived fixed precision (`bits` per value); values that do
+    /// not fit saturate, which is why the profile uses a high quantile.
+    Profiled {
+        /// Precision in bits (1..=16).
+        bits: u32,
+    },
+    /// Dynamic per-group precision over the raw values.
+    RawDynamic {
+        /// Group size (the paper studies 8, 16 and 256).
+        group: usize,
+    },
+    /// Dynamic per-group precision over row-anchored wrapping deltas.
+    DeltaDynamic {
+        /// Group size (the paper studies 16 and 256).
+        group: usize,
+    },
+    /// Run-length encoding keyed on zeros.
+    RleZ,
+    /// Run-length encoding of repeated values.
+    Rle,
+}
+
+impl StorageScheme {
+    /// `RawD{g}` constructor.
+    pub fn raw_d(group: usize) -> Self {
+        StorageScheme::RawDynamic { group }
+    }
+
+    /// `DeltaD{g}` constructor.
+    pub fn delta_d(group: usize) -> Self {
+        StorageScheme::DeltaDynamic { group }
+    }
+
+    /// Encoded size of one row in bits.
+    ///
+    /// `signedness` describes the raw value population (deltas are always
+    /// treated as signed).
+    pub fn row_bits(&self, row: &[i16], signedness: Signedness) -> u64 {
+        match *self {
+            StorageScheme::NoCompression => 16 * row.len() as u64,
+            StorageScheme::Profiled { bits } => bits as u64 * row.len() as u64,
+            StorageScheme::RawDynamic { group } => {
+                dynamic_bits_i16(row, group, signedness)
+            }
+            StorageScheme::DeltaDynamic { group } => {
+                let ds = delta_slice_wrapping(row);
+                dynamic_bits_i16(&ds, group, Signedness::Signed)
+            }
+            StorageScheme::RleZ => rlez_entries(row) * RLE_ENTRY_BITS,
+            StorageScheme::Rle => rle_entries(row) * RLE_ENTRY_BITS,
+        }
+    }
+
+    /// Encoded size of a whole tensor in bits, encoding each `(c, y)` row
+    /// independently.
+    pub fn tensor_bits(&self, t: &Tensor3<i16>, signedness: Signedness) -> u64 {
+        let s = t.shape();
+        let mut total = 0;
+        for c in 0..s.c {
+            for y in 0..s.h {
+                total += self.row_bits(t.row(c, y), signedness);
+            }
+        }
+        total
+    }
+
+    /// Encodes one row into `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a value cannot be represented (e.g. a negative value with
+    /// [`Signedness::Unsigned`], or a `Profiled` precision too small for
+    /// exact storage — use [`StorageScheme::row_bits`] for lossy footprint
+    /// accounting of profiled storage instead).
+    pub fn encode_row(&self, row: &[i16], signedness: Signedness, w: &mut BitWriter) {
+        match *self {
+            StorageScheme::NoCompression => {
+                for &v in row {
+                    w.write_bits(v as u16 as u64, 16);
+                }
+            }
+            StorageScheme::Profiled { bits } => {
+                for &v in row {
+                    encode_fixed(w, v, bits, signedness);
+                }
+            }
+            StorageScheme::RawDynamic { group } => {
+                encode_dynamic(w, row, group, signedness);
+            }
+            StorageScheme::DeltaDynamic { group } => {
+                let ds = delta_slice_wrapping(row);
+                encode_dynamic(w, &ds, group, Signedness::Signed);
+            }
+            StorageScheme::RleZ => encode_rlez(w, row),
+            StorageScheme::Rle => encode_rle(w, row),
+        }
+    }
+
+    /// Decodes one row of `len` values from `r`.
+    ///
+    /// Returns `None` if the stream is exhausted early.
+    pub fn decode_row(
+        &self,
+        r: &mut BitReader<'_>,
+        len: usize,
+        signedness: Signedness,
+    ) -> Option<Vec<i16>> {
+        match *self {
+            StorageScheme::NoCompression => {
+                let mut out = Vec::with_capacity(len);
+                for _ in 0..len {
+                    out.push(r.read_bits(16)? as u16 as i16);
+                }
+                Some(out)
+            }
+            StorageScheme::Profiled { bits } => {
+                let mut out = Vec::with_capacity(len);
+                for _ in 0..len {
+                    out.push(decode_fixed(r, bits, signedness)?);
+                }
+                Some(out)
+            }
+            StorageScheme::RawDynamic { group } => decode_dynamic(r, len, group, signedness),
+            StorageScheme::DeltaDynamic { group } => {
+                let ds = decode_dynamic(r, len, group, Signedness::Signed)?;
+                Some(undelta_slice_wrapping(&ds))
+            }
+            StorageScheme::RleZ => decode_rlez(r, len),
+            StorageScheme::Rle => decode_rle(r, len),
+        }
+    }
+}
+
+impl fmt::Display for StorageScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            StorageScheme::NoCompression => write!(f, "NoCompression"),
+            StorageScheme::Profiled { bits } => write!(f, "Profiled({bits}b)"),
+            StorageScheme::RawDynamic { group } => write!(f, "RawD{group}"),
+            StorageScheme::DeltaDynamic { group } => write!(f, "DeltaD{group}"),
+            StorageScheme::RleZ => write!(f, "RLEz"),
+            StorageScheme::Rle => write!(f, "RLE"),
+        }
+    }
+}
+
+fn precision_i16(vs: &[i16], signedness: Signedness) -> u32 {
+    let wide: Vec<i32> = vs.iter().map(|&v| v as i32).collect();
+    group_precision(&wide, signedness)
+}
+
+fn dynamic_bits_i16(vs: &[i16], group: usize, signedness: Signedness) -> u64 {
+    assert!(group > 0, "group size must be positive");
+    vs.chunks(group)
+        .map(|g| GROUP_HEADER_BITS + precision_i16(g, signedness) as u64 * g.len() as u64)
+        .sum()
+}
+
+fn encode_fixed(w: &mut BitWriter, v: i16, bits: u32, signedness: Signedness) {
+    assert!((1..=16).contains(&bits), "precision must be 1..=16 bits");
+    match signedness {
+        Signedness::Unsigned => {
+            assert!(v >= 0, "negative value {v} in unsigned population");
+            assert!(
+                (v as u32) < (1u32 << bits),
+                "value {v} does not fit in {bits} unsigned bits"
+            );
+            w.write_bits(v as u64, bits);
+        }
+        Signedness::Signed => {
+            let lo = -(1i32 << (bits - 1));
+            let hi = (1i32 << (bits - 1)) - 1;
+            assert!(
+                (v as i32) >= lo && (v as i32) <= hi,
+                "value {v} does not fit in {bits} signed bits"
+            );
+            w.write_bits((v as u16 as u64) & ((1u64 << bits) - 1), bits);
+        }
+    }
+}
+
+fn decode_fixed(r: &mut BitReader<'_>, bits: u32, signedness: Signedness) -> Option<i16> {
+    match signedness {
+        Signedness::Unsigned => Some(r.read_bits(bits)? as i16),
+        Signedness::Signed => Some(r.read_signed(bits)? as i16),
+    }
+}
+
+fn encode_dynamic(w: &mut BitWriter, vs: &[i16], group: usize, signedness: Signedness) {
+    assert!(group > 0, "group size must be positive");
+    for g in vs.chunks(group) {
+        let p = precision_i16(g, signedness);
+        debug_assert!((1..=16).contains(&p));
+        w.write_bits((p - 1) as u64, GROUP_HEADER_BITS as u32);
+        for &v in g {
+            encode_fixed(w, v, p, signedness);
+        }
+    }
+}
+
+fn decode_dynamic(
+    r: &mut BitReader<'_>,
+    len: usize,
+    group: usize,
+    signedness: Signedness,
+) -> Option<Vec<i16>> {
+    assert!(group > 0, "group size must be positive");
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        let p = r.read_bits(GROUP_HEADER_BITS as u32)? as u32 + 1;
+        let n = group.min(len - out.len());
+        for _ in 0..n {
+            out.push(decode_fixed(r, p, signedness)?);
+        }
+    }
+    Some(out)
+}
+
+/// Number of `(value, distance)` entries RLEz needs for a row.
+fn rlez_entries(row: &[i16]) -> u64 {
+    let mut entries = 0u64;
+    let mut i = 0usize;
+    while i < row.len() {
+        // Emit one entry for row[i] (zero or not), then absorb up to 15
+        // following zeros into its distance field.
+        entries += 1;
+        let mut skipped = 0u64;
+        let mut j = i + 1;
+        while j < row.len() && row[j] == 0 && skipped < RLE_MAX_FIELD {
+            skipped += 1;
+            j += 1;
+        }
+        i = j;
+    }
+    entries
+}
+
+fn encode_rlez(w: &mut BitWriter, row: &[i16]) {
+    let mut i = 0usize;
+    while i < row.len() {
+        let v = row[i];
+        let mut skipped = 0u64;
+        let mut j = i + 1;
+        while j < row.len() && row[j] == 0 && skipped < RLE_MAX_FIELD {
+            skipped += 1;
+            j += 1;
+        }
+        w.write_bits(v as u16 as u64, 16);
+        w.write_bits(skipped, 4);
+        i = j;
+    }
+}
+
+fn decode_rlez(r: &mut BitReader<'_>, len: usize) -> Option<Vec<i16>> {
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        let v = r.read_bits(16)? as u16 as i16;
+        let skipped = r.read_bits(4)?;
+        out.push(v);
+        for _ in 0..skipped {
+            if out.len() < len {
+                out.push(0);
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Number of `(value, run)` entries RLE needs for a row.
+fn rle_entries(row: &[i16]) -> u64 {
+    let mut entries = 0u64;
+    let mut i = 0usize;
+    while i < row.len() {
+        let mut run = 1u64;
+        while i + (run as usize) < row.len()
+            && row[i + run as usize] == row[i]
+            && run <= RLE_MAX_FIELD
+        {
+            run += 1;
+        }
+        entries += 1;
+        i += run as usize;
+    }
+    entries
+}
+
+fn encode_rle(w: &mut BitWriter, row: &[i16]) {
+    let mut i = 0usize;
+    while i < row.len() {
+        let mut run = 1u64;
+        while i + (run as usize) < row.len()
+            && row[i + run as usize] == row[i]
+            && run <= RLE_MAX_FIELD
+        {
+            run += 1;
+        }
+        w.write_bits(row[i] as u16 as u64, 16);
+        w.write_bits(run - 1, 4);
+        i += run as usize;
+    }
+}
+
+fn decode_rle(r: &mut BitReader<'_>, len: usize) -> Option<Vec<i16>> {
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        let v = r.read_bits(16)? as u16 as i16;
+        let run = r.read_bits(4)? + 1;
+        for _ in 0..run {
+            if out.len() < len {
+                out.push(v);
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(scheme: StorageScheme, row: &[i16], sign: Signedness) {
+        let mut w = BitWriter::new();
+        scheme.encode_row(row, sign, &mut w);
+        let declared = scheme.row_bits(row, sign);
+        assert_eq!(w.bit_len(), declared, "{scheme}: footprint != encoded bits");
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let back = scheme.decode_row(&mut r, row.len(), sign).expect("decode");
+        assert_eq!(back, row, "{scheme}: lossy roundtrip");
+    }
+
+    #[test]
+    fn all_lossless_schemes_roundtrip_unsigned() {
+        let row: Vec<i16> = vec![0, 0, 5, 5, 5, 0, 1000, 32767, 0, 0, 0, 0, 3, 3, 9, 12];
+        for scheme in [
+            StorageScheme::NoCompression,
+            StorageScheme::raw_d(8),
+            StorageScheme::raw_d(16),
+            StorageScheme::raw_d(256),
+            StorageScheme::delta_d(16),
+            StorageScheme::delta_d(256),
+            StorageScheme::RleZ,
+            StorageScheme::Rle,
+        ] {
+            roundtrip(scheme, &row, Signedness::Unsigned);
+        }
+    }
+
+    #[test]
+    fn all_lossless_schemes_roundtrip_signed_extremes() {
+        let row: Vec<i16> = vec![i16::MIN, i16::MAX, -1, 0, 1, i16::MAX, i16::MIN, 0];
+        for scheme in [
+            StorageScheme::NoCompression,
+            StorageScheme::raw_d(4),
+            StorageScheme::delta_d(4),
+            StorageScheme::RleZ,
+            StorageScheme::Rle,
+        ] {
+            roundtrip(scheme, &row, Signedness::Signed);
+        }
+    }
+
+    #[test]
+    fn profiled_roundtrips_when_precision_sufficient() {
+        let row: Vec<i16> = vec![0, 255, 17, 128];
+        roundtrip(StorageScheme::Profiled { bits: 8 }, &row, Signedness::Unsigned);
+        let srow: Vec<i16> = vec![-128, 127, 0, -1];
+        roundtrip(StorageScheme::Profiled { bits: 8 }, &srow, Signedness::Signed);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn profiled_panics_on_overflow_in_exact_mode() {
+        let mut w = BitWriter::new();
+        StorageScheme::Profiled { bits: 4 }.encode_row(&[200], Signedness::Unsigned, &mut w);
+    }
+
+    #[test]
+    fn rlez_compresses_sparse_rows() {
+        let mut row = vec![0i16; 64];
+        row[10] = 5;
+        row[40] = -3;
+        let bits = StorageScheme::RleZ.row_bits(&row, Signedness::Signed);
+        assert!(bits < 16 * 64, "RLEz did not compress a sparse row: {bits}");
+        roundtrip(StorageScheme::RleZ, &row, Signedness::Signed);
+    }
+
+    #[test]
+    fn rle_compresses_repeated_values() {
+        let row = vec![7i16; 48];
+        let bits = StorageScheme::Rle.row_bits(&row, Signedness::Unsigned);
+        assert_eq!(bits, 3 * 20); // 48 values, 16 per entry
+        roundtrip(StorageScheme::Rle, &row, Signedness::Unsigned);
+    }
+
+    #[test]
+    fn rlez_dense_rows_expand() {
+        // All-nonzero rows cost 20 bits per value > 16.
+        let row: Vec<i16> = (1..=32).collect();
+        let bits = StorageScheme::RleZ.row_bits(&row, Signedness::Unsigned);
+        assert_eq!(bits, 32 * 20);
+    }
+
+    #[test]
+    fn delta_beats_raw_on_smooth_rows() {
+        let row: Vec<i16> = (0..256).map(|x| 20000 + (x as i16)).collect();
+        let raw = StorageScheme::raw_d(16).row_bits(&row, Signedness::Unsigned);
+        let delta = StorageScheme::delta_d(16).row_bits(&row, Signedness::Unsigned);
+        assert!(
+            delta < raw / 2,
+            "DeltaD16 ({delta}) should be well under half of RawD16 ({raw}) on a smooth ramp"
+        );
+    }
+
+    #[test]
+    fn dynamic_group_boundary_cases() {
+        // Row length not divisible by group size.
+        let row: Vec<i16> = vec![1, 2, 3, 4, 5];
+        roundtrip(StorageScheme::raw_d(2), &row, Signedness::Unsigned);
+        roundtrip(StorageScheme::delta_d(2), &row, Signedness::Unsigned);
+        // Single-value rows.
+        roundtrip(StorageScheme::raw_d(16), &[42], Signedness::Unsigned);
+        roundtrip(StorageScheme::delta_d(16), &[42], Signedness::Unsigned);
+    }
+
+    #[test]
+    fn tensor_bits_sums_rows() {
+        let t = Tensor3::from_vec(2, 2, 4, (0..16).collect::<Vec<i16>>());
+        let s = StorageScheme::NoCompression;
+        assert_eq!(s.tensor_bits(&t, Signedness::Unsigned), 16 * 16);
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(StorageScheme::raw_d(16).to_string(), "RawD16");
+        assert_eq!(StorageScheme::delta_d(256).to_string(), "DeltaD256");
+        assert_eq!(StorageScheme::RleZ.to_string(), "RLEz");
+        assert_eq!(StorageScheme::NoCompression.to_string(), "NoCompression");
+        assert_eq!(StorageScheme::Profiled { bits: 9 }.to_string(), "Profiled(9b)");
+    }
+
+    #[test]
+    fn empty_row_is_zero_bits() {
+        for scheme in [
+            StorageScheme::NoCompression,
+            StorageScheme::raw_d(16),
+            StorageScheme::delta_d(16),
+            StorageScheme::RleZ,
+            StorageScheme::Rle,
+        ] {
+            assert_eq!(scheme.row_bits(&[], Signedness::Unsigned), 0, "{scheme}");
+        }
+    }
+}

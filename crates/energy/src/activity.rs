@@ -1,0 +1,142 @@
+//! Event-level energy accounting.
+//!
+//! The power model in [`crate::components`] reproduces the paper's
+//! average-power table; this module complements it with bottom-up
+//! activity energy — per-event costs multiplied by the activity counts
+//! the simulators report — which is what exposes *where* Diffy's energy
+//! advantage comes from: fewer effectual shift-add events and fewer
+//! bytes moved at every level of the hierarchy.
+//!
+//! Per-event constants are 65 nm-class figures from the accelerator
+//! literature (a full 16×16 MAC ≈ 3 pJ; a shift-add term ≈ an eighth of
+//! that; large-SRAM and DRAM per-byte costs as in
+//! [`crate::efficiency`]).
+
+use crate::efficiency::{DRAM_PJ_PER_BYTE, SRAM_PJ_PER_BYTE};
+
+/// Energy of one full 16×16-bit multiply-accumulate (VAA's event), pJ.
+pub const MAC_PJ: f64 = 3.1;
+
+/// Energy of one shift-add of a single effectual term (PRA/Diffy's
+/// event), pJ. A term touches a shifter and an adder, roughly an eighth
+/// of a full multiplier's switching.
+pub const TERM_PJ: f64 = 0.42;
+
+/// Energy of one DR reconstruction add (Diffy only), pJ.
+pub const DR_ADD_PJ: f64 = 0.18;
+
+/// Energy of one Delta_out subtract (Diffy only), pJ.
+pub const DELTA_OUT_PJ: f64 = 0.12;
+
+/// Bottom-up activity energy of one network execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ActivityEnergy {
+    /// Datapath energy (MACs or term shift-adds + DR/Delta_out), J.
+    pub compute_j: f64,
+    /// On-chip SRAM movement (AM reads/writes), J.
+    pub sram_j: f64,
+    /// Off-chip DRAM movement, J.
+    pub dram_j: f64,
+}
+
+impl ActivityEnergy {
+    /// Total energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.compute_j + self.sram_j + self.dram_j
+    }
+}
+
+/// Activity counts of one network execution, as the simulators report
+/// them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActivityCounts {
+    /// Full MACs executed (VAA) — zero for the term-serial designs.
+    pub macs: u64,
+    /// Effectual term shift-adds (PRA/Diffy `compute_events`).
+    pub term_ops: u64,
+    /// DR reconstruction adds (one per differential output).
+    pub dr_adds: u64,
+    /// Delta_out subtracts (one per omap value).
+    pub delta_out_ops: u64,
+    /// Bytes moved through the AM (reads + writes).
+    pub sram_bytes: u64,
+    /// Bytes moved off-chip.
+    pub dram_bytes: u64,
+}
+
+/// Converts activity counts into energy.
+pub fn activity_energy(counts: &ActivityCounts) -> ActivityEnergy {
+    let compute_pj = counts.macs as f64 * MAC_PJ
+        + counts.term_ops as f64 * TERM_PJ
+        + counts.dr_adds as f64 * DR_ADD_PJ
+        + counts.delta_out_ops as f64 * DELTA_OUT_PJ;
+    ActivityEnergy {
+        compute_j: compute_pj * 1e-12,
+        sram_j: counts.sram_bytes as f64 * SRAM_PJ_PER_BYTE * 1e-12,
+        dram_j: counts.dram_bytes as f64 * DRAM_PJ_PER_BYTE * 1e-12,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let e = activity_energy(&ActivityCounts {
+            macs: 1_000_000,
+            term_ops: 0,
+            dr_adds: 0,
+            delta_out_ops: 0,
+            sram_bytes: 1_000_000,
+            dram_bytes: 1_000_000,
+        });
+        assert!((e.compute_j - 3.1e-6).abs() < 1e-12);
+        assert!((e.sram_j - 1.5e-6).abs() < 1e-12);
+        assert!((e.dram_j - 150e-6).abs() < 1e-12);
+        assert!((e.total_j() - (e.compute_j + e.sram_j + e.dram_j)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn term_serial_compute_beats_macs_when_terms_are_few() {
+        // The arithmetic of the paper's premise: N MACs at 16 bits vs
+        // N x mean_terms shift-adds. Below ~7 terms/value the term-serial
+        // datapath spends less compute energy.
+        let n = 1_000_000u64;
+        let mac = activity_energy(&ActivityCounts { macs: n, ..Default::default() });
+        let few_terms = activity_energy(&ActivityCounts {
+            term_ops: n * 3, // 3 terms/value
+            ..Default::default()
+        });
+        let many_terms = activity_energy(&ActivityCounts {
+            term_ops: n * 8,
+            ..Default::default()
+        });
+        assert!(few_terms.compute_j < mac.compute_j);
+        assert!(many_terms.compute_j > mac.compute_j);
+    }
+
+    #[test]
+    fn dr_and_delta_out_overheads_are_second_order() {
+        // One DR add + one Delta_out op per output costs far less than
+        // the per-output inner product it enables savings on.
+        let outputs = 1_000u64;
+        let overhead = activity_energy(&ActivityCounts {
+            dr_adds: outputs,
+            delta_out_ops: outputs,
+            ..Default::default()
+        });
+        let inner_products = activity_energy(&ActivityCounts {
+            term_ops: outputs * 64 * 9, // 64-ch 3x3 window at 1 term/value
+            ..Default::default()
+        });
+        assert!(overhead.total_j() < inner_products.total_j() / 100.0);
+    }
+
+    #[test]
+    fn dram_dominates_equal_byte_counts() {
+        let counts = ActivityCounts { sram_bytes: 1 << 20, dram_bytes: 1 << 20, ..Default::default() };
+        let e = activity_energy(&counts);
+        assert!(e.dram_j > e.sram_j * 90.0);
+    }
+}

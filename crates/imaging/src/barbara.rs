@@ -1,0 +1,108 @@
+//! A procedural stand-in for the "Barbara" test image.
+//!
+//! Fig. 2 of the paper illustrates spatial correlation using the classic
+//! Barbara photograph: large smooth regions (skin, wall, floor) with
+//! patches of fine oriented stripes (headscarf, trousers, tablecloth).
+//! This generator reproduces that structure — smooth background, a few
+//! strongly striped elliptical patches, and hard edges between regions —
+//! which is all Fig. 2 needs: deltas that are near zero almost everywhere
+//! and peak at edges and stripes.
+
+use crate::synth::{grating, smooth_noise, stack_channels};
+use diffy_tensor::Tensor3;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Renders the procedural Barbara stand-in at the requested size.
+///
+/// Deterministic: the same dimensions always give the same image.
+///
+/// # Panics
+///
+/// Panics if `h == 0 || w == 0`.
+///
+/// # Example
+///
+/// ```
+/// use diffy_imaging::barbara::barbara;
+/// let img = barbara(64, 64);
+/// assert_eq!(img.shape().as_tuple(), (3, 64, 64));
+/// ```
+pub fn barbara(h: usize, w: usize) -> Tensor3<f32> {
+    assert!(h > 0 && w > 0, "empty image");
+    let mut rng = StdRng::seed_from_u64(0xBA12_BA12);
+    let base = smooth_noise(&mut rng, h, w, (w / 10).max(1), 2);
+
+    // Three striped patches with different orientations, like the
+    // headscarf / trousers / tablecloth.
+    let stripes = [
+        grating(h, w, 4.0, 0.6, 0.9),
+        grating(h, w, 5.0, 2.2, 0.9),
+        grating(h, w, 3.0, 1.1, 0.9),
+    ];
+    let patches = [
+        (0.30f32, 0.30f32, 0.22f32),
+        (0.65, 0.60, 0.25),
+        (0.75, 0.20, 0.15),
+    ];
+
+    let mut plane = base.clone();
+    for (grate, &(cy, cx, r)) in stripes.iter().zip(patches.iter()) {
+        for y in 0..h {
+            for x in 0..w {
+                let dy = (y as f32 / h as f32 - cy) / r;
+                let dx = (x as f32 / w as f32 - cx) / r;
+                if dy * dy + dx * dx < 1.0 {
+                    *plane.at_mut(0, y, x) = *grate.at(0, y, x);
+                }
+            }
+        }
+    }
+
+    // Slightly tinted channels, like a photograph's correlated RGB planes.
+    let r = plane.map(|v| (v * 0.95 + 0.03).clamp(0.0, 1.0));
+    let g = plane.map(|v| (v * 0.90 + 0.05).clamp(0.0, 1.0));
+    let b = plane.map(|v| (v * 0.85 + 0.02).clamp(0.0, 1.0));
+    stack_channels(&[r, g, b])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenes::roughness;
+
+    #[test]
+    fn barbara_shape_and_range() {
+        let img = barbara(48, 64);
+        assert_eq!(img.shape().as_tuple(), (3, 48, 64));
+        assert!(img.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn barbara_is_deterministic() {
+        assert_eq!(barbara(32, 32).as_slice(), barbara(32, 32).as_slice());
+    }
+
+    #[test]
+    fn barbara_mixes_smooth_and_striped_regions() {
+        let img = barbara(64, 64);
+        // Overall roughness between pure nature and pure texture: the
+        // smooth background dominates but stripes raise the tail.
+        let r = roughness(&img);
+        assert!(r > 0.005 && r < 0.25, "roughness {r} implausible for Barbara");
+        // The striped patch at (0.3, 0.3) is locally rougher than the
+        // background corner at (0.05, 0.9).
+        let local = |cy: usize, cx: usize| {
+            let mut acc = 0.0f32;
+            let mut n = 0;
+            for y in cy.saturating_sub(4)..(cy + 4).min(64) {
+                for x in cx.saturating_sub(4)..(cx + 4).min(63) {
+                    acc += (img.at(0, y, x + 1) - img.at(0, y, x)).abs();
+                    n += 1;
+                }
+            }
+            acc / n as f32
+        };
+        assert!(local(19, 19) > local(57, 3) * 2.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Dataset registry mirroring Table II of the paper.
+//!
+//! Each entry reproduces the *name*, *sample count* and *resolution range*
+//! of the original corpus; the pixel content is generated procedurally
+//! (see the crate docs for why this substitution preserves the studied
+//! behaviour). Sample `i` of a dataset is deterministic in `(dataset,
+//! i)`.
+
+use crate::scenes::{render_scene, SceneKind};
+use diffy_tensor::Tensor3;
+
+/// One dataset of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// Test section of the Berkeley segmentation dataset (68 × 481×321).
+    Cbsd68,
+    /// Modified McMaster CDM dataset (18 × 500×500).
+    McMaster,
+    /// Kodak dataset (24 × 500×500).
+    Kodak24,
+    /// Real-noise images, camera/JPEG noise (15 × 370×280–700×700).
+    Rni15,
+    /// Super-resolution evaluation set (29 × 634×438–768×512).
+    Live1,
+    /// Set5 + Set14 (19 × 256×256–720×576).
+    Set5Set14,
+    /// HD frames: nature, city and texture scenes (33 × 1920×1080).
+    Hd33,
+}
+
+impl DatasetId {
+    /// All datasets, in Table II order.
+    pub const ALL: [DatasetId; 7] = [
+        DatasetId::Cbsd68,
+        DatasetId::McMaster,
+        DatasetId::Kodak24,
+        DatasetId::Rni15,
+        DatasetId::Live1,
+        DatasetId::Set5Set14,
+        DatasetId::Hd33,
+    ];
+
+    /// The dataset's name as Table II spells it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetId::Cbsd68 => "CBSD68",
+            DatasetId::McMaster => "McMaster",
+            DatasetId::Kodak24 => "Kodak24",
+            DatasetId::Rni15 => "RNI15",
+            DatasetId::Live1 => "LIVE1",
+            DatasetId::Set5Set14 => "Set5+Set14",
+            DatasetId::Hd33 => "HD33",
+        }
+    }
+
+    /// Number of samples in the original corpus.
+    pub fn samples(&self) -> usize {
+        match self {
+            DatasetId::Cbsd68 => 68,
+            DatasetId::McMaster => 18,
+            DatasetId::Kodak24 => 24,
+            DatasetId::Rni15 => 15,
+            DatasetId::Live1 => 29,
+            DatasetId::Set5Set14 => 19,
+            DatasetId::Hd33 => 33,
+        }
+    }
+
+    /// Native resolution `(h, w)` of sample `idx` (the ranged datasets
+    /// interpolate across their published span).
+    pub fn resolution(&self, idx: usize) -> (usize, usize) {
+        let lerp = |lo: usize, hi: usize| {
+            if self.samples() <= 1 {
+                lo
+            } else {
+                lo + (hi - lo) * (idx % self.samples()) / (self.samples() - 1)
+            }
+        };
+        match self {
+            DatasetId::Cbsd68 => (321, 481),
+            DatasetId::McMaster | DatasetId::Kodak24 => (500, 500),
+            DatasetId::Rni15 => (lerp(280, 700), lerp(370, 700)),
+            DatasetId::Live1 => (lerp(438, 512), lerp(634, 768)),
+            DatasetId::Set5Set14 => (lerp(256, 576), lerp(256, 720)),
+            DatasetId::Hd33 => (1080, 1920),
+        }
+    }
+
+    /// Scene kind of sample `idx` (cycled; HD33 explicitly mixes the three
+    /// categories, the photographic sets are mostly nature/city).
+    pub fn scene_kind(&self, idx: usize) -> SceneKind {
+        match self {
+            DatasetId::Hd33 => SceneKind::ALL[idx % 3],
+            DatasetId::McMaster => SceneKind::ALL[idx % 2], // nature/city
+            DatasetId::Rni15 => SceneKind::City,
+            _ => SceneKind::ALL[idx % 3],
+        }
+    }
+
+    /// Generates sample `idx` at its native resolution.
+    pub fn sample(&self, idx: usize) -> Tensor3<f32> {
+        let (h, w) = self.resolution(idx);
+        self.sample_scaled(idx, h, w)
+    }
+
+    /// Generates sample `idx` at an explicit resolution — the traces are
+    /// gathered at moderate sizes and scaled analytically (DESIGN.md §2.3).
+    pub fn sample_scaled(&self, idx: usize, h: usize, w: usize) -> Tensor3<f32> {
+        let seed = (dataset_ordinal(*self) as u64) << 32 | idx as u64;
+        render_scene(self.scene_kind(idx), h, w, seed)
+    }
+}
+
+fn dataset_ordinal(d: DatasetId) -> usize {
+    DatasetId::ALL.iter().position(|&x| x == d).expect("in ALL")
+}
+
+impl std::fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_counts_match_paper() {
+        let total: usize = DatasetId::ALL.iter().map(|d| d.samples()).sum();
+        assert_eq!(total, 68 + 18 + 24 + 15 + 29 + 19 + 33);
+    }
+
+    #[test]
+    fn hd33_is_full_hd() {
+        for idx in [0, 16, 32] {
+            assert_eq!(DatasetId::Hd33.resolution(idx), (1080, 1920));
+        }
+    }
+
+    #[test]
+    fn ranged_resolutions_stay_in_span() {
+        for idx in 0..DatasetId::Rni15.samples() {
+            let (h, w) = DatasetId::Rni15.resolution(idx);
+            assert!((280..=700).contains(&h));
+            assert!((370..=700).contains(&w));
+        }
+    }
+
+    #[test]
+    fn samples_are_deterministic_and_distinct() {
+        let a = DatasetId::Kodak24.sample_scaled(0, 24, 24);
+        let b = DatasetId::Kodak24.sample_scaled(0, 24, 24);
+        let c = DatasetId::Kodak24.sample_scaled(1, 24, 24);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_ne!(a.as_slice(), c.as_slice());
+    }
+
+    #[test]
+    fn different_datasets_generate_different_images() {
+        let a = DatasetId::Cbsd68.sample_scaled(0, 24, 24);
+        let b = DatasetId::Live1.sample_scaled(0, 24, 24);
+        assert_ne!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn hd33_cycles_all_scene_kinds() {
+        let kinds: Vec<_> = (0..3).map(|i| DatasetId::Hd33.scene_kind(i)).collect();
+        assert_eq!(kinds, vec![SceneKind::Nature, SceneKind::City, SceneKind::Texture]);
+    }
+
+    #[test]
+    fn display_matches_table2_names() {
+        assert_eq!(DatasetId::Set5Set14.to_string(), "Set5+Set14");
+        assert_eq!(DatasetId::Cbsd68.to_string(), "CBSD68");
+    }
+}

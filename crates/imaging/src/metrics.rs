@@ -1,0 +1,70 @@
+//! Image fidelity metrics used to sanity-check the imaging pipelines.
+
+use diffy_tensor::Tensor3;
+
+/// Mean squared error between two images of identical shape.
+///
+/// # Panics
+///
+/// Panics if the shapes differ or the images are empty.
+pub fn mse(a: &Tensor3<f32>, b: &Tensor3<f32>) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "mse shape mismatch");
+    assert!(!a.is_empty(), "mse of empty image");
+    let sum: f64 = a
+        .iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum();
+    sum / a.len() as f64
+}
+
+/// Peak signal-to-noise ratio in dB for `[0, 1]` images.
+///
+/// Returns `f64::INFINITY` for identical images.
+pub fn psnr(a: &Tensor3<f32>, b: &Tensor3<f32>) -> f64 {
+    let m = mse(a, b);
+    if m == 0.0 {
+        f64::INFINITY
+    } else {
+        -10.0 * m.log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_have_infinite_psnr() {
+        let a = Tensor3::<f32>::filled(1, 4, 4, 0.5);
+        assert_eq!(mse(&a, &a), 0.0);
+        assert!(psnr(&a, &a).is_infinite());
+    }
+
+    #[test]
+    fn psnr_of_known_error() {
+        let a = Tensor3::<f32>::filled(1, 2, 2, 0.0);
+        let b = Tensor3::<f32>::filled(1, 2, 2, 0.1);
+        assert!((mse(&a, &b) - 0.01).abs() < 1e-9);
+        assert!((psnr(&a, &b) - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn smaller_error_means_higher_psnr() {
+        let a = Tensor3::<f32>::filled(1, 2, 2, 0.0);
+        let near = Tensor3::<f32>::filled(1, 2, 2, 0.05);
+        let far = Tensor3::<f32>::filled(1, 2, 2, 0.2);
+        assert!(psnr(&a, &near) > psnr(&a, &far));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mse_rejects_shape_mismatch() {
+        let a = Tensor3::<f32>::new(1, 2, 2);
+        let b = Tensor3::<f32>::new(1, 2, 3);
+        let _ = mse(&a, &b);
+    }
+}

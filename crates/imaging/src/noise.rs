@@ -1,0 +1,206 @@
+//! Degradations applied to clean images: the model *inputs* of the
+//! denoising, demosaicking and super-resolution pipelines.
+
+use diffy_tensor::Tensor3;
+use rand::RngExt;
+
+/// Adds white Gaussian noise with standard deviation `sigma` (in `[0,1]`
+/// intensity units), clamping to `[0, 1]` — the degradation model of the
+/// DnCNN/FFDNet/IRCNN denoising literature.
+pub fn add_awgn<R: RngExt>(img: &Tensor3<f32>, rng: &mut R, sigma: f32) -> Tensor3<f32> {
+    img.map(|v| {
+        // Box–Muller from two uniforms; one normal sample per pixel.
+        let u1: f32 = rng.random::<f32>().max(1e-12);
+        let u2: f32 = rng.random();
+        let n = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+        (v + sigma * n).clamp(0.0, 1.0)
+    })
+}
+
+/// Subsamples a 3-channel RGB image with an RGGB Bayer pattern into a
+/// single-channel mosaic (the raw sensor image a joint
+/// demosaicking+denoising network consumes).
+///
+/// # Panics
+///
+/// Panics if the image does not have exactly 3 channels.
+pub fn bayer_mosaic(img: &Tensor3<f32>) -> Tensor3<f32> {
+    let s = img.shape();
+    assert_eq!(s.c, 3, "bayer mosaic needs an RGB image");
+    let mut out = Tensor3::<f32>::new(1, s.h, s.w);
+    for y in 0..s.h {
+        for x in 0..s.w {
+            let c = match (y % 2, x % 2) {
+                (0, 0) => 0,         // R
+                (0, 1) | (1, 0) => 1, // G
+                _ => 2,              // B
+            };
+            *out.at_mut(0, y, x) = *img.at(c, y, x);
+        }
+    }
+    out
+}
+
+/// Packs a single-channel Bayer mosaic into a half-resolution 4-channel
+/// image (R, G0, G1, B planes) — the packed input format of joint
+/// demosaicking networks (Gharbi et al.).
+///
+/// Odd trailing rows/columns are dropped.
+///
+/// # Panics
+///
+/// Panics if the mosaic is not single-channel.
+pub fn pack_bayer(mosaic: &Tensor3<f32>) -> Tensor3<f32> {
+    let s = mosaic.shape();
+    assert_eq!(s.c, 1, "pack_bayer needs a single-channel mosaic");
+    let oh = s.h / 2;
+    let ow = s.w / 2;
+    let mut out = Tensor3::<f32>::new(4, oh, ow);
+    for y in 0..oh {
+        for x in 0..ow {
+            *out.at_mut(0, y, x) = *mosaic.at(0, 2 * y, 2 * x); // R
+            *out.at_mut(1, y, x) = *mosaic.at(0, 2 * y, 2 * x + 1); // G0
+            *out.at_mut(2, y, x) = *mosaic.at(0, 2 * y + 1, 2 * x); // G1
+            *out.at_mut(3, y, x) = *mosaic.at(0, 2 * y + 1, 2 * x + 1); // B
+        }
+    }
+    out
+}
+
+/// Downscales by integer `factor` with box averaging, then upscales back
+/// with nearest-neighbour replication: the blurry low-resolution input a
+/// super-resolution network (VDSR) receives after bicubic-style upscaling.
+///
+/// Trailing rows/columns that do not fill a block are dropped, so the
+/// output dimensions are `(h / factor) * factor` etc.
+///
+/// # Panics
+///
+/// Panics if `factor == 0`.
+pub fn degrade_resolution(img: &Tensor3<f32>, factor: usize) -> Tensor3<f32> {
+    assert!(factor > 0, "factor must be positive");
+    let s = img.shape();
+    let oh = s.h / factor;
+    let ow = s.w / factor;
+    let mut out = Tensor3::<f32>::new(s.c, oh * factor, ow * factor);
+    for c in 0..s.c {
+        for by in 0..oh {
+            for bx in 0..ow {
+                let mut acc = 0.0f32;
+                for j in 0..factor {
+                    for i in 0..factor {
+                        acc += *img.at(c, by * factor + j, bx * factor + i);
+                    }
+                }
+                let mean = acc / (factor * factor) as f32;
+                for j in 0..factor {
+                    for i in 0..factor {
+                        *out.at_mut(c, by * factor + j, bx * factor + i) = mean;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// JPEG-like blockiness: blends each pixel toward its 8×8 block mean by
+/// `strength` (0 = untouched, 1 = fully blocky). Models the "real noise
+/// such as from … JPEG compression" of the RNI15 dataset.
+pub fn add_block_artifacts(img: &Tensor3<f32>, strength: f32) -> Tensor3<f32> {
+    let s = img.shape();
+    let mut out = img.clone();
+    let bs = 8usize;
+    for c in 0..s.c {
+        for by in (0..s.h).step_by(bs) {
+            for bx in (0..s.w).step_by(bs) {
+                let ylim = (by + bs).min(s.h);
+                let xlim = (bx + bs).min(s.w);
+                let mut acc = 0.0f32;
+                let mut n = 0f32;
+                for y in by..ylim {
+                    for x in bx..xlim {
+                        acc += *img.at(c, y, x);
+                        n += 1.0;
+                    }
+                }
+                let mean = acc / n;
+                for y in by..ylim {
+                    for x in bx..xlim {
+                        let v = img.at(c, y, x);
+                        *out.at_mut(c, y, x) = v * (1.0 - strength) + mean * strength;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn awgn_stays_in_range_and_perturbs() {
+        let img = Tensor3::<f32>::filled(1, 16, 16, 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let noisy = add_awgn(&img, &mut rng, 0.1);
+        assert!(noisy.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let mse: f32 =
+            noisy.iter().zip(img.iter()).map(|(&a, &b)| (a - b) * (a - b)).sum::<f32>()
+                / noisy.len() as f32;
+        assert!(mse > 0.001 && mse < 0.05, "mse={mse} not near sigma^2");
+    }
+
+    #[test]
+    fn awgn_zero_sigma_is_identity() {
+        let img = Tensor3::<f32>::filled(1, 4, 4, 0.3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = add_awgn(&img, &mut rng, 0.0);
+        assert_eq!(out.as_slice(), img.as_slice());
+    }
+
+    #[test]
+    fn bayer_mosaic_picks_pattern_channels() {
+        let mut img = Tensor3::<f32>::new(3, 2, 2);
+        *img.at_mut(0, 0, 0) = 0.1; // R at (0,0)
+        *img.at_mut(1, 0, 1) = 0.2; // G at (0,1)
+        *img.at_mut(1, 1, 0) = 0.3; // G at (1,0)
+        *img.at_mut(2, 1, 1) = 0.4; // B at (1,1)
+        let m = bayer_mosaic(&img);
+        assert_eq!(m.as_slice(), &[0.1, 0.2, 0.3, 0.4]);
+    }
+
+    #[test]
+    fn pack_bayer_produces_four_half_res_planes() {
+        let mosaic = Tensor3::from_vec(1, 2, 2, vec![0.1, 0.2, 0.3, 0.4]);
+        let packed = pack_bayer(&mosaic);
+        assert_eq!(packed.shape().as_tuple(), (4, 1, 1));
+        assert_eq!(packed.as_slice(), &[0.1, 0.2, 0.3, 0.4]);
+    }
+
+    #[test]
+    fn degrade_resolution_averages_blocks() {
+        let img = Tensor3::from_vec(1, 2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let d = degrade_resolution(&img, 2);
+        assert!(d.iter().all(|&v| (v - 0.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn degrade_factor_one_is_identity() {
+        let img = Tensor3::from_vec(1, 2, 3, vec![0.0, 0.5, 1.0, 0.2, 0.4, 0.6]);
+        assert_eq!(degrade_resolution(&img, 1).as_slice(), img.as_slice());
+    }
+
+    #[test]
+    fn block_artifacts_full_strength_flattens_blocks() {
+        let data: Vec<f32> = (0..64).map(|i| i as f32 / 64.0).collect();
+        let img = Tensor3::from_vec(1, 8, 8, data);
+        let blocky = add_block_artifacts(&img, 1.0);
+        let first = *blocky.at(0, 0, 0);
+        assert!(blocky.iter().all(|&v| (v - first).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,161 @@
+//! Activation-memory (AM) sizing — the Table V study.
+//!
+//! §III-F: "the AM is sized to accommodate enough input rows to fit two
+//! complete rows of windows plus two output rows", enabling the
+//! read-next / compute-current / write-previous pipeline. A row of
+//! windows needs the filter's effective vertical extent of imap rows;
+//! advancing to the next row of windows adds `stride` rows. The required
+//! capacity is measured on the *actual encoded* trace data, so compressed
+//! schemes shrink the AM (or boost its effective capacity).
+
+use crate::traffic::tensor_signedness;
+use diffy_encoding::precision::Signedness;
+use diffy_encoding::StorageScheme;
+use diffy_models::{LayerTrace, NetworkTrace};
+use diffy_tensor::Tensor3;
+
+/// Encoded bits of each spatial row (summed over channels) of a tensor.
+fn per_row_bits(t: &Tensor3<i16>, scheme: StorageScheme, sign: Signedness) -> Vec<u64> {
+    let s = t.shape();
+    let mut rows = vec![0u64; s.h];
+    for c in 0..s.c {
+        for (y, slot) in rows.iter_mut().enumerate() {
+            *slot += scheme.row_bits(t.row(c, y), sign);
+        }
+    }
+    rows
+}
+
+/// Largest sum over any `window` consecutive entries.
+fn max_window_sum(rows: &[u64], window: usize) -> u64 {
+    if rows.is_empty() || window == 0 {
+        return 0;
+    }
+    let w = window.min(rows.len());
+    let mut sum: u64 = rows[..w].iter().sum();
+    let mut best = sum;
+    for i in w..rows.len() {
+        sum += rows[i];
+        sum -= rows[i - w];
+        best = best.max(sum);
+    }
+    best
+}
+
+/// AM bits one layer needs under `scheme`: two complete rows of windows
+/// of the imap plus two rows of the omap.
+pub fn layer_am_bits(trace: &LayerTrace, omap: &Tensor3<i16>, scheme: StorageScheme) -> u64 {
+    let geom = trace.geom;
+    let extent = geom.effective_extent(trace.fmaps.shape().h);
+    let imap_rows_needed = extent + geom.stride;
+    let isign = tensor_signedness(&trace.imap);
+    let irows = per_row_bits(&trace.imap, scheme, isign);
+    let imap_bits = max_window_sum(&irows, imap_rows_needed);
+
+    let osign = tensor_signedness(omap);
+    let orows = per_row_bits(omap, scheme, osign);
+    let omap_bits = max_window_sum(&orows, 2);
+
+    imap_bits + omap_bits
+}
+
+/// AM bits a network needs: the maximum over its layers.
+pub fn network_am_bits(trace: &NetworkTrace, scheme: StorageScheme) -> u64 {
+    trace
+        .layers
+        .iter()
+        .enumerate()
+        .map(|(i, l)| layer_am_bits(l, trace.omap(i), scheme))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Rounds a byte count up to the next power of two, as the paper does
+/// when provisioning physical SRAM.
+pub fn round_up_pow2(bytes: u64) -> u64 {
+    bytes.next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffy_tensor::{ConvGeometry, Tensor4};
+
+    fn mk_trace(imap: Tensor3<i16>, f: usize, geom: ConvGeometry) -> LayerTrace {
+        let c = imap.shape().c;
+        LayerTrace {
+            name: "t".into(),
+            index: 0,
+            imap,
+            fmaps: Tensor4::<i16>::filled(2, c, f, f, 1),
+            geom,
+            relu: true,
+            requant_shift: 12,
+            requant_bias: 0,
+            next_stride: 1,
+        }
+    }
+
+    #[test]
+    fn uncompressed_am_matches_closed_form() {
+        // 3x3 stride-1 filter: 4 imap rows + 2 omap rows.
+        let imap = Tensor3::<i16>::filled(2, 8, 10, 5);
+        let omap = Tensor3::<i16>::filled(2, 8, 10, 5);
+        let t = mk_trace(imap, 3, ConvGeometry::same(3, 3));
+        let bits = layer_am_bits(&t, &omap, StorageScheme::NoCompression);
+        assert_eq!(bits, (4 * 2 * 10 + 2 * 2 * 10) * 16);
+    }
+
+    #[test]
+    fn dilation_widens_the_window_row_requirement() {
+        let imap = Tensor3::<i16>::filled(1, 12, 10, 5);
+        let omap = Tensor3::<i16>::filled(1, 12, 10, 5);
+        let dense = mk_trace(imap.clone(), 3, ConvGeometry::same(3, 3));
+        let dilated = mk_trace(imap, 3, ConvGeometry::same_dilated(3, 4));
+        let s = StorageScheme::NoCompression;
+        // extent 3 + 1 = 4 rows vs extent 9 + 1 = 10 rows (plus 2 omap
+        // rows each): exactly double here.
+        assert!(layer_am_bits(&dilated, &omap, s) >= layer_am_bits(&dense, &omap, s) * 2);
+    }
+
+    #[test]
+    fn delta_scheme_shrinks_am_on_smooth_rows() {
+        let data: Vec<i16> = (0..2 * 8 * 64).map(|i| 2000 + (i % 64) as i16).collect();
+        let imap = Tensor3::from_vec(2, 8, 64, data.clone());
+        let omap = Tensor3::from_vec(2, 8, 64, data);
+        let t = mk_trace(imap, 3, ConvGeometry::same(3, 3));
+        let none = layer_am_bits(&t, &omap, StorageScheme::NoCompression);
+        let delta = layer_am_bits(&t, &omap, StorageScheme::delta_d(16));
+        assert!(delta * 2 < none, "delta {delta} vs none {none}");
+    }
+
+    #[test]
+    fn network_takes_max_over_layers() {
+        let small = mk_trace(Tensor3::<i16>::filled(1, 6, 6, 3), 3, ConvGeometry::same(3, 3));
+        let big = mk_trace(Tensor3::<i16>::filled(8, 6, 32, 3), 3, ConvGeometry::same(3, 3));
+        let out = Tensor3::<i16>::filled(1, 6, 6, 3);
+        let nt = NetworkTrace {
+            model: "m".into(),
+            layers: vec![small.clone(), big.clone()],
+            output: out.clone(),
+        };
+        let s = StorageScheme::NoCompression;
+        let net = network_am_bits(&nt, s);
+        let l1 = layer_am_bits(&big, &out, s);
+        assert_eq!(net, l1.max(layer_am_bits(&small, &big.imap, s)));
+    }
+
+    #[test]
+    fn max_window_sum_slides_correctly() {
+        assert_eq!(max_window_sum(&[1, 5, 2, 8, 1], 2), 10);
+        assert_eq!(max_window_sum(&[1, 5], 4), 6);
+        assert_eq!(max_window_sum(&[], 3), 0);
+    }
+
+    #[test]
+    fn pow2_rounding() {
+        assert_eq!(round_up_pow2(1000), 1024);
+        assert_eq!(round_up_pow2(1024), 1024);
+        assert_eq!(round_up_pow2(348 * 1024), 512 * 1024);
+    }
+}

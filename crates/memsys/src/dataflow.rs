@@ -1,0 +1,169 @@
+//! Row-granularity pipeline schedule (§III-F).
+//!
+//! Diffy "can process the windows of one row from on-chip … while
+//! loading the activations for the next row of windows from off-chip
+//! memory, while also simultaneously writing the previous row of output
+//! activations". That is a three-stage software pipeline at output-row
+//! granularity:
+//!
+//! ```text
+//! step r:   load(row r+1)  ||  compute(row r)  ||  store(row r−1)
+//! ```
+//!
+//! The layer-granularity bound in [`crate::overlap`] —
+//! `max(total compute, total transfer)` — is exact when rows are
+//! uniform; this module schedules the actual per-row quantities, exposing
+//! the fill/drain transients and any skew between rows (e.g. a
+//! content-dependent compute spike meeting a fixed-bandwidth link).
+
+use crate::offchip::MemorySystem;
+
+/// Per-row resource demands of one layer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RowSchedule {
+    /// Compute cycles to produce each output row.
+    pub compute_cycles: Vec<u64>,
+    /// Bytes of imap rows that must arrive before each output row can
+    /// start (the first entry carries the whole window extent; later
+    /// entries carry `stride` fresh rows).
+    pub load_bytes: Vec<u64>,
+    /// Bytes of omap written per output row.
+    pub store_bytes: Vec<u64>,
+}
+
+impl RowSchedule {
+    /// Builds a uniform schedule: total quantities split evenly over
+    /// `rows` (the approximation the layer-granularity model makes).
+    pub fn uniform(rows: usize, compute: u64, load: u64, store: u64) -> Self {
+        assert!(rows > 0, "need at least one row");
+        let split = |total: u64| -> Vec<u64> {
+            let base = total / rows as u64;
+            let extra = (total % rows as u64) as usize;
+            (0..rows).map(|i| base + u64::from(i < extra)).collect()
+        };
+        Self {
+            compute_cycles: split(compute),
+            load_bytes: split(load),
+            store_bytes: split(store),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.compute_cycles.len()
+    }
+}
+
+/// Executes the three-stage pipeline and returns total cycles.
+///
+/// The link is shared by loads and stores (one off-chip channel set), so
+/// a step's transfer time is the sum of its load and store, overlapped
+/// with its compute.
+///
+/// # Panics
+///
+/// Panics if the schedule's vectors disagree in length or are empty.
+pub fn pipeline_cycles(sched: &RowSchedule, mem: &MemorySystem, frequency_ghz: f64) -> u64 {
+    let n = sched.rows();
+    assert!(n > 0, "empty schedule");
+    assert_eq!(sched.load_bytes.len(), n, "load rows mismatch");
+    assert_eq!(sched.store_bytes.len(), n, "store rows mismatch");
+
+    let xfer = |bytes: u64| mem.transfer_cycles(bytes, frequency_ghz);
+
+    // Step -1: fill (load row 0 alone).
+    let mut total = xfer(sched.load_bytes[0]);
+    // Steps 0..n: compute r, load r+1, store r-1.
+    for r in 0..n {
+        let load_next = if r + 1 < n { sched.load_bytes[r + 1] } else { 0 };
+        let store_prev = if r > 0 { sched.store_bytes[r - 1] } else { 0 };
+        let transfer = xfer(load_next + store_prev);
+        total += sched.compute_cycles[r].max(transfer);
+    }
+    // Drain: store the last row.
+    total += xfer(sched.store_bytes[n - 1]);
+    total
+}
+
+/// The layer-granularity lower bound: `max(Σ compute, Σ transfer)`.
+pub fn layer_bound_cycles(sched: &RowSchedule, mem: &MemorySystem, frequency_ghz: f64) -> u64 {
+    let compute: u64 = sched.compute_cycles.iter().sum();
+    let bytes: u64 =
+        sched.load_bytes.iter().sum::<u64>() + sched.store_bytes.iter().sum::<u64>();
+    compute.max(mem.transfer_cycles(bytes, frequency_ghz))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offchip::MemoryNode;
+
+    fn mem() -> MemorySystem {
+        MemorySystem::single(MemoryNode::Ddr4_3200) // 25.6 B/cycle
+    }
+
+    #[test]
+    fn uniform_splitting_conserves_totals() {
+        let s = RowSchedule::uniform(7, 100, 23, 15);
+        assert_eq!(s.compute_cycles.iter().sum::<u64>(), 100);
+        assert_eq!(s.load_bytes.iter().sum::<u64>(), 23);
+        assert_eq!(s.store_bytes.iter().sum::<u64>(), 15);
+        assert_eq!(s.rows(), 7);
+    }
+
+    #[test]
+    fn compute_bound_pipeline_approaches_pure_compute() {
+        // Tiny transfers: pipeline time = compute + fill/drain.
+        let s = RowSchedule::uniform(10, 10_000, 100, 100);
+        let t = pipeline_cycles(&s, &mem(), 1.0);
+        assert!(t >= 10_000);
+        assert!(t <= 10_000 + 20, "fill/drain should be tiny: {t}");
+    }
+
+    #[test]
+    fn memory_bound_pipeline_approaches_link_time() {
+        let s = RowSchedule::uniform(10, 100, 256_000, 256_000);
+        let t = pipeline_cycles(&s, &mem(), 1.0);
+        let link = mem().transfer_cycles(512_000, 1.0);
+        assert!(t >= link);
+        assert!(t < link + link / 5, "t {t} vs link {link}");
+    }
+
+    #[test]
+    fn pipeline_never_beats_the_layer_bound() {
+        for (c, l, st) in [(1000u64, 5000u64, 2000u64), (50_000, 100, 100), (0, 0, 4096)] {
+            let s = RowSchedule::uniform(8, c, l, st);
+            let p = pipeline_cycles(&s, &mem(), 1.0);
+            let b = layer_bound_cycles(&s, &mem(), 1.0);
+            assert!(p >= b, "pipeline {p} < bound {b}");
+            // And it is bounded by the fully-serial execution.
+            let serial = c + mem().transfer_cycles(l + st, 1.0) + 16; // rounding slack
+            assert!(p <= serial, "pipeline {p} > serial {serial}");
+        }
+    }
+
+    #[test]
+    fn skewed_rows_cost_more_than_uniform() {
+        // Same totals, but all compute lands in one row: the link idles
+        // during the spike and the pipeline pays for it.
+        let uniform = RowSchedule::uniform(4, 4000, 102_400, 0);
+        let mut skewed = uniform.clone();
+        skewed.compute_cycles = vec![4000, 0, 0, 0];
+        let tu = pipeline_cycles(&uniform, &mem(), 1.0);
+        let ts = pipeline_cycles(&skewed, &mem(), 1.0);
+        assert!(ts > tu, "skewed {ts} should exceed uniform {tu}");
+    }
+
+    #[test]
+    fn single_row_degenerates_to_serial() {
+        let s = RowSchedule::uniform(1, 500, 2560, 2560);
+        // load (100) + compute 500 + store (100): nothing overlaps.
+        assert_eq!(pipeline_cycles(&s, &mem(), 1.0), 100 + 500 + 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn empty_schedule_rejected() {
+        let _ = RowSchedule::uniform(0, 1, 1, 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Compute/transfer overlap.
+//!
+//! Diffy's row-pipelined dataflow processes the windows of one row from
+//! on-chip storage while loading the next row of windows and draining the
+//! previous row of outputs (§III-F). At layer granularity this is the
+//! classic double-buffer bound: a layer takes
+//! `max(compute_cycles, transfer_cycles)` and the difference shows up as
+//! stall (when memory is slower) or as link idle time (when compute is
+//! slower).
+
+use crate::offchip::MemorySystem;
+use crate::traffic::LayerTraffic;
+
+/// Execution-time decomposition of one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerTiming {
+    /// Compute cycles (from the cycle model).
+    pub compute_cycles: u64,
+    /// Cycles the off-chip link needs for this layer's traffic.
+    pub memory_cycles: u64,
+    /// Total cycles: `max(compute, memory)`.
+    pub total_cycles: u64,
+    /// Cycles compute sat idle waiting for memory.
+    pub stall_cycles: u64,
+}
+
+impl LayerTiming {
+    /// Fraction of total time spent stalled on memory.
+    pub fn stall_fraction(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.stall_cycles as f64 / self.total_cycles as f64
+        }
+    }
+}
+
+/// Combines compute cycles with traffic under the given memory system.
+pub fn combine(
+    compute_cycles: u64,
+    traffic: &LayerTraffic,
+    mem: &MemorySystem,
+    frequency_ghz: f64,
+) -> LayerTiming {
+    let memory_cycles = mem.transfer_cycles(traffic.total_bytes(), frequency_ghz);
+    let total_cycles = compute_cycles.max(memory_cycles);
+    LayerTiming {
+        compute_cycles,
+        memory_cycles,
+        total_cycles,
+        stall_cycles: total_cycles - compute_cycles,
+    }
+}
+
+/// Sums layer timings into network execution time (cycles).
+pub fn total_cycles(timings: &[LayerTiming]) -> u64 {
+    timings.iter().map(|t| t.total_cycles).sum()
+}
+
+/// Frames per second for a per-frame cycle count.
+pub fn fps(cycles_per_frame: u64, frequency_ghz: f64) -> f64 {
+    if cycles_per_frame == 0 {
+        return f64::INFINITY;
+    }
+    frequency_ghz * 1e9 / cycles_per_frame as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offchip::MemoryNode;
+
+    fn traffic(bytes: u64) -> LayerTraffic {
+        LayerTraffic { imap_read_bytes: bytes, omap_write_bytes: 0, weight_bytes: 0 }
+    }
+
+    #[test]
+    fn compute_bound_layer_has_no_stall() {
+        let mem = MemorySystem::single(MemoryNode::Hbm2);
+        let t = combine(1_000_000, &traffic(1024), &mem, 1.0);
+        assert_eq!(t.total_cycles, 1_000_000);
+        assert_eq!(t.stall_cycles, 0);
+        assert_eq!(t.stall_fraction(), 0.0);
+    }
+
+    #[test]
+    fn memory_bound_layer_stalls() {
+        let mem = MemorySystem::single(MemoryNode::Lpddr3_1600); // 12.8 B/cyc
+        let t = combine(100, &traffic(12_800), &mem, 1.0);
+        assert_eq!(t.memory_cycles, 1000);
+        assert_eq!(t.total_cycles, 1000);
+        assert_eq!(t.stall_cycles, 900);
+        assert!((t.stall_fraction() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_memory_removes_stalls() {
+        let slow = combine(100, &traffic(12_800), &MemorySystem::single(MemoryNode::Lpddr3_1600), 1.0);
+        let fast = combine(100, &traffic(12_800), &MemorySystem::single(MemoryNode::Hbm2), 1.0);
+        assert!(fast.total_cycles < slow.total_cycles);
+        assert_eq!(fast.stall_cycles, 0);
+    }
+
+    #[test]
+    fn totals_and_fps() {
+        let a = LayerTiming { compute_cycles: 10, memory_cycles: 5, total_cycles: 10, stall_cycles: 0 };
+        let b = LayerTiming { compute_cycles: 5, memory_cycles: 20, total_cycles: 20, stall_cycles: 15 };
+        assert_eq!(total_cycles(&[a, b]), 30);
+        assert!((fps(1_000_000, 1.0) - 1000.0).abs() < 1e-9);
+        assert!(fps(0, 1.0).is_infinite());
+    }
+}

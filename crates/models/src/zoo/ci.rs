@@ -1,0 +1,418 @@
+//! The five computational-imaging DNNs of Table I.
+//!
+//! | Network  | Conv | ReLU | Task |
+//! |----------|------|------|------|
+//! | DnCNN    | 20   | 19   | image denoising |
+//! | FFDNet   | 10   | 9    | denoising on packed half-res input + noise map |
+//! | IRCNN    | 7    | 6    | denoising with dilated (1-2-3-4-3-2-1) filters |
+//! | JointNet | 19   | 16   | joint demosaicking + denoising |
+//! | VDSR     | 20   | 19   | single-image super-resolution (high sparsity) |
+//!
+//! Each model knows how to *prepare* its input from a clean RGB image
+//! (adding noise, mosaicking, packing, degrading — the degradation model
+//! of its task) and which weight-generation knobs reproduce its documented
+//! activation statistics (VDSR's high sparsity in particular, §IV-A).
+
+use crate::graph::ModelSpec;
+use crate::layer::{ConvSpec, LayerSpec};
+use crate::weights::WeightGen;
+use diffy_tensor::{Quantizer, Tensor3};
+
+/// Noise level used by the denoising pipelines (σ in `[0,1]` units,
+/// equivalent to σ=25 on 8-bit images — the standard benchmark setting).
+pub const NOISE_SIGMA: f32 = 0.1;
+
+/// One of the five CI-DNNs of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CiModel {
+    /// 20-layer residual denoiser.
+    DnCnn,
+    /// 10-layer denoiser on a packed 15-channel half-resolution input.
+    FfdNet,
+    /// 7-layer dilated denoiser.
+    Ircnn,
+    /// 19-layer joint demosaicking + denoising network.
+    JointNet,
+    /// 20-layer super-resolution network.
+    Vdsr,
+}
+
+impl CiModel {
+    /// All models in Table I order.
+    pub const ALL: [CiModel; 5] = [
+        CiModel::DnCnn,
+        CiModel::FfdNet,
+        CiModel::Ircnn,
+        CiModel::JointNet,
+        CiModel::Vdsr,
+    ];
+
+    /// The model's name as the paper spells it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CiModel::DnCnn => "DnCNN",
+            CiModel::FfdNet => "FFDNet",
+            CiModel::Ircnn => "IRCNN",
+            CiModel::JointNet => "JointNet",
+            CiModel::Vdsr => "VDSR",
+        }
+    }
+
+    /// The layer stack.
+    pub fn spec(&self) -> ModelSpec {
+        match self {
+            CiModel::DnCnn => plain_stack("DnCNN", 3, 64, 20, 3),
+            CiModel::FfdNet => {
+                let mut m = plain_stack("FFDNet", 15, 96, 10, 12);
+                m.input_downscale = 2;
+                m
+            }
+            CiModel::Ircnn => {
+                let dilations = [1usize, 2, 3, 4, 3, 2, 1];
+                let layers: Vec<LayerSpec> = dilations
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &d)| {
+                        let last = i == dilations.len() - 1;
+                        LayerSpec::Conv(ConvSpec::dilated3(
+                            format!("conv_{}", i + 1),
+                            if last { 3 } else { 64 },
+                            d,
+                            !last,
+                        ))
+                    })
+                    .collect();
+                ModelSpec::new("IRCNN", 3, layers)
+            }
+            CiModel::JointNet => {
+                let mut layers = Vec::new();
+                layers.push(LayerSpec::Conv(ConvSpec::same3("conv_1", 64, true)));
+                for i in 2..=16 {
+                    layers.push(LayerSpec::Conv(ConvSpec::same3(format!("conv_{i}"), 64, true)));
+                }
+                // Feature-expansion pair (the 144 KB layers of Table I),
+                // then the 12-channel packed output; all linear so the
+                // ReLU count matches Table I's 16.
+                layers.push(LayerSpec::Conv(ConvSpec::same3("conv_17", 128, false)));
+                layers.push(LayerSpec::Conv(ConvSpec::same3("conv_18", 64, false)));
+                layers.push(LayerSpec::Conv(ConvSpec::same3("conv_19", 12, false)));
+                let mut m = ModelSpec::new("JointNet", 4, layers);
+                m.input_downscale = 2;
+                m
+            }
+            CiModel::Vdsr => plain_stack("VDSR", 3, 64, 20, 3),
+        }
+    }
+
+    /// Weight-generation options reproducing the model's documented
+    /// activation statistics.
+    pub fn weight_gen(&self, seed: u64) -> WeightGen {
+        // Imaging filters are predominantly low-pass (they reconstruct
+        // image structure), so all CI models get strong kernel
+        // smoothing; see DESIGN.md §2.1.
+        let base = WeightGen::new(seed ^ model_ordinal(*self) as u64).with_kernel_smoothness(0.7);
+        match self {
+            // "VDSR exhibits high activation sparsity in the intermediate
+            // layers" (§IV-A): push pre-activations below zero.
+            CiModel::Vdsr => base.with_bias_shift(-0.42),
+            // Slight positive shift for the rest lands the average raw
+            // sparsity near the ~43% of Fig. 3.
+            _ => base.with_bias_shift(0.18),
+        }
+    }
+
+    /// Prepares the model's input imap from a clean `[0,1]` RGB image
+    /// (3 × H × W), applying the task's degradation model. `seed`
+    /// randomizes the degradation (noise draw).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image is not 3-channel or is smaller than 2×2.
+    pub fn prepare_input(&self, clean: &Tensor3<f32>, seed: u64) -> Tensor3<i16> {
+        use diffy_imaging_shim::*;
+        let s = clean.shape();
+        assert_eq!(s.c, 3, "CI models expect RGB input");
+        assert!(s.h >= 2 && s.w >= 2, "image too small");
+        // Even dimensions for the half-resolution models.
+        let clean = trim_even(clean);
+        let q = Quantizer::default();
+        match self {
+            CiModel::DnCnn | CiModel::Ircnn => to_fixed(&add_noise(&clean, seed), q),
+            CiModel::FfdNet => {
+                let noisy = add_noise(&clean, seed);
+                let packed = space_to_depth_f32(&noisy, 2); // 12 channels
+                let with_sigma = append_constant_channels(&packed, 3, NOISE_SIGMA);
+                to_fixed(&with_sigma, q)
+            }
+            CiModel::JointNet => {
+                let noisy = add_noise(&clean, seed);
+                let mosaic = bayer(&noisy);
+                to_fixed(&pack(&mosaic), q)
+            }
+            CiModel::Vdsr => to_fixed(&degrade(&clean, 2), q),
+        }
+    }
+}
+
+fn model_ordinal(m: CiModel) -> usize {
+    CiModel::ALL.iter().position(|&x| x == m).expect("in ALL")
+}
+
+impl std::fmt::Display for CiModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A plain stack of same-padded 3×3 convs: `in -> hidden x (n-1) -> out`,
+/// ReLU everywhere except the final layer.
+fn plain_stack(
+    name: &str,
+    input_channels: usize,
+    hidden: usize,
+    convs: usize,
+    out_channels: usize,
+) -> ModelSpec {
+    assert!(convs >= 2);
+    let mut layers = Vec::with_capacity(convs);
+    for i in 0..convs {
+        let last = i == convs - 1;
+        layers.push(LayerSpec::Conv(ConvSpec::same3(
+            format!("conv_{}", i + 1),
+            if last { out_channels } else { hidden },
+            !last,
+        )));
+    }
+    ModelSpec::new(name, input_channels, layers)
+}
+
+/// Local image-processing helpers. The imaging crate cannot be a
+/// dependency here (it would create a cycle once core ties everything
+/// together is not an issue, but models is deliberately independent of
+/// the dataset generators), so the few degradations the zoo needs are
+/// implemented in terms of `diffy_tensor` directly.
+mod diffy_imaging_shim {
+    use diffy_tensor::{Quantizer, Tensor3};
+
+    pub fn to_fixed(img: &Tensor3<f32>, q: Quantizer) -> Tensor3<i16> {
+        img.map(|v| q.quantize(v))
+    }
+
+    pub fn trim_even(img: &Tensor3<f32>) -> Tensor3<f32> {
+        let s = img.shape();
+        let (h, w) = (s.h & !1, s.w & !1);
+        if (h, w) == (s.h, s.w) {
+            return img.clone();
+        }
+        let mut out = Tensor3::<f32>::new(s.c, h, w);
+        for c in 0..s.c {
+            for y in 0..h {
+                for x in 0..w {
+                    *out.at_mut(c, y, x) = *img.at(c, y, x);
+                }
+            }
+        }
+        out
+    }
+
+    /// Deterministic pseudo-Gaussian noise from a hash of the pixel
+    /// coordinate and seed (12-term Irwin–Hall sum).
+    pub fn add_noise(img: &Tensor3<f32>, seed: u64) -> Tensor3<f32> {
+        let s = img.shape();
+        let mut out = img.clone();
+        for c in 0..s.c {
+            for y in 0..s.h {
+                for x in 0..s.w {
+                    let mut h = seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(((c * s.h + y) * s.w + x) as u64);
+                    let mut sum = 0.0f32;
+                    for _ in 0..12 {
+                        h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        sum += (h >> 40) as f32 / (1u64 << 24) as f32;
+                    }
+                    let n = sum - 6.0; // ~N(0,1)
+                    let v = out.at_mut(c, y, x);
+                    *v = (*v + super::NOISE_SIGMA * n).clamp(0.0, 1.0);
+                }
+            }
+        }
+        out
+    }
+
+    pub fn space_to_depth_f32(img: &Tensor3<f32>, f: usize) -> Tensor3<f32> {
+        let s = img.shape();
+        assert!(s.h.is_multiple_of(f) && s.w.is_multiple_of(f));
+        let (oh, ow) = (s.h / f, s.w / f);
+        let mut out = Tensor3::<f32>::new(s.c * f * f, oh, ow);
+        for c in 0..s.c {
+            for dy in 0..f {
+                for dx in 0..f {
+                    let oc = c * f * f + dy * f + dx;
+                    for y in 0..oh {
+                        for x in 0..ow {
+                            *out.at_mut(oc, y, x) = *img.at(c, y * f + dy, x * f + dx);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    pub fn append_constant_channels(img: &Tensor3<f32>, n: usize, value: f32) -> Tensor3<f32> {
+        let s = img.shape();
+        let mut data = img.as_slice().to_vec();
+        data.extend(std::iter::repeat_n(value, n * s.h * s.w));
+        Tensor3::from_vec(s.c + n, s.h, s.w, data)
+    }
+
+    pub fn bayer(img: &Tensor3<f32>) -> Tensor3<f32> {
+        let s = img.shape();
+        let mut out = Tensor3::<f32>::new(1, s.h, s.w);
+        for y in 0..s.h {
+            for x in 0..s.w {
+                let c = match (y % 2, x % 2) {
+                    (0, 0) => 0,
+                    (0, 1) | (1, 0) => 1,
+                    _ => 2,
+                };
+                *out.at_mut(0, y, x) = *img.at(c, y, x);
+            }
+        }
+        out
+    }
+
+    pub fn pack(mosaic: &Tensor3<f32>) -> Tensor3<f32> {
+        let s = mosaic.shape();
+        let (oh, ow) = (s.h / 2, s.w / 2);
+        let mut out = Tensor3::<f32>::new(4, oh, ow);
+        for y in 0..oh {
+            for x in 0..ow {
+                *out.at_mut(0, y, x) = *mosaic.at(0, 2 * y, 2 * x);
+                *out.at_mut(1, y, x) = *mosaic.at(0, 2 * y, 2 * x + 1);
+                *out.at_mut(2, y, x) = *mosaic.at(0, 2 * y + 1, 2 * x);
+                *out.at_mut(3, y, x) = *mosaic.at(0, 2 * y + 1, 2 * x + 1);
+            }
+        }
+        out
+    }
+
+    pub fn degrade(img: &Tensor3<f32>, f: usize) -> Tensor3<f32> {
+        let s = img.shape();
+        let (oh, ow) = (s.h / f, s.w / f);
+        let mut out = Tensor3::<f32>::new(s.c, oh * f, ow * f);
+        for c in 0..s.c {
+            for by in 0..oh {
+                for bx in 0..ow {
+                    let mut acc = 0.0f32;
+                    for j in 0..f {
+                        for i in 0..f {
+                            acc += *img.at(c, by * f + j, bx * f + i);
+                        }
+                    }
+                    let mean = acc / (f * f) as f32;
+                    for j in 0..f {
+                        for i in 0..f {
+                            *out.at_mut(c, by * f + j, bx * f + i) = mean;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_conv_and_relu_counts() {
+        let expect = [
+            (CiModel::DnCnn, 20, 19),
+            (CiModel::FfdNet, 10, 9),
+            (CiModel::Ircnn, 7, 6),
+            (CiModel::JointNet, 19, 16),
+            (CiModel::Vdsr, 20, 19),
+        ];
+        for (m, convs, relus) in expect {
+            let s = m.spec();
+            assert_eq!(s.conv_layers(), convs, "{m} conv count");
+            assert_eq!(s.relu_layers(), relus, "{m} relu count");
+        }
+    }
+
+    #[test]
+    fn table1_filter_sizes() {
+        // Max single filter ~1.1 KB, max per-layer total 72-162 KB.
+        let dn = CiModel::DnCnn.spec();
+        assert_eq!(dn.max_filter_bytes(64, 64), 1152); // 1.13 KB
+        assert_eq!(dn.max_total_filter_bytes(64, 64), 73_728); // 72 KB
+        let ffd = CiModel::FfdNet.spec();
+        assert_eq!(ffd.max_total_filter_bytes(32, 32), 96 * 96 * 9 * 2); // 162 KB
+        let joint = CiModel::JointNet.spec();
+        assert_eq!(joint.max_total_filter_bytes(32, 32), 128 * 64 * 9 * 2); // 144 KB
+        let ir = CiModel::Ircnn.spec();
+        assert_eq!(ir.max_total_filter_bytes(64, 64), 73_728); // 72 KB
+    }
+
+    #[test]
+    fn ircnn_uses_dilated_pyramid() {
+        let s = CiModel::Ircnn.spec();
+        let dil: Vec<usize> = s
+            .layers
+            .iter()
+            .filter_map(|l| l.as_conv().map(|c| c.geom.dilation))
+            .collect();
+        assert_eq!(dil, vec![1, 2, 3, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn prepared_inputs_have_expected_shapes() {
+        let clean = diffy_tensor::Tensor3::<f32>::filled(3, 16, 20, 0.5);
+        let cases = [
+            (CiModel::DnCnn, (3, 16, 20)),
+            (CiModel::FfdNet, (15, 8, 10)),
+            (CiModel::Ircnn, (3, 16, 20)),
+            (CiModel::JointNet, (4, 8, 10)),
+            (CiModel::Vdsr, (3, 16, 20)),
+        ];
+        for (m, shape) in cases {
+            let input = m.prepare_input(&clean, 1);
+            assert_eq!(input.shape().as_tuple(), shape, "{m}");
+            assert_eq!(input.shape().c, m.spec().input_channels, "{m} channels");
+        }
+    }
+
+    #[test]
+    fn prepared_input_is_deterministic() {
+        let clean = diffy_tensor::Tensor3::<f32>::filled(3, 8, 8, 0.4);
+        let a = CiModel::DnCnn.prepare_input(&clean, 5);
+        let b = CiModel::DnCnn.prepare_input(&clean, 5);
+        let c = CiModel::DnCnn.prepare_input(&clean, 6);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_ne!(a.as_slice(), c.as_slice());
+    }
+
+    #[test]
+    fn odd_images_are_trimmed_even() {
+        let clean = diffy_tensor::Tensor3::<f32>::filled(3, 9, 11, 0.4);
+        let input = CiModel::FfdNet.prepare_input(&clean, 1);
+        assert_eq!(input.shape().as_tuple(), (15, 4, 5));
+    }
+
+    #[test]
+    fn vdsr_gets_sparsity_boosting_weights() {
+        assert!(CiModel::Vdsr.weight_gen(1).bias_shift < -0.2);
+        assert!(CiModel::DnCnn.weight_gen(1).bias_shift >= 0.0);
+    }
+
+    #[test]
+    fn weight_seeds_differ_across_models() {
+        let a = CiModel::DnCnn.weight_gen(1).seed;
+        let b = CiModel::Vdsr.weight_gen(1).seed;
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,319 @@
+//! Classification, segmentation and detection models (Fig. 19).
+//!
+//! The paper runs "several well known ImageNet classification models"
+//! plus FCN_Seg, YOLO v2 and SegNet. The accelerators only execute
+//! convolutional layers, so each model is expressed as its convolutional
+//! backbone (inception/residual structure flattened to the constituent
+//! convolutions, fully-connected heads omitted — the same scope every
+//! conv-accelerator study uses).
+
+use crate::graph::ModelSpec;
+use crate::layer::{ConvSpec, LayerSpec};
+use diffy_tensor::ConvGeometry;
+
+/// One of the Fig. 19 models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClassModel {
+    /// 5-conv AlexNet backbone (224×224).
+    AlexNet,
+    /// 13-conv VGG-16 backbone (224×224).
+    Vgg16,
+    /// ResNet-18-style 17-conv stack (224×224).
+    ResNet18,
+    /// FCN semantic segmentation: VGG backbone + score layer (500×500).
+    FcnSeg,
+    /// YOLO v2 / Darknet-19 detector (416×416).
+    YoloV2,
+    /// SegNet encoder–decoder (352×480).
+    SegNet,
+}
+
+impl ClassModel {
+    /// All models, in Fig. 19 order.
+    pub const ALL: [ClassModel; 6] = [
+        ClassModel::AlexNet,
+        ClassModel::Vgg16,
+        ClassModel::ResNet18,
+        ClassModel::FcnSeg,
+        ClassModel::YoloV2,
+        ClassModel::SegNet,
+    ];
+
+    /// The model's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClassModel::AlexNet => "AlexNet",
+            ClassModel::Vgg16 => "VGG16",
+            ClassModel::ResNet18 => "ResNet18",
+            ClassModel::FcnSeg => "FCN_Seg",
+            ClassModel::YoloV2 => "YOLO_V2",
+            ClassModel::SegNet => "SegNet",
+        }
+    }
+
+    /// Native input resolution `(h, w)`.
+    pub fn native_resolution(&self) -> (usize, usize) {
+        match self {
+            ClassModel::AlexNet | ClassModel::Vgg16 | ClassModel::ResNet18 => (224, 224),
+            ClassModel::FcnSeg => (500, 500),
+            ClassModel::YoloV2 => (416, 416),
+            ClassModel::SegNet => (352, 480),
+        }
+    }
+
+    /// Smallest input the layer stack accepts without a spatial dimension
+    /// collapsing to zero (traces may run at reduced resolutions to bound
+    /// simulation cost; this is the floor).
+    pub fn min_resolution(&self) -> usize {
+        match self {
+            ClassModel::AlexNet => 64,
+            ClassModel::Vgg16 | ClassModel::FcnSeg => 32,
+            ClassModel::ResNet18 => 64,
+            ClassModel::YoloV2 => 32,
+            ClassModel::SegNet => 32,
+        }
+    }
+
+    /// The layer stack.
+    pub fn spec(&self) -> ModelSpec {
+        match self {
+            ClassModel::AlexNet => ModelSpec::new(
+                "AlexNet",
+                3,
+                vec![
+                    LayerSpec::Conv(ConvSpec {
+                        name: "conv1".into(),
+                        out_channels: 64,
+                        filter: 11,
+                        geom: ConvGeometry { stride: 4, pad: 2, dilation: 1 },
+                        relu: true,
+                    }),
+                    LayerSpec::MaxPool { window: 2 },
+                    LayerSpec::Conv(ConvSpec {
+                        name: "conv2".into(),
+                        out_channels: 192,
+                        filter: 5,
+                        geom: ConvGeometry { stride: 1, pad: 2, dilation: 1 },
+                        relu: true,
+                    }),
+                    LayerSpec::MaxPool { window: 2 },
+                    LayerSpec::Conv(ConvSpec::same3("conv3", 384, true)),
+                    LayerSpec::Conv(ConvSpec::same3("conv4", 256, true)),
+                    LayerSpec::Conv(ConvSpec::same3("conv5", 256, true)),
+                ],
+            ),
+            ClassModel::Vgg16 => ModelSpec::new("VGG16", 3, vgg16_backbone()),
+            ClassModel::ResNet18 => {
+                let mut layers = vec![
+                    LayerSpec::Conv(ConvSpec {
+                        name: "stem".into(),
+                        out_channels: 64,
+                        filter: 7,
+                        geom: ConvGeometry { stride: 2, pad: 3, dilation: 1 },
+                        relu: true,
+                    }),
+                    LayerSpec::MaxPool { window: 2 },
+                ];
+                let stages: [(usize, usize); 4] = [(64, 4), (128, 4), (256, 4), (512, 4)];
+                for (si, &(ch, convs)) in stages.iter().enumerate() {
+                    for ci in 0..convs {
+                        let downsample = si > 0 && ci == 0;
+                        layers.push(LayerSpec::Conv(ConvSpec {
+                            name: format!("res{}_{}", si + 2, ci + 1),
+                            out_channels: ch,
+                            filter: 3,
+                            geom: if downsample {
+                                ConvGeometry { stride: 2, pad: 1, dilation: 1 }
+                            } else {
+                                ConvGeometry::same(3, 3)
+                            },
+                            relu: true,
+                        }));
+                    }
+                }
+                ModelSpec::new("ResNet18", 3, layers)
+            }
+            ClassModel::FcnSeg => {
+                let mut layers = vgg16_backbone();
+                layers.push(LayerSpec::Conv(ConvSpec {
+                    name: "score".into(),
+                    out_channels: 21,
+                    filter: 1,
+                    geom: ConvGeometry::unit(),
+                    relu: false,
+                }));
+                ModelSpec::new("FCN_Seg", 3, layers)
+            }
+            ClassModel::YoloV2 => {
+                let mut layers = Vec::new();
+                let block = |layers: &mut Vec<LayerSpec>, name: &str, ch: usize, f: usize| {
+                    layers.push(LayerSpec::Conv(ConvSpec {
+                        name: name.into(),
+                        out_channels: ch,
+                        filter: f,
+                        geom: if f == 1 {
+                            ConvGeometry::unit()
+                        } else {
+                            ConvGeometry::same(3, 3)
+                        },
+                        relu: true,
+                    }));
+                };
+                block(&mut layers, "conv1", 32, 3);
+                layers.push(LayerSpec::MaxPool { window: 2 });
+                block(&mut layers, "conv2", 64, 3);
+                layers.push(LayerSpec::MaxPool { window: 2 });
+                block(&mut layers, "conv3", 128, 3);
+                block(&mut layers, "conv4", 64, 1);
+                block(&mut layers, "conv5", 128, 3);
+                layers.push(LayerSpec::MaxPool { window: 2 });
+                block(&mut layers, "conv6", 256, 3);
+                block(&mut layers, "conv7", 128, 1);
+                block(&mut layers, "conv8", 256, 3);
+                layers.push(LayerSpec::MaxPool { window: 2 });
+                block(&mut layers, "conv9", 512, 3);
+                block(&mut layers, "conv10", 256, 1);
+                block(&mut layers, "conv11", 512, 3);
+                block(&mut layers, "conv12", 256, 1);
+                block(&mut layers, "conv13", 512, 3);
+                layers.push(LayerSpec::MaxPool { window: 2 });
+                block(&mut layers, "conv14", 1024, 3);
+                block(&mut layers, "conv15", 512, 1);
+                block(&mut layers, "conv16", 1024, 3);
+                block(&mut layers, "conv17", 512, 1);
+                block(&mut layers, "conv18", 1024, 3);
+                block(&mut layers, "conv19", 1024, 3);
+                block(&mut layers, "conv20", 1024, 3);
+                layers.push(LayerSpec::Conv(ConvSpec {
+                    name: "detect".into(),
+                    out_channels: 425,
+                    filter: 1,
+                    geom: ConvGeometry::unit(),
+                    relu: false,
+                }));
+                ModelSpec::new("YOLO_V2", 3, layers)
+            }
+            ClassModel::SegNet => {
+                let mut layers = Vec::new();
+                // Encoder (VGG-13 style).
+                let enc: [(usize, usize); 4] = [(64, 2), (128, 2), (256, 2), (512, 2)];
+                for (si, &(ch, convs)) in enc.iter().enumerate() {
+                    for ci in 0..convs {
+                        layers.push(LayerSpec::Conv(ConvSpec::same3(
+                            format!("enc{}_{}", si + 1, ci + 1),
+                            ch,
+                            true,
+                        )));
+                    }
+                    layers.push(LayerSpec::MaxPool { window: 2 });
+                }
+                // Decoder (mirrored with upsampling).
+                let dec: [(usize, usize); 4] = [(512, 2), (256, 2), (128, 2), (64, 2)];
+                for (si, &(ch, convs)) in dec.iter().enumerate() {
+                    layers.push(LayerSpec::Upsample2x);
+                    for ci in 0..convs {
+                        let next_stage_ch = if si + 1 < dec.len() { dec[si + 1].0 } else { ch };
+                        let out = if ci == convs - 1 { next_stage_ch } else { ch };
+                        layers.push(LayerSpec::Conv(ConvSpec::same3(
+                            format!("dec{}_{}", si + 1, ci + 1),
+                            out,
+                            true,
+                        )));
+                    }
+                }
+                layers.push(LayerSpec::Conv(ConvSpec {
+                    name: "classes".into(),
+                    out_channels: 12,
+                    filter: 3,
+                    geom: ConvGeometry::same(3, 3),
+                    relu: false,
+                }));
+                ModelSpec::new("SegNet", 3, layers)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ClassModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn vgg16_backbone() -> Vec<LayerSpec> {
+    let stages: [(usize, usize); 5] = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
+    let mut layers = Vec::new();
+    for (si, &(ch, convs)) in stages.iter().enumerate() {
+        for ci in 0..convs {
+            layers.push(LayerSpec::Conv(ConvSpec::same3(
+                format!("conv{}_{}", si + 1, ci + 1),
+                ch,
+                true,
+            )));
+        }
+        layers.push(LayerSpec::MaxPool { window: 2 });
+    }
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_counts_match_architectures() {
+        assert_eq!(ClassModel::AlexNet.spec().conv_layers(), 5);
+        assert_eq!(ClassModel::Vgg16.spec().conv_layers(), 13);
+        assert_eq!(ClassModel::ResNet18.spec().conv_layers(), 17);
+        assert_eq!(ClassModel::FcnSeg.spec().conv_layers(), 14);
+        assert_eq!(ClassModel::YoloV2.spec().conv_layers(), 21);
+        assert_eq!(ClassModel::SegNet.spec().conv_layers(), 17);
+    }
+
+    #[test]
+    fn native_resolutions_flow_through_the_stack() {
+        for m in ClassModel::ALL {
+            let (h, w) = m.native_resolution();
+            let shapes = m.spec().shapes(h, w);
+            let last = shapes.last().unwrap();
+            assert!(!last.is_empty(), "{m} collapses at native res");
+        }
+    }
+
+    #[test]
+    fn min_resolutions_are_valid() {
+        for m in ClassModel::ALL {
+            let r = m.min_resolution();
+            let shapes = m.spec().shapes(r, r);
+            assert!(!shapes.last().unwrap().is_empty(), "{m} collapses at min res {r}");
+        }
+    }
+
+    #[test]
+    fn segnet_restores_input_resolution() {
+        let shapes = ClassModel::SegNet.spec().shapes(64, 96);
+        let last = shapes.last().unwrap();
+        assert_eq!((last.h, last.w), (64, 96));
+        assert_eq!(last.c, 12);
+    }
+
+    #[test]
+    fn vgg16_total_macs_at_native_res_are_plausible() {
+        // VGG16 conv MACs at 224x224 are famously ~15.3 GMACs.
+        let macs = ClassModel::Vgg16.spec().total_macs(224, 224);
+        assert!(
+            (14.0e9..17.0e9).contains(&(macs as f64)),
+            "VGG16 macs {macs}"
+        );
+    }
+
+    #[test]
+    fn alexnet_first_layer_is_strided_11x11() {
+        let spec = ClassModel::AlexNet.spec();
+        let c = spec.layers[0].as_conv().unwrap();
+        assert_eq!(c.filter, 11);
+        assert_eq!(c.geom.stride, 4);
+        let shapes = spec.shapes(224, 224);
+        assert_eq!((shapes[1].h, shapes[1].w), (55, 55));
+    }
+}

@@ -1,0 +1,5 @@
+//! The model zoo: CI-DNNs (Table I) and classification/detection models
+//! (Fig. 19).
+
+pub mod ci;
+pub mod classify;

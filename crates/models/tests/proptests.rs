@@ -1,0 +1,109 @@
+//! Property tests on the inference engine and weight generation.
+
+use diffy_models::{run_network, ConvSpec, LayerSpec, ModelSpec, NetworkWeights, WeightGen};
+use diffy_tensor::{Quantizer, Tensor3};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = ModelSpec> {
+    (1usize..=3, 1usize..=4, 1usize..=8).prop_map(|(depth, in_c, hidden)| {
+        let mut layers = Vec::new();
+        for i in 0..depth {
+            let last = i == depth - 1;
+            layers.push(LayerSpec::Conv(ConvSpec::same3(
+                format!("c{i}"),
+                if last { 2 } else { hidden },
+                !last,
+            )));
+        }
+        ModelSpec::new("prop", in_c, layers)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn inference_is_total_and_shape_correct(
+        spec in arb_spec(),
+        seed in 0u64..1000,
+        h in 4usize..10,
+        w in 4usize..10,
+    ) {
+        let weights = NetworkWeights::generate(&spec, WeightGen::new(seed), Quantizer::default());
+        let input = Tensor3::<i16>::filled(spec.input_channels, h, w, 77);
+        let trace = run_network(&spec, &weights, &input);
+        prop_assert_eq!(trace.layers.len(), spec.conv_layers());
+        let shapes = spec.shapes(h, w);
+        for (i, l) in trace.layers.iter().enumerate() {
+            prop_assert_eq!(l.imap.shape(), shapes[i]);
+        }
+        prop_assert_eq!(trace.output.shape(), *shapes.last().unwrap());
+    }
+
+    #[test]
+    fn relu_imaps_are_nonnegative(spec in arb_spec(), seed in 0u64..1000) {
+        let weights = NetworkWeights::generate(&spec, WeightGen::new(seed), Quantizer::default());
+        let input = Tensor3::<i16>::filled(spec.input_channels, 6, 6, 100);
+        let trace = run_network(&spec, &weights, &input);
+        for l in trace.layers.iter().skip(1) {
+            prop_assert!(l.imap.iter().all(|&v| v >= 0), "{}", l.name);
+        }
+    }
+
+    #[test]
+    fn weight_sparsity_is_monotone_in_the_knob(
+        spec in arb_spec(),
+        seed in 0u64..100,
+        s1 in 0.0f64..0.5,
+        extra in 0.1f64..0.4,
+    ) {
+        let s2 = (s1 + extra).min(1.0);
+        let q = Quantizer::default();
+        let w1 = NetworkWeights::generate(&spec, WeightGen::new(seed).with_weight_sparsity(s1), q);
+        let w2 = NetworkWeights::generate(&spec, WeightGen::new(seed).with_weight_sparsity(s2), q);
+        for (a, b) in w1.iter().zip(w2.iter()) {
+            prop_assert!(b.sparsity() >= a.sparsity() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn kernel_smoothing_preserves_shapes_and_energy_scale(
+        spec in arb_spec(),
+        seed in 0u64..100,
+    ) {
+        let q = Quantizer::default();
+        let rough = NetworkWeights::generate(&spec, WeightGen::new(seed), q);
+        let smooth = NetworkWeights::generate(
+            &spec,
+            WeightGen::new(seed).with_kernel_smoothness(0.7),
+            q,
+        );
+        let wq = Quantizer::new(diffy_models::weights::WEIGHT_FRAC_BITS);
+        for (a, b) in rough.iter().zip(smooth.iter()) {
+            prop_assert_eq!(a.fmaps.shape(), b.fmaps.shape());
+            // The blend rescales each smoothed kernel to the He target
+            // energy std^2 * taps (exact before quantization).
+            let shape = b.fmaps.shape();
+            let taps = shape.h * shape.w;
+            let fan_in = (shape.c * taps) as f64;
+            let target = (2.0 / fan_in) * taps as f64;
+            let vol = shape.c * taps;
+            for k in 0..shape.k {
+                let kernel = &b.fmaps.as_slice()[k * vol..(k + 1) * vol];
+                for kern in kernel.chunks(taps) {
+                    let energy: f64 = kern
+                        .iter()
+                        .map(|&w| {
+                            let f = wq.dequantize(w) as f64;
+                            f * f
+                        })
+                        .sum();
+                    prop_assert!(
+                        (0.5..1.6).contains(&(energy / target)),
+                        "kernel energy {energy} vs target {target}"
+                    );
+                }
+            }
+        }
+    }
+}

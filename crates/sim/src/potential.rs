@@ -1,0 +1,164 @@
+//! Work-reduction potential (Fig. 4): the idealized speedups of
+//! processing only effectual terms, with no synchronization or
+//! underutilization losses.
+//!
+//! Three computation approaches are compared over the convolution's
+//! activation-fetch stream:
+//!
+//! * **ALL** — the value-agnostic baseline processes all 16 terms of
+//!   every activation.
+//! * **RawE** — only the effectual terms of the raw activations.
+//! * **ΔE** — only the effectual terms of the deltas (leftmost window of
+//!   each row raw, as in Diffy's dataflow).
+
+use crate::term_serial::PaddedTerms;
+use diffy_models::{LayerTrace, NetworkTrace};
+use diffy_tensor::ACT_BITS;
+
+/// Term totals over a convolution stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Potential {
+    /// Terms the value-agnostic approach processes (16 per fetch).
+    pub all_terms: u64,
+    /// Effectual terms of the raw activations.
+    pub raw_terms: u64,
+    /// Effectual terms of the deltas (row-anchored).
+    pub delta_terms: u64,
+}
+
+impl Potential {
+    /// Merges another accumulation.
+    pub fn merge(&mut self, other: &Potential) {
+        self.all_terms += other.all_terms;
+        self.raw_terms += other.raw_terms;
+        self.delta_terms += other.delta_terms;
+    }
+
+    /// Idealized speedup of RawE over ALL.
+    pub fn raw_speedup(&self) -> f64 {
+        ratio(self.all_terms, self.raw_terms)
+    }
+
+    /// Idealized speedup of ΔE over ALL.
+    pub fn delta_speedup(&self) -> f64 {
+        ratio(self.all_terms, self.delta_terms)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        f64::INFINITY
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Accumulates the potential of one layer's convolution stream.
+pub fn layer_potential(trace: &LayerTrace) -> Potential {
+    let ishape = trace.imap.shape();
+    let fshape = trace.fmaps.shape();
+    let out = trace.out_shape();
+    let s = trace.geom.stride;
+    let d = trace.geom.dilation;
+    let terms = PaddedTerms::build(&trace.imap, trace.geom.pad, s);
+
+    let mut p = Potential::default();
+    for oy in 0..out.h {
+        for ox in 0..out.w {
+            let use_delta = ox != 0;
+            for j in 0..fshape.h {
+                let py = oy * s + j * d;
+                for i in 0..fshape.w {
+                    let px = ox * s + i * d;
+                    for c in 0..ishape.c {
+                        p.all_terms += ACT_BITS as u64;
+                        p.raw_terms += terms.raw_at(c, py, px) as u64;
+                        p.delta_terms += if use_delta {
+                            terms.delta_at(c, py, px) as u64
+                        } else {
+                            terms.raw_at(c, py, px) as u64
+                        };
+                    }
+                }
+            }
+        }
+    }
+    p
+}
+
+/// Accumulates the potential over a whole network trace.
+pub fn network_potential(trace: &NetworkTrace) -> Potential {
+    let mut p = Potential::default();
+    for l in &trace.layers {
+        p.merge(&layer_potential(l));
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffy_tensor::{ConvGeometry, Tensor3, Tensor4};
+
+    fn mk_trace(imap: Tensor3<i16>, f: usize) -> LayerTrace {
+        let c = imap.shape().c;
+        LayerTrace {
+            name: "t".into(),
+            index: 0,
+            imap,
+            fmaps: Tensor4::<i16>::filled(4, c, f, f, 1),
+            geom: ConvGeometry::same(f, f),
+            relu: true,
+            requant_shift: 12,
+            requant_bias: 0,
+            next_stride: 1,
+        }
+    }
+
+    #[test]
+    fn all_terms_count_sixteen_per_fetch() {
+        let t = mk_trace(Tensor3::<i16>::filled(2, 3, 4, 1), 1);
+        let p = layer_potential(&t);
+        // 12 windows x 1 filter pos x 2 channels x 16 bits.
+        assert_eq!(p.all_terms, 12 * 2 * 16);
+    }
+
+    #[test]
+    fn constant_image_has_huge_delta_potential() {
+        let t = mk_trace(Tensor3::<i16>::filled(4, 4, 32, 85), 3);
+        let p = layer_potential(&t);
+        assert!(p.delta_speedup() > p.raw_speedup() * 2.0);
+    }
+
+    #[test]
+    fn zero_image_is_infinitely_compressible() {
+        let t = mk_trace(Tensor3::<i16>::new(2, 2, 4), 1);
+        let p = layer_potential(&t);
+        assert_eq!(p.raw_terms, 0);
+        assert!(p.raw_speedup().is_infinite());
+    }
+
+    #[test]
+    fn speedups_are_at_least_sixteen_over_max_terms() {
+        // raw_speedup >= 16 / 9 always (NAF of 16-bit needs <= 9 terms).
+        let data: Vec<i16> = (0..4 * 4 * 8).map(|i| (i * 7919) as i16).collect();
+        let t = mk_trace(Tensor3::from_vec(4, 4, 8, data), 3);
+        let p = layer_potential(&t);
+        assert!(p.raw_speedup() >= 16.0 / 9.0);
+        assert!(p.delta_speedup() >= 16.0 / 10.0); // 17-bit deltas, wrapped to 16
+    }
+
+    #[test]
+    fn network_potential_merges_layers() {
+        let l = mk_trace(Tensor3::<i16>::filled(2, 3, 4, 3), 1);
+        let single = layer_potential(&l);
+        let t = NetworkTrace {
+            model: "m".into(),
+            layers: vec![l.clone(), l],
+            output: Tensor3::<i16>::new(1, 1, 1),
+        };
+        let p = network_potential(&t);
+        assert_eq!(p.all_terms, 2 * single.all_terms);
+        assert_eq!(p.raw_terms, 2 * single.raw_terms);
+    }
+}

@@ -1,0 +1,135 @@
+//! Per-layer and per-network cycle accounting structures.
+
+/// Work-partitioning across tiles: filters are split `filters_per_tile`
+/// per tile; when tiles outnumber the filter groups of a layer, surplus
+/// tiles split the output rows spatially instead (how scaled-up
+/// configurations keep shallow-K layers busy — Fig. 18).
+///
+/// Returns `(passes, spatial_split)`: the layer runs `passes` filter
+/// passes, each `spatial_split`× faster than a single tile group.
+pub fn tile_partition(
+    out_channels: usize,
+    out_rows: usize,
+    filters_per_tile: usize,
+    tiles: usize,
+) -> (u64, u64) {
+    let groups = out_channels.div_ceil(filters_per_tile).max(1);
+    let passes = groups.div_ceil(tiles).max(1) as u64;
+    let spatial = if tiles >= groups {
+        (tiles / groups).clamp(1, out_rows.max(1))
+    } else {
+        1
+    } as u64;
+    (passes, spatial)
+}
+
+/// Compute-cycle result for one layer on one architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerCycles {
+    /// Compute cycles (excluding memory stalls, which the experiment
+    /// runner folds in from the memory model).
+    pub cycles: u64,
+    /// Lane slots that performed effectual work.
+    pub useful_slots: u64,
+    /// Total lane slots elapsed (`cycles × lane capacity`).
+    pub total_slots: u64,
+    /// Effectual compute events, for the energy model: MACs for VAA,
+    /// effectual shift-add operations (terms × active filters) for the
+    /// term-serial designs.
+    pub compute_events: u64,
+    /// Number of filter passes the layer needed (`ceil(K / total filter
+    /// lanes)`).
+    pub filter_passes: u64,
+    /// The layer's MAC count, for cross-checking.
+    pub macs: u64,
+}
+
+impl LayerCycles {
+    /// Fraction of lane slots doing useful work (the "useful" bar of
+    /// Fig. 12, before memory stalls are folded in).
+    pub fn utilization(&self) -> f64 {
+        if self.total_slots == 0 {
+            0.0
+        } else {
+            self.useful_slots as f64 / self.total_slots as f64
+        }
+    }
+}
+
+/// Cycle results for a whole network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkCycles {
+    /// Architecture label.
+    pub arch: &'static str,
+    /// Per-layer results, in execution order.
+    pub layers: Vec<LayerCycles>,
+}
+
+impl NetworkCycles {
+    /// Total compute cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.cycles).sum()
+    }
+
+    /// Total MACs (identical across architectures for the same trace).
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Cycle-weighted average utilization.
+    pub fn utilization(&self) -> f64 {
+        let total: u64 = self.layers.iter().map(|l| l.total_slots).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let useful: u64 = self.layers.iter().map(|l| l.useful_slots).sum();
+        useful as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(cycles: u64, useful: u64, total: u64) -> LayerCycles {
+        LayerCycles {
+            cycles,
+            useful_slots: useful,
+            total_slots: total,
+            compute_events: useful,
+            filter_passes: 1,
+            macs: useful,
+        }
+    }
+
+    #[test]
+    fn tile_partition_filter_and_spatial_axes() {
+        use super::tile_partition;
+        // K=128, 16/tile, 4 tiles: 8 groups over 4 tiles = 2 passes.
+        assert_eq!(tile_partition(128, 100, 16, 4), (2, 1));
+        // K=64 exactly fills 4 tiles.
+        assert_eq!(tile_partition(64, 100, 16, 4), (1, 1));
+        // K=16 on 4 tiles: surplus 3 tiles -> 4-way row split.
+        assert_eq!(tile_partition(16, 100, 16, 4), (1, 4));
+        // Spatial split cannot exceed the row count.
+        assert_eq!(tile_partition(16, 2, 16, 8), (1, 2));
+        // K=3 last layer: one group, full spatial split.
+        assert_eq!(tile_partition(3, 100, 16, 32), (1, 32));
+    }
+
+    #[test]
+    fn utilization_ratio() {
+        let l = layer(10, 30, 60);
+        assert!((l.utilization() - 0.5).abs() < 1e-12);
+        let z = layer(0, 0, 0);
+        assert_eq!(z.utilization(), 0.0);
+    }
+
+    #[test]
+    fn network_totals() {
+        let n = NetworkCycles { arch: "VAA", layers: vec![layer(10, 5, 10), layer(20, 10, 40)] };
+        assert_eq!(n.total_cycles(), 30);
+        assert_eq!(n.total_macs(), 15);
+        assert!((n.utilization() - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,214 @@
+//! A Dynamic-Stripes-style bit-serial cycle model — the related-work
+//! extension the paper explicitly motivates (§V): "Another accelerator
+//! that could potentially benefit from differential convolution is
+//! Dynamic Stripes whose performance varies with the precision of the
+//! activations. Since deltas are smaller values than the activations,
+//! their precision requirements will be lower as well."
+//!
+//! Dynamic Stripes processes activations bit-serially: a brick step costs
+//! as many cycles as the dynamically detected *precision* of its
+//! activation group — the position of the highest significant bit — not
+//! the number of effectual terms. It is simpler and cheaper than PRA but
+//! slower; running it on deltas quantifies the paper's suggestion.
+
+use crate::config::AcceleratorConfig;
+use crate::report::{tile_partition, LayerCycles, NetworkCycles};
+use crate::term_serial::ValueMode;
+use diffy_models::{LayerTrace, NetworkTrace};
+
+/// Bits needed for a signed value in the Stripes datapath (sign +
+/// magnitude of the two's-complement form; zero needs 0 cycles — zero
+/// groups are skipped like zero bricks in PRA).
+#[inline]
+fn stripes_bits(v: i16) -> u32 {
+    if v == 0 {
+        0
+    } else if v > 0 {
+        17 - v.leading_zeros()
+    } else {
+        17 - v.leading_ones()
+    }
+}
+
+/// Simulates one layer on a Dynamic-Stripes-style accelerator.
+///
+/// The structure mirrors [`crate::term_serial::term_serial_layer`] — same
+/// tiles, windows and synchronization groups — but a group's brick step
+/// costs its maximum *precision* instead of its maximum term count.
+pub fn stripes_layer(trace: &LayerTrace, cfg: &AcceleratorConfig, mode: ValueMode) -> LayerCycles {
+    let ishape = trace.imap.shape();
+    let fshape = trace.fmaps.shape();
+    let out = trace.out_shape();
+    let g = cfg.terms_per_group;
+    let s = trace.geom.stride;
+    let d = trace.geom.dilation;
+    let pad = trace.geom.pad;
+
+    let fetch = |c: usize, py: usize, px: usize| -> i16 {
+        let y = py as isize - pad as isize;
+        let x = px as isize - pad as isize;
+        if y < 0 || x < 0 || y as usize >= ishape.h || x as usize >= ishape.w {
+            0
+        } else {
+            *trace.imap.at(c, y as usize, x as usize)
+        }
+    };
+    let value = |c: usize, py: usize, px: usize, use_delta: bool| -> i16 {
+        let v = fetch(c, py, px);
+        if use_delta {
+            let prev = if px >= s { fetch(c, py, px - s) } else { 0 };
+            v.wrapping_sub(prev)
+        } else {
+            v
+        }
+    };
+
+    let (passes, spatial) = tile_partition(out.c, out.h, cfg.filters_per_tile, cfg.tiles);
+    let mut cycles_per_pass: u64 = 0;
+    let mut useful_bits: u64 = 0;
+
+    for oy in 0..out.h {
+        let mut px0 = 0usize;
+        while px0 < out.w {
+            let pallet_end = (px0 + cfg.windows).min(out.w);
+            let mut pallet_max: u64 = 0;
+            for ox in px0..pallet_end {
+                let use_delta = mode == ValueMode::Differential && ox != 0;
+                let mut col: u64 = 0;
+                for j in 0..fshape.h {
+                    let py = oy * s + j * d;
+                    for i in 0..fshape.w {
+                        let px = ox * s + i * d;
+                        let mut c0 = 0usize;
+                        while c0 < ishape.c {
+                            let c1 = (c0 + g).min(ishape.c);
+                            let mut mx = 0u32;
+                            let mut sum = 0u32;
+                            for c in c0..c1 {
+                                let b = stripes_bits(value(c, py, px, use_delta));
+                                mx = mx.max(b);
+                                sum += b;
+                            }
+                            col += mx as u64;
+                            useful_bits += sum as u64;
+                            c0 = c1;
+                        }
+                    }
+                }
+                pallet_max = pallet_max.max(col);
+            }
+            cycles_per_pass += pallet_max;
+            px0 = pallet_end;
+        }
+    }
+
+    let cycles = (cycles_per_pass * passes).div_ceil(spatial);
+    let lane_capacity = (cfg.lanes * cfg.windows * cfg.filters_per_tile * cfg.tiles) as u64;
+    let macs = (out.c * out.h * out.w) as u64 * (fshape.c * fshape.h * fshape.w) as u64;
+    LayerCycles {
+        cycles,
+        useful_slots: useful_bits * out.c as u64,
+        total_slots: cycles * lane_capacity,
+        compute_events: useful_bits * out.c as u64,
+        filter_passes: passes,
+        macs,
+    }
+}
+
+/// Simulates every layer of a network on the Stripes-style design.
+pub fn stripes_network(
+    trace: &NetworkTrace,
+    cfg: &AcceleratorConfig,
+    mode: ValueMode,
+) -> NetworkCycles {
+    NetworkCycles {
+        arch: match mode {
+            ValueMode::Raw => "DStripes",
+            ValueMode::Differential => "DStripes+delta",
+        },
+        layers: trace.layers.iter().map(|l| stripes_layer(l, cfg, mode)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term_serial::term_serial_layer;
+    use diffy_tensor::{ConvGeometry, Tensor3, Tensor4};
+
+    fn mk_trace(imap: Tensor3<i16>, k: usize, f: usize) -> LayerTrace {
+        let c = imap.shape().c;
+        LayerTrace {
+            name: "t".into(),
+            index: 0,
+            imap,
+            fmaps: Tensor4::<i16>::filled(k, c, f, f, 1),
+            geom: ConvGeometry::same(f, f),
+            relu: true,
+            requant_shift: 12,
+            requant_bias: 0,
+            next_stride: 1,
+        }
+    }
+
+    #[test]
+    fn stripes_bits_matches_definition() {
+        assert_eq!(stripes_bits(0), 0);
+        assert_eq!(stripes_bits(1), 2);
+        assert_eq!(stripes_bits(-1), 1);
+        assert_eq!(stripes_bits(255), 9);
+        assert_eq!(stripes_bits(i16::MAX), 16);
+        assert_eq!(stripes_bits(i16::MIN), 16);
+    }
+
+    #[test]
+    fn stripes_never_beats_pragmatic_on_the_same_values() {
+        // Terms <= bits for every value (NAF nonzero digits <= bit count),
+        // so PRA is at least as fast per group.
+        let data: Vec<i16> = (0..16 * 4 * 16).map(|i| ((i * 37) % 1021) as i16).collect();
+        let t = mk_trace(Tensor3::from_vec(16, 4, 16, data), 16, 3);
+        let cfg = AcceleratorConfig::table4();
+        let stripes = stripes_layer(&t, &cfg, ValueMode::Raw);
+        let pra = term_serial_layer(&t, &cfg, ValueMode::Raw);
+        assert!(pra.cycles <= stripes.cycles);
+    }
+
+    #[test]
+    fn deltas_help_stripes_on_smooth_data() {
+        // The paper's §V claim, quantified: smaller deltas -> lower
+        // dynamic precision -> fewer bit-serial cycles.
+        let data: Vec<i16> = (0..4 * 4 * 64).map(|i| 4000 + (i % 64) as i16).collect();
+        let t = mk_trace(Tensor3::from_vec(4, 4, 64, data), 8, 3);
+        let cfg = AcceleratorConfig::table4();
+        let raw = stripes_layer(&t, &cfg, ValueMode::Raw);
+        let delta = stripes_layer(&t, &cfg, ValueMode::Differential);
+        assert!(
+            (delta.cycles as f64) < raw.cycles as f64 * 0.7,
+            "delta {} vs raw {}",
+            delta.cycles,
+            raw.cycles
+        );
+    }
+
+    #[test]
+    fn zero_imap_is_free() {
+        let t = mk_trace(Tensor3::<i16>::new(16, 4, 8), 16, 1);
+        let r = stripes_layer(&t, &AcceleratorConfig::table4(), ValueMode::Raw);
+        assert_eq!(r.cycles, 0);
+    }
+
+    #[test]
+    fn network_labels() {
+        let t = NetworkTrace {
+            model: "m".into(),
+            layers: vec![mk_trace(Tensor3::<i16>::filled(4, 4, 4, 3), 4, 1)],
+            output: Tensor3::<i16>::new(1, 1, 1),
+        };
+        let cfg = AcceleratorConfig::table4();
+        assert_eq!(stripes_network(&t, &cfg, ValueMode::Raw).arch, "DStripes");
+        assert_eq!(
+            stripes_network(&t, &cfg, ValueMode::Differential).arch,
+            "DStripes+delta"
+        );
+    }
+}

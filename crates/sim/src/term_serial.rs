@@ -1,0 +1,413 @@
+//! The term-serial cycle model shared by PRA and Diffy.
+//!
+//! A tile holds `filters_per_tile` SIP rows × `windows` SIP columns; each
+//! SIP processes `lanes` activation lanes, one effectual Booth term per
+//! lane per cycle. Execution advances in *brick steps* — one `(channel
+//! chunk, j, i)` position of the sliding window — and a step costs the
+//! **maximum** term count across each `terms_per_group` lane group
+//! (cross-lane synchronization, the paper's `T_x`). A *pallet* of
+//! `windows` consecutive windows completes when its slowest column does
+//! (the weight brick is shared across columns).
+//!
+//! [`ValueMode::Differential`] is Diffy: every window except the leftmost
+//! of each output row consumes the term counts of the *wrapped deltas*
+//! between horizontally adjacent (stride-distant) activations; the
+//! leftmost window is processed raw (§III-D). The DR reconstruction adds
+//! and the Delta_out engine are fully overlapped with compute (§III-E:
+//! "there is plenty of time to reconstruct") and add no cycles.
+
+use crate::config::AcceleratorConfig;
+use crate::report::{LayerCycles, NetworkCycles};
+use diffy_encoding::booth_terms;
+use diffy_models::{LayerTrace, NetworkTrace};
+
+/// Which value stream the SIP lanes consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueMode {
+    /// Raw activations — the PRA baseline.
+    Raw,
+    /// Row-anchored deltas — Diffy.
+    Differential,
+}
+
+/// Zero-padded per-element Booth-term counts for one imap, for both the
+/// raw values and their horizontal deltas.
+///
+/// Public within the crate so the potential model (Fig. 4) can reuse it.
+pub(crate) struct PaddedTerms {
+    c: usize,
+    ph: usize,
+    pw: usize,
+    raw: Vec<u8>,
+    delta: Vec<u8>,
+}
+
+impl PaddedTerms {
+    /// Builds term counts for `imap` padded by `pad` on every spatial
+    /// border, with deltas taken at distance `stride` along W.
+    pub(crate) fn build(imap: &diffy_tensor::Tensor3<i16>, pad: usize, stride: usize) -> Self {
+        let s = imap.shape();
+        let (ph, pw) = (s.h + 2 * pad, s.w + 2 * pad);
+        let mut raw = vec![0u8; s.c * ph * pw];
+        let mut delta = vec![0u8; s.c * ph * pw];
+        let at = |c: usize, py: usize, px: usize| -> i16 {
+            let y = py as isize - pad as isize;
+            let x = px as isize - pad as isize;
+            if y < 0 || x < 0 || y as usize >= s.h || x as usize >= s.w {
+                0
+            } else {
+                *imap.at(c, y as usize, x as usize)
+            }
+        };
+        for c in 0..s.c {
+            for py in 0..ph {
+                for px in 0..pw {
+                    let idx = (c * ph + py) * pw + px;
+                    let v = at(c, py, px);
+                    raw[idx] = booth_terms(v) as u8;
+                    let prev = if px >= stride { at(c, py, px - stride) } else { 0 };
+                    delta[idx] = booth_terms(v.wrapping_sub(prev)) as u8;
+                }
+            }
+        }
+        Self { c: s.c, ph, pw, raw, delta }
+    }
+
+    #[inline]
+    pub(crate) fn raw_at(&self, c: usize, py: usize, px: usize) -> u32 {
+        debug_assert!(c < self.c && py < self.ph && px < self.pw);
+        self.raw[(c * self.ph + py) * self.pw + px] as u32
+    }
+
+    #[inline]
+    pub(crate) fn delta_at(&self, c: usize, py: usize, px: usize) -> u32 {
+        debug_assert!(c < self.c && py < self.ph && px < self.pw);
+        self.delta[(c * self.ph + py) * self.pw + px] as u32
+    }
+}
+
+/// Simulates one layer on the term-serial architecture.
+///
+/// Returns compute cycles and slot accounting (memory stalls are folded
+/// in by the experiment runner, which owns the memory model).
+pub fn term_serial_layer(
+    trace: &LayerTrace,
+    cfg: &AcceleratorConfig,
+    mode: ValueMode,
+) -> LayerCycles {
+    let ishape = trace.imap.shape();
+    let fshape = trace.fmaps.shape();
+    let out = trace.out_shape();
+    let g = cfg.terms_per_group;
+    let s = trace.geom.stride;
+    let d = trace.geom.dilation;
+    let terms = PaddedTerms::build(&trace.imap, trace.geom.pad, s);
+
+    let (passes, spatial) =
+        crate::report::tile_partition(out.c, out.h, cfg.filters_per_tile, cfg.tiles);
+    // Sum of active filter rows across passes == K; idle rows in the last
+    // pass are captured by total_slots.
+    let active_filter_sum = out.c as u64;
+
+    let mut cycles_per_pass: u64 = 0;
+    let mut window_terms: u64 = 0;
+
+    // Windows are dispatched 16 (cfg.windows) at a time in row-major
+    // order; the dispatcher packs pallets across row boundaries, so
+    // narrow layers keep the full window-level parallelism.
+    let mut pallet_max: u64 = 0;
+    let mut pallet_fill = 0usize;
+    for oy in 0..out.h {
+        for ox in 0..out.w {
+            let use_delta = mode == ValueMode::Differential && ox != 0;
+            let mut col: u64 = 0;
+            for j in 0..fshape.h {
+                let py = oy * s + j * d;
+                for i in 0..fshape.w {
+                    let px = ox * s + i * d;
+                    let mut c0 = 0usize;
+                    while c0 < ishape.c {
+                        let c1 = (c0 + g).min(ishape.c);
+                        let mut mx = 0u32;
+                        let mut sum = 0u32;
+                        for c in c0..c1 {
+                            let t = if use_delta {
+                                terms.delta_at(c, py, px)
+                            } else {
+                                terms.raw_at(c, py, px)
+                            };
+                            if t > mx {
+                                mx = t;
+                            }
+                            sum += t;
+                        }
+                        col += mx as u64;
+                        window_terms += sum as u64;
+                        c0 = c1;
+                    }
+                }
+            }
+            if col > pallet_max {
+                pallet_max = col;
+            }
+            pallet_fill += 1;
+            if pallet_fill == cfg.windows {
+                cycles_per_pass += pallet_max;
+                pallet_max = 0;
+                pallet_fill = 0;
+            }
+        }
+    }
+    cycles_per_pass += pallet_max;
+
+    let cycles = (cycles_per_pass * passes).div_ceil(spatial);
+    let lane_capacity = (cfg.lanes * cfg.windows * cfg.filters_per_tile * cfg.tiles) as u64;
+    let macs = (out.c * out.h * out.w) as u64 * (fshape.c * fshape.h * fshape.w) as u64;
+    LayerCycles {
+        cycles,
+        useful_slots: window_terms * active_filter_sum,
+        total_slots: cycles * lane_capacity,
+        compute_events: window_terms * active_filter_sum,
+        filter_passes: passes,
+        macs,
+    }
+}
+
+/// The paper's profiled *selective* Diffy variant (§IV-A): apply
+/// differential convolution per layer only where it wins, reverting to
+/// raw (PRA) processing otherwise — the per-SIP DR multiplexer makes
+/// this free in hardware. The paper found the overall gain "negligible
+/// and below 1% at best"; this model lets that ablation be reproduced.
+pub fn selective_network(trace: &NetworkTrace, cfg: &AcceleratorConfig) -> NetworkCycles {
+    NetworkCycles {
+        arch: "Diffy-selective",
+        layers: trace
+            .layers
+            .iter()
+            .map(|l| {
+                let raw = term_serial_layer(l, cfg, ValueMode::Raw);
+                let diff = term_serial_layer(l, cfg, ValueMode::Differential);
+                if raw.cycles < diff.cycles {
+                    raw
+                } else {
+                    diff
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Simulates every layer of a network trace.
+pub fn term_serial_network(
+    trace: &NetworkTrace,
+    cfg: &AcceleratorConfig,
+    mode: ValueMode,
+) -> NetworkCycles {
+    NetworkCycles {
+        arch: match mode {
+            ValueMode::Raw => "PRA",
+            ValueMode::Differential => "Diffy",
+        },
+        layers: trace
+            .layers
+            .iter()
+            .map(|l| term_serial_layer(l, cfg, mode))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffy_tensor::{ConvGeometry, Tensor3, Tensor4};
+
+    fn mk_trace(imap: Tensor3<i16>, k: usize, f: usize, geom: ConvGeometry) -> LayerTrace {
+        let c = imap.shape().c;
+        LayerTrace {
+            name: "t".into(),
+            index: 0,
+            imap,
+            fmaps: Tensor4::<i16>::filled(k, c, f, f, 1),
+            geom,
+            relu: true,
+            requant_shift: 12,
+            requant_bias: 0,
+            next_stride: 1,
+        }
+    }
+
+    fn cfg() -> AcceleratorConfig {
+        AcceleratorConfig::table4()
+    }
+
+    #[test]
+    fn zero_imap_costs_zero_compute_cycles() {
+        let t = mk_trace(Tensor3::<i16>::new(16, 8, 8), 16, 3, ConvGeometry::same(3, 3));
+        let r = term_serial_layer(&t, &cfg(), ValueMode::Raw);
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.useful_slots, 0);
+    }
+
+    #[test]
+    fn constant_imap_is_free_for_diffy_after_first_window() {
+        // All-7 imap: raw terms 3 per value (7 = 8 - 1 -> 2 terms actually),
+        // deltas all zero except the leftmost window per row.
+        let t = mk_trace(Tensor3::<i16>::filled(16, 6, 33, 7), 16, 1, ConvGeometry::unit());
+        let raw = term_serial_layer(&t, &cfg(), ValueMode::Raw);
+        let diff = term_serial_layer(&t, &cfg(), ValueMode::Differential);
+        assert!(diff.cycles < raw.cycles);
+        // Rows are 33 wide = 3 pallets (16+16+1); only the pallet holding
+        // window 0 has nonzero max per row. terms(7) = 2, so 6 rows x 2
+        // cycles, split 4 ways spatially (K=16 fills one tile group,
+        // the other 3 tiles split rows).
+        assert_eq!(diff.cycles, (6 * 2u64).div_ceil(4));
+    }
+
+    #[test]
+    fn diffy_equals_pra_on_uncorrelated_worst_case() {
+        // A pathological imap alternating 0x5555 / 0 kills correlation:
+        // diffy must not be (much) better, and both are bounded by 16
+        // cycles per brick step worst case.
+        let data: Vec<i16> = (0..16 * 4 * 32)
+            .map(|i| if i % 2 == 0 { 0x5555 } else { 0 })
+            .collect();
+        let t = mk_trace(
+            Tensor3::from_vec(16, 4, 32, data),
+            16,
+            1,
+            ConvGeometry::unit(),
+        );
+        let raw = term_serial_layer(&t, &cfg(), ValueMode::Raw);
+        let diff = term_serial_layer(&t, &cfg(), ValueMode::Differential);
+        // deltas of alternating +v/-v need at least as many terms.
+        assert!(diff.cycles >= raw.cycles);
+    }
+
+    #[test]
+    fn smooth_ramp_strongly_favours_diffy() {
+        let data: Vec<i16> = (0..8 * 64).map(|i| 1000 + (i % 64) as i16 * 3).collect();
+        let t = mk_trace(
+            Tensor3::from_vec(1, 8, 64, data.clone()),
+            16,
+            3,
+            ConvGeometry::same(3, 3),
+        );
+        let raw = term_serial_layer(&t, &cfg(), ValueMode::Raw);
+        let diff = term_serial_layer(&t, &cfg(), ValueMode::Differential);
+        assert!(
+            (diff.cycles as f64) < raw.cycles as f64 * 0.7,
+            "diffy {} vs pra {}",
+            diff.cycles,
+            raw.cycles
+        );
+    }
+
+    #[test]
+    fn t1_serializes_but_improves_relative_speedup() {
+        // A T_x configuration has x lanes per filter, so absolute cycles
+        // grow as x shrinks — but the speedup over an equally-provisioned
+        // VAA improves because cross-lane synchronization disappears
+        // (Fig. 16: 7.1x at T16 becomes 11.9x at T1).
+        let data: Vec<i16> = (0..16 * 4 * 20)
+            .map(|i| ((i * 37) % 97) as i16)
+            .collect();
+        let t = mk_trace(Tensor3::from_vec(16, 4, 20, data), 8, 3, ConvGeometry::same(3, 3));
+        let cfg16 = cfg();
+        let mut cfg1 = cfg();
+        cfg1.lanes = 1;
+        cfg1.terms_per_group = 1;
+        let term16 = term_serial_layer(&t, &cfg16, ValueMode::Raw);
+        let term1 = term_serial_layer(&t, &cfg1, ValueMode::Raw);
+        assert!(term1.cycles >= term16.cycles, "T1 must serialize");
+        let vaa16 = crate::vaa::vaa_layer(&t, &cfg16);
+        let vaa1 = crate::vaa::vaa_layer(&t, &cfg1);
+        let speedup16 = vaa16.cycles as f64 / term16.cycles as f64;
+        let speedup1 = vaa1.cycles as f64 / term1.cycles as f64;
+        assert!(
+            speedup1 > speedup16,
+            "T1 speedup {speedup1} should beat T16 speedup {speedup16}"
+        );
+    }
+
+    #[test]
+    fn t1_reaches_per_window_term_totals() {
+        // With T1 a column's cycles equal its total term count; with one
+        // window per pallet... windows=16, so the pallet max still
+        // applies. Use a single output column to isolate.
+        let data: Vec<i16> = vec![3, 5, 9, 17];
+        let t = mk_trace(Tensor3::from_vec(4, 1, 1, data), 1, 1, ConvGeometry::unit());
+        let r = term_serial_layer(&t, &cfg().with_terms_per_group(1), ValueMode::Raw);
+        // terms: 3->2, 5->2, 9->2, 17->2 = 8 total.
+        assert_eq!(r.cycles, 8);
+        let r16 = term_serial_layer(&t, &cfg(), ValueMode::Raw);
+        assert_eq!(r16.cycles, 2); // max over the 4 lanes in one group
+    }
+
+    #[test]
+    fn filter_passes_multiply_cycles() {
+        let data: Vec<i16> = (0..4 * 2 * 8).map(|i| (i % 13) as i16).collect();
+        let base = mk_trace(
+            Tensor3::from_vec(4, 2, 8, data.clone()),
+            64,
+            1,
+            ConvGeometry::unit(),
+        );
+        let double = mk_trace(Tensor3::from_vec(4, 2, 8, data), 128, 1, ConvGeometry::unit());
+        let a = term_serial_layer(&base, &cfg(), ValueMode::Raw);
+        let b = term_serial_layer(&double, &cfg(), ValueMode::Raw);
+        assert_eq!(a.filter_passes, 1);
+        assert_eq!(b.filter_passes, 2);
+        assert_eq!(b.cycles, 2 * a.cycles);
+    }
+
+    #[test]
+    fn utilization_is_in_unit_interval_and_sane() {
+        let data: Vec<i16> = (0..16 * 4 * 16).map(|i| (i % 251) as i16).collect();
+        let t = mk_trace(Tensor3::from_vec(16, 4, 16, data), 64, 3, ConvGeometry::same(3, 3));
+        let r = term_serial_layer(&t, &cfg(), ValueMode::Raw);
+        let u = r.utilization();
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+    }
+
+    #[test]
+    fn three_channel_first_layer_has_low_utilization() {
+        // The paper: "the first layer ... 13 out of the 16 available
+        // activation lanes are typically idle".
+        let data: Vec<i16> = (0..3 * 4 * 16).map(|i| (i % 251) as i16 + 1).collect();
+        let t = mk_trace(Tensor3::from_vec(3, 4, 16, data), 64, 3, ConvGeometry::same(3, 3));
+        let r = term_serial_layer(&t, &cfg(), ValueMode::Raw);
+        assert!(r.utilization() < 0.25, "got {}", r.utilization());
+    }
+
+    #[test]
+    fn selective_never_loses_to_either_pure_mode() {
+        let data: Vec<i16> = (0..8 * 4 * 20).map(|i| ((i * 91) % 509) as i16).collect();
+        let t = mk_trace(Tensor3::from_vec(8, 4, 20, data), 8, 3, ConvGeometry::same(3, 3));
+        let net = diffy_models::NetworkTrace {
+            model: "m".into(),
+            layers: vec![t],
+            output: Tensor3::<i16>::new(1, 1, 1),
+        };
+        let c = cfg();
+        let sel = crate::term_serial::selective_network(&net, &c).total_cycles();
+        let raw = term_serial_network(&net, &c, ValueMode::Raw).total_cycles();
+        let diff = term_serial_network(&net, &c, ValueMode::Differential).total_cycles();
+        assert!(sel <= raw && sel <= diff);
+        assert_eq!(sel, raw.min(diff));
+    }
+
+    #[test]
+    fn strided_layers_use_stride_distant_deltas() {
+        // Stride-2 constant imap: deltas at distance 2 are zero, so Diffy
+        // still wins.
+        let t = mk_trace(
+            Tensor3::<i16>::filled(4, 4, 40, 21),
+            8,
+            3,
+            ConvGeometry::strided(2, 1),
+        );
+        let raw = term_serial_layer(&t, &cfg(), ValueMode::Raw);
+        let diff = term_serial_layer(&t, &cfg(), ValueMode::Differential);
+        assert!(diff.cycles < raw.cycles / 2);
+    }
+}

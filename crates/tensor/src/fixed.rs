@@ -1,0 +1,224 @@
+//! 16-bit fixed-point representation of activations and weights.
+//!
+//! The Diffy paper's baseline stores all activations and weights as 16-bit
+//! values (§II, Fig. 5 "NoCompression: all imap values are stored using
+//! 16b"). We mirror that: [`Act`] is the storage type for both, and a
+//! [`Quantizer`] carries the binary point used when converting real-valued
+//! pixel data into the fixed-point domain.
+
+/// Storage type for a single activation or weight: 16-bit two's complement.
+pub type Act = i16;
+
+/// Number of bits in the baseline activation representation.
+pub const ACT_BITS: u32 = 16;
+
+/// Saturate a wide accumulator down to the 16-bit activation range.
+///
+/// # Example
+///
+/// ```
+/// use diffy_tensor::sat16;
+/// assert_eq!(sat16(40_000), i16::MAX);
+/// assert_eq!(sat16(-40_000), i16::MIN);
+/// assert_eq!(sat16(123), 123);
+/// ```
+#[inline]
+pub fn sat16(v: i64) -> i16 {
+    if v > i16::MAX as i64 {
+        i16::MAX
+    } else if v < i16::MIN as i64 {
+        i16::MIN
+    } else {
+        v as i16
+    }
+}
+
+/// A fixed-point quantizer: maps `f32` values to [`Act`] with `frac_bits`
+/// bits to the right of the binary point (so the representable step is
+/// `2^-frac_bits`).
+///
+/// Values outside the representable range saturate rather than wrap — the
+/// same behaviour a hardware datapath with saturating output registers
+/// exhibits.
+///
+/// # Example
+///
+/// ```
+/// use diffy_tensor::Quantizer;
+/// let q = Quantizer::new(8);
+/// let v = q.quantize(1.5);
+/// assert_eq!(v, 384); // 1.5 * 2^8
+/// assert!((q.dequantize(v) - 1.5).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Quantizer {
+    frac_bits: u32,
+}
+
+impl Quantizer {
+    /// Creates a quantizer with the given number of fractional bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac_bits >= ACT_BITS` (no room would remain for the sign
+    /// and integer part).
+    pub fn new(frac_bits: u32) -> Self {
+        assert!(
+            frac_bits < ACT_BITS,
+            "frac_bits ({frac_bits}) must be < {ACT_BITS}"
+        );
+        Self { frac_bits }
+    }
+
+    /// Number of fractional bits.
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// The scale factor `2^frac_bits`.
+    pub fn scale(&self) -> f32 {
+        (1u32 << self.frac_bits) as f32
+    }
+
+    /// Quantizes a real value, rounding to nearest and saturating.
+    pub fn quantize(&self, x: f32) -> Act {
+        let scaled = (x * self.scale()).round();
+        if scaled >= i16::MAX as f32 {
+            i16::MAX
+        } else if scaled <= i16::MIN as f32 {
+            i16::MIN
+        } else {
+            scaled as i16
+        }
+    }
+
+    /// Maps a fixed-point value back to the reals.
+    pub fn dequantize(&self, v: Act) -> f32 {
+        v as f32 / self.scale()
+    }
+}
+
+impl Default for Quantizer {
+    /// Eight fractional bits: the convention used throughout the
+    /// reproduction for image data normalized to `[0, 1]` (pixel intensities
+    /// then occupy ~8 of the 16 bits, leaving headroom for intermediate
+    /// feature magnitudes, consistent with the 7–13 bit profiled precisions
+    /// of the paper's Table III).
+    fn default() -> Self {
+        Self::new(8)
+    }
+}
+
+/// Number of bits needed to represent `v` in two's complement, excluding
+/// leading sign copies but including one sign bit.
+///
+/// This is the per-value precision used by the Dynamic-Stripes style group
+/// precision detection: `0` needs 1 bit, `-1` needs 1 bit, `1` needs 2 bits
+/// (sign + magnitude), `255` needs 9 bits.
+///
+/// # Example
+///
+/// ```
+/// use diffy_tensor::fixed::signed_bits;
+/// assert_eq!(signed_bits(0), 1);
+/// assert_eq!(signed_bits(1), 2);
+/// assert_eq!(signed_bits(-1), 1);
+/// assert_eq!(signed_bits(255), 9);
+/// assert_eq!(signed_bits(-256), 9);
+/// assert_eq!(signed_bits(i16::MIN), 16);
+/// ```
+#[inline]
+pub fn signed_bits(v: i16) -> u32 {
+    if v >= 0 {
+        (16 - v.leading_zeros()) + 1
+    } else {
+        // For negative values, count bits up to the highest 0 bit.
+        (16 - v.leading_ones()) + 1
+    }
+}
+
+/// Number of bits needed to represent `v` as an unsigned magnitude
+/// (post-ReLU activations are non-negative, so no sign bit is required).
+///
+/// # Example
+///
+/// ```
+/// use diffy_tensor::fixed::unsigned_bits;
+/// assert_eq!(unsigned_bits(0), 0);
+/// assert_eq!(unsigned_bits(1), 1);
+/// assert_eq!(unsigned_bits(255), 8);
+/// ```
+#[inline]
+pub fn unsigned_bits(v: u16) -> u32 {
+    16 - v.leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sat16_clamps_both_directions() {
+        assert_eq!(sat16(i64::MAX), i16::MAX);
+        assert_eq!(sat16(i64::MIN), i16::MIN);
+        assert_eq!(sat16(0), 0);
+        assert_eq!(sat16(i16::MAX as i64), i16::MAX);
+        assert_eq!(sat16(i16::MIN as i64), i16::MIN);
+    }
+
+    #[test]
+    fn quantize_roundtrip_is_close() {
+        let q = Quantizer::new(8);
+        for &x in &[0.0f32, 0.5, -0.5, 1.0, -1.0, 0.123, -0.987, 100.0] {
+            let v = q.quantize(x);
+            let back = q.dequantize(v);
+            assert!((back - x).abs() <= 0.5 / q.scale() + 1e-6, "x={x} back={back}");
+        }
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let q = Quantizer::new(8);
+        assert_eq!(q.quantize(1e9), i16::MAX);
+        assert_eq!(q.quantize(-1e9), i16::MIN);
+    }
+
+    #[test]
+    #[should_panic(expected = "frac_bits")]
+    fn quantizer_rejects_too_many_frac_bits() {
+        let _ = Quantizer::new(16);
+    }
+
+    #[test]
+    fn default_quantizer_has_eight_frac_bits() {
+        assert_eq!(Quantizer::default().frac_bits(), 8);
+    }
+
+    #[test]
+    fn signed_bits_matches_manual_definition() {
+        // Oracle: the smallest p such that v fits in p-bit two's complement.
+        fn oracle(v: i16) -> u32 {
+            for p in 1..=16u32 {
+                let lo = -(1i32 << (p - 1));
+                let hi = (1i32 << (p - 1)) - 1;
+                if (v as i32) >= lo && (v as i32) <= hi {
+                    return p;
+                }
+            }
+            16
+        }
+        for v in i16::MIN..=i16::MAX {
+            assert_eq!(signed_bits(v), oracle(v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn unsigned_bits_matches_manual_definition() {
+        for v in 0..=u16::MAX {
+            let expect = (0..=16u32)
+                .find(|&p| (v as u32) < (1u32 << p))
+                .unwrap();
+            assert_eq!(unsigned_bits(v), expect, "v={v}");
+        }
+    }
+}

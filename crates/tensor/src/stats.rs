@@ -1,0 +1,259 @@
+//! Value statistics: magnitude percentiles, moments and histograms.
+//!
+//! These feed two parts of the reproduction: profiled per-layer precisions
+//! (Table III — derived from the magnitude distribution of each layer's
+//! activations) and the entropy measurements of Fig. 1 (which need value
+//! histograms).
+
+/// Running first/second-moment accumulator over `i16` samples.
+///
+/// # Example
+///
+/// ```
+/// use diffy_tensor::stats::Moments;
+/// let mut m = Moments::new();
+/// for v in [1i16, 2, 3] { m.push(v); }
+/// assert_eq!(m.count(), 3);
+/// assert!((m.mean() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Moments {
+    n: u64,
+    sum: f64,
+    sum_sq: f64,
+}
+
+impl Moments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, v: i16) {
+        self.n += 1;
+        self.sum += v as f64;
+        self.sum_sq += (v as f64) * (v as f64);
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &Moments) {
+        self.n += other.n;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 { 0.0 } else { self.sum / self.n as f64 }
+    }
+
+    /// Population variance (0 if empty).
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            let m = self.mean();
+            (self.sum_sq / self.n as f64 - m * m).max(0.0)
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Histogram over the absolute magnitude of `i16` samples, bucketed exactly
+/// (one bucket per magnitude 0..=32768).
+///
+/// Used to answer "what is the smallest precision that covers quantile `q`
+/// of the values?" — the profiled-precision question.
+#[derive(Debug, Clone)]
+pub struct MagnitudeHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl MagnitudeHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self { counts: vec![0; 1 << 15 | 1], total: 0 }
+    }
+
+    /// Adds one sample's magnitude.
+    pub fn push(&mut self, v: i16) {
+        let mag = (v as i32).unsigned_abs() as usize;
+        self.counts[mag] += 1;
+        self.total += 1;
+    }
+
+    /// Adds every sample in a slice.
+    pub fn extend_from_slice(&mut self, vs: &[i16]) {
+        for &v in vs {
+            self.push(v);
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &MagnitudeHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Total number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest magnitude `m` such that at least `q` (0..=1) of the samples
+    /// have `|v| <= m`. Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn magnitude_quantile(&self, q: f64) -> u32 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (q * self.total as f64).ceil() as u64;
+        let mut cum = 0u64;
+        for (mag, &cnt) in self.counts.iter().enumerate() {
+            cum += cnt;
+            if cum >= target {
+                return mag as u32;
+            }
+        }
+        (self.counts.len() - 1) as u32
+    }
+
+    /// Maximum magnitude seen (0 if empty).
+    pub fn max_magnitude(&self) -> u32 {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|m| m as u32)
+            .unwrap_or(0)
+    }
+}
+
+impl Default for MagnitudeHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Cumulative distribution helper: given per-bucket counts, returns the
+/// cumulative fraction at each bucket (the form plotted in the paper's
+/// Fig. 3).
+///
+/// Returns an empty vector when every count is zero.
+pub fn cumulative_fractions(counts: &[u64]) -> Vec<f64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut cum = 0u64;
+    counts
+        .iter()
+        .map(|&c| {
+            cum += c;
+            cum as f64 / total as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_mean_and_variance() {
+        let mut m = Moments::new();
+        for v in [2i16, 4, 4, 4, 5, 5, 7, 9] {
+            m.push(v);
+        }
+        assert_eq!(m.count(), 8);
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        assert!((m.variance() - 4.0).abs() < 1e-12);
+        assert!((m.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_merge_equals_combined() {
+        let mut a = Moments::new();
+        let mut b = Moments::new();
+        let mut all = Moments::new();
+        for v in [1i16, -5, 3] {
+            a.push(v);
+            all.push(v);
+        }
+        for v in [10i16, 0] {
+            b.push(v);
+            all.push(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_moments_are_zero() {
+        let m = Moments::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = MagnitudeHistogram::new();
+        h.extend_from_slice(&[0, 1, -1, 2, -2, 100]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.magnitude_quantile(0.5), 1);
+        assert_eq!(h.magnitude_quantile(1.0), 100);
+        assert_eq!(h.max_magnitude(), 100);
+    }
+
+    #[test]
+    fn histogram_handles_i16_min() {
+        let mut h = MagnitudeHistogram::new();
+        h.push(i16::MIN);
+        assert_eq!(h.max_magnitude(), 32768);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = MagnitudeHistogram::new();
+        assert_eq!(h.magnitude_quantile(0.999), 0);
+        assert_eq!(h.max_magnitude(), 0);
+    }
+
+    #[test]
+    fn histogram_merge_matches_union() {
+        let mut a = MagnitudeHistogram::new();
+        let mut b = MagnitudeHistogram::new();
+        a.extend_from_slice(&[1, 2, 3]);
+        b.extend_from_slice(&[4, 5]);
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.max_magnitude(), 5);
+    }
+
+    #[test]
+    fn cumulative_fractions_end_at_one() {
+        let cdf = cumulative_fractions(&[1, 1, 2]);
+        assert_eq!(cdf.len(), 3);
+        assert!((cdf[0] - 0.25).abs() < 1e-12);
+        assert!((cdf[2] - 1.0).abs() < 1e-12);
+        assert!(cumulative_fractions(&[0, 0]).is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the tensor substrate.
+
+use diffy_tensor::fixed::{signed_bits, unsigned_bits};
+use diffy_tensor::ops::{relu, space_to_depth, sparsity};
+use diffy_tensor::{conv2d, sat16, ConvGeometry, Quantizer, Tensor3, Tensor4};
+use proptest::prelude::*;
+
+fn small_tensor3() -> impl Strategy<Value = Tensor3<i16>> {
+    (1usize..=3, 1usize..=6, 1usize..=6).prop_flat_map(|(c, h, w)| {
+        proptest::collection::vec(any::<i16>(), c * h * w)
+            .prop_map(move |data| Tensor3::from_vec(c, h, w, data))
+    })
+}
+
+proptest! {
+    #[test]
+    fn sat16_is_identity_in_range(v in (i16::MIN as i64)..=(i16::MAX as i64)) {
+        prop_assert_eq!(sat16(v) as i64, v);
+    }
+
+    #[test]
+    fn sat16_never_exceeds_range(v in any::<i64>()) {
+        let s = sat16(v) as i64;
+        prop_assert!(s >= i16::MIN as i64 && s <= i16::MAX as i64);
+    }
+
+    #[test]
+    fn quantize_dequantize_error_bounded(frac in 0u32..16, x in -100.0f32..100.0) {
+        let q = Quantizer::new(frac.min(15));
+        let v = q.quantize(x);
+        let back = q.dequantize(v);
+        // Either we saturated (value out of range) or error <= half step.
+        let max_val = i16::MAX as f32 / q.scale();
+        let min_val = i16::MIN as f32 / q.scale();
+        if x < max_val && x > min_val {
+            prop_assert!((back - x).abs() <= 0.5 / q.scale() + 1e-5);
+        }
+    }
+
+    #[test]
+    fn signed_bits_value_fits_in_reported_width(v in any::<i16>()) {
+        let p = signed_bits(v);
+        prop_assert!((1..=16).contains(&p));
+        let lo = -(1i32 << (p - 1));
+        let hi = (1i32 << (p - 1)) - 1;
+        prop_assert!((v as i32) >= lo && (v as i32) <= hi);
+        // Minimality: one bit fewer must not fit (except p == 1).
+        if p > 1 {
+            let lo2 = -(1i32 << (p - 2));
+            let hi2 = (1i32 << (p - 2)) - 1;
+            prop_assert!((v as i32) < lo2 || (v as i32) > hi2);
+        }
+    }
+
+    #[test]
+    fn unsigned_bits_is_minimal(v in any::<u16>()) {
+        let p = unsigned_bits(v);
+        prop_assert!((v as u32) < (1u32 << p));
+        if p > 0 {
+            prop_assert!((v as u32) >= (1u32 << (p - 1)));
+        }
+    }
+
+    #[test]
+    fn relu_output_nonnegative_and_sparsity_not_decreasing(t in small_tensor3()) {
+        let r = relu(&t);
+        prop_assert!(r.iter().all(|&v| v >= 0));
+        prop_assert!(sparsity(&r) >= sparsity(&t));
+    }
+
+    #[test]
+    fn conv_with_delta_filter_is_identity(t in small_tensor3()) {
+        // A 1x1x1-per-channel "delta" filter bank: K = C, filter k picks out
+        // channel k. Convolving must reproduce the input exactly.
+        let c = t.shape().c;
+        let mut f = Tensor4::<i16>::new(c, c, 1, 1);
+        for k in 0..c {
+            *f.at_mut(k, k, 0, 0) = 1;
+        }
+        let o = conv2d(&t, &f, None, ConvGeometry::unit());
+        let back: Vec<i16> = o.iter().map(|&v| v as i16).collect();
+        prop_assert_eq!(back, t.as_slice().to_vec());
+    }
+
+    #[test]
+    fn conv_is_linear_in_the_input(
+        a in small_tensor3(),
+    ) {
+        // conv(a + a) == conv(a) + conv(a) with exact accumulation, using
+        // half-range values to avoid i16 overflow when doubling.
+        let halved = a.map(|v| v / 2);
+        let doubled = halved.map(|v| v * 2);
+        let shape = halved.shape();
+        let f = Tensor4::<i16>::filled(2, shape.c, 1, 1, 3);
+        let o1 = conv2d(&halved, &f, None, ConvGeometry::unit());
+        let o2 = conv2d(&doubled, &f, None, ConvGeometry::unit());
+        for (x, y) in o1.iter().zip(o2.iter()) {
+            prop_assert_eq!(2 * x, *y);
+        }
+    }
+
+    #[test]
+    fn space_to_depth_preserves_multiset(t in (1usize..=2, 1usize..=3, 1usize..=3)
+        .prop_flat_map(|(c, h2, w2)| {
+            proptest::collection::vec(any::<i16>(), c * h2 * 2 * w2 * 2)
+                .prop_map(move |data| Tensor3::from_vec(c, h2 * 2, w2 * 2, data))
+        })) {
+        let s = space_to_depth(&t, 2);
+        let mut a: Vec<i16> = t.iter().copied().collect();
+        let mut b: Vec<i16> = s.iter().copied().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,57 @@
+//! Video denoising with spatio-temporal differential processing — the
+//! §V extension in action: denoise a panning clip frame by frame and
+//! compare Diffy against its temporal and spatio-temporal variants.
+//!
+//! ```text
+//! cargo run --release --example video_denoise
+//! ```
+
+use diffy::core::summary::TextTable;
+use diffy::imaging::scenes::SceneKind;
+use diffy::imaging::video::pan_sequence;
+use diffy::models::{run_network, CiModel, NetworkWeights};
+use diffy::sim::{
+    temporal_network, term_serial_network, vaa_network, AcceleratorConfig, TemporalMode,
+    ValueMode,
+};
+use diffy::tensor::Quantizer;
+
+fn main() {
+    let model = CiModel::DnCnn;
+    let res = 64;
+    let frames = 4;
+    println!("Denoising a {frames}-frame {res}x{res} panning clip with {model}...\n");
+
+    let clip = pan_sequence(SceneKind::Nature, res, res, frames, 2, 0.02, 11);
+    let weights =
+        NetworkWeights::generate(&model.spec(), model.weight_gen(1), Quantizer::default());
+    let traces: Vec<_> = clip
+        .iter()
+        .map(|f| run_network(&model.spec(), &weights, &model.prepare_input(f, 0)))
+        .collect();
+
+    let cfg = AcceleratorConfig::table4();
+    let mut table = TextTable::new(vec!["frame", "Diffy", "Diffy-T", "Diffy-ST"]);
+    for t in 1..frames {
+        let vaa = vaa_network(&traces[t], &cfg).total_cycles() as f64;
+        let spatial =
+            term_serial_network(&traces[t], &cfg, ValueMode::Differential).total_cycles();
+        let temporal =
+            temporal_network(&traces[t - 1], &traces[t], &cfg, TemporalMode::TemporalOnly)
+                .total_cycles();
+        let st =
+            temporal_network(&traces[t - 1], &traces[t], &cfg, TemporalMode::SpatioTemporal)
+                .total_cycles();
+        table.row(vec![
+            t.to_string(),
+            format!("{:.2}x", vaa / spatial as f64),
+            format!("{:.2}x", vaa / temporal as f64),
+            format!("{:.2}x", vaa / st as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("speedups over VAA per frame (frame 0 must run spatially).");
+    println!("Diffy-T/-ST additionally buffer the previous frame's imaps —");
+    println!("the storage-for-work trade-off of CBInfer, which the paper's");
+    println!("related work suggests combining with Diffy.");
+}

@@ -1,0 +1,292 @@
+//! `diffy` — command-line front end to the reproduction.
+//!
+//! ```text
+//! diffy compare  <model> [--res N] [--scheme S] [--memory NODE]
+//! diffy sweep    <model> [--res N]        # tiles x memory FPS grid at HD
+//! diffy stats    <model> [--res N]        # per-layer value statistics
+//! diffy schemes  <model> [--res N]        # storage-scheme footprints
+//! diffy models                            # Table I summary
+//! diffy experiments                       # table/figure -> bench target map
+//! ```
+//!
+//! Everything is seeded and offline; models and datasets are the
+//! synthetic stand-ins described in DESIGN.md.
+
+use diffy::core::accelerator::{EvalOptions, SchemeChoice};
+use diffy::core::experiment::ExperimentId;
+use diffy::core::runner::{ci_trace_bundle, TraceBundle, WorkloadOptions, HD_PIXELS};
+use diffy::core::scaling::{fig18_memory_ladder, fps_at_pixels, FIG18_TILES};
+use diffy::core::summary::{fmt_bytes, TextTable};
+use diffy::encoding::delta::delta_rows_wrapping;
+use diffy::encoding::terms::stats_of_acts;
+use diffy::encoding::StorageScheme;
+use diffy::imaging::datasets::DatasetId;
+use diffy::memsys::{MemoryNode, MemorySystem};
+use diffy::models::CiModel;
+use diffy::sim::{AcceleratorConfig, Architecture};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "compare" => cmd_compare(rest),
+        "sweep" => cmd_sweep(rest),
+        "stats" => cmd_stats(rest),
+        "schemes" => cmd_schemes(rest),
+        "models" => cmd_models(),
+        "report" => cmd_report(rest),
+        "experiments" => cmd_experiments(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: diffy <command> [options]
+
+commands:
+  compare <model>   VAA/PRA/Diffy cycles, HD FPS and traffic
+  sweep <model>     tiles x memory HD frame-rate grid (Fig. 18 style)
+  stats <model>     per-layer term statistics (raw vs delta)
+  schemes <model>   storage-scheme footprints on the model's imaps
+  models            Table I summary of the CI-DNN zoo
+  report            Markdown workload report (--res, --seed apply)
+  experiments       map of paper tables/figures to bench targets
+
+options:
+  --res N           trace resolution (default 64)
+  --scheme S        NoCompression | Profiled | RawD16 | DeltaD16 (default DeltaD16)
+  --memory NODE     e.g. DDR4-3200, HBM2 (default DDR4-3200)
+  --seed N          workload seed (default 1)
+
+models: DnCNN, FFDNet, IRCNN, JointNet, VDSR";
+
+fn parse_flag(rest: &[String], flag: &str) -> Option<String> {
+    rest.iter().position(|a| a == flag).and_then(|i| rest.get(i + 1).cloned())
+}
+
+fn parse_model(rest: &[String]) -> Result<CiModel, String> {
+    let name = rest
+        .iter()
+        .find(|a| !a.starts_with("--") && CiModel::ALL.iter().any(|m| m.name().eq_ignore_ascii_case(a)))
+        .ok_or_else(|| "missing or unknown model (DnCNN/FFDNet/IRCNN/JointNet/VDSR)".to_string())?;
+    Ok(CiModel::ALL
+        .into_iter()
+        .find(|m| m.name().eq_ignore_ascii_case(name))
+        .expect("checked above"))
+}
+
+fn parse_opts(rest: &[String]) -> Result<WorkloadOptions, String> {
+    let resolution = match parse_flag(rest, "--res") {
+        Some(v) => v.parse().map_err(|_| format!("bad --res {v}"))?,
+        None => 64,
+    };
+    let seed = match parse_flag(rest, "--seed") {
+        Some(v) => v.parse().map_err(|_| format!("bad --seed {v}"))?,
+        None => 1,
+    };
+    Ok(WorkloadOptions { resolution, samples_per_dataset: 1, seed })
+}
+
+fn parse_scheme(rest: &[String]) -> Result<SchemeChoice, String> {
+    Ok(match parse_flag(rest, "--scheme").as_deref() {
+        None | Some("DeltaD16") => SchemeChoice::Scheme(StorageScheme::delta_d(16)),
+        Some("NoCompression") => SchemeChoice::Scheme(StorageScheme::NoCompression),
+        Some("Profiled") => SchemeChoice::Profiled { quantile: 0.999 },
+        Some("RawD16") => SchemeChoice::Scheme(StorageScheme::raw_d(16)),
+        Some("Ideal") => SchemeChoice::Ideal,
+        Some(other) => return Err(format!("unknown scheme {other}")),
+    })
+}
+
+fn parse_memory(rest: &[String]) -> Result<MemorySystem, String> {
+    let node = match parse_flag(rest, "--memory").as_deref() {
+        None | Some("DDR4-3200") => MemoryNode::Ddr4_3200,
+        Some("DDR3-1600") => MemoryNode::Ddr3_1600,
+        Some("LPDDR3-1600") => MemoryNode::Lpddr3_1600,
+        Some("LPDDR3E-2133") => MemoryNode::Lpddr3e2133,
+        Some("LPDDR4-3200") => MemoryNode::Lpddr4_3200,
+        Some("LPDDR4X-3733") => MemoryNode::Lpddr4x3733,
+        Some("LPDDR4X-4267") => MemoryNode::Lpddr4x4267,
+        Some("HBM2") => MemoryNode::Hbm2,
+        Some("HBM3") => MemoryNode::Hbm3,
+        Some(other) => return Err(format!("unknown memory node {other}")),
+    };
+    Ok(MemorySystem::single(node))
+}
+
+fn trace(model: CiModel, opts: &WorkloadOptions) -> TraceBundle {
+    ci_trace_bundle(model, DatasetId::Hd33, 0, opts)
+}
+
+fn cmd_compare(rest: &[String]) -> Result<(), String> {
+    let model = parse_model(rest)?;
+    let opts = parse_opts(rest)?;
+    let scheme = parse_scheme(rest)?;
+    let memory = parse_memory(rest)?;
+    println!("{model} at {0}x{0} (HD projections scale by pixels)\n", opts.resolution);
+    let bundle = trace(model, &opts);
+    let mut table = TextTable::new(vec![
+        "architecture",
+        "cycles",
+        "speedup",
+        "HD FPS",
+        "stall %",
+        "traffic",
+    ]);
+    let base = bundle
+        .evaluate(&EvalOptions { arch: Architecture::Vaa, cfg: AcceleratorConfig::table4(), scheme, memory })
+        .total_cycles();
+    for arch in [Architecture::Vaa, Architecture::Pra, Architecture::Diffy] {
+        let r = bundle.evaluate(&EvalOptions {
+            arch,
+            cfg: AcceleratorConfig::table4(),
+            scheme,
+            memory,
+        });
+        table.row(vec![
+            arch.name().to_string(),
+            r.total_cycles().to_string(),
+            format!("{:.2}x", base as f64 / r.total_cycles() as f64),
+            format!("{:.2}", bundle.hd_fps(&r)),
+            format!("{:.1}%", r.stall_fraction() * 100.0),
+            fmt_bytes(r.total_traffic_bytes()),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_sweep(rest: &[String]) -> Result<(), String> {
+    let model = parse_model(rest)?;
+    let opts = parse_opts(rest)?;
+    let scheme = parse_scheme(rest)?;
+    println!("{model}: HD FPS, Diffy + {}\n", scheme.label());
+    let bundle = trace(model, &opts);
+    let ladder = fig18_memory_ladder();
+    let mut header = vec!["tiles".to_string()];
+    header.extend(ladder.iter().map(|m| m.to_string()));
+    let mut table = TextTable::new(header);
+    for &tiles in &FIG18_TILES {
+        let mut row = vec![tiles.to_string()];
+        for &mem in &ladder {
+            let eval = EvalOptions {
+                arch: Architecture::Diffy,
+                cfg: AcceleratorConfig::table4().with_tiles(tiles),
+                scheme,
+                memory: mem,
+            };
+            let fps = fps_at_pixels(&bundle, &eval, HD_PIXELS);
+            row.push(format!("{fps:.1}{}", if fps >= 30.0 { "*" } else { "" }));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+    println!("(* = 30+ FPS)");
+    Ok(())
+}
+
+fn cmd_stats(rest: &[String]) -> Result<(), String> {
+    let model = parse_model(rest)?;
+    let opts = parse_opts(rest)?;
+    println!("{model}: per-layer value statistics\n");
+    let bundle = trace(model, &opts);
+    let mut table = TextTable::new(vec![
+        "layer", "shape", "raw terms", "delta terms", "ratio", "sparsity",
+    ]);
+    for l in &bundle.trace.layers {
+        let raw = stats_of_acts(&l.imap);
+        let delta = stats_of_acts(&delta_rows_wrapping(&l.imap, l.geom.stride));
+        table.row(vec![
+            l.name.clone(),
+            l.imap.shape().to_string(),
+            format!("{:.2}", raw.mean_terms()),
+            format!("{:.2}", delta.mean_terms()),
+            format!("{:.2}x", raw.mean_terms() / delta.mean_terms().max(1e-9)),
+            format!("{:.1}%", raw.sparsity() * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_schemes(rest: &[String]) -> Result<(), String> {
+    let model = parse_model(rest)?;
+    let opts = parse_opts(rest)?;
+    println!("{model}: imap footprint per storage scheme\n");
+    let bundle = trace(model, &opts);
+    let schemes = [
+        StorageScheme::NoCompression,
+        StorageScheme::RleZ,
+        StorageScheme::Rle,
+        StorageScheme::raw_d(16),
+        StorageScheme::delta_d(16),
+    ];
+    let mut table = TextTable::new(vec!["scheme", "total imaps", "vs 16b"]);
+    let mut base = 0u64;
+    let mut totals = vec![0u64; schemes.len()];
+    for l in &bundle.trace.layers {
+        base += l.imap.len() as u64 * 2;
+        for (slot, s) in totals.iter_mut().zip(schemes) {
+            *slot += diffy::memsys::traffic::encoded_bytes(&l.imap, s);
+        }
+    }
+    for (s, &t) in schemes.iter().zip(totals.iter()) {
+        table.row(vec![
+            s.to_string(),
+            fmt_bytes(t),
+            format!("{:.1}%", 100.0 * t as f64 / base as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_report(rest: &[String]) -> Result<(), String> {
+    let workload = parse_opts(rest)?;
+    let opts = diffy::core::reporting::ReportOptions { workload, models: [true; 5] };
+    print!("{}", diffy::core::reporting::render_report(&opts));
+    Ok(())
+}
+
+fn cmd_models() -> Result<(), String> {
+    let mut table = TextTable::new(vec!["model", "conv", "relu", "max fmap/layer", "weights"]);
+    for m in CiModel::ALL {
+        let s = m.spec();
+        table.row(vec![
+            m.name().to_string(),
+            s.conv_layers().to_string(),
+            s.relu_layers().to_string(),
+            fmt_bytes(s.max_total_filter_bytes(64, 64) as u64),
+            fmt_bytes(s.total_weight_bytes(64, 64) as u64),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_experiments() -> Result<(), String> {
+    let mut table = TextTable::new(vec!["paper artefact", "bench target"]);
+    for e in ExperimentId::ALL {
+        table.row(vec![
+            e.paper_artefact().to_string(),
+            format!("cargo bench --bench {}", e.bench_target()),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}

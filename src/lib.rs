@@ -1,0 +1,25 @@
+//! # Diffy — a Déjà vu-Free Differential DNN Accelerator (reproduction)
+//!
+//! Facade crate re-exporting the full Diffy reproduction stack. See the
+//! individual crates for details:
+//!
+//! * [`tensor`] — fixed-point tensors and reference convolution.
+//! * [`imaging`] — synthetic computational-imaging datasets.
+//! * [`models`] — CI-DNN/classification model zoo and inference engine.
+//! * [`encoding`] — Booth terms, deltas, precisions, storage schemes.
+//! * [`memsys`] — on-/off-chip memory models and traffic accounting.
+//! * [`sim`] — VAA / PRA / Diffy / SCNN cycle models.
+//! * [`energy`] — analytical power and area models.
+//! * [`core`] — differential convolution and the experiment runner.
+
+
+#![warn(missing_docs)]
+
+pub use diffy_core as core;
+pub use diffy_encoding as encoding;
+pub use diffy_energy as energy;
+pub use diffy_imaging as imaging;
+pub use diffy_memsys as memsys;
+pub use diffy_models as models;
+pub use diffy_sim as sim;
+pub use diffy_tensor as tensor;

@@ -1,0 +1,124 @@
+//! Compression consistency on real traces: every storage scheme
+//! roundtrips bit-exactly on actual network activations, and the
+//! footprint/traffic/AM accounting agree with each other.
+
+use diffy::core::runner::{ci_trace_bundle, WorkloadOptions};
+use diffy::encoding::bitstream::{BitReader, BitWriter};
+use diffy::encoding::StorageScheme;
+use diffy::imaging::datasets::DatasetId;
+use diffy::memsys::am::{layer_am_bits, network_am_bits};
+use diffy::memsys::traffic::{encoded_bytes, network_traffic, tensor_signedness};
+use diffy::models::CiModel;
+
+fn schemes() -> Vec<StorageScheme> {
+    vec![
+        StorageScheme::NoCompression,
+        StorageScheme::RleZ,
+        StorageScheme::Rle,
+        StorageScheme::raw_d(8),
+        StorageScheme::raw_d(16),
+        StorageScheme::raw_d(256),
+        StorageScheme::delta_d(16),
+        StorageScheme::delta_d(256),
+    ]
+}
+
+#[test]
+fn all_schemes_roundtrip_on_real_activations() {
+    let bundle = ci_trace_bundle(CiModel::Vdsr, DatasetId::Live1, 0, &WorkloadOptions::test_small());
+    for layer in bundle.trace.layers.iter().step_by(4) {
+        let imap = &layer.imap;
+        let sign = tensor_signedness(imap);
+        let s = imap.shape();
+        for scheme in schemes() {
+            for c in (0..s.c).step_by(7) {
+                for y in (0..s.h).step_by(5) {
+                    let row = imap.row(c, y);
+                    let mut w = BitWriter::new();
+                    scheme.encode_row(row, sign, &mut w);
+                    assert_eq!(
+                        w.bit_len(),
+                        scheme.row_bits(row, sign),
+                        "{scheme} footprint mismatch at {} c{c} y{y}",
+                        layer.name
+                    );
+                    let bytes = w.finish();
+                    let mut r = BitReader::new(&bytes);
+                    let back = scheme.decode_row(&mut r, row.len(), sign).expect("decode");
+                    assert_eq!(back, row, "{scheme} lossy at {} c{c} y{y}", layer.name);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn traffic_accounting_matches_per_layer_encoding() {
+    let bundle =
+        ci_trace_bundle(CiModel::Ircnn, DatasetId::Kodak24, 0, &WorkloadOptions::test_small());
+    let scheme = StorageScheme::delta_d(16);
+    let traffic = network_traffic(&bundle.trace, scheme);
+    for (i, (layer, t)) in bundle.trace.layers.iter().zip(traffic.iter()).enumerate() {
+        assert_eq!(t.imap_read_bytes, encoded_bytes(&layer.imap, scheme), "layer {i}");
+        assert_eq!(
+            t.omap_write_bytes,
+            encoded_bytes(bundle.trace.omap(i), scheme),
+            "layer {i}"
+        );
+        assert_eq!(t.weight_bytes, layer.fmaps.len() as u64 * 2, "layer {i}");
+    }
+}
+
+#[test]
+fn am_requirement_is_bounded_by_full_tensor_footprint() {
+    // The AM holds a sliding subset of rows, so it can never need more
+    // than the whole (compressed) imap + omap.
+    let bundle =
+        ci_trace_bundle(CiModel::DnCnn, DatasetId::Cbsd68, 0, &WorkloadOptions::test_small());
+    for scheme in [StorageScheme::NoCompression, StorageScheme::delta_d(16)] {
+        for (i, layer) in bundle.trace.layers.iter().enumerate() {
+            let omap = bundle.trace.omap(i);
+            let am = layer_am_bits(layer, omap, scheme);
+            let full = 8 * (encoded_bytes(&layer.imap, scheme) + encoded_bytes(omap, scheme));
+            assert!(am <= full + 64, "{scheme} layer {i}: am {am} > full {full}");
+        }
+    }
+}
+
+#[test]
+fn compressed_schemes_order_as_in_the_paper() {
+    // On CI-DNN traces: DeltaD16 < RawD16 < NoCompression for total
+    // activation traffic (Fig. 14's ordering).
+    for model in [CiModel::DnCnn, CiModel::Ircnn, CiModel::Vdsr] {
+        let bundle =
+            ci_trace_bundle(model, DatasetId::Hd33, 0, &WorkloadOptions::test_small());
+        let total = |s| {
+            network_traffic(&bundle.trace, s)
+                .iter()
+                .map(|t| t.activation_bytes())
+                .sum::<u64>()
+        };
+        let none = total(StorageScheme::NoCompression);
+        let raw16 = total(StorageScheme::raw_d(16));
+        let delta16 = total(StorageScheme::delta_d(16));
+        assert!(raw16 < none, "{model}");
+        assert!(delta16 < raw16, "{model}: DeltaD16 {delta16} !< RawD16 {raw16}");
+    }
+}
+
+#[test]
+fn network_am_is_max_over_layers() {
+    let bundle =
+        ci_trace_bundle(CiModel::FfdNet, DatasetId::Kodak24, 0, &WorkloadOptions::test_small());
+    let scheme = StorageScheme::raw_d(16);
+    let net = network_am_bits(&bundle.trace, scheme);
+    let max_layer = bundle
+        .trace
+        .layers
+        .iter()
+        .enumerate()
+        .map(|(i, l)| layer_am_bits(l, bundle.trace.omap(i), scheme))
+        .max()
+        .unwrap();
+    assert_eq!(net, max_layer);
+}

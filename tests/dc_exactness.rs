@@ -1,0 +1,69 @@
+//! The central correctness theorem: differential convolution is
+//! bit-exact relative to direct convolution — over arbitrary tensors,
+//! geometries, and on real traced network layers.
+
+use diffy::core::dc::differential_conv2d;
+use diffy::core::runner::{ci_trace_bundle, WorkloadOptions};
+use diffy::imaging::datasets::DatasetId;
+use diffy::models::CiModel;
+use diffy::tensor::{conv2d, conv2d_fast, ConvGeometry, Tensor3, Tensor4};
+use proptest::prelude::*;
+
+fn arb_case() -> impl Strategy<
+    Value = (Tensor3<i16>, Tensor4<i16>, ConvGeometry),
+> {
+    (1usize..=3, 3usize..=8, 3usize..=9, 1usize..=3, 1usize..=2, 1usize..=2, 0usize..=2, 1usize..=2)
+        .prop_flat_map(|(c, h, w, k, f, stride, pad, dilation)| {
+            let geom = ConvGeometry { stride, pad, dilation };
+            let imap = proptest::collection::vec(any::<i16>(), c * h * w)
+                .prop_map(move |d| Tensor3::from_vec(c, h, w, d));
+            let fmaps = proptest::collection::vec(any::<i16>(), k * c * f * f)
+                .prop_map(move |d| Tensor4::from_vec(k, c, f, f, d));
+            (imap, fmaps, Just(geom))
+        })
+        .prop_filter("non-empty output", |(imap, fmaps, geom)| {
+            let fs = fmaps.shape();
+            geom.out_dim(imap.shape().h, fs.h) > 0 && geom.out_dim(imap.shape().w, fs.w) > 0
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn differential_equals_direct((imap, fmaps, geom) in arb_case()) {
+        let direct = conv2d(&imap, &fmaps, None, geom);
+        let diff = differential_conv2d(&imap, &fmaps, None, geom);
+        prop_assert_eq!(direct, diff);
+    }
+
+    #[test]
+    fn fast_equals_reference((imap, fmaps, geom) in arb_case()) {
+        let direct = conv2d(&imap, &fmaps, None, geom);
+        let fast = conv2d_fast(&imap, &fmaps, None, geom);
+        prop_assert_eq!(direct, fast);
+    }
+
+    #[test]
+    fn differential_with_bias((imap, fmaps, geom) in arb_case(), b in any::<i32>()) {
+        let bias = vec![b as i64; fmaps.shape().k];
+        let direct = conv2d(&imap, &fmaps, Some(&bias), geom);
+        let diff = differential_conv2d(&imap, &fmaps, Some(&bias), geom);
+        prop_assert_eq!(direct, diff);
+    }
+}
+
+#[test]
+fn differential_is_exact_on_real_traced_layers() {
+    // Re-execute every layer of a real trace both ways; the accumulator
+    // omaps must agree bit-for-bit (what Diffy's DR engines guarantee).
+    for model in [CiModel::Ircnn, CiModel::FfdNet] {
+        let bundle =
+            ci_trace_bundle(model, DatasetId::Cbsd68, 0, &WorkloadOptions::test_small());
+        for layer in &bundle.trace.layers {
+            let direct = conv2d(&layer.imap, &layer.fmaps, None, layer.geom);
+            let diff = differential_conv2d(&layer.imap, &layer.fmaps, None, layer.geom);
+            assert_eq!(direct, diff, "{model} {}", layer.name);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! End-to-end pipeline tests: dataset → prepared input → fixed-point
+//! inference → cycle models → memory → results, for every Table I model.
+
+use diffy::core::accelerator::{EvalOptions, SchemeChoice};
+use diffy::core::runner::{ci_trace_bundle, WorkloadOptions};
+use diffy::encoding::StorageScheme;
+use diffy::imaging::datasets::DatasetId;
+use diffy::models::CiModel;
+use diffy::sim::Architecture;
+
+fn small_bundle(model: CiModel) -> diffy::core::runner::TraceBundle {
+    ci_trace_bundle(model, DatasetId::Hd33, 0, &WorkloadOptions::test_small())
+}
+
+#[test]
+fn every_ci_model_traces_and_evaluates() {
+    for model in CiModel::ALL {
+        let bundle = small_bundle(model);
+        assert_eq!(bundle.trace.layers.len(), model.spec().conv_layers(), "{model}");
+        let r = bundle.evaluate(&EvalOptions::new(Architecture::Diffy, SchemeChoice::Ideal));
+        assert!(r.total_cycles() > 0, "{model}");
+        assert_eq!(r.layers.len(), bundle.trace.layers.len(), "{model}");
+    }
+}
+
+#[test]
+fn architecture_ordering_holds_on_imaging_workloads() {
+    // The paper's headline ordering: Diffy faster than PRA faster than
+    // VAA, for every CI-DNN, on compute cycles.
+    for model in CiModel::ALL {
+        let bundle = small_bundle(model);
+        let scheme = SchemeChoice::Ideal;
+        let vaa = bundle.evaluate(&EvalOptions::new(Architecture::Vaa, scheme));
+        let pra = bundle.evaluate(&EvalOptions::new(Architecture::Pra, scheme));
+        let diffy = bundle.evaluate(&EvalOptions::new(Architecture::Diffy, scheme));
+        assert!(
+            pra.total_cycles() < vaa.total_cycles(),
+            "{model}: PRA {} !< VAA {}",
+            pra.total_cycles(),
+            vaa.total_cycles()
+        );
+        assert!(
+            diffy.total_cycles() < pra.total_cycles(),
+            "{model}: Diffy {} !< PRA {}",
+            diffy.total_cycles(),
+            pra.total_cycles()
+        );
+    }
+}
+
+#[test]
+fn vaa_is_compute_bound_and_compression_insensitive() {
+    // "Off-chip memory is not a bottleneck for VAA and thus its
+    // performance is unaffected by compression" (§IV-A).
+    let bundle = small_bundle(CiModel::DnCnn);
+    let none = bundle.evaluate(&EvalOptions::new(
+        Architecture::Vaa,
+        SchemeChoice::Scheme(StorageScheme::NoCompression),
+    ));
+    let delta = bundle.evaluate(&EvalOptions::new(
+        Architecture::Vaa,
+        SchemeChoice::Scheme(StorageScheme::delta_d(16)),
+    ));
+    assert_eq!(none.total_cycles(), delta.total_cycles());
+    assert_eq!(none.stall_cycles(), 0);
+}
+
+#[test]
+fn delta_compression_only_helps() {
+    for model in CiModel::ALL {
+        let bundle = small_bundle(model);
+        let none = bundle.evaluate(&EvalOptions::new(
+            Architecture::Diffy,
+            SchemeChoice::Scheme(StorageScheme::NoCompression),
+        ));
+        let delta = bundle.evaluate(&EvalOptions::new(
+            Architecture::Diffy,
+            SchemeChoice::Scheme(StorageScheme::delta_d(16)),
+        ));
+        assert!(delta.total_cycles() <= none.total_cycles(), "{model}");
+        assert!(
+            delta.activation_traffic_bytes() < none.activation_traffic_bytes(),
+            "{model}"
+        );
+    }
+}
+
+#[test]
+fn utilization_fractions_are_valid() {
+    let bundle = small_bundle(CiModel::FfdNet);
+    for arch in [Architecture::Vaa, Architecture::Pra, Architecture::Diffy] {
+        let r = bundle.evaluate(&EvalOptions::new(arch, SchemeChoice::Ideal));
+        for l in &r.layers {
+            let u = l.compute.utilization();
+            assert!((0.0..=1.0).contains(&u), "{arch:?} {}: {u}", l.name);
+            assert!(l.timing.total_cycles >= l.timing.compute_cycles);
+        }
+    }
+}
+
+#[test]
+fn traces_are_deterministic_across_runs() {
+    let a = small_bundle(CiModel::Ircnn);
+    let b = small_bundle(CiModel::Ircnn);
+    assert_eq!(a.trace.output, b.trace.output);
+    for (la, lb) in a.trace.layers.iter().zip(b.trace.layers.iter()) {
+        assert_eq!(la.imap, lb.imap);
+        assert_eq!(la.requant_shift, lb.requant_shift);
+    }
+}
+
+#[test]
+fn macs_agree_across_architectures() {
+    let bundle = small_bundle(CiModel::JointNet);
+    let vaa = bundle.evaluate(&EvalOptions::new(Architecture::Vaa, SchemeChoice::Ideal));
+    let diffy = bundle.evaluate(&EvalOptions::new(Architecture::Diffy, SchemeChoice::Ideal));
+    let macs = |r: &diffy::core::accelerator::NetworkResult| -> u64 {
+        r.layers.iter().map(|l| l.compute.macs).sum()
+    };
+    assert_eq!(macs(&vaa), macs(&diffy));
+    assert_eq!(macs(&vaa), bundle.trace.total_macs());
+}

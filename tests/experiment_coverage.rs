@@ -1,0 +1,66 @@
+//! Reproduction coverage: every table and figure in the experiment
+//! registry has a bench target on disk, and the registry matches the
+//! DESIGN.md experiment index.
+
+use diffy::core::experiment::ExperimentId;
+use std::path::Path;
+
+#[test]
+fn every_experiment_has_a_bench_target_file() {
+    let bench_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/bench/benches");
+    for e in ExperimentId::ALL {
+        let file = bench_dir.join(format!("{}.rs", e.bench_target()));
+        assert!(
+            file.exists(),
+            "{} ({}) missing bench file {}",
+            e.paper_artefact(),
+            e.bench_target(),
+            file.display()
+        );
+    }
+}
+
+#[test]
+fn every_bench_target_is_declared_in_the_manifest() {
+    let manifest = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/bench/Cargo.toml"),
+    )
+    .expect("read bench manifest");
+    for e in ExperimentId::ALL {
+        assert!(
+            manifest.contains(&format!("name = \"{}\"", e.bench_target())),
+            "{} not declared in crates/bench/Cargo.toml",
+            e.bench_target()
+        );
+    }
+}
+
+#[test]
+fn design_doc_indexes_every_experiment() {
+    let design = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("DESIGN.md"),
+    )
+    .expect("read DESIGN.md");
+    for e in ExperimentId::ALL {
+        assert!(
+            design.contains(e.bench_target()),
+            "DESIGN.md experiment index is missing {}",
+            e.bench_target()
+        );
+    }
+}
+
+#[test]
+fn experiments_doc_records_every_artefact() {
+    let doc = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("EXPERIMENTS.md"),
+    )
+    .expect("read EXPERIMENTS.md");
+    for e in ExperimentId::ALL {
+        assert!(
+            doc.contains(e.paper_artefact()),
+            "EXPERIMENTS.md is missing {}",
+            e.paper_artefact()
+        );
+    }
+}

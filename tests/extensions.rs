@@ -1,0 +1,102 @@
+//! Integration tests for the §V extensions: Dynamic Stripes with deltas,
+//! selective per-layer DC, and spatio-temporal processing on video.
+
+use diffy::core::runner::{ci_trace_bundle, WorkloadOptions};
+use diffy::imaging::datasets::DatasetId;
+use diffy::imaging::scenes::SceneKind;
+use diffy::imaging::video::pan_sequence;
+use diffy::models::{run_network, CiModel, NetworkWeights};
+use diffy::sim::{
+    selective_network, stripes_network, temporal_network, term_serial_network, vaa_network,
+    AcceleratorConfig, TemporalMode, ValueMode,
+};
+use diffy::tensor::Quantizer;
+
+#[test]
+fn stripes_benefits_from_deltas_on_real_traces() {
+    // The paper's §V claim on a real CI-DNN trace: delta processing
+    // lowers the dynamic precision a bit-serial design pays for.
+    let bundle =
+        ci_trace_bundle(CiModel::DnCnn, DatasetId::Hd33, 0, &WorkloadOptions::test_small());
+    let cfg = AcceleratorConfig::table4();
+    let raw = stripes_network(&bundle.trace, &cfg, ValueMode::Raw).total_cycles();
+    let delta = stripes_network(&bundle.trace, &cfg, ValueMode::Differential).total_cycles();
+    assert!(delta < raw, "DStripes+delta {delta} !< DStripes {raw}");
+    // And the full ordering: VAA > DStripes > PRA per value content.
+    let vaa = vaa_network(&bundle.trace, &cfg).total_cycles();
+    let pra = term_serial_network(&bundle.trace, &cfg, ValueMode::Raw).total_cycles();
+    assert!(raw < vaa);
+    assert!(pra <= raw);
+}
+
+#[test]
+fn selective_dc_matches_paper_observation() {
+    // §IV-A: selective DC eliminates per-layer slowdowns but the overall
+    // gain over always-on DC is small on imaging workloads.
+    let bundle =
+        ci_trace_bundle(CiModel::Ircnn, DatasetId::Kodak24, 0, &WorkloadOptions::test_small());
+    let cfg = AcceleratorConfig::table4();
+    let always = term_serial_network(&bundle.trace, &cfg, ValueMode::Differential);
+    let selective = selective_network(&bundle.trace, &cfg);
+    assert!(selective.total_cycles() <= always.total_cycles());
+    let gain = 1.0 - selective.total_cycles() as f64 / always.total_cycles() as f64;
+    assert!(gain < 0.05, "selective gain {gain} suspiciously large");
+}
+
+#[test]
+fn temporal_processing_wins_on_static_content_loses_on_scene_cuts() {
+    let model = CiModel::Ircnn;
+    let weights =
+        NetworkWeights::generate(&model.spec(), model.weight_gen(1), Quantizer::default());
+    let cfg = AcceleratorConfig::table4();
+
+    // Nearly-static clip: temporal deltas tiny.
+    let clip = pan_sequence(SceneKind::Nature, 32, 32, 2, 0, 0.005, 5);
+    let t0 = run_network(&model.spec(), &weights, &model.prepare_input(&clip[0], 0));
+    let t1 = run_network(&model.spec(), &weights, &model.prepare_input(&clip[1], 0));
+    let spatial = term_serial_network(&t1, &cfg, ValueMode::Differential).total_cycles();
+    let temporal =
+        temporal_network(&t0, &t1, &cfg, TemporalMode::TemporalOnly).total_cycles();
+    assert!(
+        temporal < spatial,
+        "static clip: temporal {temporal} !< spatial {spatial}"
+    );
+
+    // Scene cut: unrelated frames destroy temporal correlation.
+    let cut_a = pan_sequence(SceneKind::Nature, 32, 32, 1, 0, 0.0, 6).remove(0);
+    let cut_b = pan_sequence(SceneKind::Texture, 32, 32, 1, 0, 0.0, 999).remove(0);
+    let ca = run_network(&model.spec(), &weights, &model.prepare_input(&cut_a, 0));
+    let cb = run_network(&model.spec(), &weights, &model.prepare_input(&cut_b, 1));
+    let spatial_cut = term_serial_network(&cb, &cfg, ValueMode::Differential).total_cycles();
+    let temporal_cut =
+        temporal_network(&ca, &cb, &cfg, TemporalMode::TemporalOnly).total_cycles();
+    assert!(
+        temporal_cut > spatial_cut,
+        "scene cut: temporal {temporal_cut} should lose to spatial {spatial_cut}"
+    );
+}
+
+#[test]
+fn spatiotemporal_is_robust_across_content() {
+    // The combined mode should never be far behind the better of its two
+    // parents on normal video.
+    let model = CiModel::Ircnn;
+    let weights =
+        NetworkWeights::generate(&model.spec(), model.weight_gen(1), Quantizer::default());
+    let cfg = AcceleratorConfig::table4();
+    for (pan, noise) in [(1usize, 0.0f32), (4, 0.03)] {
+        let clip = pan_sequence(SceneKind::City, 32, 32, 2, pan, noise, 7);
+        let t0 = run_network(&model.spec(), &weights, &model.prepare_input(&clip[0], 0));
+        let t1 = run_network(&model.spec(), &weights, &model.prepare_input(&clip[1], 0));
+        let spatial = term_serial_network(&t1, &cfg, ValueMode::Differential).total_cycles();
+        let temporal =
+            temporal_network(&t0, &t1, &cfg, TemporalMode::TemporalOnly).total_cycles();
+        let st =
+            temporal_network(&t0, &t1, &cfg, TemporalMode::SpatioTemporal).total_cycles();
+        let best = spatial.min(temporal);
+        assert!(
+            (st as f64) < best as f64 * 1.3,
+            "pan {pan}: spatio-temporal {st} too far behind best parent {best}"
+        );
+    }
+}

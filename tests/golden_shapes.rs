@@ -1,0 +1,89 @@
+//! Golden regression tests: the headline shapes of the reproduction,
+//! pinned with generous margins so calibration regressions fail loudly
+//! while honest model changes stay green.
+//!
+//! These ranges bracket the values recorded in EXPERIMENTS.md; if a
+//! change moves a number outside its bracket, either the change is a bug
+//! or EXPERIMENTS.md (and these brackets) must be re-baselined
+//! deliberately.
+
+use diffy::core::accelerator::{EvalOptions, SchemeChoice};
+use diffy::core::runner::{ci_trace_bundle, WorkloadOptions};
+use diffy::encoding::StorageScheme;
+use diffy::imaging::datasets::DatasetId;
+use diffy::memsys::traffic::network_traffic;
+use diffy::models::CiModel;
+use diffy::sim::Architecture;
+use diffy::tensor::ops::sparsity;
+
+fn workload() -> WorkloadOptions {
+    WorkloadOptions { resolution: 48, samples_per_dataset: 1, seed: 1 }
+}
+
+#[test]
+fn golden_dncnn_sparsity_near_paper() {
+    // Paper Fig. 3: ~43% raw sparsity. Calibrated; bracket 33-55%.
+    let b = ci_trace_bundle(CiModel::DnCnn, DatasetId::Hd33, 0, &workload());
+    let layers = &b.trace.layers[1..];
+    let s = layers.iter().map(|l| sparsity(&l.imap)).sum::<f64>() / layers.len() as f64;
+    assert!((0.33..0.55).contains(&s), "DnCNN sparsity {s}");
+}
+
+#[test]
+fn golden_vdsr_is_very_sparse() {
+    let b = ci_trace_bundle(CiModel::Vdsr, DatasetId::Hd33, 0, &workload());
+    let layers = &b.trace.layers[1..];
+    let s = layers.iter().map(|l| sparsity(&l.imap)).sum::<f64>() / layers.len() as f64;
+    assert!(s > 0.6, "VDSR sparsity {s} should be high");
+}
+
+#[test]
+fn golden_speedup_brackets() {
+    // DeltaD16, DDR4-3200, IRCNN at 48px: Diffy/VAA in [3.5, 9],
+    // PRA/VAA in [2.5, 6], Diffy/PRA in [1.1, 2.0].
+    let b = ci_trace_bundle(CiModel::Ircnn, DatasetId::Hd33, 0, &workload());
+    let scheme = SchemeChoice::Scheme(StorageScheme::delta_d(16));
+    let vaa = b.evaluate(&EvalOptions::new(Architecture::Vaa, scheme)).total_cycles();
+    let pra = b.evaluate(&EvalOptions::new(Architecture::Pra, scheme)).total_cycles();
+    let diffy = b.evaluate(&EvalOptions::new(Architecture::Diffy, scheme)).total_cycles();
+    let d_v = vaa as f64 / diffy as f64;
+    let p_v = vaa as f64 / pra as f64;
+    let d_p = pra as f64 / diffy as f64;
+    assert!((3.5..9.0).contains(&d_v), "Diffy/VAA {d_v}");
+    assert!((2.5..6.0).contains(&p_v), "PRA/VAA {p_v}");
+    assert!((1.1..2.0).contains(&d_p), "Diffy/PRA {d_p}");
+}
+
+#[test]
+fn golden_delta_compression_brackets() {
+    // Paper Fig. 14: DeltaD16 at 22-30% of uncompressed, and 1.2-1.6x
+    // under RawD16.
+    let b = ci_trace_bundle(CiModel::DnCnn, DatasetId::Hd33, 0, &workload());
+    let total = |s: StorageScheme| -> u64 {
+        network_traffic(&b.trace, s).iter().map(|t| t.activation_bytes()).sum()
+    };
+    let none = total(StorageScheme::NoCompression) as f64;
+    let raw16 = total(StorageScheme::raw_d(16)) as f64;
+    let delta16 = total(StorageScheme::delta_d(16)) as f64;
+    let frac = delta16 / none;
+    let vs_raw = raw16 / delta16;
+    assert!((0.15..0.40).contains(&frac), "DeltaD16 fraction {frac}");
+    assert!((1.15..1.80).contains(&vs_raw), "RawD16/DeltaD16 {vs_raw}");
+}
+
+#[test]
+fn golden_deltad16_is_compute_bound_on_ddr4() {
+    // Paper Fig. 11: with DeltaD16, Diffy runs nearly at its Ideal.
+    let b = ci_trace_bundle(CiModel::DnCnn, DatasetId::Hd33, 0, &workload());
+    let delta = b
+        .evaluate(&EvalOptions::new(
+            Architecture::Diffy,
+            SchemeChoice::Scheme(StorageScheme::delta_d(16)),
+        ))
+        .total_cycles();
+    let ideal = b
+        .evaluate(&EvalOptions::new(Architecture::Diffy, SchemeChoice::Ideal))
+        .total_cycles();
+    let ratio = delta as f64 / ideal as f64;
+    assert!(ratio < 1.1, "DeltaD16 should be within 10% of Ideal: {ratio}");
+}

@@ -1,0 +1,95 @@
+//! Cross-model behaviours: the SCNN comparison trend (Fig. 20), the
+//! classification-model result (Fig. 19), and VDSR's documented
+//! high-sparsity behaviour.
+
+use diffy::core::accelerator::{evaluate_network, EvalOptions, SchemeChoice};
+use diffy::core::runner::{ci_trace_bundle, class_trace_bundle, WorkloadOptions};
+use diffy::imaging::datasets::DatasetId;
+use diffy::models::{run_network, CiModel, ClassModel, NetworkWeights};
+use diffy::sim::Architecture;
+use diffy::tensor::ops::sparsity;
+use diffy::tensor::Quantizer;
+
+#[test]
+fn scnn_gap_shrinks_with_weight_sparsity() {
+    // Fig. 20: Diffy's advantage over SCNN decreases monotonically as
+    // weights get sparser (5.4x dense -> 1.04x at 90%).
+    let model = CiModel::Ircnn;
+    let opts = WorkloadOptions::test_small();
+    let img = DatasetId::Kodak24.sample_scaled(0, opts.resolution, opts.resolution);
+    let input = model.prepare_input(&img, 1);
+    let mut ratios = Vec::new();
+    for sparsity in [0.0, 0.5, 0.9] {
+        let gen = model.weight_gen(1).with_weight_sparsity(sparsity);
+        let weights = NetworkWeights::generate(&model.spec(), gen, Quantizer::default());
+        let trace = run_network(&model.spec(), &weights, &input);
+        let diffy = evaluate_network(
+            &trace,
+            &EvalOptions::new(Architecture::Diffy, SchemeChoice::Ideal),
+        );
+        let scnn = evaluate_network(
+            &trace,
+            &EvalOptions::new(Architecture::Scnn, SchemeChoice::Ideal),
+        );
+        ratios.push(scnn.total_cycles() as f64 / diffy.total_cycles() as f64);
+    }
+    assert!(ratios[0] > 1.0, "Diffy should beat SCNN on dense CI-DNNs: {ratios:?}");
+    assert!(
+        ratios[0] > ratios[1] && ratios[1] > ratios[2],
+        "advantage should shrink with weight sparsity: {ratios:?}"
+    );
+}
+
+#[test]
+fn classification_models_still_benefit() {
+    // Fig. 19: differential convolution does not degrade and modestly
+    // helps classification models.
+    for model in [ClassModel::AlexNet, ClassModel::Vgg16] {
+        let bundle = class_trace_bundle(model, model.min_resolution(), 1);
+        let vaa = bundle.evaluate(&EvalOptions::new(Architecture::Vaa, SchemeChoice::Ideal));
+        let pra = bundle.evaluate(&EvalOptions::new(Architecture::Pra, SchemeChoice::Ideal));
+        let diffy = bundle.evaluate(&EvalOptions::new(Architecture::Diffy, SchemeChoice::Ideal));
+        assert!(diffy.total_cycles() < vaa.total_cycles(), "{model}");
+        assert!(
+            diffy.total_cycles() as f64 <= pra.total_cycles() as f64 * 1.10,
+            "{model}: Diffy should not degrade vs PRA by more than the paper's ~10%"
+        );
+    }
+}
+
+#[test]
+fn vdsr_is_the_sparsest_model() {
+    let opts = WorkloadOptions::test_small();
+    let avg_sparsity = |model: CiModel| {
+        let b = ci_trace_bundle(model, DatasetId::Hd33, 0, &opts);
+        let layers = &b.trace.layers[1..];
+        layers.iter().map(|l| sparsity(&l.imap)).sum::<f64>() / layers.len() as f64
+    };
+    let vdsr = avg_sparsity(CiModel::Vdsr);
+    let dncnn = avg_sparsity(CiModel::DnCnn);
+    assert!(
+        vdsr > dncnn + 0.1,
+        "VDSR ({vdsr:.2}) should be clearly sparser than DnCNN ({dncnn:.2})"
+    );
+}
+
+#[test]
+fn diffy_advantage_concentrates_in_early_layers_for_classification() {
+    // "Most of the benefits appear at the earlier layers of these
+    // networks" (Fig. 19 discussion).
+    let bundle = class_trace_bundle(ClassModel::Vgg16, 64, 1);
+    let pra = bundle.evaluate(&EvalOptions::new(Architecture::Pra, SchemeChoice::Ideal));
+    let diffy = bundle.evaluate(&EvalOptions::new(Architecture::Diffy, SchemeChoice::Ideal));
+    let ratio = |lo: usize, hi: usize| {
+        let p: u64 = pra.layers[lo..hi].iter().map(|l| l.timing.total_cycles).sum();
+        let d: u64 = diffy.layers[lo..hi].iter().map(|l| l.timing.total_cycles).sum();
+        p as f64 / d.max(1) as f64
+    };
+    let n = diffy.layers.len();
+    let early = ratio(0, 3);
+    let late = ratio(n - 3, n);
+    assert!(
+        early > late,
+        "early-layer advantage {early:.2} should exceed late-layer {late:.2}"
+    );
+}

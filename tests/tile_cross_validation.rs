@@ -1,0 +1,64 @@
+//! Cross-validation of the three implementation layers on real traces:
+//! the microarchitectural tile emulator must reproduce the inference
+//! engine's activations bit-for-bit, write exactly the deltas the storage
+//! schemes assume, and count exactly the cycles the analytical model
+//! prices.
+
+use diffy::core::runner::{ci_trace_bundle, WorkloadOptions};
+use diffy::core::tile::{run_tile, TileConfig};
+use diffy::encoding::delta::delta_rows_wrapping;
+use diffy::imaging::datasets::DatasetId;
+use diffy::models::CiModel;
+use diffy::sim::{term_serial_layer, AcceleratorConfig, ValueMode};
+
+#[test]
+fn tile_emulator_reproduces_network_activations_bit_exactly() {
+    // Every layer of a real IRCNN execution (dilated convolutions and
+    // the data-dependent sparsity bias included): the tile's
+    // post-activation omap must equal the next layer's imap.
+    let bundle =
+        ci_trace_bundle(CiModel::Ircnn, DatasetId::Kodak24, 0, &WorkloadOptions::test_small());
+    let cfg = TileConfig::default();
+    for (i, layer) in bundle.trace.layers.iter().enumerate() {
+        let run = run_tile(layer, &cfg);
+        assert_eq!(
+            &run.omap,
+            bundle.trace.omap(i),
+            "layer {} omap mismatch",
+            layer.name
+        );
+    }
+}
+
+#[test]
+fn tile_emulator_deltas_match_the_storage_transform() {
+    let bundle =
+        ci_trace_bundle(CiModel::FfdNet, DatasetId::Cbsd68, 0, &WorkloadOptions::test_small());
+    let cfg = TileConfig::default();
+    for layer in bundle.trace.layers.iter().take(3) {
+        let run = run_tile(layer, &cfg);
+        let expect = delta_rows_wrapping(&run.omap, layer.next_stride);
+        assert_eq!(run.omap_deltas, expect, "layer {}", layer.name);
+    }
+}
+
+#[test]
+fn tile_emulator_cycles_match_the_analytical_model_on_real_layers() {
+    // Post-ReLU imaps are non-negative, so the emulator's exact deltas
+    // and the model's wrapped 16-bit deltas coincide — cycle counts must
+    // be identical for the single-tile configuration.
+    let bundle =
+        ci_trace_bundle(CiModel::DnCnn, DatasetId::Hd33, 0, &WorkloadOptions::test_small());
+    let tile_cfg = TileConfig::default();
+    let mut sim_cfg = AcceleratorConfig::table4();
+    sim_cfg.tiles = 1;
+    for layer in bundle.trace.layers.iter().step_by(5) {
+        let run = run_tile(layer, &tile_cfg);
+        let model = term_serial_layer(layer, &sim_cfg, ValueMode::Differential);
+        assert_eq!(
+            run.compute_cycles, model.cycles,
+            "layer {}: emulator vs model",
+            layer.name
+        );
+    }
+}
