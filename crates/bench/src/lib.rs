@@ -7,14 +7,16 @@
 //! * `DIFFY_BENCH_RES` — square trace resolution (default 96).
 //! * `DIFFY_BENCH_SAMPLES` — samples per dataset (default 2; the original
 //!   corpora are larger — the cap is printed, never silent).
-
+//! * `DIFFY_BENCH_JOBS` — worker threads for trace generation (default:
+//!   available parallelism). Results are bit-identical and in the same
+//!   order at any job count; see `diffy_core::parallel`.
 
 #![warn(missing_docs)]
 
-use diffy_core::runner::{
-    ci_trace_bundle_with_weights, ci_weights, datasets_for, TraceBundle, WorkloadOptions,
-};
+use diffy_core::parallel::{run_jobs, Jobs};
+use diffy_core::runner::{datasets_for, SweepCache, TraceBundle, WorkloadOptions};
 use diffy_models::CiModel;
+use std::sync::Arc;
 
 /// Reads the bench workload options from the environment.
 pub fn bench_options() -> WorkloadOptions {
@@ -29,6 +31,16 @@ pub fn bench_options() -> WorkloadOptions {
     WorkloadOptions { resolution, samples_per_dataset, seed: 1 }
 }
 
+/// Reads the bench worker count from `DIFFY_BENCH_JOBS` (default:
+/// available parallelism). Job count never changes bench output — only
+/// how fast the traces materialize.
+pub fn bench_jobs() -> Jobs {
+    std::env::var("DIFFY_BENCH_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_default()
+}
+
 /// Prints the standard bench banner: which artefact this regenerates and
 /// the workload cap.
 pub fn banner(artefact: &str, what: &str, opts: &WorkloadOptions) {
@@ -41,29 +53,66 @@ pub fn banner(artefact: &str, what: &str, opts: &WorkloadOptions) {
     println!();
 }
 
-/// Traces every Table I model over its datasets at the bench workload.
-///
-/// Returns `(model, bundles)` pairs; weights are generated once per
-/// model.
-pub fn all_ci_bundles(opts: &WorkloadOptions) -> Vec<(CiModel, Vec<TraceBundle>)> {
-    CiModel::ALL
-        .into_iter()
-        .map(|m| (m, ci_bundles(m, opts)))
-        .collect()
-}
-
-/// Traces one model over its datasets at the bench workload.
-pub fn ci_bundles(model: CiModel, opts: &WorkloadOptions) -> Vec<TraceBundle> {
-    let weights = ci_weights(model, opts.seed);
-    let mut bundles = Vec::new();
-    for dataset in datasets_for(model) {
-        for sample in 0..opts.samples_per_dataset.min(dataset.samples()) {
-            bundles.push(ci_trace_bundle_with_weights(
-                model, &weights, dataset, sample, opts,
-            ));
+/// The `(model, dataset, sample)` work-list of one or all models, in the
+/// canonical (model-major, dataset-major) order every consumer sees.
+fn work_list(models: &[CiModel], opts: &WorkloadOptions) -> Vec<(CiModel, diffy_imaging::datasets::DatasetId, usize)> {
+    let mut specs = Vec::new();
+    for &model in models {
+        for dataset in datasets_for(model) {
+            for sample in 0..opts.samples_per_dataset.min(dataset.samples()) {
+                specs.push((model, dataset, sample));
+            }
         }
     }
-    bundles
+    specs
+}
+
+/// Traces every Table I model over its datasets at the bench workload,
+/// fanning trace generation out over [`bench_jobs`] workers.
+///
+/// Returns `(model, bundles)` pairs in `CiModel::ALL` order; weights are
+/// generated once per model and each trace exactly once, whatever the
+/// job count (results are bit-identical to the serial path).
+pub fn all_ci_bundles(opts: &WorkloadOptions) -> Vec<(CiModel, Vec<TraceBundle>)> {
+    let specs = work_list(&CiModel::ALL, opts);
+    let bundles = trace_bundles(&specs, opts, bench_jobs());
+    let mut out: Vec<(CiModel, Vec<TraceBundle>)> =
+        CiModel::ALL.into_iter().map(|m| (m, Vec::new())).collect();
+    for ((model, _, _), bundle) in specs.into_iter().zip(bundles) {
+        let slot = out
+            .iter_mut()
+            .find(|(m, _)| *m == model)
+            .expect("model from CiModel::ALL");
+        slot.1.push(bundle);
+    }
+    out
+}
+
+/// Traces one model over its datasets at the bench workload (parallel,
+/// same order and bit-identical content as the historical serial loop).
+pub fn ci_bundles(model: CiModel, opts: &WorkloadOptions) -> Vec<TraceBundle> {
+    trace_bundles(&work_list(&[model], opts), opts, bench_jobs())
+}
+
+/// Traces an explicit work-list across `par` workers, returning owned
+/// bundles in work-list order.
+pub fn trace_bundles(
+    specs: &[(CiModel, diffy_imaging::datasets::DatasetId, usize)],
+    opts: &WorkloadOptions,
+    par: Jobs,
+) -> Vec<TraceBundle> {
+    let cache = SweepCache::new();
+    let tasks: Vec<_> = specs
+        .iter()
+        .map(|&(model, dataset, sample)| {
+            let cache = &cache;
+            move || cache.bundle(model, dataset, sample, opts)
+        })
+        .collect();
+    run_jobs(tasks, par)
+        .into_iter()
+        .map(|arc: Arc<TraceBundle>| (*arc).clone())
+        .collect()
 }
 
 /// Geometric mean of a non-empty slice.
@@ -76,6 +125,7 @@ pub fn geomean(values: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use diffy_core::runner::{ci_trace_bundle, datasets_for};
 
     #[test]
     fn geomean_of_known_values() {
@@ -88,12 +138,40 @@ mod tests {
         let o = bench_options();
         assert!(o.resolution >= 16);
         assert!(o.samples_per_dataset >= 1);
+        assert!(bench_jobs().get() >= 1);
     }
 
     #[test]
     fn small_bundle_generation_works() {
         let opts = WorkloadOptions::test_small();
         let bundles = ci_bundles(CiModel::Ircnn, &opts);
-        assert_eq!(bundles.len(), diffy_core::runner::datasets_for(CiModel::Ircnn).len());
+        assert_eq!(bundles.len(), datasets_for(CiModel::Ircnn).len());
+    }
+
+    #[test]
+    fn parallel_bundles_match_serial_reference() {
+        let opts = WorkloadOptions::test_small();
+        let bundles = ci_bundles(CiModel::JointNet, &opts);
+        let mut i = 0;
+        for dataset in datasets_for(CiModel::JointNet) {
+            for sample in 0..opts.samples_per_dataset.min(dataset.samples()) {
+                let fresh = ci_trace_bundle(CiModel::JointNet, dataset, sample, &opts);
+                assert_eq!(bundles[i].dataset, fresh.dataset);
+                assert_eq!(bundles[i].trace.output, fresh.trace.output);
+                i += 1;
+            }
+        }
+        assert_eq!(i, bundles.len());
+    }
+
+    #[test]
+    fn all_models_grouped_in_table_order() {
+        let opts = WorkloadOptions::test_small();
+        let all = all_ci_bundles(&opts);
+        let models: Vec<CiModel> = all.iter().map(|(m, _)| *m).collect();
+        assert_eq!(models, CiModel::ALL.to_vec());
+        for (m, bundles) in &all {
+            assert_eq!(bundles.len(), datasets_for(*m).len(), "{m}");
+        }
     }
 }

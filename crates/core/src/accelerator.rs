@@ -155,6 +155,25 @@ impl NetworkResult {
     }
 }
 
+/// Evaluates a batch of `(trace, options)` jobs across `par` workers,
+/// returning results **in job order**.
+///
+/// Each job is the self-contained [`evaluate_network`] computation, so
+/// results are bit-identical to a serial loop over the same slice at any
+/// worker count (see [`crate::parallel`]). This is the fan-out point for
+/// architecture comparisons and tiles × memory grids, where one trace is
+/// evaluated under many options.
+pub fn evaluate_network_batch(
+    jobs: &[(&NetworkTrace, EvalOptions)],
+    par: crate::parallel::Jobs,
+) -> Vec<NetworkResult> {
+    let tasks: Vec<_> = jobs
+        .iter()
+        .map(|&(trace, opts)| move || evaluate_network(trace, &opts))
+        .collect();
+    crate::parallel::run_jobs(tasks, par)
+}
+
 /// Evaluates a network trace under the given options.
 pub fn evaluate_network(trace: &NetworkTrace, opts: &EvalOptions) -> NetworkResult {
     let compute = match opts.arch {

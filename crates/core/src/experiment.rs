@@ -1,7 +1,7 @@
 //! The experiment registry: every table and figure of the paper's
 //! evaluation, mapped to the bench target that regenerates it.
 //!
-//! `cargo bench --bench <target>` prints the corresponding rows;
+//! `cargo bench -p diffy-bench --bench <target>` prints the corresponding rows;
 //! EXPERIMENTS.md records paper-vs-measured for each entry.
 
 /// One reproducible artefact of the paper.
@@ -81,7 +81,7 @@ impl ExperimentId {
     ];
 
     /// The bench target that regenerates this artefact
-    /// (`cargo bench --bench <target>`).
+    /// (`cargo bench -p diffy-bench --bench <target>`).
     pub fn bench_target(&self) -> &'static str {
         match self {
             ExperimentId::Fig01Entropy => "fig01_entropy",

@@ -14,6 +14,9 @@
 //!   minimum tiles × memory-node search for real-time HD.
 //! * [`experiment`] — the registry mapping every table and figure of the
 //!   paper to its bench target.
+//! * [`parallel`] — the deterministic sweep engine: a std-only
+//!   scoped-thread job pool with order-stable results and a compute-once
+//!   keyed cache for weights and traces.
 //! * [`summary`] — fixed-width table formatting shared by the bench
 //!   harness.
 //!
@@ -37,6 +40,7 @@ pub mod accelerator;
 pub mod datapath;
 pub mod dc;
 pub mod experiment;
+pub mod parallel;
 pub mod reporting;
 pub mod runner;
 pub mod scaling;
@@ -44,6 +48,12 @@ pub mod summary;
 pub mod system;
 pub mod tile;
 
-pub use accelerator::{evaluate_network, EvalOptions, NetworkResult, SchemeChoice};
+pub use accelerator::{
+    evaluate_network, evaluate_network_batch, EvalOptions, NetworkResult, SchemeChoice,
+};
 pub use dc::differential_conv2d;
-pub use runner::{ci_trace_bundle, class_trace_bundle, TraceBundle, WorkloadOptions};
+pub use parallel::{run_jobs, Jobs, KeyedCache};
+pub use runner::{
+    ci_trace_bundle, class_trace_bundle, ci_trace_bundles_par, sweep_par, SweepCache, SweepJob,
+    TraceBundle, WorkloadOptions,
+};

@@ -1,0 +1,292 @@
+//! Deterministic parallel execution: a std-only scoped-thread job pool
+//! and a compute-once keyed artifact cache.
+//!
+//! The evaluation harness fans out `(model, dataset, sample,
+//! architecture, scheme)` jobs that are pure functions of their inputs.
+//! Two invariants make parallelism safe for figure/table reproduction:
+//!
+//! 1. **Order stability** — [`run_jobs`] writes each job's result into a
+//!    pre-sized slot indexed by job id, never by completion order, so
+//!    output order is independent of scheduling and of the job count.
+//! 2. **Bit identity** — every job is self-contained (no shared mutable
+//!    accumulators, no job-count-dependent work splitting), so each
+//!    result's floating-point operations happen in the same order at any
+//!    parallelism, and results are bit-identical to the serial path.
+//!
+//! [`KeyedCache`] complements the pool: weights and traces are pure
+//! functions of `(model, seed, …)` keys but expensive, so a sweep
+//! computes each exactly once even when many jobs race on the same key
+//! (the loser of the insertion race blocks on the winner's `OnceLock`
+//! rather than recomputing).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Worker count for a parallel region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Jobs(NonZeroUsize);
+
+impl Jobs {
+    /// Exactly one worker — the serial reference path.
+    pub const SERIAL: Jobs = Jobs(NonZeroUsize::MIN);
+
+    /// A worker count of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        Self(NonZeroUsize::new(n).expect("job count must be at least 1"))
+    }
+
+    /// One worker per available hardware thread (the `--jobs` default);
+    /// falls back to 1 if the platform cannot report parallelism.
+    pub fn available() -> Self {
+        Self(std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN))
+    }
+
+    /// The worker count.
+    pub fn get(self) -> usize {
+        self.0.get()
+    }
+}
+
+impl Default for Jobs {
+    fn default() -> Self {
+        Self::available()
+    }
+}
+
+impl std::str::FromStr for Jobs {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Jobs::new(n)),
+            _ => Err(format!("job count must be a positive integer, got `{s}`")),
+        }
+    }
+}
+
+impl std::fmt::Display for Jobs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Runs every job and returns their results **in job order**.
+///
+/// Jobs are distributed over at most `par` scoped worker threads via an
+/// atomic work-stealing counter; each result lands in the slot of its
+/// job's index, so the output is `[f(job 0), f(job 1), …]` regardless of
+/// which worker ran what and in what order jobs finished. With `par` of
+/// 1 (or a single job) everything runs inline on the caller's thread —
+/// the serial path is literally the same code with the same ordering.
+///
+/// # Panics
+///
+/// Propagates the panic of any job (after all workers have stopped).
+pub fn run_jobs<T, F>(jobs: Vec<F>, par: Jobs) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    let workers = par.get().min(n);
+    if workers <= 1 {
+        return jobs.into_iter().map(|f| f()).collect();
+    }
+
+    // Slot per job: workers take the job out, run it, and store the
+    // result under the same index. `Mutex<Option<…>>` keeps this std-only
+    // and safe; each slot is touched exactly once so there is no
+    // contention beyond the uncontended lock.
+    let job_slots: Vec<Mutex<Option<F>>> =
+        jobs.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let result_slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                let f = job_slots[i]
+                    .lock()
+                    .expect("job slot poisoned")
+                    .take()
+                    .expect("job taken twice");
+                let out = f();
+                *result_slots[i].lock().expect("result slot poisoned") = Some(out);
+            }));
+        }
+        // Join explicitly so a panicking worker doesn't leave siblings
+        // detached mid-scope; re-raise the first panic after all stop.
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            if let Err(p) = h.join() {
+                panic.get_or_insert(p);
+            }
+        }
+        if let Some(p) = panic {
+            std::panic::resume_unwind(p);
+        }
+    });
+
+    result_slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker exited without storing its result")
+        })
+        .collect()
+}
+
+/// A compute-once cache from keys to shared immutable artifacts.
+///
+/// `get_or_compute` runs `compute` at most once per key, even when many
+/// threads request the same key concurrently: the map hands out one
+/// [`OnceLock`] cell per key, and `OnceLock::get_or_init` serializes the
+/// computation while letting distinct keys proceed in parallel (the map
+/// lock is never held while computing).
+pub struct KeyedCache<K, V> {
+    map: Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>,
+}
+
+impl<K: Eq + Hash + Clone, V> KeyedCache<K, V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self { map: Mutex::new(HashMap::new()) }
+    }
+
+    /// Returns the cached value for `key`, computing and inserting it on
+    /// first request. Concurrent requests for the same key block until
+    /// the first finishes and then share its result.
+    pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> Arc<V> {
+        let cell = {
+            let mut map = self.map.lock().expect("cache map poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        Arc::clone(cell.get_or_init(|| Arc::new(compute())))
+    }
+
+    /// Returns the cached value for `key` without computing, if present.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        let map = self.map.lock().expect("cache map poisoned");
+        map.get(key).and_then(|cell| cell.get().cloned())
+    }
+
+    /// Number of keys with a *completed* value.
+    pub fn len(&self) -> usize {
+        let map = self.map.lock().expect("cache map poisoned");
+        map.values().filter(|c| c.get().is_some()).count()
+    }
+
+    /// Whether no completed value is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached entry.
+    pub fn clear(&self) {
+        self.map.lock().expect("cache map poisoned").clear();
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Default for KeyedCache<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn results_are_in_job_order_at_any_parallelism() {
+        let expect: Vec<usize> = (0..37).map(|i| i * i).collect();
+        for par in [1, 2, 3, 8, 64] {
+            let jobs: Vec<_> = (0..37).map(|i| move || i * i).collect();
+            assert_eq!(run_jobs(jobs, Jobs::new(par)), expect, "par={par}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_job_sets_work() {
+        let none: Vec<Box<dyn FnOnce() -> u8 + Send>> = vec![];
+        assert!(run_jobs(none, Jobs::new(4)).is_empty());
+        assert_eq!(run_jobs(vec![|| 7u8], Jobs::new(4)), vec![7]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("job failure")),
+            Box::new(|| 3),
+        ];
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_jobs(jobs, Jobs::new(2))
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn cache_computes_each_key_once() {
+        let cache: KeyedCache<u32, u32> = KeyedCache::new();
+        let calls = AtomicU32::new(0);
+        for _ in 0..5 {
+            let v = cache.get_or_compute(3, || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                30
+            });
+            assert_eq!(*v, 30);
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(*cache.get(&3).unwrap(), 30);
+        assert!(cache.get(&4).is_none());
+    }
+
+    #[test]
+    fn concurrent_same_key_requests_share_one_computation() {
+        let cache: KeyedCache<u32, u64> = KeyedCache::new();
+        let calls = AtomicU32::new(0);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        *cache.get_or_compute(9, || {
+                            calls.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            900
+                        })
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), 900);
+            }
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn jobs_parse_and_clamp() {
+        assert_eq!("4".parse::<Jobs>().unwrap().get(), 4);
+        assert!("0".parse::<Jobs>().is_err());
+        assert!("x".parse::<Jobs>().is_err());
+        assert!(Jobs::available().get() >= 1);
+        assert_eq!(Jobs::SERIAL.get(), 1);
+    }
+}

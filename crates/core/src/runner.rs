@@ -7,10 +7,12 @@
 //! stay honest.
 
 use crate::accelerator::{evaluate_network, EvalOptions, NetworkResult};
+use crate::parallel::{run_jobs, Jobs, KeyedCache};
 use diffy_imaging::datasets::DatasetId;
 use diffy_imaging::scenes::{render_scene, SceneKind};
 use diffy_models::{run_network, CiModel, ClassModel, NetworkTrace, NetworkWeights};
 use diffy_tensor::Quantizer;
+use std::sync::{Arc, OnceLock};
 
 /// Full-HD pixel count (1920 × 1080), the paper's headline resolution.
 pub const HD_PIXELS: u64 = 1920 * 1080;
@@ -136,6 +138,134 @@ pub fn class_trace_bundle(model: ClassModel, resolution: usize, seed: u64) -> Tr
     }
 }
 
+/// Cache key for a trace: everything [`ci_trace_bundle`] derives its
+/// output from — model, dataset, sample, trace resolution, and seed.
+type TraceKey = (CiModel, DatasetId, usize, usize, u64);
+
+/// Compute-once store for the expensive artifacts of a sweep: network
+/// weights keyed by `(model, seed)` and trace bundles keyed by
+/// `(model, dataset, sample, resolution, seed)`.
+///
+/// Both artifact kinds are pure functions of their keys, so cached
+/// values are interchangeable with fresh regeneration — the cache only
+/// removes the déjà vu of recomputing them for every consumer. Safe to
+/// share across threads; concurrent requests for the same key compute it
+/// once (see [`KeyedCache`]).
+#[derive(Default)]
+pub struct SweepCache {
+    weights: KeyedCache<(CiModel, u64), NetworkWeights>,
+    traces: KeyedCache<TraceKey, TraceBundle>,
+}
+
+impl SweepCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide cache shared by the CLI and report paths.
+    pub fn global() -> &'static SweepCache {
+        static GLOBAL: OnceLock<SweepCache> = OnceLock::new();
+        GLOBAL.get_or_init(SweepCache::new)
+    }
+
+    /// Weights for `(model, seed)`, computed once.
+    pub fn weights(&self, model: CiModel, seed: u64) -> Arc<NetworkWeights> {
+        self.weights.get_or_compute((model, seed), || ci_weights(model, seed))
+    }
+
+    /// The trace bundle for `(model, dataset, sample)` under `opts`,
+    /// computed once per `(…, resolution, seed)` key.
+    pub fn bundle(
+        &self,
+        model: CiModel,
+        dataset: DatasetId,
+        sample: usize,
+        opts: &WorkloadOptions,
+    ) -> Arc<TraceBundle> {
+        let key = (model, dataset, sample, opts.resolution, opts.seed);
+        self.traces.get_or_compute(key, || {
+            let weights = self.weights(model, opts.seed);
+            ci_trace_bundle_with_weights(model, &weights, dataset, sample, opts)
+        })
+    }
+
+    /// Number of distinct weight sets materialized so far.
+    pub fn cached_weights(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of distinct traces materialized so far.
+    pub fn cached_traces(&self) -> usize {
+        self.traces.len()
+    }
+}
+
+/// One unit of sweep work: trace `(model, dataset, sample)` and evaluate
+/// it under `eval`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepJob {
+    /// Model to trace.
+    pub model: CiModel,
+    /// Dataset the sample comes from.
+    pub dataset: DatasetId,
+    /// Sample index within the dataset.
+    pub sample: usize,
+    /// Architecture/scheme/memory to evaluate the trace under.
+    pub eval: EvalOptions,
+}
+
+/// Evaluates every job, fanning out over `par` workers, and returns the
+/// results **in job order** — bit-identical to evaluating the jobs one
+/// by one in a loop, at any worker count (see [`crate::parallel`]).
+///
+/// Traces and weights are materialized at most once per key through
+/// `cache`, no matter how many jobs share them or which worker gets
+/// there first.
+pub fn sweep_par(
+    jobs: &[SweepJob],
+    opts: &WorkloadOptions,
+    par: Jobs,
+    cache: &SweepCache,
+) -> Vec<NetworkResult> {
+    let tasks: Vec<_> = jobs
+        .iter()
+        .map(|job| {
+            let job = *job;
+            move || {
+                let bundle = cache.bundle(job.model, job.dataset, job.sample, opts);
+                bundle.evaluate(&job.eval)
+            }
+        })
+        .collect();
+    run_jobs(tasks, par)
+}
+
+/// Traces one model across its datasets in parallel: the parallel,
+/// cached counterpart of calling [`ci_trace_bundle`] in a loop.
+///
+/// Output order is `datasets_for(model) × samples`, stable at any worker
+/// count. Samples are capped per dataset at the dataset's size, like the
+/// bench harness does.
+pub fn ci_trace_bundles_par(
+    model: CiModel,
+    opts: &WorkloadOptions,
+    par: Jobs,
+    cache: &SweepCache,
+) -> Vec<Arc<TraceBundle>> {
+    let mut pairs = Vec::new();
+    for dataset in datasets_for(model) {
+        for sample in 0..opts.samples_per_dataset.min(dataset.samples()) {
+            pairs.push((dataset, sample));
+        }
+    }
+    let tasks: Vec<_> = pairs
+        .into_iter()
+        .map(|(dataset, sample)| move || cache.bundle(model, dataset, sample, opts))
+        .collect();
+    run_jobs(tasks, par)
+}
+
 /// The datasets a CI model is evaluated on (all of Table II; callers cap
 /// samples via [`WorkloadOptions::samples_per_dataset`]).
 pub fn datasets_for(model: CiModel) -> Vec<DatasetId> {
@@ -185,6 +315,77 @@ mod tests {
         let a = ci_trace_bundle_with_weights(CiModel::Ircnn, &w, DatasetId::Cbsd68, 0, &opts);
         let b = ci_trace_bundle(CiModel::Ircnn, DatasetId::Cbsd68, 0, &opts);
         assert_eq!(a.trace.layers[3].imap, b.trace.layers[3].imap);
+
+        // The shared cache is coherent with both paths: a cached weight
+        // set equals fresh regeneration, and a cached bundle equals the
+        // uncached trace of the same key.
+        let cache = SweepCache::new();
+        assert_eq!(*cache.weights(CiModel::Ircnn, opts.seed), w);
+        let c = cache.bundle(CiModel::Ircnn, DatasetId::Cbsd68, 0, &opts);
+        assert_eq!(c.trace.layers[3].imap, b.trace.layers[3].imap);
+        assert_eq!(cache.cached_weights(), 1);
+        assert_eq!(cache.cached_traces(), 1);
+    }
+
+    #[test]
+    fn cache_hits_equal_fresh_regeneration_under_concurrency() {
+        // Two threads request the same weights key at the same time: the
+        // value must be computed once and equal a fresh regeneration.
+        let opts = WorkloadOptions::test_small();
+        let cache = SweepCache::new();
+        let (a, b) = std::thread::scope(|s| {
+            let ha = s.spawn(|| cache.weights(CiModel::Vdsr, opts.seed));
+            let hb = s.spawn(|| cache.weights(CiModel::Vdsr, opts.seed));
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one computation");
+        assert_eq!(*a, ci_weights(CiModel::Vdsr, opts.seed));
+        assert_eq!(cache.cached_weights(), 1);
+
+        // Same for traces: concurrent same-key bundles are one object and
+        // equal the uncached path.
+        let (ta, tb) = std::thread::scope(|s| {
+            let ha = s.spawn(|| cache.bundle(CiModel::Vdsr, DatasetId::Hd33, 0, &opts));
+            let hb = s.spawn(|| cache.bundle(CiModel::Vdsr, DatasetId::Hd33, 0, &opts));
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+        assert!(Arc::ptr_eq(&ta, &tb));
+        let fresh = ci_trace_bundle(CiModel::Vdsr, DatasetId::Hd33, 0, &opts);
+        assert_eq!(ta.trace.output, fresh.trace.output);
+        assert_eq!(ta.source_pixels, fresh.source_pixels);
+    }
+
+    #[test]
+    fn cache_distinguishes_resolution_and_seed() {
+        let cache = SweepCache::new();
+        let a = WorkloadOptions { resolution: 32, samples_per_dataset: 1, seed: 1 };
+        let b = WorkloadOptions { resolution: 32, samples_per_dataset: 1, seed: 2 };
+        let c = WorkloadOptions { resolution: 48, samples_per_dataset: 1, seed: 1 };
+        for o in [a, b, c] {
+            cache.bundle(CiModel::Ircnn, DatasetId::Hd33, 0, &o);
+        }
+        assert_eq!(cache.cached_traces(), 3, "distinct keys must not collide");
+        assert_eq!(cache.cached_weights(), 2, "weights keyed by seed only");
+    }
+
+    #[test]
+    fn parallel_bundles_match_serial_order_and_content() {
+        let opts = WorkloadOptions::test_small();
+        let cache = SweepCache::new();
+        let par = ci_trace_bundles_par(CiModel::FfdNet, &opts, Jobs::new(4), &cache);
+        // Serial reference: same nested loop, fresh artifacts.
+        let mut serial = Vec::new();
+        for dataset in datasets_for(CiModel::FfdNet) {
+            for sample in 0..opts.samples_per_dataset.min(dataset.samples()) {
+                serial.push(ci_trace_bundle(CiModel::FfdNet, dataset, sample, &opts));
+            }
+        }
+        assert_eq!(par.len(), serial.len());
+        for (p, s) in par.iter().zip(&serial) {
+            assert_eq!(p.dataset, s.dataset);
+            assert_eq!(p.sample, s.sample);
+            assert_eq!(p.trace.output, s.trace.output);
+        }
     }
 
     #[test]

@@ -62,6 +62,6 @@ fn main() {
     println!("Diffy + DeltaD16 per-layer breakdown:\n{}", layer_table.render());
     println!(
         "Real-time HD denoising needs a scaled-up configuration; see\n\
-         `cargo bench --bench fig18_realtime` for the minimum tiles/memory."
+         `cargo bench -p diffy-bench --bench fig18_realtime` for the minimum tiles/memory."
     );
 }

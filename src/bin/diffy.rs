@@ -12,10 +12,11 @@
 //! Everything is seeded and offline; models and datasets are the
 //! synthetic stand-ins described in DESIGN.md.
 
-use diffy::core::accelerator::{EvalOptions, SchemeChoice};
+use diffy::core::accelerator::{evaluate_network_batch, EvalOptions, SchemeChoice};
 use diffy::core::experiment::ExperimentId;
-use diffy::core::runner::{ci_trace_bundle, TraceBundle, WorkloadOptions, HD_PIXELS};
-use diffy::core::scaling::{fig18_memory_ladder, fps_at_pixels, FIG18_TILES};
+use diffy::core::parallel::Jobs;
+use diffy::core::runner::{SweepCache, TraceBundle, WorkloadOptions, HD_PIXELS};
+use diffy::core::scaling::{fig18_memory_ladder, FIG18_TILES};
 use diffy::core::summary::{fmt_bytes, TextTable};
 use diffy::encoding::delta::delta_rows_wrapping;
 use diffy::encoding::terms::stats_of_acts;
@@ -72,11 +73,19 @@ options:
   --scheme S        NoCompression | Profiled | RawD16 | DeltaD16 (default DeltaD16)
   --memory NODE     e.g. DDR4-3200, HBM2 (default DDR4-3200)
   --seed N          workload seed (default 1)
+  --jobs N          worker threads for compare/sweep/report (default: all
+                    cores); results are bit-identical at any job count
 
 models: DnCNN, FFDNet, IRCNN, JointNet, VDSR";
 
-fn parse_flag(rest: &[String], flag: &str) -> Option<String> {
-    rest.iter().position(|a| a == flag).and_then(|i| rest.get(i + 1).cloned())
+fn parse_flag(rest: &[String], flag: &str) -> Result<Option<String>, String> {
+    match rest.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match rest.get(i + 1) {
+            Some(v) => Ok(Some(v.clone())),
+            None => Err(format!("flag {flag} needs a value")),
+        },
+    }
 }
 
 fn parse_model(rest: &[String]) -> Result<CiModel, String> {
@@ -91,19 +100,26 @@ fn parse_model(rest: &[String]) -> Result<CiModel, String> {
 }
 
 fn parse_opts(rest: &[String]) -> Result<WorkloadOptions, String> {
-    let resolution = match parse_flag(rest, "--res") {
+    let resolution = match parse_flag(rest, "--res")? {
         Some(v) => v.parse().map_err(|_| format!("bad --res {v}"))?,
         None => 64,
     };
-    let seed = match parse_flag(rest, "--seed") {
+    let seed = match parse_flag(rest, "--seed")? {
         Some(v) => v.parse().map_err(|_| format!("bad --seed {v}"))?,
         None => 1,
     };
     Ok(WorkloadOptions { resolution, samples_per_dataset: 1, seed })
 }
 
+fn parse_jobs(rest: &[String]) -> Result<Jobs, String> {
+    match parse_flag(rest, "--jobs")? {
+        Some(v) => v.parse().map_err(|e| format!("bad --jobs: {e}")),
+        None => Ok(Jobs::available()),
+    }
+}
+
 fn parse_scheme(rest: &[String]) -> Result<SchemeChoice, String> {
-    Ok(match parse_flag(rest, "--scheme").as_deref() {
+    Ok(match parse_flag(rest, "--scheme")?.as_deref() {
         None | Some("DeltaD16") => SchemeChoice::Scheme(StorageScheme::delta_d(16)),
         Some("NoCompression") => SchemeChoice::Scheme(StorageScheme::NoCompression),
         Some("Profiled") => SchemeChoice::Profiled { quantile: 0.999 },
@@ -114,7 +130,7 @@ fn parse_scheme(rest: &[String]) -> Result<SchemeChoice, String> {
 }
 
 fn parse_memory(rest: &[String]) -> Result<MemorySystem, String> {
-    let node = match parse_flag(rest, "--memory").as_deref() {
+    let node = match parse_flag(rest, "--memory")?.as_deref() {
         None | Some("DDR4-3200") => MemoryNode::Ddr4_3200,
         Some("DDR3-1600") => MemoryNode::Ddr3_1600,
         Some("LPDDR3-1600") => MemoryNode::Lpddr3_1600,
@@ -129,8 +145,8 @@ fn parse_memory(rest: &[String]) -> Result<MemorySystem, String> {
     Ok(MemorySystem::single(node))
 }
 
-fn trace(model: CiModel, opts: &WorkloadOptions) -> TraceBundle {
-    ci_trace_bundle(model, DatasetId::Hd33, 0, opts)
+fn trace(model: CiModel, opts: &WorkloadOptions) -> std::sync::Arc<TraceBundle> {
+    SweepCache::global().bundle(model, DatasetId::Hd33, 0, opts)
 }
 
 fn cmd_compare(rest: &[String]) -> Result<(), String> {
@@ -138,6 +154,7 @@ fn cmd_compare(rest: &[String]) -> Result<(), String> {
     let opts = parse_opts(rest)?;
     let scheme = parse_scheme(rest)?;
     let memory = parse_memory(rest)?;
+    let jobs = parse_jobs(rest)?;
     println!("{model} at {0}x{0} (HD projections scale by pixels)\n", opts.resolution);
     let bundle = trace(model, &opts);
     let mut table = TextTable::new(vec![
@@ -148,21 +165,21 @@ fn cmd_compare(rest: &[String]) -> Result<(), String> {
         "stall %",
         "traffic",
     ]);
-    let base = bundle
-        .evaluate(&EvalOptions { arch: Architecture::Vaa, cfg: AcceleratorConfig::table4(), scheme, memory })
-        .total_cycles();
-    for arch in [Architecture::Vaa, Architecture::Pra, Architecture::Diffy] {
-        let r = bundle.evaluate(&EvalOptions {
-            arch,
-            cfg: AcceleratorConfig::table4(),
-            scheme,
-            memory,
-        });
+    let archs = [Architecture::Vaa, Architecture::Pra, Architecture::Diffy];
+    let eval_jobs: Vec<_> = archs
+        .iter()
+        .map(|&arch| {
+            (&bundle.trace, EvalOptions { arch, cfg: AcceleratorConfig::table4(), scheme, memory })
+        })
+        .collect();
+    let results = evaluate_network_batch(&eval_jobs, jobs);
+    let base = results[0].total_cycles();
+    for (arch, r) in archs.iter().zip(&results) {
         table.row(vec![
             arch.name().to_string(),
             r.total_cycles().to_string(),
             format!("{:.2}x", base as f64 / r.total_cycles() as f64),
-            format!("{:.2}", bundle.hd_fps(&r)),
+            format!("{:.2}", bundle.hd_fps(r)),
             format!("{:.1}%", r.stall_fraction() * 100.0),
             fmt_bytes(r.total_traffic_bytes()),
         ]);
@@ -175,22 +192,32 @@ fn cmd_sweep(rest: &[String]) -> Result<(), String> {
     let model = parse_model(rest)?;
     let opts = parse_opts(rest)?;
     let scheme = parse_scheme(rest)?;
+    let jobs = parse_jobs(rest)?;
     println!("{model}: HD FPS, Diffy + {}\n", scheme.label());
     let bundle = trace(model, &opts);
     let ladder = fig18_memory_ladder();
     let mut header = vec!["tiles".to_string()];
     header.extend(ladder.iter().map(|m| m.to_string()));
     let mut table = TextTable::new(header);
-    for &tiles in &FIG18_TILES {
-        let mut row = vec![tiles.to_string()];
-        for &mem in &ladder {
-            let eval = EvalOptions {
+    // The whole tiles × memory grid as one deterministic fan-out: cell
+    // order is row-major, so the table reads back in job order.
+    let eval_jobs: Vec<_> = FIG18_TILES
+        .iter()
+        .flat_map(|&tiles| {
+            ladder.iter().map(move |&mem| EvalOptions {
                 arch: Architecture::Diffy,
                 cfg: AcceleratorConfig::table4().with_tiles(tiles),
                 scheme,
                 memory: mem,
-            };
-            let fps = fps_at_pixels(&bundle, &eval, HD_PIXELS);
+            })
+        })
+        .map(|eval| (&bundle.trace, eval))
+        .collect();
+    let results = evaluate_network_batch(&eval_jobs, jobs);
+    for (&tiles, row_results) in FIG18_TILES.iter().zip(results.chunks_exact(ladder.len())) {
+        let mut row = vec![tiles.to_string()];
+        for r in row_results {
+            let fps = r.fps_scaled(bundle.source_pixels, HD_PIXELS);
             row.push(format!("{fps:.1}{}", if fps >= 30.0 { "*" } else { "" }));
         }
         table.row(row);
@@ -258,7 +285,8 @@ fn cmd_schemes(rest: &[String]) -> Result<(), String> {
 
 fn cmd_report(rest: &[String]) -> Result<(), String> {
     let workload = parse_opts(rest)?;
-    let opts = diffy::core::reporting::ReportOptions { workload, models: [true; 5] };
+    let jobs = parse_jobs(rest)?;
+    let opts = diffy::core::reporting::ReportOptions { workload, models: [true; 5], jobs };
     print!("{}", diffy::core::reporting::render_report(&opts));
     Ok(())
 }
@@ -284,7 +312,7 @@ fn cmd_experiments() -> Result<(), String> {
     for e in ExperimentId::ALL {
         table.row(vec![
             e.paper_artefact().to_string(),
-            format!("cargo bench --bench {}", e.bench_target()),
+            format!("cargo bench -p diffy-bench --bench {}", e.bench_target()),
         ]);
     }
     println!("{}", table.render());

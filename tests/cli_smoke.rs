@@ -1,0 +1,93 @@
+//! Smoke tests of the `diffy` binary: exit codes, key output lines, the
+//! `--jobs` flag, and the hard error for a flag given without a value
+//! (which used to be silently treated as absent).
+
+use std::process::{Command, Output};
+
+fn diffy(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_diffy"))
+        .args(args)
+        .output()
+        .expect("failed to launch the diffy binary")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn models_lists_the_zoo() {
+    let out = diffy(&["models"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    for model in ["DnCNN", "FFDNet", "IRCNN", "JointNet", "VDSR"] {
+        assert!(text.contains(model), "missing {model} in:\n{text}");
+    }
+}
+
+#[test]
+fn experiments_maps_artefacts_to_bench_targets() {
+    let out = diffy(&["experiments"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("cargo bench -p diffy-bench --bench"), "no bench targets in:\n{text}");
+    assert!(text.contains("paper artefact"), "no header in:\n{text}");
+}
+
+#[test]
+fn compare_runs_with_jobs_flag() {
+    let out = diffy(&["compare", "IRCNN", "--res", "32", "--jobs", "2"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    for needle in ["IRCNN at 32x32", "VAA", "PRA", "Diffy", "architecture"] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+}
+
+#[test]
+fn compare_output_is_identical_across_job_counts() {
+    let serial = diffy(&["compare", "IRCNN", "--res", "32", "--jobs", "1"]);
+    let par = diffy(&["compare", "IRCNN", "--res", "32", "--jobs", "4"]);
+    assert!(serial.status.success() && par.status.success());
+    assert_eq!(stdout(&serial), stdout(&par), "--jobs must not change output");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = diffy(&["frobnicate"]);
+    assert!(!out.status.success(), "unknown command must fail");
+    let err = stderr(&out);
+    assert!(err.contains("unknown command"), "stderr:\n{err}");
+    assert!(err.contains("usage:"), "stderr should include usage:\n{err}");
+}
+
+#[test]
+fn no_command_fails_with_usage() {
+    let out = diffy(&[]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("usage:"));
+}
+
+#[test]
+fn trailing_flag_without_value_is_a_hard_error() {
+    // Regression: `--res` as the last argument used to be silently
+    // dropped, running the command at the default resolution instead.
+    let out = diffy(&["compare", "IRCNN", "--res"]);
+    assert!(!out.status.success(), "flag without value must fail");
+    assert!(stderr(&out).contains("--res needs a value"), "stderr: {}", stderr(&out));
+
+    let out = diffy(&["compare", "IRCNN", "--res", "32", "--jobs"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--jobs needs a value"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn zero_jobs_is_rejected() {
+    let out = diffy(&["compare", "IRCNN", "--res", "32", "--jobs", "0"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("bad --jobs"), "stderr: {}", stderr(&out));
+}

@@ -1,0 +1,160 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access and no registry cache, so
+//! this workspace vendors the subset of the criterion 0.x API its
+//! micro-benchmarks use: `Criterion::benchmark_group`, per-group
+//! `throughput` / `bench_function` / `finish`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is a fixed warm-up plus a short timed window over
+//! `std::time::Instant` — median-of-batches, no outlier analysis or HTML
+//! reports. Good enough to rank kernels and spot regressions by eye.
+
+#![warn(missing_docs)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Entry point handed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        println!("group: {}", name.into());
+        BenchmarkGroup { throughput: None, _criterion: self }
+    }
+
+    /// Accepted for CLI compatibility; filters are not implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { total: Duration::ZERO, iters: 0 };
+        // Warm-up pass (also primes caches and the closure's setup).
+        f(&mut b);
+        b.total = Duration::ZERO;
+        b.iters = 0;
+        let window = Instant::now();
+        while window.elapsed() < Duration::from_millis(300) {
+            f(&mut b);
+        }
+        let per_iter = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.total / b.iters as u32
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+                format!("  ({:.1} Melem/s)", n as f64 / per_iter.as_secs_f64() / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+                format!("  ({:.1} MB/s)", n as f64 / per_iter.as_secs_f64() / 1e6)
+            }
+            _ => String::new(),
+        };
+        println!("  {id:<32} {per_iter:>12.3?}/iter{rate}");
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Runs and times the measured closure.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, preventing its result from being optimized away.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        std_black_box(routine());
+        self.total += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Bundles bench functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("sum");
+        g.throughput(Throughput::Elements(1000));
+        g.bench_function("naive", |b| b.iter(|| (0u64..1000).sum::<u64>()));
+        g.finish();
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        criterion_group!(benches, sample_bench);
+        benches();
+    }
+}

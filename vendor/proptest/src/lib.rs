@@ -1,0 +1,288 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access and no registry cache, so
+//! this workspace vendors the subset of the `proptest` 1.x API its test
+//! suites use: the [`proptest!`] macro, `prop_assert*`, [`prop_oneof!`],
+//! [`strategy::Strategy`] with `prop_map` / `prop_flat_map` /
+//! `prop_filter`, range and tuple strategies, [`arbitrary::any`], and
+//! [`collection::vec`].
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the generated values
+//!   formatted by the assertion itself; there is no minimization pass.
+//! * **Deterministic seeding.** Each test's RNG is seeded from its
+//!   function name, so a given proptest exercises the same value stream
+//!   on every run (upstream uses fresh entropy plus regression files;
+//!   the checked-in `.proptest-regressions` files are inert comments to
+//!   this implementation).
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+/// Test-runner configuration and the per-test RNG.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Subset of upstream's `ProptestConfig`: just the case count.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        /// 64 cases — smaller than upstream's 256, sized for CI where the
+        /// whole workspace's proptests run on every push.
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// The RNG driving value generation, seeded from the test name so
+    /// every run of a given test sees the same stream.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Deterministic RNG for the named test.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the test name.
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self(StdRng::seed_from_u64(h))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+/// `any::<T>()` — full-domain strategies for primitives.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.random()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T` (full domain for integers).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Collection strategies (`vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// Things usable as the size argument of [`vec`].
+    pub trait SizeRange {
+        /// Picks a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// Strategy producing `Vec`s of an element strategy.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a proptest file conventionally imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniformly picks one of several strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` generated inputs through the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $(
+        #[test]
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let __cfg = $cfg;
+            let __strat = ($($strat,)+);
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..__cfg.cases {
+                let _ = __case;
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&__strat, &mut __rng);
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = i32> {
+        (0i32..1000).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_are_bounded(v in 3usize..10, w in -5i16..=5) {
+            prop_assert!((3..10).contains(&v));
+            prop_assert!((-5..=5).contains(&w));
+        }
+
+        #[test]
+        fn tuple_patterns_destructure((a, b) in (0u32..10, 0u32..10)) {
+            prop_assert!(a < 10 && b < 10);
+        }
+
+        #[test]
+        fn map_flat_map_filter_compose(
+            v in evens()
+                .prop_flat_map(|e| (Just(e), 0i32..=e.max(0)))
+                .prop_filter("ordered", |(e, x)| x <= e)
+        ) {
+            let (e, x) = v;
+            prop_assert!(e % 2 == 0);
+            prop_assert!(x <= e);
+        }
+
+        #[test]
+        fn oneof_and_vec(
+            k in prop_oneof![Just(1usize), Just(3)],
+            vs in crate::collection::vec(any::<i16>(), 0..20),
+        ) {
+            prop_assert!(k == 1 || k == 3);
+            prop_assert!(vs.len() < 20);
+        }
+    }
+
+    #[test]
+    fn same_test_name_same_stream() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(any::<u64>(), 8usize);
+        let mut r1 = crate::test_runner::TestRng::for_test("x");
+        let mut r2 = crate::test_runner::TestRng::for_test("x");
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}
