@@ -1,15 +1,35 @@
 //! Criterion micro-benchmarks of the library's hot kernels: Booth term
-//! counting, the delta transform, storage-scheme encoding, and the three
-//! convolution implementations.
+//! counting, the delta transform, storage-scheme encoding, the three
+//! convolution implementations, and the term-serial cycle model
+//! (reference loop nest vs the group-reduced plane kernel).
+//!
+//! The term-serial section measures wall time explicitly (the vendored
+//! criterion stub has no measurement API) and, when `DIFFY_BENCH_JSON`
+//! is set, writes its records plus the headline reference/optimized
+//! speedup to that path — the repo commits the full-HD run as
+//! `BENCH_term_serial.json`. `DIFFY_BENCH_SMOKE=1` shrinks the workload
+//! to seconds for CI. Both kernels are asserted cycle-identical here, so
+//! the bench doubles as a divergence gate.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use diffy_bench::{bench_smoke, time_kernel, write_bench_json, BenchRecord};
 use diffy_core::dc::differential_conv2d;
+use diffy_core::runner::{sweep_par, SweepCache, SweepJob, WorkloadOptions};
+use diffy_core::{EvalOptions, SchemeChoice};
 use diffy_encoding::bitstream::BitWriter;
 use diffy_encoding::delta::delta_rows_wrapping;
 use diffy_encoding::precision::Signedness;
 use diffy_encoding::{booth_terms, StorageScheme};
+use diffy_imaging::datasets::DatasetId;
+use diffy_models::{CiModel, LayerTrace};
+use diffy_sim::{
+    term_serial_layer, term_serial_layer_reference, term_serial_layer_with_terms,
+    AcceleratorConfig, Architecture, PaddedTerms, ValueMode,
+};
 use diffy_tensor::{conv2d, conv2d_fast, conv2d_im2col, ConvGeometry, Tensor3, Tensor4};
 use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn pseudo_values(n: usize) -> Vec<i16> {
     (0..n)
@@ -85,5 +105,148 @@ fn bench_conv(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_booth, bench_delta, bench_schemes, bench_conv);
+/// A synthetic HD-resolution layer for the term-serial kernels: 16
+/// channels of pseudo-random activations, 16 3×3 filters, same-padded —
+/// the shape of a CI-DNN trunk layer at 1080p.
+fn term_serial_trace(c: usize, h: usize, w: usize, k: usize) -> LayerTrace {
+    let imap = Tensor3::from_vec(c, h, w, pseudo_values(c * h * w));
+    LayerTrace {
+        name: format!("bench_{c}x{h}x{w}"),
+        index: 0,
+        fmaps: Tensor4::<i16>::filled(k, c, 3, 3, 1),
+        geom: ConvGeometry::same(3, 3),
+        relu: true,
+        requant_shift: 12,
+        requant_bias: 0,
+        next_stride: 1,
+        imap,
+    }
+}
+
+fn bench_term_serial(_c: &mut Criterion) {
+    let smoke = bench_smoke();
+    let (h, w) = if smoke { (96, 96) } else { (1080, 1920) };
+    let trace = term_serial_trace(16, h, w, 16);
+    let cfg = AcceleratorConfig::table4();
+    let windows = (h * w) as u64; // stride-1 same-pad: one window per output
+    let min_total = Duration::from_millis(if smoke { 50 } else { 200 });
+    let label = |kernel: &str, mode: ValueMode| {
+        let m = if mode == ValueMode::Raw { "raw" } else { "diff" };
+        format!("term_serial_{h}p_{kernel}_{m}")
+    };
+
+    println!("== term-serial cycle-model kernels ({}x{h}x{w}, 16 filters 3x3) ==", 16);
+    let mut records: Vec<BenchRecord> = Vec::new();
+
+    // The once-per-layer plane build, measured on its own so the
+    // amortized and cold costs below can be read against it.
+    let (build_rec, terms) = time_kernel(
+        &format!("padded_terms_build_{h}p"),
+        5,
+        min_total,
+        Some(windows),
+        || Arc::new(PaddedTerms::for_layer(&trace)),
+    );
+    records.push(build_rec);
+
+    let mut speedup_cold = f64::MAX;
+    let mut speedup_kernel = f64::MAX;
+    for mode in [ValueMode::Raw, ValueMode::Differential] {
+        let (ref_rec, ref_cycles) =
+            time_kernel(&label("reference", mode), 2, min_total, Some(windows), || {
+                term_serial_layer_reference(black_box(&trace), &cfg, mode)
+            });
+        // Cold: builds the planes inside the call, like a single
+        // standalone evaluation would.
+        let (cold_rec, cold_cycles) =
+            time_kernel(&label("planes_cold", mode), 2, min_total, Some(windows), || {
+                term_serial_layer(black_box(&trace), &cfg, mode)
+            });
+        // Amortized: planes prebuilt and shared, the sweep steady state.
+        let (warm_rec, warm_cycles) =
+            time_kernel(&label("planes_shared", mode), 2, min_total, Some(windows), || {
+                term_serial_layer_with_terms(black_box(&trace), &cfg, mode, &terms)
+            });
+
+        // Divergence gate: the optimized kernel must reproduce the
+        // reference cycle/slot accounting bit-for-bit.
+        assert_eq!(cold_cycles, ref_cycles, "{mode:?}: cold kernel diverged from reference");
+        assert_eq!(warm_cycles, ref_cycles, "{mode:?}: shared kernel diverged from reference");
+
+        speedup_cold = speedup_cold.min(ref_rec.wall_ms / cold_rec.wall_ms);
+        speedup_kernel = speedup_kernel.min(ref_rec.wall_ms / warm_rec.wall_ms);
+        println!(
+            "{:?}: reference {:.1} ms, cold {:.2} ms ({:.1}x), shared {:.2} ms ({:.1}x)",
+            mode,
+            ref_rec.wall_ms,
+            cold_rec.wall_ms,
+            ref_rec.wall_ms / cold_rec.wall_ms,
+            warm_rec.wall_ms,
+            ref_rec.wall_ms / warm_rec.wall_ms,
+        );
+        records.extend([ref_rec, cold_rec, warm_rec]);
+    }
+
+    // One end-to-end sweep: N architectures priced on one trace through
+    // the shared cache (trace + planes built once, then reused).
+    let opts = if smoke {
+        WorkloadOptions::test_small()
+    } else {
+        WorkloadOptions { resolution: 96, samples_per_dataset: 1, seed: 1 }
+    };
+    let jobs: Vec<SweepJob> = [Architecture::Vaa, Architecture::Pra, Architecture::Diffy]
+        .into_iter()
+        .map(|arch| SweepJob {
+            model: CiModel::Ircnn,
+            dataset: DatasetId::Kodak24,
+            sample: 0,
+            eval: EvalOptions::new(arch, SchemeChoice::Ideal),
+        })
+        .collect();
+    let (sweep_rec, _) = time_kernel(
+        &format!("sweep_3arch_ircnn_{}px", opts.resolution),
+        1,
+        Duration::ZERO,
+        Some(jobs.len() as u64),
+        || {
+            let cache = SweepCache::new();
+            sweep_par(&jobs, &opts, diffy_bench::bench_jobs(), &cache)
+        },
+    );
+    println!(
+        "end-to-end sweep ({} jobs, fresh cache): {:.1} ms",
+        jobs.len(),
+        sweep_rec.wall_ms
+    );
+    records.push(sweep_rec);
+
+    println!(
+        "headline kernel speedup (shared planes, min over modes): {speedup_kernel:.1}x; \
+         cold incl. build: {speedup_cold:.1}x"
+    );
+    let meta = [
+        ("workload", format!("16x{h}x{w} imap, 16 filters 3x3, same pad, stride 1")),
+        ("config", "table4 (4 tiles, 16 windows, 16 lanes, T16)".to_string()),
+        ("smoke", smoke.to_string()),
+        (
+            "note",
+            "planes_cold includes the per-layer plane build; planes_shared amortizes \
+             it as in sweeps; both asserted cycle-identical to reference"
+                .to_string(),
+        ),
+    ];
+    let summary = [("speedup_hd", speedup_kernel), ("speedup_hd_cold", speedup_cold)];
+    if let Some(path) = write_bench_json("term_serial", &meta, &records, &summary) {
+        println!("wrote {}", path.display());
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_booth,
+    bench_delta,
+    bench_schemes,
+    bench_conv,
+    bench_term_serial
+);
 criterion_main!(benches);

@@ -10,6 +10,11 @@
 //! * `DIFFY_BENCH_JOBS` — worker threads for trace generation (default:
 //!   available parallelism). Results are bit-identical and in the same
 //!   order at any job count; see `diffy_core::parallel`.
+//! * `DIFFY_BENCH_JSON` — when set, benches that measure wall time (the
+//!   term-serial section of `micro_kernels`) also write their records to
+//!   this path as JSON (see [`bench_json_string`]).
+//! * `DIFFY_BENCH_SMOKE` — when set, wall-time benches shrink to a
+//!   seconds-scale smoke workload (used by CI to exercise the emitter).
 
 #![warn(missing_docs)]
 
@@ -17,6 +22,7 @@ use diffy_core::parallel::{run_jobs, Jobs};
 use diffy_core::runner::{datasets_for, SweepCache, TraceBundle, WorkloadOptions};
 use diffy_models::CiModel;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Reads the bench workload options from the environment.
 pub fn bench_options() -> WorkloadOptions {
@@ -115,6 +121,144 @@ pub fn trace_bundles(
         .collect()
 }
 
+/// Whether wall-time benches should run their seconds-scale smoke
+/// workload instead of the full one (`DIFFY_BENCH_SMOKE` set non-empty).
+pub fn bench_smoke() -> bool {
+    std::env::var("DIFFY_BENCH_SMOKE").is_ok_and(|v| !v.is_empty())
+}
+
+/// One wall-time measurement destined for [`bench_json_string`].
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Kernel or scenario name.
+    pub name: String,
+    /// Mean wall time per iteration, in milliseconds.
+    pub wall_ms: f64,
+    /// Iterations folded into the mean (after one unmeasured warmup).
+    pub iters: u64,
+    /// Work units (windows, jobs, …) processed per second, when the
+    /// scenario has a natural unit.
+    pub per_second: Option<f64>,
+}
+
+/// Times `f`: one unmeasured warmup call, then iterations until both
+/// `min_iters` and `min_total` are reached. Returns the record and the
+/// last output, so callers can assert on results without a separate run.
+///
+/// The vendored criterion stub prints timings but exposes no measurement
+/// API, so wall-time benches that feed the JSON emitter measure here.
+pub fn time_kernel<T>(
+    name: &str,
+    min_iters: u64,
+    min_total: Duration,
+    work_units: Option<u64>,
+    mut f: impl FnMut() -> T,
+) -> (BenchRecord, T) {
+    let _ = f(); // warmup, not measured
+    let start = Instant::now();
+    let mut last = Some(f());
+    let mut iters = 1u64;
+    while iters < min_iters.max(1) || start.elapsed() < min_total {
+        // Drop the previous output before recomputing: peak memory stays
+        // 1× the output size, and the allocator can hand the freed pages
+        // straight back instead of faulting in fresh ones.
+        drop(last.take());
+        last = Some(f());
+        iters += 1;
+    }
+    let last = last.expect("at least one measured iteration");
+    let total = start.elapsed().as_secs_f64();
+    let record = BenchRecord {
+        name: name.to_string(),
+        wall_ms: total * 1e3 / iters as f64,
+        iters,
+        per_second: work_units.map(|u| u as f64 * iters as f64 / total),
+    };
+    (record, last)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_number(v: f64) -> String {
+    assert!(v.is_finite(), "bench JSON numbers must be finite, got {v}");
+    // Rust's shortest-roundtrip float formatting is valid JSON for any
+    // finite value (always digits, optional '.', optional 'e' exponent).
+    let s = format!("{v}");
+    if s.contains(['.', 'e']) { s } else { format!("{s}.0") }
+}
+
+/// Renders the committed `BENCH_*.json` document: a bench label,
+/// free-form string metadata, the measured records, and top-level
+/// numeric summary fields (e.g. the headline speedup).
+pub fn bench_json_string(
+    bench: &str,
+    meta: &[(&str, String)],
+    records: &[BenchRecord],
+    summary: &[(&str, f64)],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(bench)));
+    out.push_str("  \"meta\": {");
+    for (i, (k, v)) in meta.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    \"{}\": \"{}\"", json_escape(k), json_escape(v)));
+    }
+    out.push_str(if meta.is_empty() { "},\n" } else { "\n  },\n" });
+    out.push_str("  \"records\": [");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"wall_ms_per_iter\": {}, \"iters\": {}",
+            json_escape(&r.name),
+            json_number(r.wall_ms),
+            r.iters
+        ));
+        if let Some(ps) = r.per_second {
+            out.push_str(&format!(", \"per_second\": {}", json_number(ps)));
+        }
+        out.push('}');
+    }
+    out.push_str(if records.is_empty() { "]" } else { "\n  ]" });
+    for (k, v) in summary {
+        out.push_str(&format!(",\n  \"{}\": {}", json_escape(k), json_number(*v)));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Writes [`bench_json_string`] to the path named by `DIFFY_BENCH_JSON`,
+/// if that variable is set. Returns the path written to, if any.
+pub fn write_bench_json(
+    bench: &str,
+    meta: &[(&str, String)],
+    records: &[BenchRecord],
+    summary: &[(&str, f64)],
+) -> Option<std::path::PathBuf> {
+    let path = std::path::PathBuf::from(std::env::var_os("DIFFY_BENCH_JSON")?);
+    let doc = bench_json_string(bench, meta, records, summary);
+    std::fs::write(&path, doc).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    Some(path)
+}
+
 /// Geometric mean of a non-empty slice.
 pub fn geomean(values: &[f64]) -> f64 {
     assert!(!values.is_empty(), "geomean of empty slice");
@@ -126,6 +270,67 @@ pub fn geomean(values: &[f64]) -> f64 {
 mod tests {
     use super::*;
     use diffy_core::runner::{ci_trace_bundle, datasets_for};
+
+    #[test]
+    fn json_emitter_renders_valid_structure() {
+        let records = vec![
+            BenchRecord {
+                name: "ref".into(),
+                wall_ms: 1200.5,
+                iters: 3,
+                per_second: Some(2.0e6),
+            },
+            BenchRecord { name: "opt".into(), wall_ms: 80.0, iters: 10, per_second: None },
+        ];
+        let doc = bench_json_string(
+            "term_serial",
+            &[("resolution", "16x1080x1920".to_string())],
+            &records,
+            &[("speedup_hd", 15.0)],
+        );
+        assert!(doc.contains("\"bench\": \"term_serial\""));
+        assert!(doc.contains("\"resolution\": \"16x1080x1920\""));
+        assert!(doc.contains("\"name\": \"ref\", \"wall_ms_per_iter\": 1200.5, \"iters\": 3"));
+        assert!(doc.contains("\"per_second\": 2000000.0"));
+        assert!(doc.contains("\"speedup_hd\": 15.0"));
+        // Integral floats must still read as JSON numbers with a decimal
+        // point, and the optional per_second key is really optional.
+        assert!(doc.contains("\"wall_ms_per_iter\": 80.0, \"iters\": 10}"));
+        // Balanced braces/brackets — cheap well-formedness check.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let opens = doc.matches(open).count();
+            let closes = doc.matches(close).count();
+            assert_eq!(opens, closes, "unbalanced {open}{close}");
+        }
+    }
+
+    #[test]
+    fn json_emitter_escapes_strings() {
+        let doc = bench_json_string(
+            "a\"b\\c\nd",
+            &[("k\t", "v\u{1}".to_string())],
+            &[],
+            &[],
+        );
+        assert!(doc.contains("\"bench\": \"a\\\"b\\\\c\\nd\""));
+        assert!(doc.contains("\"k\\t\": \"v\\u0001\""));
+        assert!(doc.contains("\"records\": []"));
+    }
+
+    #[test]
+    fn time_kernel_measures_and_returns_last_output() {
+        let mut calls = 0u64;
+        let (rec, out) = time_kernel("tick", 4, Duration::ZERO, Some(100), || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(rec.iters, 4);
+        assert_eq!(out, 5, "warmup + 4 measured iterations");
+        assert_eq!(calls, 5);
+        assert!(rec.wall_ms >= 0.0);
+        let ps = rec.per_second.expect("work units given");
+        assert!(ps > 0.0);
+    }
 
     #[test]
     fn geomean_of_known_values() {

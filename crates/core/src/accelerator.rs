@@ -6,15 +6,24 @@
 //! double-buffered row dataflow, with the storage scheme setting the
 //! transfer volume.
 
+use crate::parallel::KeyedCache;
 use diffy_encoding::StorageScheme;
 use diffy_memsys::overlap::{combine, fps, LayerTiming};
 use diffy_memsys::traffic::{layer_traffic, network_traffic_profiled, LayerTraffic};
 use diffy_memsys::MemorySystem;
-use diffy_models::NetworkTrace;
+use diffy_models::{LayerTrace, NetworkTrace};
 use diffy_sim::scnn::{scnn_network, ScnnConfig};
 use diffy_sim::{
-    term_serial_network, vaa_network, AcceleratorConfig, Architecture, LayerCycles, ValueMode,
+    term_serial_network_with_terms, vaa_network, AcceleratorConfig, Architecture, LayerCycles,
+    PaddedTerms, ValueMode,
 };
+use std::sync::Arc;
+
+/// A per-layer source of prebuilt [`PaddedTerms`], shared across the
+/// evaluations of one trace so N architectures/configurations pay the
+/// expensive term-plane build once per layer (see `diffy_sim`'s
+/// group-reduced term planes). Must be callable from several workers.
+pub type TermPlaneSource<'a> = &'a (dyn Fn(usize, &LayerTrace) -> Arc<PaddedTerms> + Sync);
 
 /// Activation storage scheme selection, including the paper's "Ideal"
 /// (infinite bandwidth) configuration.
@@ -70,7 +79,7 @@ impl EvalOptions {
 }
 
 /// Per-layer evaluation result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerResult {
     /// Layer name.
     pub name: String,
@@ -83,7 +92,7 @@ pub struct LayerResult {
 }
 
 /// Whole-network evaluation result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkResult {
     /// Model name.
     pub model: String,
@@ -167,19 +176,57 @@ pub fn evaluate_network_batch(
     jobs: &[(&NetworkTrace, EvalOptions)],
     par: crate::parallel::Jobs,
 ) -> Vec<NetworkResult> {
+    // Jobs in one batch frequently evaluate the *same* trace under many
+    // architectures/configurations; share each layer's term planes across
+    // them, keyed by trace identity (the borrows outlive the batch, so
+    // addresses are stable and unique for its duration). Sharing never
+    // changes results — planes are a pure function of the layer.
+    let planes: KeyedCache<(usize, usize), PaddedTerms> = KeyedCache::new();
     let tasks: Vec<_> = jobs
         .iter()
-        .map(|&(trace, opts)| move || evaluate_network(trace, &opts))
+        .map(|&(trace, opts)| {
+            let planes = &planes;
+            move || {
+                let trace_id = trace as *const NetworkTrace as usize;
+                let source = |i: usize, layer: &LayerTrace| {
+                    planes.get_or_compute((trace_id, i), || PaddedTerms::for_layer(layer))
+                };
+                evaluate_network_with_terms(trace, &opts, Some(&source))
+            }
+        })
         .collect();
     crate::parallel::run_jobs(tasks, par)
 }
 
 /// Evaluates a network trace under the given options.
 pub fn evaluate_network(trace: &NetworkTrace, opts: &EvalOptions) -> NetworkResult {
+    evaluate_network_with_terms(trace, opts, None)
+}
+
+/// [`evaluate_network`] over an optional shared term-plane source.
+///
+/// The term-serial architectures (PRA, Diffy) draw each layer's
+/// [`PaddedTerms`] from `terms`, so callers evaluating one trace many
+/// times (sweeps, architecture comparisons, tile ladders) amortize the
+/// build; `None` builds fresh planes per layer, exactly once per
+/// evaluation. Results are bit-identical either way.
+pub fn evaluate_network_with_terms(
+    trace: &NetworkTrace,
+    opts: &EvalOptions,
+    terms: Option<TermPlaneSource<'_>>,
+) -> NetworkResult {
+    let terms_for = |i: usize, layer: &LayerTrace| match terms {
+        Some(source) => source(i, layer),
+        None => Arc::new(PaddedTerms::for_layer(layer)),
+    };
     let compute = match opts.arch {
         Architecture::Vaa => vaa_network(trace, &opts.cfg),
-        Architecture::Pra => term_serial_network(trace, &opts.cfg, ValueMode::Raw),
-        Architecture::Diffy => term_serial_network(trace, &opts.cfg, ValueMode::Differential),
+        Architecture::Pra => {
+            term_serial_network_with_terms(trace, &opts.cfg, ValueMode::Raw, terms_for)
+        }
+        Architecture::Diffy => {
+            term_serial_network_with_terms(trace, &opts.cfg, ValueMode::Differential, terms_for)
+        }
         Architecture::Scnn => scnn_network(
             trace,
             &ScnnConfig { frequency_ghz: opts.cfg.frequency_ghz, ..Default::default() },

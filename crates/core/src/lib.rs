@@ -49,11 +49,12 @@ pub mod system;
 pub mod tile;
 
 pub use accelerator::{
-    evaluate_network, evaluate_network_batch, EvalOptions, NetworkResult, SchemeChoice,
+    evaluate_network, evaluate_network_batch, evaluate_network_with_terms, EvalOptions,
+    NetworkResult, SchemeChoice, TermPlaneSource,
 };
 pub use dc::differential_conv2d;
 pub use parallel::{run_jobs, Jobs, KeyedCache};
 pub use runner::{
     ci_trace_bundle, class_trace_bundle, ci_trace_bundles_par, sweep_par, SweepCache, SweepJob,
-    TraceBundle, WorkloadOptions,
+    TraceBundle, TraceKey, WorkloadOptions,
 };

@@ -6,11 +6,14 @@
 //! A [`TraceBundle`] carries the traced source-pixel count so projections
 //! stay honest.
 
-use crate::accelerator::{evaluate_network, EvalOptions, NetworkResult};
+use crate::accelerator::{
+    evaluate_network, evaluate_network_with_terms, EvalOptions, NetworkResult,
+};
 use crate::parallel::{run_jobs, Jobs, KeyedCache};
 use diffy_imaging::datasets::DatasetId;
 use diffy_imaging::scenes::{render_scene, SceneKind};
-use diffy_models::{run_network, CiModel, ClassModel, NetworkTrace, NetworkWeights};
+use diffy_models::{run_network, CiModel, ClassModel, LayerTrace, NetworkTrace, NetworkWeights};
+use diffy_sim::PaddedTerms;
 use diffy_tensor::Quantizer;
 use std::sync::{Arc, OnceLock};
 
@@ -140,13 +143,14 @@ pub fn class_trace_bundle(model: ClassModel, resolution: usize, seed: u64) -> Tr
 
 /// Cache key for a trace: everything [`ci_trace_bundle`] derives its
 /// output from — model, dataset, sample, trace resolution, and seed.
-type TraceKey = (CiModel, DatasetId, usize, usize, u64);
+pub type TraceKey = (CiModel, DatasetId, usize, usize, u64);
 
 /// Compute-once store for the expensive artifacts of a sweep: network
-/// weights keyed by `(model, seed)` and trace bundles keyed by
-/// `(model, dataset, sample, resolution, seed)`.
+/// weights keyed by `(model, seed)`, trace bundles keyed by
+/// `(model, dataset, sample, resolution, seed)`, and per-layer
+/// term planes (`diffy_sim::PaddedTerms`) keyed by `(trace key, layer)`.
 ///
-/// Both artifact kinds are pure functions of their keys, so cached
+/// All three artifact kinds are pure functions of their keys, so cached
 /// values are interchangeable with fresh regeneration — the cache only
 /// removes the déjà vu of recomputing them for every consumer. Safe to
 /// share across threads; concurrent requests for the same key compute it
@@ -155,6 +159,7 @@ type TraceKey = (CiModel, DatasetId, usize, usize, u64);
 pub struct SweepCache {
     weights: KeyedCache<(CiModel, u64), NetworkWeights>,
     traces: KeyedCache<TraceKey, TraceBundle>,
+    term_planes: KeyedCache<(TraceKey, usize), PaddedTerms>,
 }
 
 impl SweepCache {
@@ -190,6 +195,39 @@ impl SweepCache {
         })
     }
 
+    /// The term planes of layer `index` of the trace identified by
+    /// `key`, built at most once per `(key, index)` no matter how many
+    /// architectures, value modes or configurations evaluate the trace.
+    pub fn layer_terms(
+        &self,
+        key: TraceKey,
+        index: usize,
+        layer: &LayerTrace,
+    ) -> Arc<PaddedTerms> {
+        self.term_planes
+            .get_or_compute((key, index), || PaddedTerms::for_layer(layer))
+    }
+
+    /// Evaluates `(model, dataset, sample)` under `eval`, drawing the
+    /// bundle **and** every layer's term planes from this cache: a sweep
+    /// that prices N architectures on one trace pays the trace build and
+    /// each plane build exactly once. Bit-identical to
+    /// [`TraceBundle::evaluate`] on a fresh bundle.
+    pub fn evaluate(
+        &self,
+        model: CiModel,
+        dataset: DatasetId,
+        sample: usize,
+        opts: &WorkloadOptions,
+        eval: &EvalOptions,
+    ) -> NetworkResult {
+        let bundle = self.bundle(model, dataset, sample, opts);
+        let key: TraceKey = (model, dataset, sample, opts.resolution, opts.seed);
+        let source =
+            |i: usize, layer: &LayerTrace| self.layer_terms(key, i, layer);
+        evaluate_network_with_terms(&bundle.trace, eval, Some(&source))
+    }
+
     /// Number of distinct weight sets materialized so far.
     pub fn cached_weights(&self) -> usize {
         self.weights.len()
@@ -198,6 +236,11 @@ impl SweepCache {
     /// Number of distinct traces materialized so far.
     pub fn cached_traces(&self) -> usize {
         self.traces.len()
+    }
+
+    /// Number of distinct per-layer term planes materialized so far.
+    pub fn cached_term_planes(&self) -> usize {
+        self.term_planes.len()
     }
 }
 
@@ -219,9 +262,9 @@ pub struct SweepJob {
 /// results **in job order** — bit-identical to evaluating the jobs one
 /// by one in a loop, at any worker count (see [`crate::parallel`]).
 ///
-/// Traces and weights are materialized at most once per key through
-/// `cache`, no matter how many jobs share them or which worker gets
-/// there first.
+/// Traces, weights and per-layer term planes are materialized at most
+/// once per key through `cache`, no matter how many jobs share them or
+/// which worker gets there first.
 pub fn sweep_par(
     jobs: &[SweepJob],
     opts: &WorkloadOptions,
@@ -232,10 +275,7 @@ pub fn sweep_par(
         .iter()
         .map(|job| {
             let job = *job;
-            move || {
-                let bundle = cache.bundle(job.model, job.dataset, job.sample, opts);
-                bundle.evaluate(&job.eval)
-            }
+            move || cache.evaluate(job.model, job.dataset, job.sample, opts, &job.eval)
         })
         .collect();
     run_jobs(tasks, par)
@@ -386,6 +426,78 @@ mod tests {
             assert_eq!(p.sample, s.sample);
             assert_eq!(p.trace.output, s.trace.output);
         }
+    }
+
+    #[test]
+    fn cached_evaluate_matches_fresh_bundle_evaluate() {
+        // SweepCache::evaluate draws the trace and every layer's term
+        // planes from the cache; the result must be bit-identical to a
+        // fresh, uncached TraceBundle::evaluate for every architecture.
+        let opts = WorkloadOptions::test_small();
+        let cache = SweepCache::new();
+        let fresh = ci_trace_bundle(CiModel::Ircnn, DatasetId::Kodak24, 0, &opts);
+        for arch in [Architecture::Vaa, Architecture::Pra, Architecture::Diffy] {
+            let eval = EvalOptions::new(arch, SchemeChoice::Ideal);
+            let cached =
+                cache.evaluate(CiModel::Ircnn, DatasetId::Kodak24, 0, &opts, &eval);
+            assert_eq!(cached, fresh.evaluate(&eval), "{arch:?} must be cache-invariant");
+        }
+    }
+
+    #[test]
+    fn term_planes_built_once_per_layer_across_architectures() {
+        // Pricing N architectures on one trace must build each layer's
+        // term planes exactly once: the plane count equals the layer
+        // count after the first term-serial evaluation and stays flat.
+        let opts = WorkloadOptions::test_small();
+        let cache = SweepCache::new();
+        assert_eq!(cache.cached_term_planes(), 0);
+
+        // VAA never touches term planes.
+        let vaa = EvalOptions::new(Architecture::Vaa, SchemeChoice::Ideal);
+        cache.evaluate(CiModel::Ircnn, DatasetId::Kodak24, 0, &opts, &vaa);
+        assert_eq!(cache.cached_term_planes(), 0, "VAA needs no term planes");
+
+        let layers =
+            cache.bundle(CiModel::Ircnn, DatasetId::Kodak24, 0, &opts).trace.layers.len();
+        let pra = EvalOptions::new(Architecture::Pra, SchemeChoice::Ideal);
+        cache.evaluate(CiModel::Ircnn, DatasetId::Kodak24, 0, &opts, &pra);
+        assert_eq!(cache.cached_term_planes(), layers, "one build per layer");
+
+        // Diffy (and a repeated PRA run) reuse the same planes.
+        let diffy = EvalOptions::new(Architecture::Diffy, SchemeChoice::Ideal);
+        cache.evaluate(CiModel::Ircnn, DatasetId::Kodak24, 0, &opts, &diffy);
+        cache.evaluate(CiModel::Ircnn, DatasetId::Kodak24, 0, &opts, &pra);
+        assert_eq!(cache.cached_term_planes(), layers, "no rebuilds across modes");
+
+        // A different trace key gets its own planes.
+        cache.evaluate(CiModel::Ircnn, DatasetId::Cbsd68, 0, &opts, &diffy);
+        assert_eq!(cache.cached_term_planes(), 2 * layers);
+    }
+
+    #[test]
+    fn sweep_par_shares_planes_and_matches_serial() {
+        // A sweep of several architectures over one sample: results must
+        // match job-by-job serial evaluation, and the cache must hold one
+        // plane set per layer regardless of worker count.
+        let opts = WorkloadOptions::test_small();
+        let mut jobs = Vec::new();
+        for arch in [Architecture::Pra, Architecture::Diffy, Architecture::Pra] {
+            jobs.push(SweepJob {
+                model: CiModel::Ircnn,
+                dataset: DatasetId::Hd33,
+                sample: 0,
+                eval: EvalOptions::new(arch, SchemeChoice::Ideal),
+            });
+        }
+        let cache = SweepCache::new();
+        let par = sweep_par(&jobs, &opts, Jobs::new(3), &cache);
+        let fresh = ci_trace_bundle(CiModel::Ircnn, DatasetId::Hd33, 0, &opts);
+        for (r, job) in par.iter().zip(&jobs) {
+            assert_eq!(*r, fresh.evaluate(&job.eval));
+        }
+        assert_eq!(cache.cached_traces(), 1);
+        assert_eq!(cache.cached_term_planes(), fresh.trace.layers.len());
     }
 
     #[test]

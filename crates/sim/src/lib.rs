@@ -42,5 +42,9 @@ pub use config::{AcceleratorConfig, Architecture};
 pub use report::{LayerCycles, NetworkCycles};
 pub use stripes::{stripes_layer, stripes_network};
 pub use temporal::{temporal_network, TemporalMode};
-pub use term_serial::{selective_network, term_serial_layer, term_serial_network, ValueMode};
+pub use term_serial::{
+    selective_network, selective_network_with_terms, term_serial_layer,
+    term_serial_layer_reference, term_serial_layer_with_terms, term_serial_network,
+    term_serial_network_with_terms, GroupPlanes, PaddedTerms, ValueMode,
+};
 pub use vaa::{vaa_layer, vaa_network};

@@ -54,33 +54,44 @@ fn ratio(num: u64, den: u64) -> f64 {
 }
 
 /// Accumulates the potential of one layer's convolution stream.
+///
+/// Builds the layer's [`PaddedTerms`] and delegates to
+/// [`layer_potential_with_terms`]; callers that also run the cycle model
+/// on the same trace should share one plane build per layer.
 pub fn layer_potential(trace: &LayerTrace) -> Potential {
+    let terms = PaddedTerms::for_layer(trace);
+    layer_potential_with_terms(trace, &terms)
+}
+
+/// [`layer_potential`] over prebuilt term planes.
+///
+/// Per window the three counters are whole-window integers the planes
+/// already hold: `ALL` is the fetch count times [`ACT_BITS`], and the
+/// effectual raw/delta totals are summed-area lookups over the
+/// channel-sum planes — identical integers to the element-wise
+/// accumulation, without re-walking `Kh·Kw·C` term fetches per window.
+pub fn layer_potential_with_terms(trace: &LayerTrace, terms: &PaddedTerms) -> Potential {
     let ishape = trace.imap.shape();
     let fshape = trace.fmaps.shape();
     let out = trace.out_shape();
     let s = trace.geom.stride;
     let d = trace.geom.dilation;
-    let terms = PaddedTerms::build(&trace.imap, trace.geom.pad, s);
+    let fetches_per_window = (fshape.h * fshape.w * ishape.c) as u64;
 
     let mut p = Potential::default();
     for oy in 0..out.h {
+        let py0 = oy * s;
         for ox in 0..out.w {
             let use_delta = ox != 0;
-            for j in 0..fshape.h {
-                let py = oy * s + j * d;
-                for i in 0..fshape.w {
-                    let px = ox * s + i * d;
-                    for c in 0..ishape.c {
-                        p.all_terms += ACT_BITS as u64;
-                        p.raw_terms += terms.raw_at(c, py, px) as u64;
-                        p.delta_terms += if use_delta {
-                            terms.delta_at(c, py, px) as u64
-                        } else {
-                            terms.raw_at(c, py, px) as u64
-                        };
-                    }
-                }
-            }
+            let px0 = ox * s;
+            p.all_terms += fetches_per_window * ACT_BITS as u64;
+            let raw = terms.sum_window(false, py0, px0, fshape.h, fshape.w, d);
+            p.raw_terms += raw;
+            p.delta_terms += if use_delta {
+                terms.sum_window(true, py0, px0, fshape.h, fshape.w, d)
+            } else {
+                raw
+            };
         }
     }
     p
@@ -146,6 +157,69 @@ mod tests {
         let p = layer_potential(&t);
         assert!(p.raw_speedup() >= 16.0 / 9.0);
         assert!(p.delta_speedup() >= 16.0 / 10.0); // 17-bit deltas, wrapped to 16
+    }
+
+    /// The original element-wise accumulation, kept as the oracle for the
+    /// plane-based fast path.
+    fn layer_potential_reference(trace: &LayerTrace) -> Potential {
+        let ishape = trace.imap.shape();
+        let fshape = trace.fmaps.shape();
+        let out = trace.out_shape();
+        let s = trace.geom.stride;
+        let d = trace.geom.dilation;
+        let terms = PaddedTerms::for_layer(trace);
+        let mut p = Potential::default();
+        for oy in 0..out.h {
+            for ox in 0..out.w {
+                let use_delta = ox != 0;
+                for j in 0..fshape.h {
+                    let py = oy * s + j * d;
+                    for i in 0..fshape.w {
+                        let px = ox * s + i * d;
+                        for c in 0..ishape.c {
+                            p.all_terms += ACT_BITS as u64;
+                            p.raw_terms += terms.raw_at(c, py, px) as u64;
+                            p.delta_terms += if use_delta {
+                                terms.delta_at(c, py, px) as u64
+                            } else {
+                                terms.raw_at(c, py, px) as u64
+                            };
+                        }
+                    }
+                }
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn plane_based_potential_matches_elementwise_reference() {
+        use diffy_tensor::ConvGeometry;
+        let mk = |c: usize, h: usize, w: usize, geom: ConvGeometry, salt: u64| {
+            let data: Vec<i16> = (0..c * h * w)
+                .map(|i| ((i as u64).wrapping_mul(2862933555777941757).wrapping_add(salt) >> 43) as i16)
+                .collect();
+            LayerTrace {
+                name: "t".into(),
+                index: 0,
+                imap: Tensor3::from_vec(c, h, w, data),
+                fmaps: Tensor4::<i16>::filled(4, c, 3, 3, 1),
+                geom,
+                relu: true,
+                requant_shift: 12,
+                requant_bias: 0,
+                next_stride: 1,
+            }
+        };
+        for (geom, salt) in [
+            (ConvGeometry::same(3, 3), 1u64),
+            (ConvGeometry::strided(2, 1), 2),
+            (ConvGeometry::same_dilated(3, 2), 3),
+            (ConvGeometry { stride: 2, pad: 2, dilation: 2 }, 4),
+        ] {
+            let t = mk(5, 12, 15, geom, salt);
+            assert_eq!(layer_potential(&t), layer_potential_reference(&t), "{geom:?}");
+        }
     }
 
     #[test]

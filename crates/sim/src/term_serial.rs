@@ -15,11 +15,39 @@
 //! leftmost window is processed raw (§III-D). The DR reconstruction adds
 //! and the Delta_out engine are fully overlapped with compute (§III-E:
 //! "there is plenty of time to reconstruct") and add no cycles.
+//!
+//! # Group-reduced term planes
+//!
+//! Every window that touches a padded position `(py, px)` pays the same
+//! per-position price: the sum over `⌈C/g⌉` channel chunks of each
+//! chunk's maximum term count (its synchronization cost), and the plain
+//! channel sum (its slot/energy accounting). Both are pure functions of
+//! the imap, so [`PaddedTerms`] precomputes them **once per layer**
+//! instead of re-reducing `Kh·Kw·C` term fetches per window:
+//!
+//! * the per-channel raw/delta term planes (`u8`, as fetched by the
+//!   reference loop nest and the potential model);
+//! * per-position channel-sum planes plus their summed-area tables, so a
+//!   window's total term count is four lookups;
+//! * per-`g` [`GroupPlanes`] — the chunk-max reduction collapsed into a
+//!   per-position cost plane with its own summed-area table, memoized per
+//!   synchronization group so `T_x` sweeps over one trace reuse the
+//!   expensive Booth pass.
+//!
+//! With dilation 1 (any stride) a window's cost is O(1) via the summed
+//! area tables; dilated windows fall back to `Kh·Kw` plane lookups —
+//! still `C/g`-fold (16× at the paper's T16) less inner work than the
+//! reference. The reference loop nest survives as
+//! [`term_serial_layer_reference`] and the optimized kernel is
+//! cross-validated against it for exact cycle/slot equality (unit tests,
+//! `crates/sim/tests/proptests.rs`, `tests/tile_cross_validation.rs`).
 
 use crate::config::AcceleratorConfig;
 use crate::report::{LayerCycles, NetworkCycles};
 use diffy_encoding::booth_terms;
 use diffy_models::{LayerTrace, NetworkTrace};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Which value stream the SIP lanes consume.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -30,84 +58,458 @@ pub enum ValueMode {
     Differential,
 }
 
-/// Zero-padded per-element Booth-term counts for one imap, for both the
-/// raw values and their horizontal deltas.
+/// Zero-padded per-element Booth-term counts for one imap — raw values
+/// and their horizontal (stride-distant) deltas — plus the group-reduced
+/// planes the optimized kernel reads.
 ///
-/// Public within the crate so the potential model (Fig. 4) can reuse it.
-pub(crate) struct PaddedTerms {
+/// Building one is the expensive, `O(C·PH·PW)` part of the term-serial
+/// model; everything downstream ([`term_serial_layer_with_terms`],
+/// [`selective_network`], [`crate::potential`]) reuses a shared build.
+/// The experiment runner additionally keys these per layer in its sweep
+/// cache so N architectures evaluated on one trace pay the build once.
+pub struct PaddedTerms {
     c: usize,
     ph: usize,
     pw: usize,
+    /// Per-channel raw term counts, `c × ph × pw`, channels-outer.
     raw: Vec<u8>,
+    /// Per-channel delta term counts, same layout.
     delta: Vec<u8>,
+    /// Per-position channel sums of `raw` (`ph × pw`).
+    raw_sum: Vec<u32>,
+    /// Per-position channel sums of `delta`.
+    delta_sum: Vec<u32>,
+    /// Summed-area table of `raw_sum`, `(ph+1) × (pw+1)`.
+    raw_sum_sat: Vec<u64>,
+    /// Summed-area table of `delta_sum`.
+    delta_sum_sat: Vec<u64>,
+    /// Group-reduced cost planes, memoized per synchronization group `g`.
+    grouped: Mutex<HashMap<usize, Arc<GroupPlanes>>>,
 }
+
+/// The group-reduced cost planes for one synchronization group size `g`:
+/// per padded position, the sum over channel chunks of each chunk's
+/// maximum term count — exactly the integer the reference loop nest
+/// accumulates per `(j, i)` brick step — for both value streams, with
+/// summed-area tables for O(1) dense-window evaluation.
+pub struct GroupPlanes {
+    g: usize,
+    pw: usize,
+    raw_cost: Vec<u32>,
+    delta_cost: Vec<u32>,
+    raw_cost_sat: Vec<u64>,
+    delta_cost_sat: Vec<u64>,
+}
+
+/// Sums `plane` over one filter window anchored at `(py0, px0)`.
+///
+/// Dilation 1 uses the summed-area table (four lookups, any stride);
+/// dilated windows walk the `kh × kw` sampled positions directly. Both
+/// paths compute the identical integer: addition over `u32` entries is
+/// exact in `u64` at any association.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn window_total(
+    plane: &[u32],
+    sat: &[u64],
+    pw: usize,
+    py0: usize,
+    px0: usize,
+    kh: usize,
+    kw: usize,
+    dilation: usize,
+) -> u64 {
+    if dilation == 1 {
+        let w1 = pw + 1;
+        (sat[(py0 + kh) * w1 + (px0 + kw)] + sat[py0 * w1 + px0])
+            - (sat[py0 * w1 + (px0 + kw)] + sat[(py0 + kh) * w1 + px0])
+    } else {
+        let mut total = 0u64;
+        for j in 0..kh {
+            let row = (py0 + j * dilation) * pw;
+            for i in 0..kw {
+                total += plane[row + px0 + i * dilation] as u64;
+            }
+        }
+        total
+    }
+}
+
+/// Builds the `(ph+1) × (pw+1)` summed-area table of a `ph × pw` plane.
+fn summed_area(plane: &[u32], ph: usize, pw: usize) -> Vec<u64> {
+    let w1 = pw + 1;
+    let mut sat = vec![0u64; (ph + 1) * w1];
+    for y in 0..ph {
+        let mut row_acc = 0u64;
+        for x in 0..pw {
+            row_acc += plane[y * pw + x] as u64;
+            sat[(y + 1) * w1 + (x + 1)] = sat[y * w1 + (x + 1)] + row_acc;
+        }
+    }
+    sat
+}
+
+/// Worker count for the plane builders (available parallelism; 1 when
+/// the platform cannot report it).
+fn parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `fill(start, slice)` over contiguous position ranges of `out`,
+/// fanning large planes out over scoped threads. Each position's value
+/// depends only on that position, so any worker count (including the
+/// serial path) produces identical planes.
+fn fill_positions(out: &mut [u32], fill: impl Fn(usize, &mut [u32]) + Sync) {
+    let len = out.len();
+    let workers = parallelism();
+    if workers > 1 && len >= PAR_BUILD_THRESHOLD {
+        let per = len.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (t, chunk) in out.chunks_mut(per).enumerate() {
+                let fill = &fill;
+                scope.spawn(move || fill(t * per, chunk));
+            }
+        });
+    } else {
+        fill(0, out);
+    }
+}
+
+/// Collapses per-channel term planes into per-position channel sums.
+fn channel_sum(terms: &[u8], c: usize, plane_len: usize) -> Vec<u32> {
+    let mut sum = vec![0u32; plane_len];
+    fill_positions(&mut sum, |start, out| {
+        let n = out.len();
+        for ch in 0..c {
+            let base = ch * plane_len + start;
+            for (dst, &t) in out.iter_mut().zip(&terms[base..base + n]) {
+                *dst += t as u32;
+            }
+        }
+    });
+    sum
+}
+
+/// Collapses per-channel term planes into the group-reduced cost plane:
+/// per position, the sum over `⌈c/g⌉` chunks of the chunk maximum.
+fn group_cost(terms: &[u8], c: usize, plane_len: usize, g: usize) -> Vec<u32> {
+    let mut cost = vec![0u32; plane_len];
+    fill_positions(&mut cost, |start, out| {
+        let n = out.len();
+        let mut chunk_max = vec![0u8; n];
+        let mut c0 = 0usize;
+        while c0 < c {
+            let c1 = (c0 + g).min(c);
+            chunk_max.fill(0);
+            for ch in c0..c1 {
+                let base = ch * plane_len + start;
+                for (m, &t) in chunk_max.iter_mut().zip(&terms[base..base + n]) {
+                    if t > *m {
+                        *m = t;
+                    }
+                }
+            }
+            for (dst, &m) in out.iter_mut().zip(&chunk_max) {
+                *dst += m as u32;
+            }
+            c0 = c1;
+        }
+    });
+    cost
+}
+
+/// Fills one channel's raw/delta term planes (`ph × pw` each).
+///
+/// Interior rows are read through direct slice access on a reusable
+/// padded row buffer (one bounds check per row, not two per element);
+/// fully-padded border rows are all-zero values with all-zero
+/// stride-distant predecessors, so their term counts stay at the
+/// plane's zero initialization. Left/right padding of the scratch row is
+/// written once and never overwritten; only the interior span changes
+/// per row.
+#[allow(clippy::too_many_arguments)]
+fn fill_channel(
+    imap: &diffy_tensor::Tensor3<i16>,
+    c: usize,
+    pad: usize,
+    stride: usize,
+    pw: usize,
+    padded_row: &mut [i16],
+    raw: &mut [u8],
+    delta: &mut [u8],
+) {
+    let h = imap.shape().h;
+    for py in pad..pad + h {
+        padded_row[pad..pad + imap.shape().w].copy_from_slice(imap.row(c, py - pad));
+        let base = py * pw;
+        for px in 0..pw {
+            let v = padded_row[px];
+            raw[base + px] = booth_terms(v) as u8;
+            let prev = if px >= stride { padded_row[px - stride] } else { 0 };
+            delta[base + px] = booth_terms(v.wrapping_sub(prev)) as u8;
+        }
+    }
+}
+
+/// Plane size (elements) above which the builders fan channel fills and
+/// plane reductions out over scoped threads. Small layers stay serial —
+/// thread spawn costs more than the fill.
+const PAR_BUILD_THRESHOLD: usize = 1 << 20;
 
 impl PaddedTerms {
     /// Builds term counts for `imap` padded by `pad` on every spatial
     /// border, with deltas taken at distance `stride` along W.
-    pub(crate) fn build(imap: &diffy_tensor::Tensor3<i16>, pad: usize, stride: usize) -> Self {
+    ///
+    /// Large imaps fill their per-channel planes on scoped threads —
+    /// channels are disjoint, so the parallel build is bit-identical to
+    /// the serial one at any worker count.
+    pub fn build(imap: &diffy_tensor::Tensor3<i16>, pad: usize, stride: usize) -> Self {
         let s = imap.shape();
         let (ph, pw) = (s.h + 2 * pad, s.w + 2 * pad);
-        let mut raw = vec![0u8; s.c * ph * pw];
-        let mut delta = vec![0u8; s.c * ph * pw];
-        let at = |c: usize, py: usize, px: usize| -> i16 {
-            let y = py as isize - pad as isize;
-            let x = px as isize - pad as isize;
-            if y < 0 || x < 0 || y as usize >= s.h || x as usize >= s.w {
-                0
-            } else {
-                *imap.at(c, y as usize, x as usize)
-            }
-        };
-        for c in 0..s.c {
-            for py in 0..ph {
-                for px in 0..pw {
-                    let idx = (c * ph + py) * pw + px;
-                    let v = at(c, py, px);
-                    raw[idx] = booth_terms(v) as u8;
-                    let prev = if px >= stride { at(c, py, px - stride) } else { 0 };
-                    delta[idx] = booth_terms(v.wrapping_sub(prev)) as u8;
+        let plane_len = ph * pw;
+        let mut raw = vec![0u8; s.c * plane_len];
+        let mut delta = vec![0u8; s.c * plane_len];
+        let workers = parallelism().min(s.c);
+        if workers > 1 && s.c * plane_len >= PAR_BUILD_THRESHOLD {
+            let per = s.c.div_ceil(workers) * plane_len;
+            std::thread::scope(|scope| {
+                for (t, (raw_chunk, delta_chunk)) in
+                    raw.chunks_mut(per).zip(delta.chunks_mut(per)).enumerate()
+                {
+                    let first = t * (per / plane_len);
+                    scope.spawn(move || {
+                        let mut padded_row = vec![0i16; pw];
+                        for (k, (r, d)) in raw_chunk
+                            .chunks_mut(plane_len)
+                            .zip(delta_chunk.chunks_mut(plane_len))
+                            .enumerate()
+                        {
+                            fill_channel(imap, first + k, pad, stride, pw, &mut padded_row, r, d);
+                        }
+                    });
                 }
+            });
+        } else {
+            let mut padded_row = vec![0i16; pw];
+            for c in 0..s.c {
+                let (r, d) = (
+                    &mut raw[c * plane_len..(c + 1) * plane_len],
+                    &mut delta[c * plane_len..(c + 1) * plane_len],
+                );
+                fill_channel(imap, c, pad, stride, pw, &mut padded_row, r, d);
             }
         }
-        Self { c: s.c, ph, pw, raw, delta }
+        let raw_sum = channel_sum(&raw, s.c, plane_len);
+        let delta_sum = channel_sum(&delta, s.c, plane_len);
+        let raw_sum_sat = summed_area(&raw_sum, ph, pw);
+        let delta_sum_sat = summed_area(&delta_sum, ph, pw);
+        Self {
+            c: s.c,
+            ph,
+            pw,
+            raw,
+            delta,
+            raw_sum,
+            delta_sum,
+            raw_sum_sat,
+            delta_sum_sat,
+            grouped: Mutex::new(HashMap::new()),
+        }
     }
 
+    /// Builds the planes a layer's geometry implies (`pad` and `stride`
+    /// from the trace) — the one keying rule every consumer shares.
+    pub fn for_layer(trace: &LayerTrace) -> Self {
+        Self::build(&trace.imap, trace.geom.pad, trace.geom.stride)
+    }
+
+    /// Channel count of the underlying imap.
+    pub fn channels(&self) -> usize {
+        self.c
+    }
+
+    /// Padded spatial extent `(ph, pw)`.
+    pub fn padded_dims(&self) -> (usize, usize) {
+        (self.ph, self.pw)
+    }
+
+    /// Raw term count at a padded position.
     #[inline]
-    pub(crate) fn raw_at(&self, c: usize, py: usize, px: usize) -> u32 {
+    pub fn raw_at(&self, c: usize, py: usize, px: usize) -> u32 {
         debug_assert!(c < self.c && py < self.ph && px < self.pw);
         self.raw[(c * self.ph + py) * self.pw + px] as u32
     }
 
+    /// Delta term count at a padded position.
     #[inline]
-    pub(crate) fn delta_at(&self, c: usize, py: usize, px: usize) -> u32 {
+    pub fn delta_at(&self, c: usize, py: usize, px: usize) -> u32 {
         debug_assert!(c < self.c && py < self.ph && px < self.pw);
         self.delta[(c * self.ph + py) * self.pw + px] as u32
+    }
+
+    /// Total term count of one filter window over all channels, for the
+    /// chosen stream — the slot-accounting integer of one window visit.
+    #[inline]
+    pub fn sum_window(
+        &self,
+        delta: bool,
+        py0: usize,
+        px0: usize,
+        kh: usize,
+        kw: usize,
+        dilation: usize,
+    ) -> u64 {
+        let (plane, sat) = if delta {
+            (&self.delta_sum, &self.delta_sum_sat)
+        } else {
+            (&self.raw_sum, &self.raw_sum_sat)
+        };
+        window_total(plane, sat, self.pw, py0, px0, kh, kw, dilation)
+    }
+
+    /// The group-reduced cost planes for synchronization group `g`,
+    /// computed once per `g` and shared by every subsequent caller
+    /// (both value modes, the selective ablation, `T_x` sweeps).
+    pub fn grouped(&self, g: usize) -> Arc<GroupPlanes> {
+        assert!(g > 0, "synchronization group must be at least 1");
+        let mut map = self.grouped.lock().expect("group plane memo poisoned");
+        Arc::clone(map.entry(g).or_insert_with(|| {
+            let plane_len = self.ph * self.pw;
+            let raw_cost = group_cost(&self.raw, self.c, plane_len, g);
+            let delta_cost = group_cost(&self.delta, self.c, plane_len, g);
+            let raw_cost_sat = summed_area(&raw_cost, self.ph, self.pw);
+            let delta_cost_sat = summed_area(&delta_cost, self.ph, self.pw);
+            Arc::new(GroupPlanes {
+                g,
+                pw: self.pw,
+                raw_cost,
+                delta_cost,
+                raw_cost_sat,
+                delta_cost_sat,
+            })
+        }))
+    }
+}
+
+impl GroupPlanes {
+    /// The synchronization group these planes were reduced at.
+    pub fn group(&self) -> usize {
+        self.g
+    }
+
+    /// Synchronization cost of one filter window for the chosen stream:
+    /// the sum over its positions and channel chunks of each chunk's
+    /// maximum term count — the cycles one SIP column spends on it.
+    #[inline]
+    pub fn cost_window(
+        &self,
+        delta: bool,
+        py0: usize,
+        px0: usize,
+        kh: usize,
+        kw: usize,
+        dilation: usize,
+    ) -> u64 {
+        let (plane, sat) = if delta {
+            (&self.delta_cost, &self.delta_cost_sat)
+        } else {
+            (&self.raw_cost, &self.raw_cost_sat)
+        };
+        window_total(plane, sat, self.pw, py0, px0, kh, kw, dilation)
+    }
+
+    /// Per-position cost at a padded position (test/diagnostic access).
+    #[inline]
+    pub fn cost_at(&self, delta: bool, py: usize, px: usize) -> u32 {
+        let plane = if delta { &self.delta_cost } else { &self.raw_cost };
+        plane[py * self.pw + px]
+    }
+}
+
+/// Shared prelude of both kernels: shapes, tiling, lane capacity.
+struct KernelGeometry {
+    out: diffy_tensor::Shape3,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    dilation: usize,
+    passes: u64,
+    spatial: u64,
+}
+
+fn kernel_geometry(trace: &LayerTrace, cfg: &AcceleratorConfig) -> KernelGeometry {
+    let fshape = trace.fmaps.shape();
+    let out = trace.out_shape();
+    let (passes, spatial) =
+        crate::report::tile_partition(out.c, out.h, cfg.filters_per_tile, cfg.tiles);
+    KernelGeometry {
+        out,
+        kh: fshape.h,
+        kw: fshape.w,
+        stride: trace.geom.stride,
+        dilation: trace.geom.dilation,
+        passes,
+        spatial,
+    }
+}
+
+fn finish_layer(
+    trace: &LayerTrace,
+    cfg: &AcceleratorConfig,
+    geo: &KernelGeometry,
+    cycles_per_pass: u64,
+    window_terms: u64,
+) -> LayerCycles {
+    let fshape = trace.fmaps.shape();
+    // Sum of active filter rows across passes == K; idle rows in the last
+    // pass are captured by total_slots.
+    let active_filter_sum = geo.out.c as u64;
+    let cycles = (cycles_per_pass * geo.passes).div_ceil(geo.spatial);
+    let lane_capacity = (cfg.lanes * cfg.windows * cfg.filters_per_tile * cfg.tiles) as u64;
+    let macs = (geo.out.c * geo.out.h * geo.out.w) as u64
+        * (fshape.c * fshape.h * fshape.w) as u64;
+    LayerCycles {
+        cycles,
+        useful_slots: window_terms * active_filter_sum,
+        total_slots: cycles * lane_capacity,
+        compute_events: window_terms * active_filter_sum,
+        filter_passes: geo.passes,
+        macs,
     }
 }
 
 /// Simulates one layer on the term-serial architecture.
 ///
 /// Returns compute cycles and slot accounting (memory stalls are folded
-/// in by the experiment runner, which owns the memory model).
+/// in by the experiment runner, which owns the memory model). Builds the
+/// layer's [`PaddedTerms`] and delegates to
+/// [`term_serial_layer_with_terms`]; callers evaluating several modes or
+/// configurations on one trace should build the planes once and share
+/// them.
 pub fn term_serial_layer(
     trace: &LayerTrace,
     cfg: &AcceleratorConfig,
     mode: ValueMode,
 ) -> LayerCycles {
-    let ishape = trace.imap.shape();
-    let fshape = trace.fmaps.shape();
-    let out = trace.out_shape();
-    let g = cfg.terms_per_group;
-    let s = trace.geom.stride;
-    let d = trace.geom.dilation;
-    let terms = PaddedTerms::build(&trace.imap, trace.geom.pad, s);
+    let terms = PaddedTerms::for_layer(trace);
+    term_serial_layer_with_terms(trace, cfg, mode, &terms)
+}
 
-    let (passes, spatial) =
-        crate::report::tile_partition(out.c, out.h, cfg.filters_per_tile, cfg.tiles);
-    // Sum of active filter rows across passes == K; idle rows in the last
-    // pass are captured by total_slots.
-    let active_filter_sum = out.c as u64;
+/// The optimized term-serial kernel over prebuilt term planes.
+///
+/// Bit-identical to [`term_serial_layer_reference`] (cycles,
+/// `useful_slots`, `total_slots`, every field): per window it reads the
+/// same integers the reference reduces, just precomputed — O(1) lookups
+/// at dilation 1, `Kh·Kw` plane reads otherwise, versus the reference's
+/// `Kh·Kw·C` term fetches.
+pub fn term_serial_layer_with_terms(
+    trace: &LayerTrace,
+    cfg: &AcceleratorConfig,
+    mode: ValueMode,
+    terms: &PaddedTerms,
+) -> LayerCycles {
+    let geo = kernel_geometry(trace, cfg);
+    let grouped = terms.grouped(cfg.terms_per_group);
 
     let mut cycles_per_pass: u64 = 0;
     let mut window_terms: u64 = 0;
@@ -117,14 +519,56 @@ pub fn term_serial_layer(
     // narrow layers keep the full window-level parallelism.
     let mut pallet_max: u64 = 0;
     let mut pallet_fill = 0usize;
-    for oy in 0..out.h {
-        for ox in 0..out.w {
+    for oy in 0..geo.out.h {
+        let py0 = oy * geo.stride;
+        for ox in 0..geo.out.w {
+            let use_delta = mode == ValueMode::Differential && ox != 0;
+            let px0 = ox * geo.stride;
+            let col = grouped.cost_window(use_delta, py0, px0, geo.kh, geo.kw, geo.dilation);
+            window_terms += terms.sum_window(use_delta, py0, px0, geo.kh, geo.kw, geo.dilation);
+            if col > pallet_max {
+                pallet_max = col;
+            }
+            pallet_fill += 1;
+            if pallet_fill == cfg.windows {
+                cycles_per_pass += pallet_max;
+                pallet_max = 0;
+                pallet_fill = 0;
+            }
+        }
+    }
+    cycles_per_pass += pallet_max;
+
+    finish_layer(trace, cfg, &geo, cycles_per_pass, window_terms)
+}
+
+/// The original loop nest, kept verbatim as the cross-validation oracle
+/// and the "before" side of the kernel benchmarks: per window it
+/// re-reduces every `terms_per_group` lane group over all `Kh·Kw·C` term
+/// fetches. Semantically authoritative; never used on the hot path.
+pub fn term_serial_layer_reference(
+    trace: &LayerTrace,
+    cfg: &AcceleratorConfig,
+    mode: ValueMode,
+) -> LayerCycles {
+    let ishape = trace.imap.shape();
+    let g = cfg.terms_per_group;
+    let geo = kernel_geometry(trace, cfg);
+    let terms = PaddedTerms::for_layer(trace);
+
+    let mut cycles_per_pass: u64 = 0;
+    let mut window_terms: u64 = 0;
+
+    let mut pallet_max: u64 = 0;
+    let mut pallet_fill = 0usize;
+    for oy in 0..geo.out.h {
+        for ox in 0..geo.out.w {
             let use_delta = mode == ValueMode::Differential && ox != 0;
             let mut col: u64 = 0;
-            for j in 0..fshape.h {
-                let py = oy * s + j * d;
-                for i in 0..fshape.w {
-                    let px = ox * s + i * d;
+            for j in 0..geo.kh {
+                let py = oy * geo.stride + j * geo.dilation;
+                for i in 0..geo.kw {
+                    let px = ox * geo.stride + i * geo.dilation;
                     let mut c0 = 0usize;
                     while c0 < ishape.c {
                         let c1 = (c0 + g).min(ishape.c);
@@ -160,17 +604,7 @@ pub fn term_serial_layer(
     }
     cycles_per_pass += pallet_max;
 
-    let cycles = (cycles_per_pass * passes).div_ceil(spatial);
-    let lane_capacity = (cfg.lanes * cfg.windows * cfg.filters_per_tile * cfg.tiles) as u64;
-    let macs = (out.c * out.h * out.w) as u64 * (fshape.c * fshape.h * fshape.w) as u64;
-    LayerCycles {
-        cycles,
-        useful_slots: window_terms * active_filter_sum,
-        total_slots: cycles * lane_capacity,
-        compute_events: window_terms * active_filter_sum,
-        filter_passes: passes,
-        macs,
-    }
+    finish_layer(trace, cfg, &geo, cycles_per_pass, window_terms)
 }
 
 /// The paper's profiled *selective* Diffy variant (§IV-A): apply
@@ -178,15 +612,34 @@ pub fn term_serial_layer(
 /// raw (PRA) processing otherwise — the per-SIP DR multiplexer makes
 /// this free in hardware. The paper found the overall gain "negligible
 /// and below 1% at best"; this model lets that ablation be reproduced.
+///
+/// Builds each layer's [`PaddedTerms`] exactly once and shares it
+/// between the raw and differential evaluations.
 pub fn selective_network(trace: &NetworkTrace, cfg: &AcceleratorConfig) -> NetworkCycles {
+    selective_network_with_terms(trace, cfg, |_, layer| Arc::new(PaddedTerms::for_layer(layer)))
+}
+
+/// [`selective_network`] over an external plane source: `terms_for(i,
+/// layer)` is called **once per layer** and the result reused for both
+/// value modes (the sweep cache passes its per-layer memo here).
+pub fn selective_network_with_terms<F>(
+    trace: &NetworkTrace,
+    cfg: &AcceleratorConfig,
+    mut terms_for: F,
+) -> NetworkCycles
+where
+    F: FnMut(usize, &LayerTrace) -> Arc<PaddedTerms>,
+{
     NetworkCycles {
         arch: "Diffy-selective",
         layers: trace
             .layers
             .iter()
-            .map(|l| {
-                let raw = term_serial_layer(l, cfg, ValueMode::Raw);
-                let diff = term_serial_layer(l, cfg, ValueMode::Differential);
+            .enumerate()
+            .map(|(i, l)| {
+                let terms = terms_for(i, l);
+                let raw = term_serial_layer_with_terms(l, cfg, ValueMode::Raw, &terms);
+                let diff = term_serial_layer_with_terms(l, cfg, ValueMode::Differential, &terms);
                 if raw.cycles < diff.cycles {
                     raw
                 } else {
@@ -203,6 +656,24 @@ pub fn term_serial_network(
     cfg: &AcceleratorConfig,
     mode: ValueMode,
 ) -> NetworkCycles {
+    term_serial_network_with_terms(trace, cfg, mode, |_, layer| {
+        Arc::new(PaddedTerms::for_layer(layer))
+    })
+}
+
+/// [`term_serial_network`] over an external plane source: `terms_for(i,
+/// layer)` supplies layer `i`'s [`PaddedTerms`] (typically a cache, so
+/// PRA, Diffy and the selective ablation on one trace share one build
+/// per layer).
+pub fn term_serial_network_with_terms<F>(
+    trace: &NetworkTrace,
+    cfg: &AcceleratorConfig,
+    mode: ValueMode,
+    mut terms_for: F,
+) -> NetworkCycles
+where
+    F: FnMut(usize, &LayerTrace) -> Arc<PaddedTerms>,
+{
     NetworkCycles {
         arch: match mode {
             ValueMode::Raw => "PRA",
@@ -211,7 +682,8 @@ pub fn term_serial_network(
         layers: trace
             .layers
             .iter()
-            .map(|l| term_serial_layer(l, cfg, mode))
+            .enumerate()
+            .map(|(i, l)| term_serial_layer_with_terms(l, cfg, mode, &terms_for(i, l)))
             .collect(),
     }
 }
@@ -240,6 +712,21 @@ mod tests {
         AcceleratorConfig::table4()
     }
 
+    fn pseudo_imap(c: usize, h: usize, w: usize, salt: u64) -> Tensor3<i16> {
+        let data: Vec<i16> = (0..c * h * w)
+            .map(|i| ((i as u64).wrapping_mul(6364136223846793005).wrapping_add(salt) >> 41) as i16)
+            .collect();
+        Tensor3::from_vec(c, h, w, data)
+    }
+
+    fn assert_kernels_agree(t: &LayerTrace, cfg: &AcceleratorConfig, what: &str) {
+        for mode in [ValueMode::Raw, ValueMode::Differential] {
+            let opt = term_serial_layer(t, cfg, mode);
+            let reference = term_serial_layer_reference(t, cfg, mode);
+            assert_eq!(opt, reference, "{what} mode {mode:?}");
+        }
+    }
+
     #[test]
     fn zero_imap_costs_zero_compute_cycles() {
         let t = mk_trace(Tensor3::<i16>::new(16, 8, 8), 16, 3, ConvGeometry::same(3, 3));
@@ -250,16 +737,20 @@ mod tests {
 
     #[test]
     fn constant_imap_is_free_for_diffy_after_first_window() {
-        // All-7 imap: raw terms 3 per value (7 = 8 - 1 -> 2 terms actually),
-        // deltas all zero except the leftmost window per row.
+        // All-7 imap: raw terms are 2 per value (7 = 8 - 1, two Booth
+        // terms); deltas are all zero except the leftmost window of each
+        // output row, which is processed raw.
         let t = mk_trace(Tensor3::<i16>::filled(16, 6, 33, 7), 16, 1, ConvGeometry::unit());
         let raw = term_serial_layer(&t, &cfg(), ValueMode::Raw);
         let diff = term_serial_layer(&t, &cfg(), ValueMode::Differential);
         assert!(diff.cycles < raw.cycles);
-        // Rows are 33 wide = 3 pallets (16+16+1); only the pallet holding
-        // window 0 has nonzero max per row. terms(7) = 2, so 6 rows x 2
-        // cycles, split 4 ways spatially (K=16 fills one tile group,
-        // the other 3 tiles split rows).
+        // 6 rows x 33 columns = 198 windows pack row-major into pallets
+        // of 16; the six leftmost (raw) windows sit at indices 0, 33, …,
+        // 165 and land in six *distinct* pallets, each of which costs
+        // that window's terms(7) = 2 cycles (every other window in them
+        // is all-zero deltas). Compute is therefore 6 x 2 = 12 cycles;
+        // K = 16 fills one tile group, so the remaining 3 tiles split the
+        // 6 output rows 4 ways spatially: ceil(12 / 4) = 3 cycles.
         assert_eq!(diff.cycles, (6 * 2u64).div_ceil(4));
     }
 
@@ -409,5 +900,123 @@ mod tests {
         let raw = term_serial_layer(&t, &cfg(), ValueMode::Raw);
         let diff = term_serial_layer(&t, &cfg(), ValueMode::Differential);
         assert!(diff.cycles < raw.cycles / 2);
+    }
+
+    #[test]
+    fn optimized_matches_reference_on_basic_geometries() {
+        for (c, h, w, k, f, geom, salt) in [
+            (16, 8, 8, 16, 3, ConvGeometry::same(3, 3), 1u64),
+            (3, 5, 17, 7, 3, ConvGeometry::same(3, 3), 2),
+            (16, 6, 33, 16, 1, ConvGeometry::unit(), 3),
+            (4, 9, 40, 8, 3, ConvGeometry::strided(2, 1), 4),
+            (8, 11, 11, 8, 3, ConvGeometry::same_dilated(3, 2), 5),
+            (1, 3, 24, 2, 1, ConvGeometry::unit(), 6),
+        ] {
+            let t = mk_trace(pseudo_imap(c, h, w, salt), k, f, geom);
+            assert_kernels_agree(&t, &cfg(), &format!("salt {salt}"));
+        }
+    }
+
+    #[test]
+    fn optimized_matches_reference_with_combined_stride_and_dilation() {
+        // Stride > 1 AND dilation > 1 in one geometry: the SAT fast path
+        // must not engage (dilation gates it), and the sampled-position
+        // fallback must price exactly the positions the reference visits.
+        for (stride, dilation, pad) in [(2, 2, 2), (3, 2, 1), (2, 3, 3)] {
+            let geom = ConvGeometry { stride, pad, dilation };
+            let t = mk_trace(pseudo_imap(5, 14, 23, stride as u64 * 31 + dilation as u64), 8, 3, geom);
+            assert!(t.out_shape().h > 0 && t.out_shape().w > 0, "degenerate geometry");
+            assert_kernels_agree(&t, &cfg(), &format!("s{stride} d{dilation} p{pad}"));
+            // Off-default synchronization groups, including one that does
+            // not divide C = 5.
+            for g in [1, 2, 3, 16] {
+                let cfg_g = cfg().with_terms_per_group(g);
+                assert_kernels_agree(&t, &cfg_g, &format!("s{stride} d{dilation} g{g}"));
+            }
+        }
+    }
+
+    #[test]
+    fn group_planes_are_memoized_per_group() {
+        let t = mk_trace(pseudo_imap(8, 6, 10, 9), 4, 3, ConvGeometry::same(3, 3));
+        let terms = PaddedTerms::for_layer(&t);
+        let a = terms.grouped(4);
+        let b = terms.grouped(4);
+        assert!(Arc::ptr_eq(&a, &b), "same g must share one reduction");
+        let c = terms.grouped(2);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(a.group(), 4);
+        assert_eq!(c.group(), 2);
+    }
+
+    #[test]
+    fn group_cost_plane_matches_direct_reduction() {
+        let t = mk_trace(pseudo_imap(5, 4, 6, 11), 4, 1, ConvGeometry::unit());
+        let terms = PaddedTerms::for_layer(&t);
+        let g = 2;
+        let planes = terms.grouped(g);
+        let (ph, pw) = terms.padded_dims();
+        for py in 0..ph {
+            for px in 0..pw {
+                for delta in [false, true] {
+                    let mut expect = 0u32;
+                    let mut c0 = 0;
+                    while c0 < terms.channels() {
+                        let c1 = (c0 + g).min(terms.channels());
+                        let mut mx = 0;
+                        for c in c0..c1 {
+                            let v = if delta {
+                                terms.delta_at(c, py, px)
+                            } else {
+                                terms.raw_at(c, py, px)
+                            };
+                            mx = mx.max(v);
+                        }
+                        expect += mx;
+                        c0 = c1;
+                    }
+                    assert_eq!(planes.cost_at(delta, py, px), expect, "({py},{px}) d={delta}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn selective_with_terms_builds_once_per_layer() {
+        let mk = |salt| mk_trace(pseudo_imap(6, 5, 18, salt), 8, 3, ConvGeometry::same(3, 3));
+        let net = diffy_models::NetworkTrace {
+            model: "m".into(),
+            layers: vec![mk(1), mk(2), mk(3)],
+            output: Tensor3::<i16>::new(1, 1, 1),
+        };
+        let mut builds = 0usize;
+        let sel = selective_network_with_terms(&net, &cfg(), |_, layer| {
+            builds += 1;
+            Arc::new(PaddedTerms::for_layer(layer))
+        });
+        assert_eq!(builds, net.layers.len(), "one plane build per layer");
+        assert_eq!(sel.total_cycles(), selective_network(&net, &cfg()).total_cycles());
+    }
+
+    #[test]
+    fn network_with_terms_matches_per_layer_builds() {
+        let mk = |salt| mk_trace(pseudo_imap(4, 6, 12, salt), 8, 3, ConvGeometry::same(3, 3));
+        let net = diffy_models::NetworkTrace {
+            model: "m".into(),
+            layers: vec![mk(7), mk(8)],
+            output: Tensor3::<i16>::new(1, 1, 1),
+        };
+        let shared: Vec<Arc<PaddedTerms>> = net
+            .layers
+            .iter()
+            .map(|l| Arc::new(PaddedTerms::for_layer(l)))
+            .collect();
+        for mode in [ValueMode::Raw, ValueMode::Differential] {
+            let fresh = term_serial_network(&net, &cfg(), mode);
+            let cached = term_serial_network_with_terms(&net, &cfg(), mode, |i, _| {
+                Arc::clone(&shared[i])
+            });
+            assert_eq!(fresh, cached);
+        }
     }
 }

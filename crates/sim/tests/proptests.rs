@@ -4,7 +4,7 @@ use diffy_models::LayerTrace;
 use diffy_sim::scnn::{scnn_layer, ScnnConfig};
 use diffy_sim::stripes::stripes_layer;
 use diffy_sim::{
-    term_serial_layer, vaa_layer, AcceleratorConfig, ValueMode,
+    term_serial_layer, term_serial_layer_reference, vaa_layer, AcceleratorConfig, ValueMode,
 };
 use diffy_tensor::{ConvGeometry, Tensor3, Tensor4};
 use proptest::prelude::*;
@@ -113,6 +113,48 @@ proptest! {
         let dense: u64 = (ishape.len() / ishape.c) as u64
             * (fshape.len()) as u64;
         prop_assert!(r.useful_slots <= dense);
+    }
+
+    #[test]
+    fn plane_kernel_matches_reference_on_random_geometries(
+        c in 1usize..=5,
+        h in 8usize..=12,
+        w in 8usize..=14,
+        k in 1usize..=20,
+        f in 1usize..=3,
+        stride in 1usize..=3,
+        pad in 0usize..=2,
+        dilation in 1usize..=3,
+        g in prop_oneof![Just(1usize), Just(2), Just(3), Just(16)],
+        seed in any::<u64>(),
+    ) {
+        // The tentpole guarantee: the group-reduced plane kernel is
+        // bit-identical to the reference loop nest — full LayerCycles
+        // equality (cycles, slots, macs) — on arbitrary combinations of
+        // stride, padding, dilation, channel counts not divisible by the
+        // synchronization group, and narrow layers.
+        let span = (f - 1) * dilation + 1; // ≤ 7 ≤ h ≤ w, so out dims ≥ 1
+        prop_assert!(h + 2 * pad >= span && w + 2 * pad >= span);
+        let imap: Vec<i16> = (0..c * h * w)
+            .map(|i| ((i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed) >> 41) as i16)
+            .collect();
+        let t = LayerTrace {
+            name: "geom".into(),
+            index: 0,
+            imap: Tensor3::from_vec(c, h, w, imap),
+            fmaps: Tensor4::filled(k, c, f, f, 1),
+            geom: ConvGeometry { stride, pad, dilation },
+            relu: true,
+            requant_shift: 12,
+            requant_bias: 0,
+            next_stride: 1,
+        };
+        let cfg = cfg().with_terms_per_group(g);
+        for mode in [ValueMode::Raw, ValueMode::Differential] {
+            let optimized = term_serial_layer(&t, &cfg, mode);
+            let reference = term_serial_layer_reference(&t, &cfg, mode);
+            prop_assert_eq!(optimized, reference, "mode {:?} g {}", mode, g);
+        }
     }
 
     #[test]

@@ -8,8 +8,11 @@ use diffy::core::runner::{ci_trace_bundle, WorkloadOptions};
 use diffy::core::tile::{run_tile, TileConfig};
 use diffy::encoding::delta::delta_rows_wrapping;
 use diffy::imaging::datasets::DatasetId;
-use diffy::models::CiModel;
-use diffy::sim::{term_serial_layer, AcceleratorConfig, ValueMode};
+use diffy::models::{CiModel, LayerTrace};
+use diffy::sim::{
+    term_serial_layer, term_serial_layer_reference, AcceleratorConfig, ValueMode,
+};
+use diffy::tensor::{ConvGeometry, Tensor3, Tensor4};
 
 #[test]
 fn tile_emulator_reproduces_network_activations_bit_exactly() {
@@ -39,6 +42,73 @@ fn tile_emulator_deltas_match_the_storage_transform() {
         let run = run_tile(layer, &cfg);
         let expect = delta_rows_wrapping(&run.omap, layer.next_stride);
         assert_eq!(run.omap_deltas, expect, "layer {}", layer.name);
+    }
+}
+
+#[test]
+fn plane_kernel_matches_reference_on_real_traces() {
+    // The group-reduced plane kernel must reproduce the reference loop
+    // nest's full cycle/slot accounting on real traced layers — IRCNN
+    // exercises dilated convolutions, which take the kernel's non-SAT
+    // fallback path — across value modes and synchronization groups.
+    let bundle =
+        ci_trace_bundle(CiModel::Ircnn, DatasetId::Kodak24, 0, &WorkloadOptions::test_small());
+    let configs = [
+        AcceleratorConfig::table4(),
+        AcceleratorConfig::table4().with_terms_per_group(4),
+        AcceleratorConfig::table4().with_tiles(1),
+    ];
+    for cfg in &configs {
+        for layer in &bundle.trace.layers {
+            for mode in [ValueMode::Raw, ValueMode::Differential] {
+                assert_eq!(
+                    term_serial_layer(layer, cfg, mode),
+                    term_serial_layer_reference(layer, cfg, mode),
+                    "layer {} mode {mode:?} T{}",
+                    layer.name,
+                    cfg.terms_per_group,
+                );
+            }
+        }
+    }
+}
+
+/// The deterministic synthetic layer behind the cycle fingerprints: the
+/// same generator the micro-kernel bench uses, at a small fixed size.
+fn fingerprint_layer() -> LayerTrace {
+    let (c, h, w) = (16, 24, 37);
+    let data: Vec<i16> = (0..c * h * w)
+        .map(|i| ((i as u64).wrapping_mul(6364136223846793005) >> 48) as i16)
+        .collect();
+    LayerTrace {
+        name: "fingerprint".into(),
+        index: 0,
+        imap: Tensor3::from_vec(c, h, w, data),
+        fmaps: Tensor4::filled(16, c, 3, 3, 1),
+        geom: ConvGeometry::same(3, 3),
+        relu: true,
+        requant_shift: 12,
+        requant_bias: 0,
+        next_stride: 1,
+    }
+}
+
+#[test]
+fn term_serial_cycle_fingerprints_are_stable() {
+    // Pinned cycle counts for a deterministic layer under the Table IV
+    // configuration. CI runs this as its divergence gate: if either the
+    // optimized kernel or the reference loop nest starts producing
+    // different integers, the cost model changed — which must be a
+    // deliberate, reviewed event, not a refactoring side effect.
+    const FINGERPRINTS: [(ValueMode, u64); 2] =
+        [(ValueMode::Raw, 930), (ValueMode::Differential, 768)];
+    let t = fingerprint_layer();
+    let cfg = AcceleratorConfig::table4();
+    for (mode, cycles) in FINGERPRINTS {
+        let optimized = term_serial_layer(&t, &cfg, mode);
+        let reference = term_serial_layer_reference(&t, &cfg, mode);
+        assert_eq!(optimized, reference, "{mode:?}: kernels diverged");
+        assert_eq!(optimized.cycles, cycles, "{mode:?}: fingerprint drift");
     }
 }
 
