@@ -1,0 +1,122 @@
+//! Service throughput/latency: closed-loop load against an in-process
+//! `diffy-serve` server at several client concurrency levels.
+//!
+//! Methodology (see EXPERIMENTS.md §"Service throughput and latency"):
+//! an ephemeral-port server is booted in-process with its default worker
+//! pool, the cache is warmed with one untimed request, then each
+//! concurrency level runs a fixed total number of requests split across
+//! closed-loop clients (a client issues its next request the moment the
+//! previous response lands). Latencies are exact client-side samples;
+//! percentiles are nearest-rank over the sorted run.
+//!
+//! `DIFFY_BENCH_SMOKE` shrinks the request budget to a seconds-scale
+//! smoke run; `DIFFY_BENCH_JSON` writes the records to disk (this is the
+//! source of the committed `BENCH_serve.json`).
+
+use diffy_bench::{bench_options, bench_smoke, write_bench_json, BenchRecord};
+use diffy_core::summary::TextTable;
+use diffy_serve::{closed_loop, get, post, ServeConfig, Server};
+use std::time::Duration;
+
+/// Client-side timeout: generous, so slow levels report latency rather
+/// than erroring out.
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+fn main() {
+    let opts = bench_options();
+    let resolution = opts.resolution.clamp(16, 512);
+    let (levels, total_requests): (&[usize], usize) =
+        if bench_smoke() { (&[1, 2, 4], 12) } else { (&[1, 2, 4, 8], 120) };
+
+    println!("== serve_load: evaluation-service throughput and latency ==");
+    println!(
+        "workload: IRCNN/Kodak24 at {resolution}x{resolution}, {total_requests} requests \
+         per level, closed-loop clients at concurrency {levels:?}"
+    );
+    println!();
+
+    let server = Server::bind(ServeConfig { addr: "127.0.0.1:0".into(), ..Default::default() })
+        .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let workers = server.config().workers.get();
+    let thread = std::thread::spawn(move || server.run().expect("server run"));
+
+    let body = format!(
+        r#"{{"model": "IRCNN", "dataset": "Kodak24", "resolution": {resolution}}}"#
+    );
+
+    // Warm the trace/term-plane cache (untimed): every measured level
+    // then sees the same warm-cache steady state.
+    let warm = post(addr, "/evaluate", &body, TIMEOUT).expect("warm-up request");
+    assert_eq!(warm.status, 200, "warm-up failed: {}", warm.body);
+
+    let mut table = TextTable::new(vec![
+        "clients", "ok", "errors", "rps", "mean ms", "p50 ms", "p90 ms", "p99 ms",
+    ]);
+    let mut records = Vec::new();
+    let mut summary: Vec<(String, f64)> = Vec::new();
+    let mut rps_c1 = None;
+    for &concurrency in levels {
+        let per_client = (total_requests / concurrency).max(1);
+        let report = closed_loop(addr, &body, concurrency, per_client, TIMEOUT);
+        assert_eq!(report.errors, 0, "load run must not shed at depth-32 defaults");
+        table.row(vec![
+            concurrency.to_string(),
+            report.ok.to_string(),
+            report.errors.to_string(),
+            format!("{:.2}", report.throughput_rps),
+            format!("{:.2}", report.mean_ms),
+            format!("{:.2}", report.p50_ms),
+            format!("{:.2}", report.p90_ms),
+            format!("{:.2}", report.p99_ms),
+        ]);
+        records.push(BenchRecord {
+            name: format!("serve_c{concurrency}"),
+            wall_ms: report.mean_ms,
+            iters: report.ok,
+            per_second: Some(report.throughput_rps),
+        });
+        summary.push((format!("rps_c{concurrency}"), report.throughput_rps));
+        summary.push((format!("p50_ms_c{concurrency}"), report.p50_ms));
+        summary.push((format!("p99_ms_c{concurrency}"), report.p99_ms));
+        if concurrency == 1 {
+            rps_c1 = Some(report.throughput_rps);
+        } else if let Some(base) = rps_c1 {
+            summary.push((format!("speedup_c{concurrency}_vs_c1"), report.throughput_rps / base));
+        }
+    }
+    println!("{}", table.render());
+
+    // Scrape the server's own view before drain: the cache must have
+    // served the repeats, and every measured request must be a 200.
+    let metrics = get(addr, "/metrics", TIMEOUT).expect("scrape /metrics");
+    assert_eq!(metrics.status, 200);
+    let m = diffy_core::json::parse(&metrics.body).expect("metrics body parses");
+    let hits = m.get("cache").unwrap().get("hits").unwrap().as_u64().unwrap();
+    let oks = m.get("responses").unwrap().get("200").unwrap().as_u64().unwrap();
+    assert!(hits > 0, "warm levels must hit the cache");
+    println!("server metrics: {oks} 200s, {hits} cache hits");
+    println!();
+
+    handle.shutdown();
+    thread.join().expect("server drains");
+
+    let meta = [
+        ("model", "IRCNN".to_string()),
+        ("dataset", "Kodak24".to_string()),
+        ("resolution", format!("{resolution}x{resolution}")),
+        ("requests_per_level", total_requests.to_string()),
+        ("server_workers", workers.to_string()),
+        ("host_parallelism", num_cores().to_string()),
+    ];
+    let summary_refs: Vec<(&str, f64)> =
+        summary.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    if let Some(path) = write_bench_json("serve_load", &meta, &records, &summary_refs) {
+        println!("wrote {}", path.display());
+    }
+}
+
+fn num_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}

@@ -127,19 +127,10 @@ pub fn bench_smoke() -> bool {
     std::env::var("DIFFY_BENCH_SMOKE").is_ok_and(|v| !v.is_empty())
 }
 
-/// One wall-time measurement destined for [`bench_json_string`].
-#[derive(Debug, Clone)]
-pub struct BenchRecord {
-    /// Kernel or scenario name.
-    pub name: String,
-    /// Mean wall time per iteration, in milliseconds.
-    pub wall_ms: f64,
-    /// Iterations folded into the mean (after one unmeasured warmup).
-    pub iters: u64,
-    /// Work units (windows, jobs, …) processed per second, when the
-    /// scenario has a natural unit.
-    pub per_second: Option<f64>,
-}
+// The JSON emitter grew a parser and moved to `diffy_core::json` so the
+// evaluation service can share it; re-exported here so existing callers
+// (benches, tests) are untouched.
+pub use diffy_core::json::{bench_json_string, json_escape, json_number, BenchRecord};
 
 /// Times `f`: one unmeasured warmup call, then iterations until both
 /// `min_iters` and `min_total` are reached. Returns the record and the
@@ -175,74 +166,6 @@ pub fn time_kernel<T>(
         per_second: work_units.map(|u| u as f64 * iters as f64 / total),
     };
     (record, last)
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn json_number(v: f64) -> String {
-    assert!(v.is_finite(), "bench JSON numbers must be finite, got {v}");
-    // Rust's shortest-roundtrip float formatting is valid JSON for any
-    // finite value (always digits, optional '.', optional 'e' exponent).
-    let s = format!("{v}");
-    if s.contains(['.', 'e']) { s } else { format!("{s}.0") }
-}
-
-/// Renders the committed `BENCH_*.json` document: a bench label,
-/// free-form string metadata, the measured records, and top-level
-/// numeric summary fields (e.g. the headline speedup).
-pub fn bench_json_string(
-    bench: &str,
-    meta: &[(&str, String)],
-    records: &[BenchRecord],
-    summary: &[(&str, f64)],
-) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(bench)));
-    out.push_str("  \"meta\": {");
-    for (i, (k, v)) in meta.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!("\n    \"{}\": \"{}\"", json_escape(k), json_escape(v)));
-    }
-    out.push_str(if meta.is_empty() { "},\n" } else { "\n  },\n" });
-    out.push_str("  \"records\": [");
-    for (i, r) in records.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "\n    {{\"name\": \"{}\", \"wall_ms_per_iter\": {}, \"iters\": {}",
-            json_escape(&r.name),
-            json_number(r.wall_ms),
-            r.iters
-        ));
-        if let Some(ps) = r.per_second {
-            out.push_str(&format!(", \"per_second\": {}", json_number(ps)));
-        }
-        out.push('}');
-    }
-    out.push_str(if records.is_empty() { "]" } else { "\n  ]" });
-    for (k, v) in summary {
-        out.push_str(&format!(",\n  \"{}\": {}", json_escape(k), json_number(*v)));
-    }
-    out.push_str("\n}\n");
-    out
 }
 
 /// Writes [`bench_json_string`] to the path named by `DIFFY_BENCH_JSON`,

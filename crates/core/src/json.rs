@@ -1,0 +1,664 @@
+//! Hand-rolled JSON: the emitter shared by the bench harness and the
+//! evaluation service, plus the small recursive-descent parser the
+//! service needs to read requests.
+//!
+//! The workspace is fully offline (DESIGN.md §6), so instead of serde the
+//! repo carries the JSON subset it actually uses:
+//!
+//! * [`JsonValue`] — an ordered document model. Objects preserve
+//!   insertion order so serialization is deterministic: the same value
+//!   always renders to the same bytes, which is what lets the service
+//!   promise bit-identical responses and the tests compare strings.
+//! * [`parse`] — a strict recursive-descent parser for that model.
+//!   Integral literals stay integers ([`JsonValue::Int`], `i128`), so
+//!   `u64` cycle counts round-trip exactly instead of passing through an
+//!   `f64`.
+//! * [`json_escape`] / [`json_number`] — the string/number rendering
+//!   rules, also used directly by the bench emitter.
+//! * [`BenchRecord`] / [`bench_json_string`] — the committed
+//!   `BENCH_*.json` document format (moved here from `diffy-bench`,
+//!   which re-exports them).
+
+use std::fmt;
+
+/// A parsed or constructed JSON document.
+///
+/// Object member order is preserved (a `Vec` of pairs, not a map): the
+/// serializer emits members in insertion order, so building the same
+/// value twice yields byte-identical text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integral number literal (no `.` or exponent). `i128` covers the
+    /// full `u64`/`i64` range exactly.
+    Int(i128),
+    /// A number literal with a fraction or exponent.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in member order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on an object (first match), `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => {
+                members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is an integral number in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (floats directly, integers converted).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Float(f) => Some(*f),
+            JsonValue::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn object(members: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Object(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Serializes compactly (no whitespace). Deterministic: equal values
+    /// produce equal strings.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => out.push_str(&i.to_string()),
+            JsonValue::Float(f) => out.push_str(&json_number(*f)),
+            JsonValue::Str(s) => {
+                out.push('"');
+                out.push_str(&json_escape(s));
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&json_escape(k));
+                    out.push_str("\":");
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::Int(v as i128)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::Int(v as i128)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Float(v)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+/// A parse failure: what went wrong and at which byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+/// Nesting depth cap: requests are shallow; a recursion bomb is a 400,
+/// not a stack overflow.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError { message: message.to_string(), offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by `\uDC00`-`\uDFFF`.
+                            let ch = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let c =
+                                        0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(c)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(ch.ok_or_else(|| self.err("invalid \\u escape"))?);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("raw control character in string"))
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).expect("input was a &str");
+                    let ch = s.chars().next().expect("peeked non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("non-ASCII in \\u escape"))?;
+        let cp =
+            u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape digits"))?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        let int_digits = self.digit_run()?;
+        if int_digits > 1 && self.bytes[digits_start] == b'0' {
+            return Err(self.err("leading zero in number"));
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            self.digit_run()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digit_run()?;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if integral {
+            match text.parse::<i128>() {
+                Ok(i) => Ok(JsonValue::Int(i)),
+                // Out-of-range integral literal: fall back to float.
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(JsonValue::Float)
+                    .map_err(|_| self.err("bad number")),
+            }
+        } else {
+            text.parse::<f64>().map(JsonValue::Float).map_err(|_| self.err("bad number"))
+        }
+    }
+
+    fn digit_run(&mut self) -> Result<usize, JsonError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected digits"));
+        }
+        Ok(self.pos - start)
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal (without the
+/// surrounding quotes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a finite `f64` as a JSON number.
+///
+/// Rust's shortest-roundtrip float formatting is valid JSON for any
+/// finite value (always digits, optional `.`, optional `e` exponent);
+/// integral values gain a `.0` so they read back as floats.
+///
+/// # Panics
+///
+/// Panics on NaN or infinity — those have no JSON representation.
+pub fn json_number(v: f64) -> String {
+    assert!(v.is_finite(), "JSON numbers must be finite, got {v}");
+    let s = format!("{v}");
+    if s.contains(['.', 'e']) { s } else { format!("{s}.0") }
+}
+
+/// One wall-time measurement destined for [`bench_json_string`].
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Kernel or scenario name.
+    pub name: String,
+    /// Mean wall time per iteration, in milliseconds.
+    pub wall_ms: f64,
+    /// Iterations folded into the mean (after one unmeasured warmup).
+    pub iters: u64,
+    /// Work units (windows, jobs, …) processed per second, when the
+    /// scenario has a natural unit.
+    pub per_second: Option<f64>,
+}
+
+/// Renders the committed `BENCH_*.json` document: a bench label,
+/// free-form string metadata, the measured records, and top-level
+/// numeric summary fields (e.g. the headline speedup).
+pub fn bench_json_string(
+    bench: &str,
+    meta: &[(&str, String)],
+    records: &[BenchRecord],
+    summary: &[(&str, f64)],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(bench)));
+    out.push_str("  \"meta\": {");
+    for (i, (k, v)) in meta.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    \"{}\": \"{}\"", json_escape(k), json_escape(v)));
+    }
+    out.push_str(if meta.is_empty() { "},\n" } else { "\n  },\n" });
+    out.push_str("  \"records\": [");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"wall_ms_per_iter\": {}, \"iters\": {}",
+            json_escape(&r.name),
+            json_number(r.wall_ms),
+            r.iters
+        ));
+        if let Some(ps) = r.per_second {
+            out.push_str(&format!(", \"per_second\": {}", json_number(ps)));
+        }
+        out.push('}');
+    }
+    out.push_str(if records.is_empty() { "]" } else { "\n  ]" });
+    for (k, v) in summary {
+        out.push_str(&format!(",\n  \"{}\": {}", json_escape(k), json_number(*v)));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(parse("42").unwrap(), JsonValue::Int(42));
+        assert_eq!(parse("-7").unwrap(), JsonValue::Int(-7));
+        assert_eq!(parse("0").unwrap(), JsonValue::Int(0));
+        assert_eq!(parse("1.5").unwrap(), JsonValue::Float(1.5));
+        assert_eq!(parse("2e3").unwrap(), JsonValue::Float(2000.0));
+        assert_eq!(parse("\"hi\"").unwrap(), JsonValue::Str("hi".into()));
+    }
+
+    #[test]
+    fn u64_cycle_counts_round_trip_exactly() {
+        // Above 2^53: would be lossy through f64, must stay integral.
+        let v = u64::MAX - 3;
+        let doc = JsonValue::from(v).to_json();
+        assert_eq!(parse(&doc).unwrap().as_u64(), Some(v));
+    }
+
+    #[test]
+    fn parses_structures_preserving_order() {
+        let v = parse(r#"{"b": [1, 2.5, "x"], "a": {"k": null}}"#).unwrap();
+        let JsonValue::Object(members) = &v else { panic!("not an object") };
+        assert_eq!(members[0].0, "b");
+        assert_eq!(members[1].0, "a");
+        assert_eq!(
+            v.get("b").unwrap().as_array().unwrap()[2],
+            JsonValue::Str("x".into())
+        );
+        assert_eq!(v.get("a").unwrap().get("k"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "a\"b\\c\nd\te\u{1}é\u{10348}";
+        let doc = JsonValue::Str(original.to_string()).to_json();
+        assert_eq!(parse(&doc).unwrap().as_str(), Some(original));
+        // Explicit \u escapes, including a surrogate pair.
+        let v = parse(r#""\u0041\ud800\udf48\/""#).unwrap();
+        assert_eq!(v.as_str(), Some("A\u{10348}/"));
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let build = || {
+            JsonValue::object(vec![
+                ("n", JsonValue::from(3u64)),
+                ("f", JsonValue::from(0.25)),
+                ("s", JsonValue::from("x")),
+                ("a", JsonValue::Array(vec![JsonValue::Null, JsonValue::Bool(true)])),
+            ])
+        };
+        assert_eq!(build().to_json(), build().to_json());
+        assert_eq!(
+            build().to_json(),
+            r#"{"n":3,"f":0.25,"s":"x","a":[null,true]}"#
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "", "{", "[1,", "{\"a\":}", "tru", "01", "1.", "\"\\x\"", "\"unterminated",
+            "{1: 2}", "[1] garbage", "nan", "--1", "\u{1}",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_recursion_bombs() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn value_round_trips_through_text() {
+        let v = JsonValue::object(vec![
+            ("i", JsonValue::Int(-12)),
+            ("u", JsonValue::from(9_007_199_254_740_993u64)), // 2^53 + 1
+            ("f", JsonValue::Float(0.1)),
+            ("s", JsonValue::from("q\"uote")),
+            ("arr", JsonValue::Array(vec![JsonValue::Int(1), JsonValue::Null])),
+            ("obj", JsonValue::object(vec![("nested", JsonValue::Bool(false))])),
+        ]);
+        assert_eq!(parse(&v.to_json()).unwrap(), v);
+    }
+
+    #[test]
+    fn bench_document_parses_and_round_trips() {
+        let records = vec![
+            BenchRecord {
+                name: "ref".into(),
+                wall_ms: 1200.5,
+                iters: 3,
+                per_second: Some(2.0e6),
+            },
+            BenchRecord { name: "opt".into(), wall_ms: 80.0, iters: 10, per_second: None },
+        ];
+        let doc = bench_json_string(
+            "term_serial",
+            &[("resolution", "16x1080x1920".to_string())],
+            &records,
+            &[("speedup_hd", 15.0)],
+        );
+        let v = parse(&doc).expect("emitter output must parse");
+        assert_eq!(v.get("bench").unwrap().as_str(), Some("term_serial"));
+        assert_eq!(
+            v.get("meta").unwrap().get("resolution").unwrap().as_str(),
+            Some("16x1080x1920")
+        );
+        let recs = v.get("records").unwrap().as_array().unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].get("wall_ms_per_iter").unwrap().as_f64(), Some(1200.5));
+        assert_eq!(recs[0].get("iters").unwrap().as_u64(), Some(3));
+        assert_eq!(recs[0].get("per_second").unwrap().as_f64(), Some(2.0e6));
+        assert_eq!(recs[1].get("per_second"), None);
+        assert_eq!(v.get("speedup_hd").unwrap().as_f64(), Some(15.0));
+    }
+
+    #[test]
+    fn empty_bench_document_parses() {
+        let doc = bench_json_string("empty", &[], &[], &[]);
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("records").unwrap().as_array().unwrap().len(), 0);
+        assert_eq!(v.get("meta").unwrap(), &JsonValue::Object(vec![]));
+    }
+}

@@ -14,6 +14,9 @@
 //!   minimum tiles × memory-node search for real-time HD.
 //! * [`experiment`] — the registry mapping every table and figure of the
 //!   paper to its bench target.
+//! * [`json`] — the hand-rolled JSON document model: the deterministic
+//!   emitter behind the committed `BENCH_*.json` files and the strict
+//!   parser the evaluation service reads requests with.
 //! * [`parallel`] — the deterministic sweep engine: a std-only
 //!   scoped-thread job pool with order-stable results and a compute-once
 //!   keyed cache for weights and traces.
@@ -40,6 +43,7 @@ pub mod accelerator;
 pub mod datapath;
 pub mod dc;
 pub mod experiment;
+pub mod json;
 pub mod parallel;
 pub mod reporting;
 pub mod runner;
@@ -53,8 +57,9 @@ pub use accelerator::{
     NetworkResult, SchemeChoice, TermPlaneSource,
 };
 pub use dc::differential_conv2d;
-pub use parallel::{run_jobs, Jobs, KeyedCache};
+pub use json::{bench_json_string, json_escape, json_number, BenchRecord, JsonValue};
+pub use parallel::{run_jobs, BoundedCache, Jobs, KeyedCache};
 pub use runner::{
-    ci_trace_bundle, class_trace_bundle, ci_trace_bundles_par, sweep_par, SweepCache, SweepJob,
-    TraceBundle, TraceKey, WorkloadOptions,
+    ci_trace_bundle, class_trace_bundle, ci_trace_bundles_par, sweep_par, CacheStats,
+    SweepCache, SweepJob, TraceBundle, TraceKey, WorkloadOptions,
 };

@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Worker count for a parallel region.
@@ -158,12 +158,14 @@ where
 /// lock is never held while computing).
 pub struct KeyedCache<K, V> {
     map: Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl<K: Eq + Hash + Clone, V> KeyedCache<K, V> {
     /// An empty cache.
     pub fn new() -> Self {
-        Self { map: Mutex::new(HashMap::new()) }
+        Self { map: Mutex::new(HashMap::new()), hits: AtomicU64::new(0), misses: AtomicU64::new(0) }
     }
 
     /// Returns the cached value for `key`, computing and inserting it on
@@ -174,7 +176,27 @@ impl<K: Eq + Hash + Clone, V> KeyedCache<K, V> {
             let mut map = self.map.lock().expect("cache map poisoned");
             Arc::clone(map.entry(key).or_default())
         };
-        Arc::clone(cell.get_or_init(|| Arc::new(compute())))
+        let mut computed = false;
+        let value = Arc::clone(cell.get_or_init(|| {
+            computed = true;
+            Arc::new(compute())
+        }));
+        // A "hit" is a request whose closure did not run — it found a
+        // finished or in-flight computation to share.
+        let counter = if computed { &self.misses } else { &self.hits };
+        counter.fetch_add(1, Ordering::Relaxed);
+        value
+    }
+
+    /// Requests whose value was already cached (or in flight) when they
+    /// arrived.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that had to run the computation themselves.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
     }
 
     /// Returns the cached value for `key` without computing, if present.
@@ -203,6 +225,133 @@ impl<K: Eq + Hash + Clone, V> KeyedCache<K, V> {
 impl<K: Eq + Hash + Clone, V> Default for KeyedCache<K, V> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// A size-bounded, clearable sibling of [`KeyedCache`] for long-lived
+/// processes (the evaluation service).
+///
+/// [`KeyedCache`] is append-only — exactly right for a sweep, a leak in
+/// a server that sees an unbounded key stream. `BoundedCache` holds at
+/// most `capacity` entries and evicts the least-recently-used one to
+/// admit a new key, counting evictions. Same sharing semantics per key:
+/// concurrent requests for a live key compute once and share the result.
+/// An evicted key is simply recomputed on next request — values are pure
+/// functions of their keys, so eviction affects cost, never results.
+pub struct BoundedCache<K, V> {
+    inner: Mutex<BoundedInner<K, V>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+struct BoundedInner<K, V> {
+    map: HashMap<K, BoundedEntry<V>>,
+    /// Monotonic access clock for LRU ordering.
+    tick: u64,
+}
+
+struct BoundedEntry<V> {
+    cell: Arc<OnceLock<Arc<V>>>,
+    last_used: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> BoundedCache<K, V> {
+    /// An empty cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "bounded cache needs capacity of at least 1");
+        Self {
+            inner: Mutex::new(BoundedInner { map: HashMap::new(), tick: 0 }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached value for `key`, computing it if absent and
+    /// evicting the least-recently-used entry if the cache is full.
+    ///
+    /// The map lock is never held while computing, so distinct keys
+    /// proceed in parallel; same-key requests share one computation while
+    /// the key stays resident. A waiter holds the value cell by `Arc`, so
+    /// evicting an in-flight key never cancels or corrupts its
+    /// computation — the evictee just becomes invisible to new requests.
+    pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> Arc<V> {
+        let cell = {
+            let mut inner = self.inner.lock().expect("cache map poisoned");
+            inner.tick += 1;
+            let now = inner.tick;
+            if let Some(entry) = inner.map.get_mut(&key) {
+                entry.last_used = now;
+                Arc::clone(&entry.cell)
+            } else {
+                if inner.map.len() >= self.capacity {
+                    let lru = inner
+                        .map
+                        .iter()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(k, _)| k.clone())
+                        .expect("map is non-empty at capacity");
+                    inner.map.remove(&lru);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                let cell = Arc::new(OnceLock::new());
+                inner
+                    .map
+                    .insert(key, BoundedEntry { cell: Arc::clone(&cell), last_used: now });
+                cell
+            }
+        };
+        let mut computed = false;
+        let value = Arc::clone(cell.get_or_init(|| {
+            computed = true;
+            Arc::new(compute())
+        }));
+        let counter = if computed { &self.misses } else { &self.hits };
+        counter.fetch_add(1, Ordering::Relaxed);
+        value
+    }
+
+    /// Number of resident keys with a *completed* value.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().expect("cache map poisoned");
+        inner.map.values().filter(|e| e.cell.get().is_some()).count()
+    }
+
+    /// Whether no completed value is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The maximum number of resident entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Requests served from a resident (or in-flight) entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that ran the computation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to make room so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Drops every resident entry (counters are preserved).
+    pub fn clear(&self) {
+        self.inner.lock().expect("cache map poisoned").map.clear();
     }
 }
 
@@ -279,6 +428,83 @@ mod tests {
             }
         });
         assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn keyed_cache_counts_hits_and_misses() {
+        let cache: KeyedCache<u32, u32> = KeyedCache::new();
+        cache.get_or_compute(1, || 10);
+        cache.get_or_compute(1, || 10);
+        cache.get_or_compute(2, || 20);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let cache: BoundedCache<u32, u32> = BoundedCache::new(2);
+        cache.get_or_compute(1, || 10);
+        cache.get_or_compute(2, || 20);
+        // Touch 1 so 2 is the LRU, then admit 3.
+        cache.get_or_compute(1, || unreachable!("resident"));
+        cache.get_or_compute(3, || 30);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+        // 2 was evicted and recomputes; 1 is still resident.
+        let recomputed = std::cell::Cell::new(false);
+        cache.get_or_compute(2, || {
+            recomputed.set(true);
+            20
+        });
+        assert!(recomputed.get(), "evicted key must recompute");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 4);
+    }
+
+    #[test]
+    fn bounded_cache_clear_and_counters() {
+        let cache: BoundedCache<u32, u32> = BoundedCache::new(8);
+        for k in 0..5 {
+            cache.get_or_compute(k, || k * 10);
+        }
+        assert_eq!(cache.len(), 5);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.misses(), 5, "counters survive clear");
+        cache.get_or_compute(0, || 0);
+        assert_eq!(cache.misses(), 6, "cleared keys recompute");
+        assert_eq!(cache.capacity(), 8);
+    }
+
+    #[test]
+    fn bounded_cache_concurrent_same_key_shares_one_computation() {
+        let cache: BoundedCache<u32, u64> = BoundedCache::new(4);
+        let calls = AtomicU32::new(0);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        *cache.get_or_compute(9, || {
+                            calls.fetch_add(1, Ordering::SeqCst);
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            900
+                        })
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), 900);
+            }
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity of at least 1")]
+    fn bounded_cache_rejects_zero_capacity() {
+        let _ = BoundedCache::<u32, u32>::new(0);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::accelerator::{
     evaluate_network, evaluate_network_with_terms, EvalOptions, NetworkResult,
 };
-use crate::parallel::{run_jobs, Jobs, KeyedCache};
+use crate::parallel::{run_jobs, BoundedCache, Jobs, KeyedCache};
 use diffy_imaging::datasets::DatasetId;
 use diffy_imaging::scenes::{render_scene, SceneKind};
 use diffy_models::{run_network, CiModel, ClassModel, LayerTrace, NetworkTrace, NetworkWeights};
@@ -157,15 +157,111 @@ pub type TraceKey = (CiModel, DatasetId, usize, usize, u64);
 /// once (see [`KeyedCache`]).
 #[derive(Default)]
 pub struct SweepCache {
-    weights: KeyedCache<(CiModel, u64), NetworkWeights>,
-    traces: KeyedCache<TraceKey, TraceBundle>,
-    term_planes: KeyedCache<(TraceKey, usize), PaddedTerms>,
+    weights: Store<(CiModel, u64), NetworkWeights>,
+    traces: Store<TraceKey, TraceBundle>,
+    term_planes: Store<(TraceKey, usize), PaddedTerms>,
+}
+
+/// One artifact store of a [`SweepCache`]: either the append-only
+/// compute-once cache (sweeps — every key is revisited, nothing should
+/// ever be dropped) or the size-bounded LRU variant (the long-lived
+/// evaluation service — the key stream is unbounded).
+enum Store<K, V> {
+    Unbounded(KeyedCache<K, V>),
+    Bounded(BoundedCache<K, V>),
+}
+
+impl<K: Eq + std::hash::Hash + Clone, V> Store<K, V> {
+    fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> Arc<V> {
+        match self {
+            Store::Unbounded(c) => c.get_or_compute(key, compute),
+            Store::Bounded(c) => c.get_or_compute(key, compute),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Store::Unbounded(c) => c.len(),
+            Store::Bounded(c) => c.len(),
+        }
+    }
+
+    fn hits(&self) -> u64 {
+        match self {
+            Store::Unbounded(c) => c.hits(),
+            Store::Bounded(c) => c.hits(),
+        }
+    }
+
+    fn misses(&self) -> u64 {
+        match self {
+            Store::Unbounded(c) => c.misses(),
+            Store::Bounded(c) => c.misses(),
+        }
+    }
+
+    fn evictions(&self) -> u64 {
+        match self {
+            Store::Unbounded(_) => 0,
+            Store::Bounded(c) => c.evictions(),
+        }
+    }
+
+    fn clear(&self) {
+        match self {
+            Store::Unbounded(c) => c.clear(),
+            Store::Bounded(c) => c.clear(),
+        }
+    }
+}
+
+impl<K: Eq + std::hash::Hash + Clone, V> Default for Store<K, V> {
+    fn default() -> Self {
+        Store::Unbounded(KeyedCache::new())
+    }
+}
+
+/// A point-in-time summary of a [`SweepCache`]'s counters, aggregated
+/// over its weight, trace and term-plane stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests served from a cached (or in-flight) artifact.
+    pub hits: u64,
+    /// Requests that computed their artifact.
+    pub misses: u64,
+    /// Artifacts evicted by the bounded stores (0 for unbounded caches).
+    pub evictions: u64,
+    /// Distinct weight sets currently materialized.
+    pub cached_weights: usize,
+    /// Distinct traces currently materialized.
+    pub cached_traces: usize,
+    /// Distinct per-layer term planes currently materialized.
+    pub cached_term_planes: usize,
 }
 
 impl SweepCache {
-    /// An empty cache.
+    /// An empty, *unbounded* cache — the sweep default: every artifact is
+    /// kept for the lifetime of the cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty, *size-bounded* cache for long-lived processes: at most
+    /// `traces` trace bundles (and weight sets) and `term_planes`
+    /// per-layer plane sets stay resident; least-recently-used artifacts
+    /// are evicted to admit new keys. Evictions only ever cost
+    /// recomputation — results are pure functions of their keys either
+    /// way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is zero.
+    pub fn bounded(traces: usize, term_planes: usize) -> Self {
+        Self {
+            weights: Store::Bounded(BoundedCache::new(traces)),
+            traces: Store::Bounded(BoundedCache::new(traces)),
+            term_planes: Store::Bounded(BoundedCache::new(term_planes)),
+        }
     }
 
     /// The process-wide cache shared by the CLI and report paths.
@@ -241,6 +337,29 @@ impl SweepCache {
     /// Number of distinct per-layer term planes materialized so far.
     pub fn cached_term_planes(&self) -> usize {
         self.term_planes.len()
+    }
+
+    /// Aggregate hit/miss/eviction counters and residency, for the
+    /// service's `/metrics` endpoint.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.weights.hits() + self.traces.hits() + self.term_planes.hits(),
+            misses: self.weights.misses() + self.traces.misses() + self.term_planes.misses(),
+            evictions: self.weights.evictions()
+                + self.traces.evictions()
+                + self.term_planes.evictions(),
+            cached_weights: self.weights.len(),
+            cached_traces: self.traces.len(),
+            cached_term_planes: self.term_planes.len(),
+        }
+    }
+
+    /// Drops every cached artifact (counters are preserved). Subsequent
+    /// requests recompute — results are unchanged, only cost.
+    pub fn clear(&self) {
+        self.weights.clear();
+        self.traces.clear();
+        self.term_planes.clear();
     }
 }
 
@@ -498,6 +617,50 @@ mod tests {
         }
         assert_eq!(cache.cached_traces(), 1);
         assert_eq!(cache.cached_term_planes(), fresh.trace.layers.len());
+    }
+
+    #[test]
+    fn bounded_cache_results_match_unbounded() {
+        // The bounded cache must be invisible in results: evaluating
+        // through a tiny bounded cache (which is forced to evict and
+        // recompute) gives bit-identical output to the unbounded path.
+        let opts = WorkloadOptions::test_small();
+        let bounded = SweepCache::bounded(1, 4);
+        let eval = EvalOptions::new(Architecture::Diffy, SchemeChoice::Ideal);
+        let specs =
+            [(CiModel::Ircnn, DatasetId::Kodak24), (CiModel::Ircnn, DatasetId::Cbsd68)];
+        // Two passes over two traces through a 1-trace cache: the second
+        // pass re-misses everything.
+        for _ in 0..2 {
+            for (model, dataset) in specs {
+                let fresh = ci_trace_bundle(model, dataset, 0, &opts);
+                let served = bounded.evaluate(model, dataset, 0, &opts, &eval);
+                assert_eq!(served, fresh.evaluate(&eval));
+            }
+        }
+        let stats = bounded.stats();
+        assert!(stats.evictions > 0, "1-trace capacity must evict: {stats:?}");
+        assert!(stats.cached_traces <= 1);
+    }
+
+    #[test]
+    fn sweep_cache_stats_and_clear() {
+        let opts = WorkloadOptions::test_small();
+        let cache = SweepCache::new();
+        cache.bundle(CiModel::Ircnn, DatasetId::Kodak24, 0, &opts);
+        cache.bundle(CiModel::Ircnn, DatasetId::Kodak24, 0, &opts);
+        let s = cache.stats();
+        assert_eq!(s.cached_traces, 1);
+        assert_eq!(s.evictions, 0, "unbounded stores never evict");
+        // 1 weights miss + 1 trace miss, then 1 trace hit (the second
+        // bundle call never touches the weights store).
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.hits, 1);
+        cache.clear();
+        let s = cache.stats();
+        assert_eq!(s.cached_traces, 0);
+        assert_eq!(s.cached_weights, 0);
+        assert_eq!((s.hits, s.misses), (1, 2), "counters survive clear");
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! A minimal blocking HTTP/1.1 client for the service's one-shot
+//! protocol: one request, one `Connection: close` response.
+//!
+//! Shared by the end-to-end tests, the bench load generator, and the CI
+//! smoke driver, so every consumer speaks to the server the same way.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A response from the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// The response body.
+    pub body: String,
+}
+
+/// Issues one request and reads the full response. `body` of `None`
+/// sends no payload (GET); `Some` posts it with a `Content-Length`.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> io::Result<HttpResponse> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut stream = stream;
+
+    let payload = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len()
+    )?;
+    stream.flush()?;
+
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// `GET path`.
+pub fn get(addr: SocketAddr, path: &str, timeout: Duration) -> io::Result<HttpResponse> {
+    request(addr, "GET", path, None, timeout)
+}
+
+/// `POST path` with a JSON body.
+pub fn post(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> io::Result<HttpResponse> {
+    request(addr, "POST", path, Some(body), timeout)
+}
+
+fn parse_response(raw: &str) -> io::Result<HttpResponse> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let (head, body) = raw.split_once("\r\n\r\n").ok_or_else(|| bad("no header/body split"))?;
+    let status_line = head.lines().next().ok_or_else(|| bad("empty response"))?;
+    // "HTTP/1.1 200 OK"
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    // Connection: close — the body is everything after the head. Honor
+    // Content-Length if present to strip trailing bytes defensively.
+    let len = head
+        .lines()
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse::<usize>().ok());
+    let body = match len {
+        Some(n) if n <= body.len() => &body[..n],
+        _ => body,
+    };
+    Ok(HttpResponse { status, body: body.to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_well_formed_response() {
+        let r = parse_response(
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 16\r\n\r\n{\"error\":\"busy\"}",
+        )
+        .unwrap();
+        assert_eq!(r.status, 503);
+        assert_eq!(r.body, "{\"error\":\"busy\"}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response("not http").is_err());
+        assert!(parse_response("HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,251 @@
+//! Minimal HTTP/1.1 framing on std I/O: request parsing with hard size
+//! limits and response writing.
+//!
+//! The service speaks exactly the subset it needs — one request per
+//! connection, `Content-Length` bodies, `Connection: close` on every
+//! response. Keeping the parser tiny keeps the failure surface auditable:
+//! anything outside the subset is a clean 400, never undefined behaviour.
+
+use std::io::{self, BufRead, Write};
+
+/// Largest accepted request head (request line + headers), in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Largest accepted request body, in bytes. Evaluation requests are a few
+/// hundred bytes; anything close to this limit is abuse, not traffic.
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), as received.
+    pub method: String,
+    /// Request target path (query strings are kept verbatim).
+    pub path: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value for `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// A request the parser rejected, with the HTTP status the server should
+/// answer with (400 or 413).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadRequest {
+    /// Status code to respond with.
+    pub status: u16,
+    /// Human-readable reason, included in the error body.
+    pub message: String,
+}
+
+impl BadRequest {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        Self { status, message: message.into() }
+    }
+}
+
+/// Outcome of reading one request off a connection.
+pub type ParseResult = io::Result<Result<Request, BadRequest>>;
+
+/// Reads one HTTP/1.1 request. `Err(io::Error)` means the connection
+/// failed (timeout, reset); `Ok(Err(BadRequest))` means the peer sent
+/// something the subset rejects and should be answered with its status.
+pub fn read_request(reader: &mut impl BufRead) -> ParseResult {
+    let mut head_bytes = 0usize;
+    let mut line = String::new();
+
+    // Request line: METHOD SP PATH SP HTTP/1.1
+    if read_crlf_line(reader, &mut line, &mut head_bytes)?.is_none() {
+        return Ok(Err(BadRequest::new(400, "empty request")));
+    }
+    let mut parts = line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+    {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => {
+            (m.to_string(), p.to_string(), v)
+        }
+        _ => return Ok(Err(BadRequest::new(400, "malformed request line"))),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Ok(Err(BadRequest::new(400, "unsupported HTTP version")));
+    }
+
+    // Headers until the empty line.
+    let mut headers = Vec::new();
+    loop {
+        if head_bytes > MAX_HEAD_BYTES {
+            return Ok(Err(BadRequest::new(413, "request head too large")));
+        }
+        match read_crlf_line(reader, &mut line, &mut head_bytes)? {
+            None => break,
+            Some(()) => {
+                let Some((name, value)) = line.split_once(':') else {
+                    return Ok(Err(BadRequest::new(400, "malformed header")));
+                };
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            }
+        }
+    }
+
+    // Body: exactly Content-Length bytes, if given.
+    let body = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => Vec::new(),
+        Some((_, v)) => {
+            let Ok(len) = v.parse::<usize>() else {
+                return Ok(Err(BadRequest::new(400, "bad content-length")));
+            };
+            if len > MAX_BODY_BYTES {
+                return Ok(Err(BadRequest::new(413, "request body too large")));
+            }
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body)?;
+            body
+        }
+    };
+
+    Ok(Ok(Request { method, path, headers, body }))
+}
+
+/// Reads one `\r\n`-terminated line into `line` (stripped); `None` marks
+/// the empty line that ends the head.
+fn read_crlf_line(
+    reader: &mut impl BufRead,
+    line: &mut String,
+    head_bytes: &mut usize,
+) -> io::Result<Option<()>> {
+    line.clear();
+    let n = io::Read::take(&mut *reader, MAX_HEAD_BYTES as u64 + 1).read_line(line)?;
+    if n == 0 {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed mid-head"));
+    }
+    *head_bytes += n;
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(if line.is_empty() { None } else { Some(()) })
+}
+
+/// Reason phrase for the status codes the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one JSON response and flushes. Every response closes the
+/// connection (`Connection: close`), keeping the protocol one-shot.
+pub fn write_json_response(writer: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        status,
+        reason(status),
+        body.len(),
+        body
+    )?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufReader, Cursor};
+
+    fn parse(raw: &str) -> Result<Request, BadRequest> {
+        read_request(&mut BufReader::new(Cursor::new(raw.as_bytes().to_vec())))
+            .expect("no io error on in-memory input")
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(
+            "POST /evaluate HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\n{\"k\": true}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/evaluate");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"{\"k\": true}");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse("GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn header_names_are_case_insensitive() {
+        let req =
+            parse("POST / HTTP/1.1\r\ncOnTeNt-LeNgTh: 2\r\n\r\nok").unwrap();
+        assert_eq!(req.body, b"ok");
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        for raw in [
+            "GARBAGE\r\n\r\n",
+            "GET /x HTTP/2\r\n\r\n",
+            "GET  /x HTTP/1.1\r\n\r\n",
+            "GET x HTTP/1.1\r\n\r\n",
+            " / HTTP/1.1\r\n\r\n",
+        ] {
+            let e = parse(raw).unwrap_err();
+            assert_eq!(e.status, 400, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_headers_and_lengths() {
+        assert_eq!(parse("GET / HTTP/1.1\r\nnocolon\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n").unwrap_err().status,
+            400
+        );
+        let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert_eq!(parse(&huge).unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn rejects_oversized_head() {
+        let raw = format!(
+            "GET / HTTP/1.1\r\nx-pad: {}\r\nx: y\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        assert_eq!(parse(&raw).unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn truncated_request_is_an_io_error() {
+        let mut r = BufReader::new(Cursor::new(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc".to_vec()));
+        assert!(read_request(&mut r).is_err());
+    }
+
+    #[test]
+    fn response_framing_is_exact() {
+        let mut out = Vec::new();
+        write_json_response(&mut out, 503, "{\"error\":\"busy\"}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Content-Length: 16\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"error\":\"busy\"}"));
+    }
+}

@@ -1,0 +1,53 @@
+//! `diffy-serve` — the evaluation simulator as a long-lived service.
+//!
+//! A std-only HTTP/1.1 front end to the Diffy evaluation stack: JSON
+//! requests name a `(model, dataset, sample, resolution, seed,
+//! architecture, scheme, memory)` point of the paper's grid, a fixed
+//! worker pool prices it through the shared bounded `SweepCache`, and the
+//! response carries the exact per-layer/network counters the runner
+//! produces — bit-identical to calling `evaluate_network` directly.
+//!
+//! Production semantics are first-class, not bolted on:
+//!
+//! * **Bounded admission** — at most `queue_depth` connections wait; the
+//!   acceptor sheds overload with `503` instead of queueing unboundedly.
+//! * **Deadlines** — each request's budget runs from *accept*; workers
+//!   check it between pipeline stages and answer `504` the moment it
+//!   passes (an expired queued request is never evaluated).
+//! * **Graceful drain** — SIGTERM/SIGINT (opt-in), `POST /shutdown`, or
+//!   [`ServerHandle::shutdown`] stop admissions, finish the backlog, and
+//!   let [`Server::run`] return.
+//! * **Live metrics** — `GET /metrics` reports request/response counts,
+//!   queue depth, cache hit/miss/eviction counters and latency
+//!   percentiles, all maintained lock-free.
+//!
+//! ```no_run
+//! use diffy_serve::{Server, ServeConfig};
+//!
+//! let server = Server::bind(ServeConfig {
+//!     addr: "127.0.0.1:7878".into(),
+//!     ..ServeConfig::default()
+//! })?;
+//! println!("listening on {}", server.local_addr());
+//! server.run()?; // blocks until graceful drain completes
+//! # std::io::Result::Ok(())
+//! ```
+//!
+//! Endpoints: `POST /evaluate`, `GET /metrics`, `GET /healthz`,
+//! `POST /shutdown`. See DESIGN.md §"Service layer" for the threading
+//! model and the determinism argument.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod load;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use client::{get, post, HttpResponse};
+pub use load::{closed_loop, LoadReport};
+pub use metrics::{LatencyHistogram, Metrics};
+pub use protocol::{result_to_json, EvalRequest};
+pub use server::{ServeConfig, Server, ServerHandle};

@@ -1,0 +1,126 @@
+//! Closed-loop load generation against a running server.
+//!
+//! `closed_loop` runs `concurrency` clients, each issuing its requests
+//! back-to-back (a new request the moment the previous response lands —
+//! the classic closed-loop model, so offered load scales with measured
+//! throughput). Latencies are exact client-side samples; percentiles are
+//! computed by sorting, not from histogram buckets, because these are the
+//! numbers that get committed to `BENCH_serve.json`.
+
+use crate::client::post;
+use diffy_core::parallel::{run_jobs, Jobs};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Results of one closed-loop run at a fixed concurrency.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Concurrent clients.
+    pub concurrency: usize,
+    /// Requests answered 200.
+    pub ok: u64,
+    /// Requests answered anything else, or failed at the socket level.
+    pub errors: u64,
+    /// Wall-clock duration of the whole run, in seconds.
+    pub wall_s: f64,
+    /// Successful requests per second (closed-loop throughput).
+    pub throughput_rps: f64,
+    /// Mean latency over successful requests, ms.
+    pub mean_ms: f64,
+    /// Latency percentiles over successful requests, ms (nearest-rank).
+    pub p50_ms: f64,
+    /// 90th percentile, ms.
+    pub p90_ms: f64,
+    /// 99th percentile, ms.
+    pub p99_ms: f64,
+    /// Slowest successful request, ms.
+    pub max_ms: f64,
+}
+
+/// Nearest-rank percentile of a sorted sample, in the sample's units.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Runs `concurrency` closed-loop clients, each posting `body` to
+/// `/evaluate` `requests_per_client` times, and aggregates the outcome.
+///
+/// Client fan-out rides the same deterministic pool the sweeps use
+/// (`run_jobs`); each client is self-contained, so the report is a pure
+/// aggregation over per-request samples.
+pub fn closed_loop(
+    addr: SocketAddr,
+    body: &str,
+    concurrency: usize,
+    requests_per_client: usize,
+    timeout: Duration,
+) -> LoadReport {
+    assert!(concurrency >= 1 && requests_per_client >= 1);
+    let started = Instant::now();
+    let clients: Vec<_> = (0..concurrency)
+        .map(|_| {
+            move || {
+                let mut latencies = Vec::with_capacity(requests_per_client);
+                let mut errors = 0u64;
+                for _ in 0..requests_per_client {
+                    let t0 = Instant::now();
+                    match post(addr, "/evaluate", body, timeout) {
+                        Ok(resp) if resp.status == 200 => {
+                            latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                        }
+                        _ => errors += 1,
+                    }
+                }
+                (latencies, errors)
+            }
+        })
+        .collect();
+    let outcomes = run_jobs(clients, Jobs::new(concurrency));
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut errors = 0u64;
+    for (l, e) in outcomes {
+        latencies.extend(l);
+        errors += e;
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let ok = latencies.len() as u64;
+    let mean_ms = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    LoadReport {
+        concurrency,
+        ok,
+        errors,
+        wall_s,
+        throughput_rps: if wall_s > 0.0 { ok as f64 / wall_s } else { 0.0 },
+        mean_ms,
+        p50_ms: percentile(&latencies, 0.50),
+        p90_ms: percentile(&latencies, 0.90),
+        p99_ms: percentile(&latencies, 0.99),
+        max_ms: latencies.last().copied().unwrap_or(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let s: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&s, 0.50), 50.0);
+        assert_eq!(percentile(&s, 0.99), 99.0);
+        assert_eq!(percentile(&s, 1.0), 100.0);
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Live service metrics: request/response counters, queue pressure, and
+//! a lock-free log-bucketed latency histogram for p50/p99.
+//!
+//! Everything is atomics — recording never takes a lock, so the hot path
+//! costs a handful of relaxed adds. The `/metrics` endpoint renders a
+//! snapshot as JSON through `diffy_core::json`.
+
+use diffy_core::json::JsonValue;
+use diffy_core::runner::CacheStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The response statuses the service emits, in reporting order.
+pub const STATUSES: [u16; 8] = [200, 400, 404, 405, 413, 500, 503, 504];
+
+/// Histogram geometry: bucket `i` covers latencies up to
+/// `BUCKET_BASE_MS * BUCKET_RATIO^i`; the last bucket is a catch-all.
+const BUCKET_BASE_MS: f64 = 0.05;
+const BUCKET_RATIO: f64 = 1.6;
+const BUCKETS: usize = 48;
+
+/// A concurrent log-bucketed latency histogram.
+///
+/// Quantiles are read from bucket upper bounds, so they are conservative
+/// (a p99 of "≤ X ms") with ~60% bucket resolution — plenty for spotting
+/// regressions; the bench client keeps exact client-side samples for the
+/// committed numbers.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    /// Total latency in microseconds, for the mean.
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let ms = us as f64 / 1e3;
+        let mut idx = 0usize;
+        let mut bound = BUCKET_BASE_MS;
+        while ms > bound && idx + 1 < BUCKETS {
+            bound *= BUCKET_RATIO;
+            idx += 1;
+        }
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound (ms) of the bucket containing quantile `q` ∈ [0, 1],
+    /// or 0 when empty.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        let mut bound = BUCKET_BASE_MS;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // The catch-all has no honest upper bound; report the
+                // max. Finite buckets clamp to it too, so a quantile
+                // never reads above the largest observation.
+                if i + 1 == BUCKETS {
+                    return self.max_ms();
+                }
+                return bound.min(self.max_ms());
+            }
+            bound *= BUCKET_RATIO;
+        }
+        self.max_us.load(Ordering::Relaxed) as f64 / 1e3
+    }
+
+    /// Mean latency in ms, or 0 when empty.
+    pub fn mean_ms(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / 1e3 / n as f64
+        }
+    }
+
+    /// Largest observation in ms.
+    pub fn max_ms(&self) -> f64 {
+        self.max_us.load(Ordering::Relaxed) as f64 / 1e3
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// All counters the service maintains.
+pub struct Metrics {
+    /// Connections accepted (including ones later rejected with 503).
+    pub requests_total: AtomicU64,
+    /// Connections turned away because the admission queue was full.
+    pub queue_rejected_total: AtomicU64,
+    /// Requests whose deadline expired before completion.
+    pub deadline_expired_total: AtomicU64,
+    /// Per-status response counts, aligned with [`STATUSES`].
+    responses: [AtomicU64; STATUSES.len()],
+    /// End-to-end `/evaluate` latency (accept → response written).
+    pub latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Zeroed metrics.
+    pub fn new() -> Self {
+        Self {
+            requests_total: AtomicU64::new(0),
+            queue_rejected_total: AtomicU64::new(0),
+            deadline_expired_total: AtomicU64::new(0),
+            responses: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Counts one response with the given status.
+    pub fn record_response(&self, status: u16) {
+        if let Some(i) = STATUSES.iter().position(|&s| s == status) {
+            self.responses[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Responses sent with `status` so far.
+    pub fn responses_with(&self, status: u16) -> u64 {
+        STATUSES
+            .iter()
+            .position(|&s| s == status)
+            .map(|i| self.responses[i].load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Renders the `/metrics` snapshot. `queue_depth` is sampled by the
+    /// caller (the queue owns that gauge); `cache` comes from the shared
+    /// `SweepCache`.
+    pub fn to_json(&self, queue_depth: usize, queue_capacity: usize, cache: CacheStats) -> JsonValue {
+        let responses = STATUSES
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.to_string(), JsonValue::from(self.responses[i].load(Ordering::Relaxed))))
+            .collect();
+        JsonValue::object(vec![
+            ("requests_total", self.requests_total.load(Ordering::Relaxed).into()),
+            ("queue_depth", queue_depth.into()),
+            ("queue_capacity", queue_capacity.into()),
+            ("queue_rejected_total", self.queue_rejected_total.load(Ordering::Relaxed).into()),
+            ("deadline_expired_total", self.deadline_expired_total.load(Ordering::Relaxed).into()),
+            ("responses", JsonValue::Object(responses)),
+            (
+                "cache",
+                JsonValue::object(vec![
+                    ("hits", cache.hits.into()),
+                    ("misses", cache.misses.into()),
+                    ("evictions", cache.evictions.into()),
+                    ("traces", cache.cached_traces.into()),
+                    ("weights", cache.cached_weights.into()),
+                    ("term_planes", cache.cached_term_planes.into()),
+                ]),
+            ),
+            (
+                "latency_ms",
+                JsonValue::object(vec![
+                    ("count", self.latency.count().into()),
+                    ("mean", JsonValue::from(self.latency.mean_ms())),
+                    ("p50", JsonValue::from(self.latency.quantile_ms(0.50))),
+                    ("p90", JsonValue::from(self.latency.quantile_ms(0.90))),
+                    ("p99", JsonValue::from(self.latency.quantile_ms(0.99))),
+                    ("max", JsonValue::from(self.latency.max_ms())),
+                ]),
+            ),
+        ])
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = LatencyHistogram::new();
+        for ms in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 100] {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.quantile_ms(0.50);
+        assert!((0.5..=2.0).contains(&p50), "p50 {p50} should bracket 1ms");
+        let p99 = h.quantile_ms(0.99);
+        assert!(p99 >= 100.0, "p99 {p99} must cover the 100ms outlier");
+        assert!(p99 <= 200.0, "p99 {p99} should stay near the outlier");
+        assert!((h.mean_ms() - 10.9).abs() < 0.5, "mean {}", h.mean_ms());
+        assert!((h.max_ms() - 100.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ms(0.5), 0.0);
+        assert_eq!(h.mean_ms(), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn extreme_latency_lands_in_catch_all() {
+        let h = LatencyHistogram::new();
+        // 1e9 ms is beyond the last finite bucket bound (~2e8 ms).
+        h.record(Duration::from_secs(1_000_000));
+        assert_eq!(h.count(), 1);
+        let p50 = h.quantile_ms(0.5);
+        assert!((p50 - 1e9).abs() / 1e9 < 0.01, "catch-all reports the max, got {p50}");
+    }
+
+    #[test]
+    fn metrics_snapshot_renders_all_sections() {
+        let m = Metrics::new();
+        m.requests_total.fetch_add(3, Ordering::Relaxed);
+        m.record_response(200);
+        m.record_response(200);
+        m.record_response(503);
+        m.latency.record(Duration::from_millis(2));
+        let v = m.to_json(1, 8, CacheStats { hits: 5, misses: 2, ..CacheStats::default() });
+        assert_eq!(v.get("requests_total").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("queue_depth").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("responses").unwrap().get("200").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("responses").unwrap().get("503").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("cache").unwrap().get("hits").unwrap().as_u64(), Some(5));
+        assert_eq!(v.get("latency_ms").unwrap().get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(m.responses_with(200), 2);
+        assert_eq!(m.responses_with(504), 0);
+        // The snapshot itself must be valid JSON.
+        assert!(diffy_core::json::parse(&v.to_json()).is_ok());
+    }
+}

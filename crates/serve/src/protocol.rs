@@ -1,0 +1,361 @@
+//! The service's wire protocol: JSON evaluation requests in, the exact
+//! runner results out.
+//!
+//! [`EvalRequest`] names the same knobs the CLI exposes — model, dataset,
+//! sample, resolution, seed, architecture, storage scheme, memory node —
+//! and [`result_to_json`] renders a [`NetworkResult`] with full fidelity:
+//! every per-layer counter the runner produces, integers as integers
+//! (`u64`-exact, see `diffy_core::json`), floats in shortest-roundtrip
+//! form. Serialization is deterministic, so two evaluations that are
+//! bit-identical in memory are byte-identical on the wire — the property
+//! the end-to-end tests assert.
+
+use diffy_core::accelerator::{EvalOptions, NetworkResult, SchemeChoice};
+use diffy_core::json::JsonValue;
+use diffy_core::runner::{WorkloadOptions, HD_PIXELS};
+use diffy_encoding::StorageScheme;
+use diffy_imaging::datasets::DatasetId;
+use diffy_memsys::{MemoryNode, MemorySystem};
+use diffy_models::CiModel;
+use diffy_sim::{AcceleratorConfig, Architecture};
+
+/// Bounds on the requested trace resolution: wide enough for every
+/// experiment in the paper, tight enough that one request cannot pin a
+/// worker for minutes.
+pub const MIN_RESOLUTION: usize = 16;
+/// See [`MIN_RESOLUTION`].
+pub const MAX_RESOLUTION: usize = 512;
+
+/// One parsed evaluation request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalRequest {
+    /// Model to trace.
+    pub model: CiModel,
+    /// Dataset the sample comes from.
+    pub dataset: DatasetId,
+    /// Sample index within the dataset.
+    pub sample: usize,
+    /// Square trace resolution.
+    pub resolution: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Architecture to price.
+    pub arch: Architecture,
+    /// Activation storage scheme.
+    pub scheme: SchemeChoice,
+    /// Off-chip memory node.
+    pub memory: MemoryNode,
+    /// Per-request deadline in milliseconds; the server clamps it to its
+    /// configured maximum.
+    pub deadline_ms: Option<u64>,
+    /// Artificial pre-evaluation sleep, honored only when the server was
+    /// built with test hooks — lets tests exercise queueing and deadline
+    /// paths deterministically.
+    pub test_sleep_ms: Option<u64>,
+}
+
+impl EvalRequest {
+    /// Parses and validates a request from its JSON body.
+    pub fn from_json(v: &JsonValue) -> Result<EvalRequest, String> {
+        if !matches!(v, JsonValue::Object(_)) {
+            return Err("request body must be a JSON object".to_string());
+        }
+        let model = parse_model(required_str(v, "model")?)?;
+        let dataset = parse_dataset(required_str(v, "dataset")?)?;
+        let sample = optional_u64(v, "sample")?.unwrap_or(0) as usize;
+        if sample >= dataset.samples() {
+            return Err(format!(
+                "sample {sample} out of range: {dataset} has {} samples",
+                dataset.samples()
+            ));
+        }
+        let resolution = optional_u64(v, "resolution")?.unwrap_or(64) as usize;
+        if !(MIN_RESOLUTION..=MAX_RESOLUTION).contains(&resolution) {
+            return Err(format!(
+                "resolution {resolution} out of range [{MIN_RESOLUTION}, {MAX_RESOLUTION}]"
+            ));
+        }
+        let seed = optional_u64(v, "seed")?.unwrap_or(1);
+        let arch = match v.get("arch") {
+            None => Architecture::Diffy,
+            Some(a) => parse_arch(a.as_str().ok_or("arch must be a string")?)?,
+        };
+        let scheme = match v.get("scheme") {
+            None => SchemeChoice::Scheme(StorageScheme::delta_d(16)),
+            Some(s) => parse_scheme(s.as_str().ok_or("scheme must be a string")?)?,
+        };
+        let memory = match v.get("memory") {
+            None => MemoryNode::Ddr4_3200,
+            Some(m) => parse_memory(m.as_str().ok_or("memory must be a string")?)?,
+        };
+        Ok(EvalRequest {
+            model,
+            dataset,
+            sample,
+            resolution,
+            seed,
+            arch,
+            scheme,
+            memory,
+            deadline_ms: optional_u64(v, "deadline_ms")?,
+            test_sleep_ms: optional_u64(v, "test_sleep_ms")?,
+        })
+    }
+
+    /// The workload options this request traces under.
+    pub fn workload(&self) -> WorkloadOptions {
+        WorkloadOptions { resolution: self.resolution, samples_per_dataset: 1, seed: self.seed }
+    }
+
+    /// The evaluation options this request prices under (Table IV
+    /// configuration, like the CLI).
+    pub fn eval_options(&self) -> EvalOptions {
+        EvalOptions {
+            arch: self.arch,
+            cfg: AcceleratorConfig::table4(),
+            scheme: self.scheme,
+            memory: MemorySystem::single(self.memory),
+        }
+    }
+}
+
+fn required_str<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .ok_or_else(|| format!("missing required field `{key}`"))?
+        .as_str()
+        .ok_or_else(|| format!("field `{key}` must be a string"))
+}
+
+fn optional_u64(v: &JsonValue, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(n) => {
+            n.as_u64().map(Some).ok_or_else(|| format!("field `{key}` must be a non-negative integer"))
+        }
+    }
+}
+
+/// Parses a model name (case-insensitive Table I spelling).
+pub fn parse_model(name: &str) -> Result<CiModel, String> {
+    CiModel::ALL
+        .into_iter()
+        .find(|m| m.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown model `{name}` (DnCNN/FFDNet/IRCNN/JointNet/VDSR)"))
+}
+
+/// Parses a dataset name (case-insensitive Table II spelling).
+pub fn parse_dataset(name: &str) -> Result<DatasetId, String> {
+    DatasetId::ALL
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let all: Vec<&str> = DatasetId::ALL.iter().map(|d| d.name()).collect();
+            format!("unknown dataset `{name}` ({})", all.join("/"))
+        })
+}
+
+/// Parses an architecture name (case-insensitive).
+pub fn parse_arch(name: &str) -> Result<Architecture, String> {
+    [Architecture::Vaa, Architecture::Pra, Architecture::Diffy, Architecture::Scnn]
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown arch `{name}` (VAA/PRA/Diffy/SCNN)"))
+}
+
+/// Parses a storage-scheme choice (the CLI's `--scheme` vocabulary).
+pub fn parse_scheme(name: &str) -> Result<SchemeChoice, String> {
+    Ok(match name {
+        "DeltaD16" => SchemeChoice::Scheme(StorageScheme::delta_d(16)),
+        "NoCompression" => SchemeChoice::Scheme(StorageScheme::NoCompression),
+        "Profiled" => SchemeChoice::Profiled { quantile: 0.999 },
+        "RawD16" => SchemeChoice::Scheme(StorageScheme::raw_d(16)),
+        "Ideal" => SchemeChoice::Ideal,
+        other => {
+            return Err(format!(
+                "unknown scheme `{other}` (NoCompression/Profiled/RawD16/DeltaD16/Ideal)"
+            ))
+        }
+    })
+}
+
+/// Parses a memory-node name (the CLI's `--memory` vocabulary).
+pub fn parse_memory(name: &str) -> Result<MemoryNode, String> {
+    Ok(match name {
+        "DDR4-3200" => MemoryNode::Ddr4_3200,
+        "DDR3-1600" => MemoryNode::Ddr3_1600,
+        "LPDDR3-1600" => MemoryNode::Lpddr3_1600,
+        "LPDDR3E-2133" => MemoryNode::Lpddr3e2133,
+        "LPDDR4-3200" => MemoryNode::Lpddr4_3200,
+        "LPDDR4X-3733" => MemoryNode::Lpddr4x3733,
+        "LPDDR4X-4267" => MemoryNode::Lpddr4x4267,
+        "HBM2" => MemoryNode::Hbm2,
+        "HBM3" => MemoryNode::Hbm3,
+        other => return Err(format!("unknown memory node `{other}`")),
+    })
+}
+
+/// Serializes a [`NetworkResult`] with full fidelity: the same per-layer
+/// compute/traffic/timing counters the runner produces, plus the derived
+/// totals the CLI prints. `source_pixels` drives the HD FPS projection.
+///
+/// Deterministic: equal results (and pixel counts) serialize to equal
+/// strings, so "served response == direct evaluation" can be asserted
+/// bytewise.
+pub fn result_to_json(result: &NetworkResult, source_pixels: u64) -> JsonValue {
+    let layers: Vec<JsonValue> = result
+        .layers
+        .iter()
+        .map(|l| {
+            JsonValue::object(vec![
+                ("name", JsonValue::from(l.name.as_str())),
+                (
+                    "compute",
+                    JsonValue::object(vec![
+                        ("cycles", l.compute.cycles.into()),
+                        ("useful_slots", l.compute.useful_slots.into()),
+                        ("total_slots", l.compute.total_slots.into()),
+                        ("compute_events", l.compute.compute_events.into()),
+                        ("filter_passes", l.compute.filter_passes.into()),
+                        ("macs", l.compute.macs.into()),
+                    ]),
+                ),
+                (
+                    "traffic",
+                    JsonValue::object(vec![
+                        ("imap_read_bytes", l.traffic.imap_read_bytes.into()),
+                        ("omap_write_bytes", l.traffic.omap_write_bytes.into()),
+                        ("weight_bytes", l.traffic.weight_bytes.into()),
+                    ]),
+                ),
+                (
+                    "timing",
+                    JsonValue::object(vec![
+                        ("compute_cycles", l.timing.compute_cycles.into()),
+                        ("memory_cycles", l.timing.memory_cycles.into()),
+                        ("total_cycles", l.timing.total_cycles.into()),
+                        ("stall_cycles", l.timing.stall_cycles.into()),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    JsonValue::object(vec![
+        ("model", JsonValue::from(result.model.as_str())),
+        ("arch", JsonValue::from(result.arch)),
+        ("scheme", JsonValue::from(result.scheme.as_str())),
+        ("frequency_ghz", JsonValue::from(result.frequency_ghz)),
+        ("source_pixels", source_pixels.into()),
+        ("layers", JsonValue::Array(layers)),
+        (
+            "totals",
+            JsonValue::object(vec![
+                ("total_cycles", result.total_cycles().into()),
+                ("compute_cycles", result.compute_cycles().into()),
+                ("stall_cycles", result.stall_cycles().into()),
+                ("total_traffic_bytes", result.total_traffic_bytes().into()),
+                ("activation_traffic_bytes", result.activation_traffic_bytes().into()),
+                ("fps", JsonValue::from(result.fps())),
+                ("hd_fps", JsonValue::from(result.fps_scaled(source_pixels, HD_PIXELS))),
+            ]),
+        ),
+    ])
+}
+
+/// The standard error body: `{"error": <message>}`.
+pub fn error_body(message: &str) -> String {
+    JsonValue::object(vec![("error", JsonValue::from(message))]).to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffy_core::json::parse;
+    use diffy_core::runner::ci_trace_bundle;
+
+    #[test]
+    fn minimal_request_gets_defaults() {
+        let v = parse(r#"{"model": "IRCNN", "dataset": "Kodak24"}"#).unwrap();
+        let r = EvalRequest::from_json(&v).unwrap();
+        assert_eq!(r.model, CiModel::Ircnn);
+        assert_eq!(r.dataset, DatasetId::Kodak24);
+        assert_eq!((r.sample, r.resolution, r.seed), (0, 64, 1));
+        assert_eq!(r.arch, Architecture::Diffy);
+        assert_eq!(r.scheme, SchemeChoice::Scheme(StorageScheme::delta_d(16)));
+        assert_eq!(r.memory, MemoryNode::Ddr4_3200);
+        assert_eq!(r.deadline_ms, None);
+    }
+
+    #[test]
+    fn full_request_parses_case_insensitively() {
+        let v = parse(
+            r#"{"model": "dncnn", "dataset": "hd33", "sample": 2, "resolution": 32,
+                "seed": 9, "arch": "vaa", "scheme": "Ideal", "memory": "HBM2",
+                "deadline_ms": 250}"#,
+        )
+        .unwrap();
+        let r = EvalRequest::from_json(&v).unwrap();
+        assert_eq!(r.model, CiModel::DnCnn);
+        assert_eq!(r.dataset, DatasetId::Hd33);
+        assert_eq!((r.sample, r.resolution, r.seed), (2, 32, 9));
+        assert_eq!(r.arch, Architecture::Vaa);
+        assert_eq!(r.scheme, SchemeChoice::Ideal);
+        assert_eq!(r.memory, MemoryNode::Hbm2);
+        assert_eq!(r.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_with_reasons() {
+        let cases = [
+            (r#"{"dataset": "Kodak24"}"#, "missing required field `model`"),
+            (r#"{"model": "IRCNN"}"#, "missing required field `dataset`"),
+            (r#"{"model": "nope", "dataset": "Kodak24"}"#, "unknown model"),
+            (r#"{"model": "IRCNN", "dataset": "nope"}"#, "unknown dataset"),
+            (r#"{"model": "IRCNN", "dataset": "Kodak24", "sample": 24}"#, "out of range"),
+            (r#"{"model": "IRCNN", "dataset": "Kodak24", "resolution": 8}"#, "out of range"),
+            (r#"{"model": "IRCNN", "dataset": "Kodak24", "resolution": 4096}"#, "out of range"),
+            (r#"{"model": "IRCNN", "dataset": "Kodak24", "arch": "TPU"}"#, "unknown arch"),
+            (r#"{"model": "IRCNN", "dataset": "Kodak24", "scheme": "zip"}"#, "unknown scheme"),
+            (r#"{"model": "IRCNN", "dataset": "Kodak24", "memory": "SRAM"}"#, "unknown memory"),
+            (r#"{"model": "IRCNN", "dataset": "Kodak24", "seed": -1}"#, "non-negative"),
+            (r#"[1]"#, "must be a JSON object"),
+        ];
+        for (body, needle) in cases {
+            let err = EvalRequest::from_json(&parse(body).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn result_serialization_is_deterministic_and_faithful() {
+        let opts = WorkloadOptions::test_small();
+        let bundle = ci_trace_bundle(CiModel::Ircnn, DatasetId::Kodak24, 0, &opts);
+        let eval = EvalOptions::new(Architecture::Diffy, SchemeChoice::Ideal);
+        let result = bundle.evaluate(&eval);
+
+        let a = result_to_json(&result, bundle.source_pixels).to_json();
+        let b = result_to_json(&bundle.evaluate(&eval), bundle.source_pixels).to_json();
+        assert_eq!(a, b, "equal results must serialize identically");
+
+        let v = parse(&a).unwrap();
+        assert_eq!(v.get("arch").unwrap().as_str(), Some("Diffy"));
+        assert_eq!(
+            v.get("totals").unwrap().get("total_cycles").unwrap().as_u64(),
+            Some(result.total_cycles())
+        );
+        let layers = v.get("layers").unwrap().as_array().unwrap();
+        assert_eq!(layers.len(), result.layers.len());
+        assert_eq!(
+            layers[0].get("compute").unwrap().get("macs").unwrap().as_u64(),
+            Some(result.layers[0].compute.macs)
+        );
+        assert_eq!(
+            layers[0].get("timing").unwrap().get("stall_cycles").unwrap().as_u64(),
+            Some(result.layers[0].timing.stall_cycles)
+        );
+    }
+
+    #[test]
+    fn error_body_is_json() {
+        assert_eq!(error_body("queue full"), r#"{"error":"queue full"}"#);
+    }
+}

@@ -1,0 +1,485 @@
+//! The evaluation server: a bounded admission queue feeding a fixed
+//! worker pool, with per-request deadlines and graceful drain.
+//!
+//! # Threading model
+//!
+//! `Server::run` launches one acceptor plus `workers` evaluation workers
+//! as jobs on `diffy_core::parallel::run_jobs` — the same scoped-thread
+//! pool the sweeps use, here with one long-lived loop per slot. The
+//! acceptor polls a non-blocking listener, counts the connection, and
+//! tries to enqueue it; workers block on the queue's condvar and drain it
+//! until shutdown. There is no per-request thread spawn and no unbounded
+//! buffering anywhere: memory and concurrency are fixed at startup.
+//!
+//! # Backpressure
+//!
+//! The queue holds at most `queue_depth` pending connections. When it is
+//! full the acceptor answers `503 {"error":"queue full"}` immediately —
+//! load sheds at the front door instead of growing latency without bound.
+//!
+//! # Deadlines
+//!
+//! Each request carries a deadline (its `deadline_ms`, clamped to the
+//! server's `--deadline-ms`), measured from *accept* so queue wait counts
+//! against it. Workers check it cooperatively between pipeline stages —
+//! after parsing, after the trace build, after evaluation — and answer
+//! `504` the moment it has passed; a request that expired while queued is
+//! never evaluated at all.
+//!
+//! # Determinism
+//!
+//! Workers share one process-wide *bounded* `SweepCache`; evaluation
+//! draws traces and term planes through it exactly like the sweep paths
+//! do. Cached artifacts are pure functions of their keys and eviction
+//! only ever forces recomputation, so a served result is bit-identical to
+//! a direct `evaluate_network` call — under any concurrency, queue state
+//! or cache history (asserted end-to-end in `tests/serve_e2e.rs`).
+
+use crate::http::{read_request, write_json_response, BadRequest, Request, MAX_BODY_BYTES};
+use crate::metrics::Metrics;
+use crate::protocol::{error_body, result_to_json, EvalRequest};
+use diffy_core::json::{parse as parse_json, JsonValue};
+use diffy_core::parallel::{run_jobs, Jobs};
+use diffy_core::runner::SweepCache;
+use std::collections::VecDeque;
+use std::io::{self, BufReader};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server configuration, mirrored by the CLI's `diffy serve` flags.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Evaluation worker count.
+    pub workers: Jobs,
+    /// Admission-queue capacity; a full queue answers 503.
+    pub queue_depth: usize,
+    /// Default and maximum per-request deadline, in milliseconds.
+    pub deadline_ms: u64,
+    /// Bounded-cache capacity: resident trace bundles (and weight sets).
+    pub trace_cache: usize,
+    /// Bounded-cache capacity: resident per-layer term-plane sets.
+    pub plane_cache: usize,
+    /// Honor the `test_sleep_ms` request field (tests only — lets the
+    /// queueing and deadline paths be exercised deterministically).
+    pub test_hooks: bool,
+    /// Install a SIGTERM/SIGINT handler that triggers graceful drain
+    /// (the CLI sets this; in-process tests leave it off).
+    pub handle_signals: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: Jobs::available(),
+            queue_depth: 32,
+            deadline_ms: 30_000,
+            trace_cache: 64,
+            plane_cache: 1024,
+            test_hooks: false,
+            handle_signals: false,
+        }
+    }
+}
+
+/// One accepted connection waiting for a worker.
+struct QueuedConn {
+    stream: TcpStream,
+    accepted_at: Instant,
+}
+
+/// The bounded admission queue: `Mutex<VecDeque>` + condvar, closed at
+/// shutdown so workers drain the backlog and exit.
+struct ConnQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+struct QueueState {
+    pending: VecDeque<QueuedConn>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState { pending: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admits a connection, or returns it when the queue is full/closed.
+    fn try_push(&self, conn: QueuedConn) -> Result<(), QueuedConn> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed || state.pending.len() >= self.capacity {
+            return Err(conn);
+        }
+        state.pending.push_back(conn);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next connection; `None` once closed *and* drained.
+    fn pop(&self) -> Option<QueuedConn> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(conn) = state.pending.pop_front() {
+                return Some(conn);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Stops admissions and wakes every waiting worker.
+    fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        self.state.lock().expect("queue poisoned").pending.len()
+    }
+}
+
+/// State shared between the acceptor, the workers and [`ServerHandle`]s.
+struct Shared {
+    queue: ConnQueue,
+    metrics: Metrics,
+    cache: SweepCache,
+    config: ServeConfig,
+    shutdown: AtomicBool,
+}
+
+/// Process-global flag set by the SIGTERM/SIGINT handler. Signal-safe:
+/// the handler does exactly one atomic store.
+static SIGNAL_DRAIN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handler() {
+    unsafe extern "C" fn on_signal(_signum: i32) {
+        SIGNAL_DRAIN.store(true, Ordering::SeqCst);
+    }
+    type Handler = unsafe extern "C" fn(i32);
+    extern "C" {
+        fn signal(signum: i32, handler: Handler) -> isize;
+    }
+    // 15 = SIGTERM, 2 = SIGINT; std links libc on unix, so `signal` is
+    // always available without adding a dependency.
+    unsafe {
+        signal(15, on_signal);
+        signal(2, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handler() {}
+
+/// A bound evaluation server. [`Server::run`] blocks the calling thread
+/// until shutdown; use [`Server::handle`] (or `POST /shutdown`, or
+/// SIGTERM with [`ServeConfig::handle_signals`]) to trigger a graceful
+/// drain from elsewhere.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+/// A cloneable remote control for a running [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Begins graceful drain: stop accepting, finish queued requests,
+    /// then let `run` return. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether drain has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst) || SIGNAL_DRAIN.load(Ordering::SeqCst)
+    }
+}
+
+impl Server {
+    /// Binds the listener and builds the shared state. The server does
+    /// not accept connections until [`Server::run`].
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        assert!(config.queue_depth >= 1, "queue depth must be at least 1");
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: ConnQueue::new(config.queue_depth),
+            metrics: Metrics::new(),
+            cache: SweepCache::bounded(config.trace_cache, config.plane_cache),
+            config,
+            shutdown: AtomicBool::new(false),
+        });
+        Ok(Server { listener, local_addr, shared })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A remote control for this server.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// The configuration this server was bound with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.config
+    }
+
+    /// Serves until graceful drain completes: acceptor + workers run as
+    /// one scoped-thread pool; on shutdown the acceptor stops admitting,
+    /// queued requests are still answered, then all threads join.
+    pub fn run(self) -> io::Result<()> {
+        if self.shared.config.handle_signals {
+            install_signal_handler();
+        }
+        self.listener.set_nonblocking(true)?;
+        let workers = self.shared.config.workers.get();
+        let shared = &self.shared;
+        let listener = &self.listener;
+
+        let mut jobs: Vec<Box<dyn FnOnce() + Send>> = Vec::with_capacity(workers + 1);
+        jobs.push(Box::new(move || accept_loop(shared, listener)));
+        for _ in 0..workers {
+            jobs.push(Box::new(move || worker_loop(shared)));
+        }
+        run_jobs(jobs, Jobs::new(workers + 1));
+        Ok(())
+    }
+}
+
+/// Accepts connections until drain, enqueueing or shedding each, then
+/// closes the queue so workers finish the backlog and exit.
+fn accept_loop(shared: &Shared, listener: &TcpListener) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) || SIGNAL_DRAIN.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+                let conn = QueuedConn { stream, accepted_at: Instant::now() };
+                if let Err(rejected) = shared.queue.try_push(conn) {
+                    shared.metrics.queue_rejected_total.fetch_add(1, Ordering::Relaxed);
+                    respond(shared, rejected.stream, 503, &error_body("queue full"));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // Transient accept failures (e.g. the peer reset before the
+            // handshake finished) should not kill the server.
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    shared.queue.close();
+}
+
+/// Drains the queue until it is closed and empty.
+fn worker_loop(shared: &Shared) {
+    while let Some(conn) = shared.queue.pop() {
+        handle_connection(shared, conn);
+    }
+}
+
+/// Writes a JSON response, counting it; write errors only mean the peer
+/// went away, which the server must survive.
+///
+/// Ends with a *lingering close*: half-close the write side, then drain
+/// whatever the peer already sent before dropping the socket. A 503 is
+/// written before the request has been read at all — closing with unread
+/// bytes in the receive buffer makes the kernel send RST, which can
+/// discard the very response the peer is about to read.
+fn respond(shared: &Shared, mut stream: TcpStream, status: u16, body: &str) {
+    shared.metrics.record_response(status);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    if write_json_response(&mut stream, status, body).is_err() {
+        return; // peer gone; nothing to linger for
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut scratch = [0u8; 4096];
+    let mut drained = 0usize;
+    // Bounded: stop at the peer's close, a timeout, or one body's worth.
+    while drained <= MAX_BODY_BYTES {
+        match io::Read::read(&mut stream, &mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
+/// Parses and routes one connection.
+fn handle_connection(shared: &Shared, conn: QueuedConn) {
+    let QueuedConn { stream, accepted_at } = conn;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return, // connection already dead
+    });
+    let request = match read_request(&mut reader) {
+        Err(_) => return, // peer vanished mid-request; nothing to answer
+        Ok(Err(BadRequest { status, message })) => {
+            respond(shared, stream, status, &error_body(&message));
+            return;
+        }
+        Ok(Ok(req)) => req,
+    };
+
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/evaluate") => handle_evaluate(shared, stream, &request, accepted_at),
+        ("GET", "/metrics") => {
+            let body = shared
+                .metrics
+                .to_json(shared.queue.depth(), shared.config.queue_depth, shared.cache.stats())
+                .to_json();
+            respond(shared, stream, 200, &body);
+        }
+        ("GET", "/healthz") => {
+            let draining = shared.shutdown.load(Ordering::SeqCst);
+            let body = JsonValue::object(vec![
+                ("status", JsonValue::from(if draining { "draining" } else { "ok" })),
+            ])
+            .to_json();
+            respond(shared, stream, 200, &body);
+        }
+        ("POST", "/shutdown") => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            let body = JsonValue::object(vec![("draining", JsonValue::Bool(true))]).to_json();
+            respond(shared, stream, 200, &body);
+        }
+        ("POST" | "GET", "/evaluate" | "/metrics" | "/healthz" | "/shutdown") => {
+            respond(shared, stream, 405, &error_body("method not allowed"));
+        }
+        _ => respond(shared, stream, 404, &error_body("no such endpoint")),
+    }
+}
+
+/// The `/evaluate` pipeline: parse → trace → evaluate → serialize, with a
+/// cooperative deadline check between every stage.
+fn handle_evaluate(shared: &Shared, stream: TcpStream, request: &Request, accepted_at: Instant) {
+    let started = accepted_at;
+    let (status, body) = evaluate_stages(shared, request, accepted_at);
+    if status == 504 {
+        shared.metrics.deadline_expired_total.fetch_add(1, Ordering::Relaxed);
+    }
+    respond(shared, stream, status, &body);
+    shared.metrics.latency.record(started.elapsed());
+}
+
+fn evaluate_stages(shared: &Shared, request: &Request, accepted_at: Instant) -> (u16, String) {
+    // Stage 0: decode. (Deadline: a request that waited out its budget in
+    // the queue is answered 504 without being parsed at all.)
+    let Ok(body_text) = std::str::from_utf8(&request.body) else {
+        return (400, error_body("body must be UTF-8 JSON"));
+    };
+    let parsed = match parse_json(body_text) {
+        Ok(v) => v,
+        Err(e) => return (400, error_body(&format!("bad JSON: {e}"))),
+    };
+    let eval_req = match EvalRequest::from_json(&parsed) {
+        Ok(r) => r,
+        Err(e) => return (400, error_body(&e)),
+    };
+
+    let budget_ms = eval_req.deadline_ms.unwrap_or(shared.config.deadline_ms);
+    let deadline = accepted_at + Duration::from_millis(budget_ms.min(shared.config.deadline_ms));
+    let expired = |stage: &str| {
+        (504, error_body(&format!("deadline exceeded ({stage})")))
+    };
+    if Instant::now() >= deadline {
+        return expired("queued");
+    }
+
+    if shared.config.test_hooks {
+        if let Some(ms) = eval_req.test_sleep_ms {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+    }
+
+    // Stage 1: materialize the trace (cache-shared across requests).
+    let workload = eval_req.workload();
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        shared.cache.bundle(eval_req.model, eval_req.dataset, eval_req.sample, &workload)
+    }));
+    let bundle = match run {
+        Ok(b) => b,
+        Err(_) => return (500, error_body("trace generation failed")),
+    };
+    if Instant::now() >= deadline {
+        return expired("traced");
+    }
+
+    // Stage 2: price the trace on the requested architecture.
+    let eval = eval_req.eval_options();
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        shared.cache.evaluate(eval_req.model, eval_req.dataset, eval_req.sample, &workload, &eval)
+    }));
+    let result = match run {
+        Ok(r) => r,
+        Err(_) => return (500, error_body("evaluation failed")),
+    };
+    if Instant::now() >= deadline {
+        return expired("evaluated");
+    }
+
+    // Stage 3: serialize — the exact runner result, deterministically.
+    (200, result_to_json(&result, bundle.source_pixels).to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_sheds_above_capacity_and_drains_after_close() {
+        // Pure queue-discipline test with synthetic connections: use a
+        // real loopback listener only as a TcpStream factory.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mk = || {
+            let _client = TcpStream::connect(addr).unwrap();
+            let (server_side, _) = listener.accept().unwrap();
+            QueuedConn { stream: server_side, accepted_at: Instant::now() }
+        };
+        let q = ConnQueue::new(2);
+        assert!(q.try_push(mk()).is_ok());
+        assert!(q.try_push(mk()).is_ok());
+        assert!(q.try_push(mk()).is_err(), "third admit must shed");
+        assert_eq!(q.depth(), 2);
+        q.close();
+        assert!(q.try_push(mk()).is_err(), "closed queue admits nothing");
+        assert!(q.pop().is_some(), "backlog drains after close");
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none(), "drained + closed ends the workers");
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = ServeConfig::default();
+        assert!(c.queue_depth >= 1);
+        assert!(c.workers.get() >= 1);
+        assert!(c.deadline_ms > 0);
+        assert!(!c.test_hooks);
+    }
+}

@@ -42,6 +42,7 @@ fn main() -> ExitCode {
         "models" => cmd_models(),
         "report" => cmd_report(rest),
         "experiments" => cmd_experiments(),
+        "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -67,14 +68,20 @@ commands:
   models            Table I summary of the CI-DNN zoo
   report            Markdown workload report (--res, --seed apply)
   experiments       map of paper tables/figures to bench targets
+  serve             run the evaluation service (POST /evaluate, GET /metrics)
 
 options:
   --res N           trace resolution (default 64)
   --scheme S        NoCompression | Profiled | RawD16 | DeltaD16 (default DeltaD16)
   --memory NODE     e.g. DDR4-3200, HBM2 (default DDR4-3200)
   --seed N          workload seed (default 1)
-  --jobs N          worker threads for compare/sweep/report (default: all
-                    cores); results are bit-identical at any job count
+  --jobs N          worker threads for compare/sweep/report/serve (default:
+                    all cores); results are bit-identical at any job count
+
+serve options:
+  --addr HOST:PORT  bind address (default 127.0.0.1:7878; port 0 = ephemeral)
+  --queue-depth N   admission-queue capacity, >= 1 (default 32); full -> 503
+  --deadline-ms N   per-request deadline budget, >= 1 (default 30000)
 
 models: DnCNN, FFDNet, IRCNN, JointNet, VDSR";
 
@@ -305,6 +312,32 @@ fn cmd_models() -> Result<(), String> {
     }
     println!("{}", table.render());
     Ok(())
+}
+
+fn cmd_serve(rest: &[String]) -> Result<(), String> {
+    let mut config = diffy::serve::ServeConfig { handle_signals: true, ..Default::default() };
+    if let Some(addr) = parse_flag(rest, "--addr")? {
+        config.addr = addr;
+    }
+    config.workers = parse_jobs(rest)?;
+    if let Some(v) = parse_flag(rest, "--queue-depth")? {
+        config.queue_depth = v
+            .parse()
+            .ok()
+            .filter(|&n: &usize| n >= 1)
+            .ok_or_else(|| format!("bad --queue-depth {v} (want an integer >= 1)"))?;
+    }
+    if let Some(v) = parse_flag(rest, "--deadline-ms")? {
+        config.deadline_ms = v
+            .parse()
+            .ok()
+            .filter(|&n: &u64| n >= 1)
+            .ok_or_else(|| format!("bad --deadline-ms {v} (want an integer >= 1)"))?;
+    }
+    let server = diffy::serve::Server::bind(config).map_err(|e| format!("bind failed: {e}"))?;
+    println!("diffy-serve listening on http://{}", server.local_addr());
+    println!("POST /evaluate | GET /metrics | GET /healthz | POST /shutdown");
+    server.run().map_err(|e| format!("server failed: {e}"))
 }
 
 fn cmd_experiments() -> Result<(), String> {

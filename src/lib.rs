@@ -11,6 +11,7 @@
 //! * [`sim`] — VAA / PRA / Diffy / SCNN cycle models.
 //! * [`energy`] — analytical power and area models.
 //! * [`core`] — differential convolution and the experiment runner.
+//! * [`serve`] — the evaluation stack as an HTTP service.
 
 
 #![warn(missing_docs)]
@@ -21,5 +22,6 @@ pub use diffy_energy as energy;
 pub use diffy_imaging as imaging;
 pub use diffy_memsys as memsys;
 pub use diffy_models as models;
+pub use diffy_serve as serve;
 pub use diffy_sim as sim;
 pub use diffy_tensor as tensor;

@@ -91,3 +91,49 @@ fn zero_jobs_is_rejected() {
     assert!(!out.status.success());
     assert!(stderr(&out).contains("bad --jobs"), "stderr: {}", stderr(&out));
 }
+
+#[test]
+fn usage_mentions_serve() {
+    let out = diffy(&["help"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for needle in ["serve", "--addr", "--queue-depth", "--deadline-ms"] {
+        assert!(text.contains(needle), "missing {needle:?} in usage:\n{text}");
+    }
+}
+
+#[test]
+fn serve_flags_without_values_are_hard_errors() {
+    for flag in ["--addr", "--queue-depth", "--deadline-ms", "--jobs"] {
+        let out = diffy(&["serve", flag]);
+        assert!(!out.status.success(), "{flag} without value must fail");
+        assert!(
+            stderr(&out).contains(&format!("{flag} needs a value")),
+            "stderr for {flag}: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn serve_rejects_bad_flag_values() {
+    let out = diffy(&["serve", "--queue-depth", "0"]);
+    assert!(!out.status.success(), "--queue-depth 0 must fail");
+    assert!(stderr(&out).contains("bad --queue-depth 0"), "stderr: {}", stderr(&out));
+
+    let out = diffy(&["serve", "--deadline-ms", "soon"]);
+    assert!(!out.status.success(), "non-numeric --deadline-ms must fail");
+    assert!(stderr(&out).contains("bad --deadline-ms soon"), "stderr: {}", stderr(&out));
+
+    let out = diffy(&["serve", "--jobs", "0"]);
+    assert!(!out.status.success(), "--jobs 0 must fail");
+    assert!(stderr(&out).contains("bad --jobs"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn serve_rejects_unbindable_address() {
+    // A malformed bind address must fail fast with a bind error, not hang.
+    let out = diffy(&["serve", "--addr", "not-an-address"]);
+    assert!(!out.status.success(), "bad --addr must fail");
+    assert!(stderr(&out).contains("bind failed"), "stderr: {}", stderr(&out));
+}
