@@ -220,6 +220,61 @@ fn bench_term_serial(_c: &mut Criterion) {
     );
     records.push(sweep_rec);
 
+    // Tracing-overhead gate: with the collector disabled (the default),
+    // wrapping the kernel in a span must cost nothing measurable — the
+    // entire span path is one relaxed atomic load and the args closure
+    // is never called. Alternating min-of-rounds cancels drift: each
+    // round times a bare batch and a span-wrapped batch back to back,
+    // and the minima are compared.
+    assert!(
+        !diffy_core::trace::enabled(),
+        "overhead bench requires the collector off (it is off by default)"
+    );
+    // The shared-plane kernel is ~0.05ms/call in smoke, ~100ms at full
+    // HD: size batches so every timed batch spans >=10ms of work.
+    let (rounds, batch) = if smoke { (6u32, 256u32) } else { (5u32, 1u32) };
+    let mut bare_min = f64::MAX;
+    let mut traced_min = f64::MAX;
+    for _ in 0..rounds {
+        let t = std::time::Instant::now();
+        for _ in 0..batch {
+            black_box(term_serial_layer_with_terms(black_box(&trace), &cfg, ValueMode::Differential, &terms));
+        }
+        bare_min = bare_min.min(t.elapsed().as_secs_f64());
+        let t = std::time::Instant::now();
+        for _ in 0..batch {
+            let _span =
+                diffy_core::trace::span_args("tile_sim", || vec![("arch", "bench".into())]);
+            black_box(term_serial_layer_with_terms(black_box(&trace), &cfg, ValueMode::Differential, &terms));
+        }
+        traced_min = traced_min.min(t.elapsed().as_secs_f64());
+    }
+    let overhead = traced_min / bare_min - 1.0;
+    // Full HD has ~100ms per call and a 1% budget holds easily; smoke
+    // batches are milliseconds, so grant noise a 10% allowance there.
+    let budget = if smoke { 0.10 } else { 0.01 };
+    println!(
+        "tracing-off span overhead: {:+.3}% (budget {:.0}%)",
+        overhead * 100.0,
+        budget * 100.0
+    );
+    assert!(
+        overhead < budget,
+        "disabled-tracing overhead {:.3}% exceeds the {:.0}% budget",
+        overhead * 100.0,
+        budget * 100.0
+    );
+    for (name, min) in
+        [("trace_overhead_bare", bare_min), ("trace_overhead_span_wrapped", traced_min)]
+    {
+        records.push(BenchRecord {
+            name: format!("{name}_{h}p"),
+            wall_ms: min * 1e3 / batch as f64,
+            iters: (rounds * batch) as u64,
+            per_second: None,
+        });
+    }
+
     println!(
         "headline kernel speedup (shared planes, min over modes): {speedup_kernel:.1}x; \
          cold incl. build: {speedup_cold:.1}x"
@@ -235,7 +290,11 @@ fn bench_term_serial(_c: &mut Criterion) {
                 .to_string(),
         ),
     ];
-    let summary = [("speedup_hd", speedup_kernel), ("speedup_hd_cold", speedup_cold)];
+    let summary = [
+        ("speedup_hd", speedup_kernel),
+        ("speedup_hd_cold", speedup_cold),
+        ("trace_off_overhead_pct", overhead * 100.0),
+    ];
     if let Some(path) = write_bench_json("term_serial", &meta, &records, &summary) {
         println!("wrote {}", path.display());
     }

@@ -215,24 +215,38 @@ pub fn evaluate_network_with_terms(
     opts: &EvalOptions,
     terms: Option<TermPlaneSource<'_>>,
 ) -> NetworkResult {
+    let _eval_span = crate::trace::span_args("evaluate_network", || {
+        vec![
+            ("model", trace.model.clone().into()),
+            ("arch", opts.arch.name().into()),
+            ("scheme", opts.scheme.label().into()),
+        ]
+    });
     let terms_for = |i: usize, layer: &LayerTrace| match terms {
         Some(source) => source(i, layer),
-        None => Arc::new(PaddedTerms::for_layer(layer)),
+        None => {
+            let _s = crate::trace::span_args("term_plane_build", || vec![("layer", i.into())]);
+            Arc::new(PaddedTerms::for_layer(layer))
+        }
     };
-    let compute = match opts.arch {
-        Architecture::Vaa => vaa_network(trace, &opts.cfg),
-        Architecture::Pra => {
-            term_serial_network_with_terms(trace, &opts.cfg, ValueMode::Raw, terms_for)
+    let compute = {
+        let _s = crate::trace::span_args("tile_sim", || vec![("arch", opts.arch.name().into())]);
+        match opts.arch {
+            Architecture::Vaa => vaa_network(trace, &opts.cfg),
+            Architecture::Pra => {
+                term_serial_network_with_terms(trace, &opts.cfg, ValueMode::Raw, terms_for)
+            }
+            Architecture::Diffy => {
+                term_serial_network_with_terms(trace, &opts.cfg, ValueMode::Differential, terms_for)
+            }
+            Architecture::Scnn => scnn_network(
+                trace,
+                &ScnnConfig { frequency_ghz: opts.cfg.frequency_ghz, ..Default::default() },
+            ),
         }
-        Architecture::Diffy => {
-            term_serial_network_with_terms(trace, &opts.cfg, ValueMode::Differential, terms_for)
-        }
-        Architecture::Scnn => scnn_network(
-            trace,
-            &ScnnConfig { frequency_ghz: opts.cfg.frequency_ghz, ..Default::default() },
-        ),
     };
 
+    let _memsys_span = crate::trace::span("memsys_model");
     let traffic: Vec<LayerTraffic> = match opts.scheme {
         SchemeChoice::Scheme(s) => trace
             .layers

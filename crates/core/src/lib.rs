@@ -22,6 +22,8 @@
 //!   keyed cache for weights and traces.
 //! * [`summary`] — fixed-width table formatting shared by the bench
 //!   harness.
+//! * [`trace`] — span tracing across the evaluation pipeline: per-stage
+//!   timing with Chrome trace-event export (`--trace-out`, `GET /trace`).
 //!
 //! # Quickstart
 //!
@@ -51,6 +53,7 @@ pub mod scaling;
 pub mod summary;
 pub mod system;
 pub mod tile;
+pub mod trace;
 
 pub use accelerator::{
     evaluate_network, evaluate_network_batch, evaluate_network_with_terms, EvalOptions,

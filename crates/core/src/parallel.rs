@@ -97,7 +97,16 @@ where
     let n = jobs.len();
     let workers = par.get().min(n);
     if workers <= 1 {
-        return jobs.into_iter().map(|f| f()).collect();
+        // The inline path wraps each job in the same "job" span as the
+        // worker path, so a trace's structure is parallelism-invariant.
+        return jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let _span = crate::trace::span_args("job", || vec![("index", i.into())]);
+                f()
+            })
+            .collect();
     }
 
     // Slot per job: workers take the job out, run it, and store the
@@ -122,7 +131,10 @@ where
                     .expect("job slot poisoned")
                     .take()
                     .expect("job taken twice");
-                let out = f();
+                let out = {
+                    let _span = crate::trace::span_args("job", || vec![("index", i.into())]);
+                    f()
+                };
                 *result_slots[i].lock().expect("result slot poisoned") = Some(out);
             }));
         }

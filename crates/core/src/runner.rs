@@ -87,6 +87,7 @@ pub fn ci_trace_bundle(
 
 /// Weights for a CI model (cacheable across samples).
 pub fn ci_weights(model: CiModel, seed: u64) -> NetworkWeights {
+    let _span = crate::trace::span_args("weight_gen", || vec![("model", model.to_string().into())]);
     NetworkWeights::generate(&model.spec(), model.weight_gen(seed), Quantizer::default())
 }
 
@@ -98,6 +99,14 @@ pub fn ci_trace_bundle_with_weights(
     sample: usize,
     opts: &WorkloadOptions,
 ) -> TraceBundle {
+    let _span = crate::trace::span_args("trace_synthesis", || {
+        vec![
+            ("model", model.to_string().into()),
+            ("dataset", dataset.to_string().into()),
+            ("sample", sample.into()),
+            ("resolution", opts.resolution.into()),
+        ]
+    });
     let img = dataset.sample_scaled(sample, opts.resolution, opts.resolution);
     let input = model.prepare_input(&img, opts.seed ^ sample as u64);
     let trace = run_network(&model.spec(), weights, &input);
@@ -272,7 +281,15 @@ impl SweepCache {
 
     /// Weights for `(model, seed)`, computed once.
     pub fn weights(&self, model: CiModel, seed: u64) -> Arc<NetworkWeights> {
-        self.weights.get_or_compute((model, seed), || ci_weights(model, seed))
+        let mut built = false;
+        let v = self.weights.get_or_compute((model, seed), || {
+            built = true;
+            ci_weights(model, seed)
+        });
+        if !built {
+            crate::trace::instant("cache_hit", || vec![("kind", "weights".into())]);
+        }
+        v
     }
 
     /// The trace bundle for `(model, dataset, sample)` under `opts`,
@@ -285,10 +302,16 @@ impl SweepCache {
         opts: &WorkloadOptions,
     ) -> Arc<TraceBundle> {
         let key = (model, dataset, sample, opts.resolution, opts.seed);
-        self.traces.get_or_compute(key, || {
+        let mut built = false;
+        let v = self.traces.get_or_compute(key, || {
+            built = true;
             let weights = self.weights(model, opts.seed);
             ci_trace_bundle_with_weights(model, &weights, dataset, sample, opts)
-        })
+        });
+        if !built {
+            crate::trace::instant("cache_hit", || vec![("kind", "trace".into())]);
+        }
+        v
     }
 
     /// The term planes of layer `index` of the trace identified by
@@ -300,8 +323,16 @@ impl SweepCache {
         index: usize,
         layer: &LayerTrace,
     ) -> Arc<PaddedTerms> {
-        self.term_planes
-            .get_or_compute((key, index), || PaddedTerms::for_layer(layer))
+        let mut built = false;
+        let v = self.term_planes.get_or_compute((key, index), || {
+            built = true;
+            let _s = crate::trace::span_args("term_plane_build", || vec![("layer", index.into())]);
+            PaddedTerms::for_layer(layer)
+        });
+        if !built {
+            crate::trace::instant("cache_hit", || vec![("kind", "term_planes".into())]);
+        }
+        v
     }
 
     /// Evaluates `(model, dataset, sample)` under `eval`, drawing the

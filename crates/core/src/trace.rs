@@ -1,0 +1,870 @@
+//! Span tracing for the evaluation pipeline: where did the time go?
+//!
+//! A std-only, thread-safe span/event layer. Recording is designed for
+//! hot paths shared with untraced runs:
+//!
+//! * **Disabled is (almost) free.** Every recording entry point starts
+//!   with one relaxed atomic load; when tracing is off nothing else
+//!   happens — no clock read, no allocation, no lock. Argument lists are
+//!   built through closures (`span_args`) so callers pay for formatting
+//!   only when a capture is live. diffy-bench pins this budget: the
+//!   term-serial micro-kernel with a disabled span around it must stay
+//!   within 1% of the bare kernel.
+//! * **Enabled recording never blocks.** A finished span claims a slot
+//!   ticket with one `fetch_add` (lock-free) and publishes the record
+//!   into a fixed-size ring of slots via `try_lock` — a writer that
+//!   collides with a lapping writer or a concurrent drain drops its
+//!   record rather than wait; drops are counted and reported in the log.
+//!   The ring keeps the most recent ~capacity records, which is what a
+//!   long-lived server wants.
+//! * **The drained log is order-stable.** Records carry the ring ticket
+//!   they claimed; [`Collector::drain`]/[`Collector::snapshot`] sort by
+//!   ticket, so two observers of the same session see the same sequence.
+//!   For cross-run comparisons (span-tree determinism at any `--jobs`
+//!   count) use [`TraceLog::canonical_tree`], which erases timestamps and
+//!   sibling order entirely.
+//!
+//! Span nesting uses a per-thread span stack: a [`SpanGuard`] pushes its
+//! span id on creation and records `(start, duration, parent)` when
+//! dropped, so parents are linked without any cross-thread coordination.
+//! Timestamps are nanoseconds on a process-wide monotonic clock
+//! ([`Instant`]) anchored at the collector's first use.
+//!
+//! Export: [`TraceLog::to_chrome_json`] renders the log in Chrome
+//! trace-event format (load via `chrome://tracing` or Perfetto). The CLI
+//! wires this up as `diffy … --trace-out FILE` and the service serves it
+//! live at `GET /trace`.
+//!
+//! One process-wide collector ([`Collector::global`]) backs the free
+//! functions ([`span`], [`instant`], …) used by instrumentation sites;
+//! private collectors can be constructed for tests. The per-thread span
+//! stack is shared across collectors, so only one collector should be
+//! active at a time — the global one in production, a private one in a
+//! unit test.
+
+use crate::json::JsonValue;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default ring capacity (records) for [`Collector::start`].
+pub const DEFAULT_CAPACITY: usize = 64 * 1024;
+
+/// One argument value attached to a span or instant event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgValue {
+    /// An unsigned integer (indices, request ids, counts).
+    U64(u64),
+    /// A short label (model names, cache kinds).
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// Whether a record is a duration span or a point-in-time event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A `[start, start+dur]` interval (Chrome phase `X`).
+    Span,
+    /// A zero-duration marker (Chrome phase `i`), e.g. a cache hit.
+    Instant,
+}
+
+/// One recorded span or instant event.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Ring ticket: a session-wide record sequence number (claim order).
+    pub ticket: u64,
+    /// Static span name — the taxonomy lives in DESIGN.md §5c.
+    pub name: &'static str,
+    /// Span vs instant.
+    pub kind: EventKind,
+    /// Stable per-thread id (assigned in first-use order, starting at 1).
+    pub tid: u64,
+    /// Unique id of this span within the collector (instants get one too).
+    pub span_id: u64,
+    /// `span_id` of the enclosing span on the same thread, or 0 for roots.
+    pub parent_id: u64,
+    /// Start time, nanoseconds since the collector epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (0 for instants).
+    pub dur_ns: u64,
+    /// Attached key/value arguments.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// A slot holds the record that claimed ticket `t` where `t % capacity`
+/// is the slot index; the ticket disambiguates laps.
+type Slot = Mutex<Option<SpanRecord>>;
+
+struct Ring {
+    slots: Vec<Slot>,
+    /// Next ticket to claim. Tickets `< head` are claimed.
+    head: AtomicU64,
+}
+
+/// A span/event collector: an on/off switch plus the record ring.
+///
+/// See the [module docs](self) for the recording contract. Most code uses
+/// [`Collector::global`] through the free functions; tests may construct
+/// private instances with [`Collector::new`].
+pub struct Collector {
+    enabled: AtomicBool,
+    epoch: OnceLock<Instant>,
+    ring: OnceLock<Ring>,
+    capacity: usize,
+    next_span_id: AtomicU64,
+    /// First ticket of the current session (reset by `start`/`drain`).
+    base: AtomicU64,
+    /// Serializes start/stop/drain/snapshot; never held on the record path.
+    control: Mutex<()>,
+}
+
+thread_local! {
+    /// Stack of open span ids on this thread (shared across collectors).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// This thread's stable trace id, 0 until assigned.
+    static THREAD_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+fn thread_trace_id() -> u64 {
+    THREAD_ID.with(|t| {
+        let mut id = t.get();
+        if id == 0 {
+            id = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+            t.set(id);
+        }
+        id
+    })
+}
+
+impl Collector {
+    /// A collector with the default ring capacity, initially disabled.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A collector whose ring holds the most recent `capacity` records.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            enabled: AtomicBool::new(false),
+            epoch: OnceLock::new(),
+            ring: OnceLock::new(),
+            capacity: capacity.max(1),
+            next_span_id: AtomicU64::new(1),
+            base: AtomicU64::new(0),
+            control: Mutex::new(()),
+        }
+    }
+
+    /// The process-wide collector behind [`span`]/[`instant`]/… sites.
+    pub fn global() -> &'static Collector {
+        static GLOBAL: OnceLock<Collector> = OnceLock::new();
+        GLOBAL.get_or_init(Collector::new)
+    }
+
+    /// Whether a capture is live (one relaxed load — the fast path).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Begins a capture session: allocates the ring on first use, moves
+    /// the session base past any stale records, and enables recording.
+    /// Starting an already-started collector is a no-op.
+    pub fn start(&self) {
+        let _g = self.control.lock().unwrap();
+        let ring = self.ring();
+        if !self.enabled() {
+            self.base.store(ring.head.load(Ordering::Acquire), Ordering::Release);
+            self.enabled.store(true, Ordering::Release);
+        }
+    }
+
+    /// Disables recording. Records already published stay in the ring
+    /// (readable via [`Collector::snapshot`]/[`Collector::drain`]); spans
+    /// still open finish silently.
+    pub fn stop(&self) {
+        let _g = self.control.lock().unwrap();
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    /// Nanoseconds since the collector epoch, on the monotonic clock.
+    pub fn now_ns(&self) -> u64 {
+        let epoch = *self.epoch.get_or_init(Instant::now);
+        epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Converts an [`Instant`] into epoch-relative nanoseconds (0 if the
+    /// instant predates the epoch).
+    pub fn ns_of(&self, t: Instant) -> u64 {
+        let epoch = *self.epoch.get_or_init(Instant::now);
+        match t.checked_duration_since(epoch) {
+            Some(d) => d.as_nanos().min(u128::from(u64::MAX)) as u64,
+            None => 0,
+        }
+    }
+
+    /// Opens a span named `name`, closed (and recorded) when the returned
+    /// guard drops. Inert when the collector is disabled.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        self.span_args(name, Vec::new)
+    }
+
+    /// Opens a span with arguments; `args` is only invoked when tracing
+    /// is enabled, so arbitrary formatting is free on untraced runs.
+    pub fn span_args(
+        &self,
+        name: &'static str,
+        args: impl FnOnce() -> Vec<(&'static str, ArgValue)>,
+    ) -> SpanGuard<'_> {
+        if !self.enabled() {
+            return SpanGuard { active: None, _not_send: PhantomData };
+        }
+        self.open_span(name, self.now_ns(), args())
+    }
+
+    /// Opens a span whose start time was measured earlier (e.g. a request
+    /// span anchored at the accept timestamp). `start_ns` is
+    /// epoch-relative, from [`Collector::now_ns`]/[`Collector::ns_of`].
+    pub fn span_from(
+        &self,
+        name: &'static str,
+        start_ns: u64,
+        args: impl FnOnce() -> Vec<(&'static str, ArgValue)>,
+    ) -> SpanGuard<'_> {
+        if !self.enabled() {
+            return SpanGuard { active: None, _not_send: PhantomData };
+        }
+        self.open_span(name, start_ns, args())
+    }
+
+    fn open_span(
+        &self,
+        name: &'static str,
+        start_ns: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) -> SpanGuard<'_> {
+        let span_id = self.next_span_id.fetch_add(1, Ordering::Relaxed);
+        let parent_id = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied().unwrap_or(0);
+            s.push(span_id);
+            parent
+        });
+        SpanGuard {
+            active: Some(ActiveSpan { collector: self, name, span_id, parent_id, start_ns, args }),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Records a zero-duration marker (e.g. a cache hit), parented to the
+    /// innermost open span on this thread.
+    pub fn instant(
+        &self,
+        name: &'static str,
+        args: impl FnOnce() -> Vec<(&'static str, ArgValue)>,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        let now = self.now_ns();
+        let span_id = self.next_span_id.fetch_add(1, Ordering::Relaxed);
+        let parent_id = SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0));
+        self.publish(SpanRecord {
+            ticket: 0,
+            name,
+            kind: EventKind::Instant,
+            tid: thread_trace_id(),
+            span_id,
+            parent_id,
+            start_ns: now,
+            dur_ns: 0,
+            args: args(),
+        });
+    }
+
+    /// Records a completed interval measured outside the guard mechanism
+    /// (e.g. queue wait: accept → dequeue), parented to the innermost
+    /// open span on this thread.
+    pub fn record_manual(
+        &self,
+        name: &'static str,
+        start_ns: u64,
+        dur_ns: u64,
+        args: impl FnOnce() -> Vec<(&'static str, ArgValue)>,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        let span_id = self.next_span_id.fetch_add(1, Ordering::Relaxed);
+        let parent_id = SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0));
+        self.publish(SpanRecord {
+            ticket: 0,
+            name,
+            kind: EventKind::Span,
+            tid: thread_trace_id(),
+            span_id,
+            parent_id,
+            start_ns,
+            dur_ns,
+            args: args(),
+        });
+    }
+
+    fn ring(&self) -> &Ring {
+        self.ring.get_or_init(|| Ring {
+            slots: (0..self.capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicU64::new(0),
+        })
+    }
+
+    /// Claims a ticket and publishes `rec` into its slot. Never blocks:
+    /// a contended slot (lapping writer, concurrent drain) loses the
+    /// record; the reader accounts for it as a drop.
+    fn publish(&self, mut rec: SpanRecord) {
+        let ring = self.ring();
+        let ticket = ring.head.fetch_add(1, Ordering::AcqRel);
+        rec.ticket = ticket;
+        let slot = &ring.slots[(ticket % ring.slots.len() as u64) as usize];
+        if let Ok(mut s) = slot.try_lock() {
+            *s = Some(rec);
+        }
+        // On try_lock failure the record is dropped; drain() counts the
+        // gap between claimed tickets and collected records.
+    }
+
+    /// Collects the current session's records without ending the session.
+    /// Recording continues; records published concurrently may land in
+    /// either this snapshot or the next.
+    pub fn snapshot(&self) -> TraceLog {
+        let _g = self.control.lock().unwrap();
+        self.collect()
+    }
+
+    /// Ends the session: disables recording, collects the log, and resets
+    /// the session base so a later [`Collector::start`] begins empty.
+    pub fn drain(&self) -> TraceLog {
+        let _g = self.control.lock().unwrap();
+        self.enabled.store(false, Ordering::Release);
+        let log = self.collect();
+        let ring = self.ring();
+        self.base.store(ring.head.load(Ordering::Acquire), Ordering::Release);
+        log
+    }
+
+    fn collect(&self) -> TraceLog {
+        let ring = self.ring();
+        let head = ring.head.load(Ordering::Acquire);
+        let base = self.base.load(Ordering::Acquire);
+        let cap = ring.slots.len() as u64;
+        let lo = base.max(head.saturating_sub(cap));
+        let mut spans = Vec::with_capacity((head - lo) as usize);
+        for ticket in lo..head {
+            let slot = &ring.slots[(ticket % cap) as usize];
+            let guard = slot.lock().unwrap();
+            if let Some(rec) = guard.as_ref() {
+                if rec.ticket == ticket {
+                    spans.push(rec.clone());
+                }
+            }
+        }
+        // Claimed but not collected: lapped (ticket < lo), lost to
+        // try_lock contention, or still in flight on a writer thread.
+        let dropped = (head - base) - spans.len() as u64;
+        spans.sort_by_key(|r| r.ticket);
+        TraceLog { spans, dropped }
+    }
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct ActiveSpan<'a> {
+    collector: &'a Collector,
+    name: &'static str,
+    span_id: u64,
+    parent_id: u64,
+    start_ns: u64,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+/// RAII guard for an open span: records the span when dropped. Inert
+/// (and nearly free) when the collector was disabled at creation.
+///
+/// Not `Send`: the span stack is per-thread, so a guard must drop on the
+/// thread that created it.
+pub struct SpanGuard<'a> {
+    active: Option<ActiveSpan<'a>>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(span) = self.active.take() else { return };
+        // Pop this span from the thread stack. Guards drop in LIFO order
+        // on a thread, so the top is ours; be defensive anyway.
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if s.last() == Some(&span.span_id) {
+                s.pop();
+            } else if let Some(pos) = s.iter().rposition(|&id| id == span.span_id) {
+                s.remove(pos);
+            }
+        });
+        let end = span.collector.now_ns();
+        // A collector stopped mid-span loses the span: the session ended
+        // before it closed. (Checked after the stack pop so nesting state
+        // stays consistent either way.)
+        if !span.collector.enabled() {
+            return;
+        }
+        span.collector.publish(SpanRecord {
+            ticket: 0,
+            name: span.name,
+            kind: EventKind::Span,
+            tid: thread_trace_id(),
+            span_id: span.span_id,
+            parent_id: span.parent_id,
+            start_ns: span.start_ns,
+            dur_ns: end.saturating_sub(span.start_ns),
+            args: span.args,
+        });
+    }
+}
+
+/// A drained/snapshotted capture session: records in ticket order plus
+/// the number of records the ring could not keep.
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    /// Collected records, sorted by ring ticket (stable claim order).
+    pub spans: Vec<SpanRecord>,
+    /// Records claimed during the session but not collected (ring lapped,
+    /// publish contention, or still in flight at collection time).
+    pub dropped: u64,
+}
+
+impl TraceLog {
+    /// Number of records named `name`.
+    pub fn count(&self, name: &str) -> usize {
+        self.spans.iter().filter(|r| r.name == name).count()
+    }
+
+    /// Total duration (ns) across all spans named `name`.
+    pub fn total_ns(&self, name: &str) -> u64 {
+        self.spans.iter().filter(|r| r.name == name).map(|r| r.dur_ns).sum()
+    }
+
+    /// Record-name → count map, for structure assertions that must not
+    /// depend on which thread did the work.
+    pub fn name_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for r in &self.spans {
+            *counts.entry(r.name).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// A canonical rendering of the span tree: names and nesting only —
+    /// no timestamps, thread ids, span ids, or argument values — with
+    /// siblings sorted by their rendered subtree. Two runs of the same
+    /// work decompose identically iff these strings are equal, regardless
+    /// of `--jobs` count or thread interleaving.
+    pub fn canonical_tree(&self) -> String {
+        let ids: std::collections::HashSet<u64> = self.spans.iter().map(|r| r.span_id).collect();
+        let mut children: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        let mut roots = Vec::new();
+        for (i, r) in self.spans.iter().enumerate() {
+            // Orphans (parent span never recorded, e.g. still open at
+            // snapshot time) render as roots.
+            if r.parent_id != 0 && ids.contains(&r.parent_id) {
+                children.entry(r.parent_id).or_default().push(i);
+            } else {
+                roots.push(i);
+            }
+        }
+        fn render(
+            log: &TraceLog,
+            children: &BTreeMap<u64, Vec<usize>>,
+            idx: usize,
+            depth: usize,
+            out: &mut String,
+        ) {
+            let r = &log.spans[idx];
+            let mut subs: Vec<String> = children
+                .get(&r.span_id)
+                .map(|kids| {
+                    kids.iter()
+                        .map(|&k| {
+                            let mut s = String::new();
+                            render(log, children, k, depth + 1, &mut s);
+                            s
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            subs.sort();
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(r.name);
+            if r.kind == EventKind::Instant {
+                out.push_str(" (i)");
+            }
+            out.push('\n');
+            for s in subs {
+                out.push_str(&s);
+            }
+        }
+        let mut rendered: Vec<String> = roots
+            .iter()
+            .map(|&i| {
+                let mut s = String::new();
+                render(self, &children, i, 0, &mut s);
+                s
+            })
+            .collect();
+        rendered.sort();
+        rendered.concat()
+    }
+
+    /// Renders the log in Chrome trace-event JSON (the `traceEvents`
+    /// array format): load the file in `chrome://tracing` or Perfetto.
+    /// Timestamps/durations are microseconds since the collector epoch;
+    /// span and parent ids ride along in each event's `args`.
+    pub fn to_chrome_json(&self) -> JsonValue {
+        let events: Vec<JsonValue> = self.spans.iter().map(Self::event_json).collect();
+        JsonValue::object(vec![
+            ("traceEvents", JsonValue::Array(events)),
+            ("displayTimeUnit", "ms".into()),
+            ("otherData", JsonValue::object(vec![("dropped", self.dropped.into())])),
+        ])
+    }
+
+    fn event_json(r: &SpanRecord) -> JsonValue {
+        let mut args: Vec<(&str, JsonValue)> =
+            vec![("span_id", r.span_id.into()), ("parent", r.parent_id.into())];
+        for (k, v) in &r.args {
+            let jv = match v {
+                ArgValue::U64(n) => JsonValue::from(*n),
+                ArgValue::Str(s) => JsonValue::from(s.as_str()),
+            };
+            args.push((k, jv));
+        }
+        let mut fields: Vec<(&str, JsonValue)> = vec![
+            ("name", r.name.into()),
+            ("cat", "diffy".into()),
+            (
+                "ph",
+                match r.kind {
+                    EventKind::Span => "X".into(),
+                    EventKind::Instant => "i".into(),
+                },
+            ),
+            ("ts", JsonValue::from(r.start_ns as f64 / 1e3)),
+        ];
+        match r.kind {
+            EventKind::Span => fields.push(("dur", JsonValue::from(r.dur_ns as f64 / 1e3))),
+            EventKind::Instant => fields.push(("s", "t".into())),
+        }
+        fields.push(("pid", 1u64.into()));
+        fields.push(("tid", r.tid.into()));
+        fields.push(("args", JsonValue::object(args)));
+        JsonValue::object(fields)
+    }
+}
+
+// ---- free functions over the global collector ------------------------
+
+/// Whether the global collector has a live capture.
+#[inline]
+pub fn enabled() -> bool {
+    Collector::global().enabled()
+}
+
+/// Opens a span on the global collector; see [`Collector::span`].
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard<'static> {
+    Collector::global().span(name)
+}
+
+/// Opens a span with lazy arguments on the global collector.
+#[inline]
+pub fn span_args(
+    name: &'static str,
+    args: impl FnOnce() -> Vec<(&'static str, ArgValue)>,
+) -> SpanGuard<'static> {
+    Collector::global().span_args(name, args)
+}
+
+/// Records an instant event on the global collector.
+#[inline]
+pub fn instant(name: &'static str, args: impl FnOnce() -> Vec<(&'static str, ArgValue)>) {
+    Collector::global().instant(name, args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    /// The per-thread span stack is shared across collectors, so tests
+    /// that open spans serialize on this (tests in this module use
+    /// private collectors, but spans still share the thread stack when
+    /// the harness reuses threads).
+    static TEST_LOCK: StdMutex<()> = StdMutex::new(());
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let _l = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let c = Collector::new();
+        {
+            let _s = c.span("outer");
+            c.instant("hit", Vec::new);
+        }
+        let log = c.drain();
+        assert!(log.spans.is_empty());
+        assert_eq!(log.dropped, 0);
+    }
+
+    #[test]
+    fn nesting_links_parents_and_orders_records() {
+        let _l = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let c = Collector::new();
+        c.start();
+        {
+            let _a = c.span("a");
+            {
+                let _b = c.span_args("b", || vec![("idx", 3usize.into())]);
+                c.instant("hit", || vec![("kind", "weights".into())]);
+            }
+            let _b2 = c.span("b2");
+        }
+        let log = c.drain();
+        assert_eq!(log.spans.len(), 4);
+        // Records land in close order: hit, b, b2, a.
+        assert_eq!(log.spans[0].name, "hit");
+        assert_eq!(log.spans[1].name, "b");
+        assert_eq!(log.spans[2].name, "b2");
+        assert_eq!(log.spans[3].name, "a");
+        let a = &log.spans[3];
+        let b = &log.spans[1];
+        let hit = &log.spans[0];
+        assert_eq!(a.parent_id, 0);
+        assert_eq!(b.parent_id, a.span_id);
+        assert_eq!(hit.parent_id, b.span_id);
+        assert_eq!(hit.kind, EventKind::Instant);
+        assert_eq!(b.args, vec![("idx", ArgValue::U64(3))]);
+        assert!(a.dur_ns >= b.dur_ns, "parent covers child");
+        assert_eq!(log.count("b"), 1);
+        assert!(log.total_ns("a") >= log.total_ns("b"));
+    }
+
+    #[test]
+    fn span_args_closure_not_called_when_disabled() {
+        let _l = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let c = Collector::new();
+        let mut called = false;
+        {
+            let _s = c.span_args("x", || {
+                called = true;
+                Vec::new()
+            });
+        }
+        assert!(!called, "arg closure must not run when tracing is off");
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let _l = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let c = Collector::with_capacity(4);
+        c.start();
+        for i in 0..10usize {
+            c.instant("e", move || vec![("i", i.into())]);
+        }
+        let log = c.drain();
+        assert_eq!(log.spans.len(), 4);
+        assert_eq!(log.dropped, 6);
+        // The survivors are the last four, in order.
+        let kept: Vec<u64> = log
+            .spans
+            .iter()
+            .map(|r| match r.args[0].1 {
+                ArgValue::U64(v) => v,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn drain_resets_session() {
+        let _l = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let c = Collector::new();
+        c.start();
+        c.instant("first", Vec::new);
+        assert_eq!(c.drain().spans.len(), 1);
+        c.start();
+        c.instant("second", Vec::new);
+        let log = c.drain();
+        assert_eq!(log.spans.len(), 1);
+        assert_eq!(log.spans[0].name, "second");
+    }
+
+    #[test]
+    fn snapshot_does_not_end_session() {
+        let _l = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let c = Collector::new();
+        c.start();
+        c.instant("a", Vec::new);
+        let snap = c.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert!(c.enabled());
+        c.instant("b", Vec::new);
+        let log = c.drain();
+        assert_eq!(log.spans.len(), 2);
+    }
+
+    #[test]
+    fn manual_records_and_anchored_starts() {
+        let _l = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let c = Collector::new();
+        c.start();
+        let t0 = c.now_ns();
+        {
+            let _req = c.span_from("request", t0, || vec![("req", 7usize.into())]);
+            c.record_manual("queue_wait", t0, 1234, Vec::new);
+        }
+        let log = c.drain();
+        assert_eq!(log.spans.len(), 2);
+        let qw = &log.spans[0];
+        assert_eq!(qw.name, "queue_wait");
+        assert_eq!(qw.dur_ns, 1234);
+        assert_eq!(qw.start_ns, t0);
+        let req = &log.spans[1];
+        assert_eq!(req.start_ns, t0);
+        assert_eq!(qw.parent_id, req.span_id);
+    }
+
+    #[test]
+    fn canonical_tree_ignores_order_and_threads() {
+        let _l = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // Two interleavings of the same structure.
+        let build = |flip: bool| {
+            let c = Collector::new();
+            c.start();
+            let names = if flip { ["x", "y"] } else { ["y", "x"] };
+            for n in names {
+                let _p = c.span(if n == "x" { "x" } else { "y" });
+                let _k = c.span("kernel");
+            }
+            c.drain()
+        };
+        let a = build(false).canonical_tree();
+        let b = build(true).canonical_tree();
+        assert_eq!(a, b);
+        assert!(a.contains("x\n  kernel\n"), "tree:\n{a}");
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe_and_counted() {
+        let _l = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let c = Collector::new();
+        c.start();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let c = &c;
+                scope.spawn(move || {
+                    for i in 0..100usize {
+                        let _s = c.span_args("work", move || vec![("t", t.into()), ("i", i.into())]);
+                    }
+                });
+            }
+        });
+        let log = c.drain();
+        assert_eq!(log.spans.len() as u64 + log.dropped, 400);
+        assert_eq!(log.dropped, 0, "uncontended ring should keep everything");
+        // Tickets are unique and sorted.
+        for w in log.spans.windows(2) {
+            assert!(w[0].ticket < w[1].ticket);
+        }
+        // Four distinct thread ids.
+        let tids: std::collections::HashSet<u64> = log.spans.iter().map(|r| r.tid).collect();
+        assert_eq!(tids.len(), 4);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_expected_shape() {
+        let _l = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let c = Collector::new();
+        c.start();
+        {
+            let _s = c.span_args("stage", || vec![("model", "IRCNN".into())]);
+            c.instant("cache_hit", || vec![("kind", "trace".into())]);
+        }
+        let log = c.drain();
+        let doc = log.to_chrome_json();
+        let text = doc.to_json();
+        let parsed = crate::json::parse(&text).expect("chrome export parses");
+        let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        for e in events {
+            assert!(e.get("name").unwrap().as_str().is_some());
+            let ph = e.get("ph").unwrap().as_str().unwrap().to_string();
+            assert!(ph == "X" || ph == "i", "phase {ph}");
+            assert!(e.get("ts").unwrap().as_f64().is_some());
+            assert!(e.get("pid").unwrap().as_u64().is_some());
+            assert!(e.get("tid").unwrap().as_u64().is_some());
+            if ph == "X" {
+                assert!(e.get("dur").unwrap().as_f64().is_some());
+            }
+            assert!(e.get("args").unwrap().get("span_id").unwrap().as_u64().is_some());
+        }
+        assert_eq!(parsed.get("displayTimeUnit").unwrap().as_str(), Some("ms"));
+        assert_eq!(parsed.get("otherData").unwrap().get("dropped").unwrap().as_u64(), Some(0));
+        // The span's model argument survives the round trip.
+        let stage = events.iter().find(|e| e.get("name").unwrap().as_str() == Some("stage"));
+        assert_eq!(stage.unwrap().get("args").unwrap().get("model").unwrap().as_str(), Some("IRCNN"));
+    }
+
+    #[test]
+    fn ns_of_maps_instants_onto_epoch() {
+        let _l = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let c = Collector::new();
+        let before = Instant::now();
+        let a = c.now_ns(); // initializes the epoch
+        let after = c.ns_of(Instant::now());
+        assert!(after >= a);
+        // An instant captured before the epoch clamps to 0.
+        let _ = before;
+        assert_eq!(c.ns_of(before.checked_sub(std::time::Duration::from_secs(1)).unwrap_or(before)), 0);
+    }
+}

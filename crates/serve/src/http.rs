@@ -94,11 +94,19 @@ pub fn read_request(reader: &mut impl BufRead) -> ParseResult {
         }
     }
 
-    // Body: exactly Content-Length bytes, if given.
-    let body = match headers.iter().find(|(k, _)| k == "content-length") {
+    // Body: exactly Content-Length bytes, if given. Multiple
+    // Content-Length headers with conflicting values are the classic
+    // request-smuggling shape (two parsers picking different framings) —
+    // reject them; byte-identical repeats are tolerated per RFC 9110.
+    let lengths: Vec<&str> =
+        headers.iter().filter(|(k, _)| k == "content-length").map(|(_, v)| v.as_str()).collect();
+    let body = match lengths.first() {
         None => Vec::new(),
-        Some((_, v)) => {
-            let Ok(len) = v.parse::<usize>() else {
+        Some(&first) => {
+            if lengths.iter().any(|&v| v != first) {
+                return Ok(Err(BadRequest::new(400, "conflicting content-length headers")));
+            }
+            let Some(len) = parse_content_length(first) else {
                 return Ok(Err(BadRequest::new(400, "bad content-length")));
             };
             if len > MAX_BODY_BYTES {
@@ -111,6 +119,17 @@ pub fn read_request(reader: &mut impl BufRead) -> ParseResult {
     };
 
     Ok(Ok(Request { method, path, headers, body }))
+}
+
+/// Parses a `Content-Length` value: ASCII digits only. Stricter than
+/// `usize::from_str`, which accepts a leading `+` ("+5" parses to 5) —
+/// a sign is not valid header framing and another parser in the chain
+/// may read it differently, so it is rejected outright.
+fn parse_content_length(v: &str) -> Option<usize> {
+    if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    v.parse().ok()
 }
 
 /// Reads one `\r\n`-terminated line into `line` (stripped); `None` marks
@@ -221,6 +240,37 @@ mod tests {
         );
         let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
         assert_eq!(parse(&huge).unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn rejects_conflicting_content_lengths() {
+        // Two different framings of the same body: a smuggling probe.
+        let e = parse(
+            "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 11\r\n\r\nok",
+        )
+        .unwrap_err();
+        assert_eq!(e.status, 400);
+        assert!(e.message.contains("conflicting"), "{}", e.message);
+    }
+
+    #[test]
+    fn tolerates_repeated_identical_content_lengths() {
+        // RFC 9110 §8.6: identical repeated values may be accepted.
+        let req = parse(
+            "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok",
+        )
+        .unwrap();
+        assert_eq!(req.body, b"ok");
+    }
+
+    #[test]
+    fn rejects_signed_content_lengths() {
+        // usize::from_str accepts "+2"; header framing must not.
+        for v in ["+2", "-2", " +2", "2 2", "0x2", "2.0"] {
+            let raw = format!("POST / HTTP/1.1\r\nContent-Length: {v}\r\n\r\nok");
+            let e = parse(&raw).unwrap_err();
+            assert_eq!(e.status, 400, "value {v:?} must be rejected");
+        }
     }
 
     #[test]

@@ -10,8 +10,54 @@ use diffy_core::runner::CacheStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// The response statuses the service emits, in reporting order.
+/// The response statuses the service emits, in reporting order. Anything
+/// else lands in the `other` bucket so response totals always conserve.
 pub const STATUSES: [u16; 8] = [200, 400, 404, 405, 413, 500, 503, 504];
+
+/// One stage of the `/evaluate` request pipeline, in pipeline order.
+///
+/// The per-stage histograms in `/metrics` and the serve trace spans use
+/// these names (span taxonomy: DESIGN.md §5c); stage durations are
+/// contiguous, so their sum tracks the end-to-end request latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Accept → a worker dequeued the connection.
+    QueueWait,
+    /// Read + decode + validate the request.
+    Parse,
+    /// Materialize the trace bundle (cache-shared).
+    Trace,
+    /// Price the trace on the requested architecture.
+    Evaluate,
+    /// Serialize the result to JSON.
+    Serialize,
+    /// Write the response (including the lingering close).
+    Write,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 6] = [
+        Stage::QueueWait,
+        Stage::Parse,
+        Stage::Trace,
+        Stage::Evaluate,
+        Stage::Serialize,
+        Stage::Write,
+    ];
+
+    /// The stage's name, shared by `/metrics` keys and trace spans.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::QueueWait => "queue_wait",
+            Stage::Parse => "parse",
+            Stage::Trace => "trace",
+            Stage::Evaluate => "evaluate",
+            Stage::Serialize => "serialize",
+            Stage::Write => "write",
+        }
+    }
+}
 
 /// Histogram geometry: bucket `i` covers latencies up to
 /// `BUCKET_BASE_MS * BUCKET_RATIO^i`; the last bucket is a catch-all.
@@ -121,10 +167,13 @@ pub struct Metrics {
     pub queue_rejected_total: AtomicU64,
     /// Requests whose deadline expired before completion.
     pub deadline_expired_total: AtomicU64,
-    /// Per-status response counts, aligned with [`STATUSES`].
-    responses: [AtomicU64; STATUSES.len()],
+    /// Per-status response counts, aligned with [`STATUSES`]; the extra
+    /// trailing slot counts statuses outside the table (`other`).
+    responses: [AtomicU64; STATUSES.len() + 1],
     /// End-to-end `/evaluate` latency (accept → response written).
     pub latency: LatencyHistogram,
+    /// Per-stage `/evaluate` durations, aligned with [`Stage::ALL`].
+    stages: [LatencyHistogram; Stage::ALL.len()],
 }
 
 impl Metrics {
@@ -136,17 +185,20 @@ impl Metrics {
             deadline_expired_total: AtomicU64::new(0),
             responses: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: LatencyHistogram::new(),
+            stages: std::array::from_fn(|_| LatencyHistogram::new()),
         }
     }
 
-    /// Counts one response with the given status.
+    /// Counts one response with the given status. A status outside
+    /// [`STATUSES`] is counted in the `other` bucket — never dropped, so
+    /// the per-status counts always sum to the responses recorded.
     pub fn record_response(&self, status: u16) {
-        if let Some(i) = STATUSES.iter().position(|&s| s == status) {
-            self.responses[i].fetch_add(1, Ordering::Relaxed);
-        }
+        let i = STATUSES.iter().position(|&s| s == status).unwrap_or(STATUSES.len());
+        self.responses[i].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Responses sent with `status` so far.
+    /// Responses sent with `status` so far (0 for untabled statuses —
+    /// those are only visible in aggregate via [`Metrics::responses_other`]).
     pub fn responses_with(&self, status: u16) -> u64 {
         STATUSES
             .iter()
@@ -155,14 +207,46 @@ impl Metrics {
             .unwrap_or(0)
     }
 
+    /// Responses whose status is outside [`STATUSES`].
+    pub fn responses_other(&self) -> u64 {
+        self.responses[STATUSES.len()].load(Ordering::Relaxed)
+    }
+
+    /// Total responses recorded, across every bucket including `other`.
+    pub fn responses_total(&self) -> u64 {
+        self.responses.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The duration histogram of one pipeline stage.
+    pub fn stage(&self, stage: Stage) -> &LatencyHistogram {
+        &self.stages[stage as usize]
+    }
+
     /// Renders the `/metrics` snapshot. `queue_depth` is sampled by the
     /// caller (the queue owns that gauge); `cache` comes from the shared
     /// `SweepCache`.
     pub fn to_json(&self, queue_depth: usize, queue_capacity: usize, cache: CacheStats) -> JsonValue {
-        let responses = STATUSES
+        let mut responses: Vec<(String, JsonValue)> = STATUSES
             .iter()
             .enumerate()
             .map(|(i, s)| (s.to_string(), JsonValue::from(self.responses[i].load(Ordering::Relaxed))))
+            .collect();
+        responses.push(("other".to_string(), self.responses_other().into()));
+        let stages = Stage::ALL
+            .iter()
+            .map(|&s| {
+                let h = self.stage(s);
+                (
+                    s.name().to_string(),
+                    JsonValue::object(vec![
+                        ("count", h.count().into()),
+                        ("mean", JsonValue::from(h.mean_ms())),
+                        ("p50", JsonValue::from(h.quantile_ms(0.50))),
+                        ("p99", JsonValue::from(h.quantile_ms(0.99))),
+                        ("max", JsonValue::from(h.max_ms())),
+                    ]),
+                )
+            })
             .collect();
         JsonValue::object(vec![
             ("requests_total", self.requests_total.load(Ordering::Relaxed).into()),
@@ -193,6 +277,7 @@ impl Metrics {
                     ("max", JsonValue::from(self.latency.max_ms())),
                 ]),
             ),
+            ("stages_ms", JsonValue::Object(stages)),
         ])
     }
 }
@@ -259,6 +344,49 @@ mod tests {
         assert_eq!(m.responses_with(200), 2);
         assert_eq!(m.responses_with(504), 0);
         // The snapshot itself must be valid JSON.
+        assert!(diffy_core::json::parse(&v.to_json()).is_ok());
+    }
+
+    #[test]
+    fn unknown_statuses_land_in_other_and_totals_conserve() {
+        let m = Metrics::new();
+        // A mix of tabled and untabled statuses; every recording must be
+        // accounted for somewhere.
+        let recorded = [200u16, 418, 200, 599, 503, 302, 504];
+        for s in recorded {
+            m.record_response(s);
+        }
+        assert_eq!(m.responses_with(200), 2);
+        assert_eq!(m.responses_with(503), 1);
+        assert_eq!(m.responses_other(), 3, "418/599/302 must not vanish");
+        assert_eq!(m.responses_total(), recorded.len() as u64, "conservation");
+        let v = m.to_json(0, 8, CacheStats::default());
+        assert_eq!(v.get("responses").unwrap().get("other").unwrap().as_u64(), Some(3));
+        // Conservation holds in the rendered snapshot too.
+        let rendered: u64 = STATUSES
+            .iter()
+            .map(|s| v.get("responses").unwrap().get(&s.to_string()).unwrap().as_u64().unwrap())
+            .sum::<u64>()
+            + v.get("responses").unwrap().get("other").unwrap().as_u64().unwrap();
+        assert_eq!(rendered, recorded.len() as u64);
+    }
+
+    #[test]
+    fn stage_histograms_record_and_render() {
+        let m = Metrics::new();
+        m.stage(Stage::QueueWait).record(Duration::from_millis(1));
+        m.stage(Stage::Evaluate).record(Duration::from_millis(40));
+        m.stage(Stage::Evaluate).record(Duration::from_millis(60));
+        assert_eq!(m.stage(Stage::Evaluate).count(), 2);
+        assert_eq!(m.stage(Stage::Parse).count(), 0);
+        let v = m.to_json(0, 8, CacheStats::default());
+        let stages = v.get("stages_ms").unwrap();
+        for s in Stage::ALL {
+            assert!(stages.get(s.name()).is_some(), "stage {} rendered", s.name());
+        }
+        assert_eq!(stages.get("evaluate").unwrap().get("count").unwrap().as_u64(), Some(2));
+        let mean = stages.get("evaluate").unwrap().get("mean").unwrap().as_f64().unwrap();
+        assert!((mean - 50.0).abs() < 1.0, "mean {mean}");
         assert!(diffy_core::json::parse(&v.to_json()).is_ok());
     }
 }

@@ -62,19 +62,24 @@ impl EvalRequest {
         }
         let model = parse_model(required_str(v, "model")?)?;
         let dataset = parse_dataset(required_str(v, "dataset")?)?;
-        let sample = optional_u64(v, "sample")?.unwrap_or(0) as usize;
-        if sample >= dataset.samples() {
+        // Range-check in u64 *before* narrowing to usize: `as usize`
+        // truncates on 32-bit targets, so a huge value could wrap into
+        // the valid range and evaluate the wrong sample/resolution.
+        let sample_u64 = optional_u64(v, "sample")?.unwrap_or(0);
+        if sample_u64 >= dataset.samples() as u64 {
             return Err(format!(
-                "sample {sample} out of range: {dataset} has {} samples",
+                "sample {sample_u64} out of range: {dataset} has {} samples",
                 dataset.samples()
             ));
         }
-        let resolution = optional_u64(v, "resolution")?.unwrap_or(64) as usize;
-        if !(MIN_RESOLUTION..=MAX_RESOLUTION).contains(&resolution) {
+        let sample = sample_u64 as usize; // < samples(): usize-exact
+        let resolution_u64 = optional_u64(v, "resolution")?.unwrap_or(64);
+        if !(MIN_RESOLUTION as u64..=MAX_RESOLUTION as u64).contains(&resolution_u64) {
             return Err(format!(
-                "resolution {resolution} out of range [{MIN_RESOLUTION}, {MAX_RESOLUTION}]"
+                "resolution {resolution_u64} out of range [{MIN_RESOLUTION}, {MAX_RESOLUTION}]"
             ));
         }
+        let resolution = resolution_u64 as usize; // ≤ MAX_RESOLUTION: usize-exact
         let seed = optional_u64(v, "seed")?.unwrap_or(1);
         let arch = match v.get("arch") {
             None => Architecture::Diffy,
@@ -311,8 +316,17 @@ mod tests {
             (r#"{"model": "nope", "dataset": "Kodak24"}"#, "unknown model"),
             (r#"{"model": "IRCNN", "dataset": "nope"}"#, "unknown dataset"),
             (r#"{"model": "IRCNN", "dataset": "Kodak24", "sample": 24}"#, "out of range"),
+            // 2^32: would truncate to sample 0 (in range!) on a 32-bit
+            // `as usize` — the u64 range check must reject it first.
+            (r#"{"model": "IRCNN", "dataset": "Kodak24", "sample": 4294967296}"#, "out of range"),
             (r#"{"model": "IRCNN", "dataset": "Kodak24", "resolution": 8}"#, "out of range"),
             (r#"{"model": "IRCNN", "dataset": "Kodak24", "resolution": 4096}"#, "out of range"),
+            // 2^32 + 64: would truncate to the valid resolution 64 on a
+            // 32-bit `as usize`.
+            (
+                r#"{"model": "IRCNN", "dataset": "Kodak24", "resolution": 4294967360}"#,
+                "out of range",
+            ),
             (r#"{"model": "IRCNN", "dataset": "Kodak24", "arch": "TPU"}"#, "unknown arch"),
             (r#"{"model": "IRCNN", "dataset": "Kodak24", "scheme": "zip"}"#, "unknown scheme"),
             (r#"{"model": "IRCNN", "dataset": "Kodak24", "memory": "SRAM"}"#, "unknown memory"),

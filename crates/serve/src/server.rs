@@ -36,15 +36,16 @@
 //! or cache history (asserted end-to-end in `tests/serve_e2e.rs`).
 
 use crate::http::{read_request, write_json_response, BadRequest, Request, MAX_BODY_BYTES};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, Stage};
 use crate::protocol::{error_body, result_to_json, EvalRequest};
 use diffy_core::json::{parse as parse_json, JsonValue};
 use diffy_core::parallel::{run_jobs, Jobs};
 use diffy_core::runner::SweepCache;
+use diffy_core::trace;
 use std::collections::VecDeque;
 use std::io::{self, BufReader};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -69,6 +70,11 @@ pub struct ServeConfig {
     /// Install a SIGTERM/SIGINT handler that triggers graceful drain
     /// (the CLI sets this; in-process tests leave it off).
     pub handle_signals: bool,
+    /// Start a span capture on the global `diffy_core::trace` collector
+    /// when the server runs. `GET /trace` serves the live capture as
+    /// Chrome trace-event JSON; `diffy serve --trace-out` sets this and
+    /// writes the drained capture at shutdown.
+    pub trace_capture: bool,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +88,7 @@ impl Default for ServeConfig {
             plane_cache: 1024,
             test_hooks: false,
             handle_signals: false,
+            trace_capture: false,
         }
     }
 }
@@ -90,6 +97,8 @@ impl Default for ServeConfig {
 struct QueuedConn {
     stream: TcpStream,
     accepted_at: Instant,
+    /// Accept-order request id, tying trace spans to this connection.
+    req_id: u64,
 }
 
 /// The bounded admission queue: `Mutex<VecDeque>` + condvar, closed at
@@ -158,6 +167,8 @@ struct Shared {
     cache: SweepCache,
     config: ServeConfig,
     shutdown: AtomicBool,
+    /// Source of accept-order request ids.
+    req_seq: AtomicU64,
 }
 
 /// Process-global flag set by the SIGTERM/SIGINT handler. Signal-safe:
@@ -226,6 +237,7 @@ impl Server {
             cache: SweepCache::bounded(config.trace_cache, config.plane_cache),
             config,
             shutdown: AtomicBool::new(false),
+            req_seq: AtomicU64::new(0),
         });
         Ok(Server { listener, local_addr, shared })
     }
@@ -252,6 +264,9 @@ impl Server {
         if self.shared.config.handle_signals {
             install_signal_handler();
         }
+        if self.shared.config.trace_capture {
+            trace::Collector::global().start();
+        }
         self.listener.set_nonblocking(true)?;
         let workers = self.shared.config.workers.get();
         let shared = &self.shared;
@@ -277,9 +292,11 @@ fn accept_loop(shared: &Shared, listener: &TcpListener) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-                let conn = QueuedConn { stream, accepted_at: Instant::now() };
+                let req_id = shared.req_seq.fetch_add(1, Ordering::Relaxed) + 1;
+                let conn = QueuedConn { stream, accepted_at: Instant::now(), req_id };
                 if let Err(rejected) = shared.queue.try_push(conn) {
                     shared.metrics.queue_rejected_total.fetch_add(1, Ordering::Relaxed);
+                    trace::instant("queue_shed", || vec![("req", req_id.into())]);
                     respond(shared, rejected.stream, 503, &error_body("queue full"));
                 }
             }
@@ -331,7 +348,8 @@ fn respond(shared: &Shared, mut stream: TcpStream, status: u16, body: &str) {
 
 /// Parses and routes one connection.
 fn handle_connection(shared: &Shared, conn: QueuedConn) {
-    let QueuedConn { stream, accepted_at } = conn;
+    let QueuedConn { stream, accepted_at, req_id } = conn;
+    let dequeued_at = Instant::now();
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
@@ -347,7 +365,13 @@ fn handle_connection(shared: &Shared, conn: QueuedConn) {
     };
 
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/evaluate") => handle_evaluate(shared, stream, &request, accepted_at),
+        ("POST", "/evaluate") => {
+            handle_evaluate(shared, stream, &request, accepted_at, dequeued_at, req_id)
+        }
+        ("GET", "/trace") => {
+            let body = trace::Collector::global().snapshot().to_chrome_json().to_json();
+            respond(shared, stream, 200, &body);
+        }
         ("GET", "/metrics") => {
             let body = shared
                 .metrics
@@ -368,7 +392,7 @@ fn handle_connection(shared: &Shared, conn: QueuedConn) {
             let body = JsonValue::object(vec![("draining", JsonValue::Bool(true))]).to_json();
             respond(shared, stream, 200, &body);
         }
-        ("POST" | "GET", "/evaluate" | "/metrics" | "/healthz" | "/shutdown") => {
+        ("POST" | "GET", "/evaluate" | "/metrics" | "/healthz" | "/shutdown" | "/trace") => {
             respond(shared, stream, 405, &error_body("method not allowed"));
         }
         _ => respond(shared, stream, 404, &error_body("no such endpoint")),
@@ -377,29 +401,79 @@ fn handle_connection(shared: &Shared, conn: QueuedConn) {
 
 /// The `/evaluate` pipeline: parse → trace → evaluate → serialize, with a
 /// cooperative deadline check between every stage.
-fn handle_evaluate(shared: &Shared, stream: TcpStream, request: &Request, accepted_at: Instant) {
+///
+/// A "request" trace span anchored at *accept* covers the whole pipeline
+/// (tagged with the accept-order request id); each stage records both a
+/// child span and its `/metrics` stage histogram, and the stages tile the
+/// request end to end — queue wait through response write — so their
+/// durations sum to the latency histogram's sample up to span overhead.
+fn handle_evaluate(
+    shared: &Shared,
+    stream: TcpStream,
+    request: &Request,
+    accepted_at: Instant,
+    dequeued_at: Instant,
+    req_id: u64,
+) {
     let started = accepted_at;
-    let (status, body) = evaluate_stages(shared, request, accepted_at);
+    let collector = trace::Collector::global();
+    let _req_span =
+        collector.span_from("request", collector.ns_of(accepted_at), || vec![("req", req_id.into())]);
+    let queue_wait = dequeued_at.saturating_duration_since(accepted_at);
+    shared.metrics.stage(Stage::QueueWait).record(queue_wait);
+    collector.record_manual(
+        Stage::QueueWait.name(),
+        collector.ns_of(accepted_at),
+        queue_wait.as_nanos().min(u128::from(u64::MAX)) as u64,
+        Vec::new,
+    );
+
+    let (status, body) = evaluate_stages(shared, request, accepted_at, dequeued_at);
     if status == 504 {
         shared.metrics.deadline_expired_total.fetch_add(1, Ordering::Relaxed);
     }
-    respond(shared, stream, status, &body);
+
+    let write_start = Instant::now();
+    {
+        let _s = collector.span(Stage::Write.name());
+        respond(shared, stream, status, &body);
+    }
+    shared.metrics.stage(Stage::Write).record(write_start.elapsed());
     shared.metrics.latency.record(started.elapsed());
 }
 
-fn evaluate_stages(shared: &Shared, request: &Request, accepted_at: Instant) -> (u16, String) {
+fn evaluate_stages(
+    shared: &Shared,
+    request: &Request,
+    accepted_at: Instant,
+    dequeued_at: Instant,
+) -> (u16, String) {
+    let collector = trace::Collector::global();
+    let metrics = &shared.metrics;
     // Stage 0: decode. (Deadline: a request that waited out its budget in
-    // the queue is answered 504 without being parsed at all.)
-    let Ok(body_text) = std::str::from_utf8(&request.body) else {
-        return (400, error_body("body must be UTF-8 JSON"));
-    };
-    let parsed = match parse_json(body_text) {
-        Ok(v) => v,
-        Err(e) => return (400, error_body(&format!("bad JSON: {e}"))),
-    };
-    let eval_req = match EvalRequest::from_json(&parsed) {
+    // the queue is answered 504 without being parsed at all.) The parse
+    // stage is measured from dequeue so it covers the socket read too.
+    let parse_result = (|| {
+        let Ok(body_text) = std::str::from_utf8(&request.body) else {
+            return Err((400, error_body("body must be UTF-8 JSON")));
+        };
+        let parsed = match parse_json(body_text) {
+            Ok(v) => v,
+            Err(e) => return Err((400, error_body(&format!("bad JSON: {e}")))),
+        };
+        EvalRequest::from_json(&parsed).map_err(|e| (400, error_body(&e)))
+    })();
+    let parse_elapsed = dequeued_at.elapsed();
+    metrics.stage(Stage::Parse).record(parse_elapsed);
+    collector.record_manual(
+        Stage::Parse.name(),
+        collector.ns_of(dequeued_at),
+        parse_elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+        Vec::new,
+    );
+    let eval_req = match parse_result {
         Ok(r) => r,
-        Err(e) => return (400, error_body(&e)),
+        Err(resp) => return resp,
     };
 
     let budget_ms = eval_req.deadline_ms.unwrap_or(shared.config.deadline_ms);
@@ -419,9 +493,14 @@ fn evaluate_stages(shared: &Shared, request: &Request, accepted_at: Instant) -> 
 
     // Stage 1: materialize the trace (cache-shared across requests).
     let workload = eval_req.workload();
-    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        shared.cache.bundle(eval_req.model, eval_req.dataset, eval_req.sample, &workload)
-    }));
+    let stage_start = Instant::now();
+    let run = {
+        let _s = collector.span(Stage::Trace.name());
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared.cache.bundle(eval_req.model, eval_req.dataset, eval_req.sample, &workload)
+        }))
+    };
+    metrics.stage(Stage::Trace).record(stage_start.elapsed());
     let bundle = match run {
         Ok(b) => b,
         Err(_) => return (500, error_body("trace generation failed")),
@@ -432,9 +511,14 @@ fn evaluate_stages(shared: &Shared, request: &Request, accepted_at: Instant) -> 
 
     // Stage 2: price the trace on the requested architecture.
     let eval = eval_req.eval_options();
-    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        shared.cache.evaluate(eval_req.model, eval_req.dataset, eval_req.sample, &workload, &eval)
-    }));
+    let stage_start = Instant::now();
+    let run = {
+        let _s = collector.span(Stage::Evaluate.name());
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared.cache.evaluate(eval_req.model, eval_req.dataset, eval_req.sample, &workload, &eval)
+        }))
+    };
+    metrics.stage(Stage::Evaluate).record(stage_start.elapsed());
     let result = match run {
         Ok(r) => r,
         Err(_) => return (500, error_body("evaluation failed")),
@@ -444,7 +528,13 @@ fn evaluate_stages(shared: &Shared, request: &Request, accepted_at: Instant) -> 
     }
 
     // Stage 3: serialize — the exact runner result, deterministically.
-    (200, result_to_json(&result, bundle.source_pixels).to_json())
+    let stage_start = Instant::now();
+    let body = {
+        let _s = collector.span(Stage::Serialize.name());
+        result_to_json(&result, bundle.source_pixels).to_json()
+    };
+    metrics.stage(Stage::Serialize).record(stage_start.elapsed());
+    (200, body)
 }
 
 #[cfg(test)]
@@ -460,7 +550,7 @@ mod tests {
         let mk = || {
             let _client = TcpStream::connect(addr).unwrap();
             let (server_side, _) = listener.accept().unwrap();
-            QueuedConn { stream: server_side, accepted_at: Instant::now() }
+            QueuedConn { stream: server_side, accepted_at: Instant::now(), req_id: 0 }
         };
         let q = ConnQueue::new(2);
         assert!(q.try_push(mk()).is_ok());

@@ -1,0 +1,81 @@
+//! Schema validator for exported traces: checks that a `--trace-out`
+//! file (or a `GET /trace` body) is well-formed Chrome trace-event JSON.
+//!
+//! ```text
+//! cargo run --release --example validate_trace -- trace.json
+//! ```
+//!
+//! Exits nonzero with a message on the first violation; CI runs it over
+//! the traces the serve-smoke job captures from a live server.
+
+use diffy::core::json::{parse, JsonValue};
+use std::process::ExitCode;
+
+fn validate(doc: &JsonValue) -> Result<usize, String> {
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing traceEvents")?
+        .as_array()
+        .ok_or("traceEvents is not an array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".into());
+    }
+    for (i, ev) in events.iter().enumerate() {
+        let ctx = |field: &str| format!("event #{i}: {field}");
+        let name =
+            ev.get("name").and_then(|n| n.as_str()).ok_or_else(|| ctx("missing name"))?;
+        let ph = ev.get("ph").and_then(|p| p.as_str()).ok_or_else(|| ctx("missing ph"))?;
+        if ph != "X" && ph != "i" {
+            return Err(format!("event #{i} ({name}): unexpected phase {ph:?}"));
+        }
+        ev.get("ts").and_then(|t| t.as_f64()).ok_or_else(|| ctx("missing numeric ts"))?;
+        ev.get("pid").and_then(|p| p.as_u64()).ok_or_else(|| ctx("missing pid"))?;
+        ev.get("tid").and_then(|t| t.as_u64()).ok_or_else(|| ctx("missing tid"))?;
+        if ph == "X" {
+            let dur = ev
+                .get("dur")
+                .and_then(|d| d.as_f64())
+                .ok_or_else(|| format!("event #{i} ({name}): complete event without dur"))?;
+            if dur < 0.0 {
+                return Err(format!("event #{i} ({name}): negative duration {dur}"));
+            }
+        }
+    }
+    Ok(events.len())
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: validate_trace <trace.json>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: cannot read: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{path}: not valid JSON: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate(&doc) {
+        Ok(n) => {
+            let dropped = doc
+                .get("otherData")
+                .and_then(|o| o.get("dropped"))
+                .and_then(|d| d.as_u64())
+                .unwrap_or(0);
+            println!("{path}: OK ({n} events, {dropped} dropped)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -34,6 +34,19 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let rest = &args[1..];
+    // --trace-out applies to every command: capture spans across the run
+    // and write them as Chrome trace-event JSON on exit. `serve` also
+    // exposes the live capture at GET /trace.
+    let trace_out = match parse_flag(rest, "--trace-out") {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if trace_out.is_some() {
+        diffy::core::trace::Collector::global().start();
+    }
     let result = match cmd.as_str() {
         "compare" => cmd_compare(rest),
         "sweep" => cmd_sweep(rest),
@@ -49,13 +62,28 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
-    match result {
+    // Write the trace even when the command failed — a partial trace of
+    // a failed run is exactly what one wants to look at.
+    let trace_result = match trace_out {
+        Some(path) => write_trace(&path),
+        None => Ok(()),
+    };
+    match result.and(trace_result) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Drains the global span collector and writes Chrome trace-event JSON.
+fn write_trace(path: &str) -> Result<(), String> {
+    let log = diffy::core::trace::Collector::global().drain();
+    let doc = log.to_chrome_json().to_json();
+    std::fs::write(path, doc).map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+    eprintln!("trace: {} events ({} dropped) -> {path}", log.spans.len(), log.dropped);
+    Ok(())
 }
 
 const USAGE: &str = "usage: diffy <command> [options]
@@ -77,11 +105,15 @@ options:
   --seed N          workload seed (default 1)
   --jobs N          worker threads for compare/sweep/report/serve (default:
                     all cores); results are bit-identical at any job count
+  --trace-out FILE  record spans across the run and write a Chrome
+                    trace-event JSON file (open in chrome://tracing)
 
 serve options:
   --addr HOST:PORT  bind address (default 127.0.0.1:7878; port 0 = ephemeral)
   --queue-depth N   admission-queue capacity, >= 1 (default 32); full -> 503
   --deadline-ms N   per-request deadline budget, >= 1 (default 30000)
+  --trace-out FILE  also serves the live capture at GET /trace; the file is
+                    written when the server drains
 
 models: DnCNN, FFDNet, IRCNN, JointNet, VDSR";
 
@@ -334,9 +366,10 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
             .filter(|&n: &u64| n >= 1)
             .ok_or_else(|| format!("bad --deadline-ms {v} (want an integer >= 1)"))?;
     }
+    config.trace_capture = parse_flag(rest, "--trace-out")?.is_some();
     let server = diffy::serve::Server::bind(config).map_err(|e| format!("bind failed: {e}"))?;
     println!("diffy-serve listening on http://{}", server.local_addr());
-    println!("POST /evaluate | GET /metrics | GET /healthz | POST /shutdown");
+    println!("POST /evaluate | GET /metrics | GET /trace | GET /healthz | POST /shutdown");
     server.run().map_err(|e| format!("server failed: {e}"))
 }
 

@@ -93,11 +93,35 @@ fn zero_jobs_is_rejected() {
 }
 
 #[test]
+fn trace_out_writes_chrome_trace_json() {
+    let path = std::env::temp_dir().join(format!("diffy_cli_trace_{}.json", std::process::id()));
+    let path_str = path.to_str().unwrap();
+    let out = diffy(&["compare", "IRCNN", "--res", "32", "--jobs", "2", "--trace-out", path_str]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("trace:"), "stderr should report the trace write");
+
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let _ = std::fs::remove_file(&path);
+    let trace = diffy::core::json::parse(&text).expect("trace file is valid JSON");
+    let events = trace.get("traceEvents").and_then(|e| e.as_array()).expect("traceEvents");
+    assert!(!events.is_empty(), "trace must contain spans");
+    assert!(text.contains("evaluate_network"), "missing evaluate_network span:\n{text}");
+    assert!(text.contains("tile_sim"), "missing tile_sim span:\n{text}");
+}
+
+#[test]
+fn trace_out_without_value_is_a_hard_error() {
+    let out = diffy(&["compare", "IRCNN", "--res", "32", "--trace-out"]);
+    assert!(!out.status.success(), "--trace-out without value must fail");
+    assert!(stderr(&out).contains("--trace-out needs a value"), "stderr: {}", stderr(&out));
+}
+
+#[test]
 fn usage_mentions_serve() {
     let out = diffy(&["help"]);
     assert!(out.status.success());
     let text = stdout(&out);
-    for needle in ["serve", "--addr", "--queue-depth", "--deadline-ms"] {
+    for needle in ["serve", "--addr", "--queue-depth", "--deadline-ms", "--trace-out"] {
         assert!(text.contains(needle), "missing {needle:?} in usage:\n{text}");
     }
 }
