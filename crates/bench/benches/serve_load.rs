@@ -1,13 +1,17 @@
 //! Service throughput/latency: closed-loop load against an in-process
-//! `diffy-serve` server at several client concurrency levels.
+//! `diffy-serve` server at several client concurrency levels, in three
+//! transport modes: one-shot (connection per request), keep-alive (one
+//! persistent connection per client) and batch (eight evaluations per
+//! `POST /evaluate/batch`).
 //!
 //! Methodology (see EXPERIMENTS.md §"Service throughput and latency"):
 //! an ephemeral-port server is booted in-process with its default worker
 //! pool, the cache is warmed with one untimed request, then each
-//! concurrency level runs a fixed total number of requests split across
-//! closed-loop clients (a client issues its next request the moment the
-//! previous response lands). Latencies are exact client-side samples;
-//! percentiles are nearest-rank over the sorted run.
+//! (mode, concurrency) cell runs a fixed total number of evaluations
+//! split across closed-loop clients (a client issues its next request
+//! the moment the previous response lands). Latencies are exact
+//! client-side samples; percentiles are nearest-rank over the sorted
+//! run. In batch mode a latency sample covers a whole batch.
 //!
 //! `DIFFY_BENCH_SMOKE` shrinks the request budget to a seconds-scale
 //! smoke run; `DIFFY_BENCH_JSON` writes the records to disk (this is the
@@ -15,8 +19,11 @@
 
 use diffy_bench::{bench_options, bench_smoke, write_bench_json, BenchRecord};
 use diffy_core::summary::TextTable;
-use diffy_serve::{closed_loop, get, post, ServeConfig, Server};
+use diffy_serve::{closed_loop_mode, get, post, LoadMode, ServeConfig, Server};
 use std::time::Duration;
+
+/// Evaluations per `/evaluate/batch` request in batch mode.
+const BATCH_SIZE: usize = 8;
 
 /// Client-side timeout: generous, so slow levels report latency rather
 /// than erroring out.
@@ -30,8 +37,9 @@ fn main() {
 
     println!("== serve_load: evaluation-service throughput and latency ==");
     println!(
-        "workload: IRCNN/Kodak24 at {resolution}x{resolution}, {total_requests} requests \
-         per level, closed-loop clients at concurrency {levels:?}"
+        "workload: IRCNN/Kodak24 at {resolution}x{resolution}, {total_requests} evaluations \
+         per cell, closed-loop clients at concurrency {levels:?}, \
+         modes: one-shot / keep-alive / batch({BATCH_SIZE})"
     );
     println!();
 
@@ -51,39 +59,51 @@ fn main() {
     let warm = post(addr, "/evaluate", &body, TIMEOUT).expect("warm-up request");
     assert_eq!(warm.status, 200, "warm-up failed: {}", warm.body);
 
+    let modes: [(&str, &str, LoadMode); 3] = [
+        ("one-shot", "", LoadMode::OneShot),
+        ("keep-alive", "keepalive_", LoadMode::KeepAlive),
+        ("batch", "batch8_", LoadMode::Batch(BATCH_SIZE)),
+    ];
     let mut table = TextTable::new(vec![
-        "clients", "ok", "errors", "rps", "mean ms", "p50 ms", "p90 ms", "p99 ms",
+        "mode", "clients", "ok", "errors", "rps", "mean ms", "p50 ms", "p90 ms", "p99 ms",
     ]);
     let mut records = Vec::new();
     let mut summary: Vec<(String, f64)> = Vec::new();
-    let mut rps_c1 = None;
-    for &concurrency in levels {
-        let per_client = (total_requests / concurrency).max(1);
-        let report = closed_loop(addr, &body, concurrency, per_client, TIMEOUT);
-        assert_eq!(report.errors, 0, "load run must not shed at depth-32 defaults");
-        table.row(vec![
-            concurrency.to_string(),
-            report.ok.to_string(),
-            report.errors.to_string(),
-            format!("{:.2}", report.throughput_rps),
-            format!("{:.2}", report.mean_ms),
-            format!("{:.2}", report.p50_ms),
-            format!("{:.2}", report.p90_ms),
-            format!("{:.2}", report.p99_ms),
-        ]);
-        records.push(BenchRecord {
-            name: format!("serve_c{concurrency}"),
-            wall_ms: report.mean_ms,
-            iters: report.ok,
-            per_second: Some(report.throughput_rps),
-        });
-        summary.push((format!("rps_c{concurrency}"), report.throughput_rps));
-        summary.push((format!("p50_ms_c{concurrency}"), report.p50_ms));
-        summary.push((format!("p99_ms_c{concurrency}"), report.p99_ms));
-        if concurrency == 1 {
-            rps_c1 = Some(report.throughput_rps);
-        } else if let Some(base) = rps_c1 {
-            summary.push((format!("speedup_c{concurrency}_vs_c1"), report.throughput_rps / base));
+    for (mode_name, key_prefix, mode) in modes {
+        let mut rps_c1 = None;
+        for &concurrency in levels {
+            let per_client = (total_requests / concurrency).max(1);
+            let report =
+                closed_loop_mode(addr, &body, concurrency, per_client, TIMEOUT, mode);
+            assert_eq!(report.errors, 0, "load run must not shed at depth-32 defaults");
+            table.row(vec![
+                mode_name.to_string(),
+                concurrency.to_string(),
+                report.ok.to_string(),
+                report.errors.to_string(),
+                format!("{:.2}", report.throughput_rps),
+                format!("{:.2}", report.mean_ms),
+                format!("{:.2}", report.p50_ms),
+                format!("{:.2}", report.p90_ms),
+                format!("{:.2}", report.p99_ms),
+            ]);
+            records.push(BenchRecord {
+                name: format!("serve_{key_prefix}c{concurrency}"),
+                wall_ms: report.mean_ms,
+                iters: report.ok,
+                per_second: Some(report.throughput_rps),
+            });
+            summary.push((format!("rps_{key_prefix}c{concurrency}"), report.throughput_rps));
+            summary.push((format!("p50_ms_{key_prefix}c{concurrency}"), report.p50_ms));
+            summary.push((format!("p99_ms_{key_prefix}c{concurrency}"), report.p99_ms));
+            if concurrency == 1 {
+                rps_c1 = Some(report.throughput_rps);
+            } else if let Some(base) = rps_c1 {
+                summary.push((
+                    format!("speedup_{key_prefix}c{concurrency}_vs_c1"),
+                    report.throughput_rps / base,
+                ));
+            }
         }
     }
     println!("{}", table.render());
@@ -107,6 +127,8 @@ fn main() {
         ("dataset", "Kodak24".to_string()),
         ("resolution", format!("{resolution}x{resolution}")),
         ("requests_per_level", total_requests.to_string()),
+        ("batch_size", BATCH_SIZE.to_string()),
+        ("modes", "one-shot,keep-alive,batch".to_string()),
         ("server_workers", workers.to_string()),
         ("host_parallelism", num_cores().to_string()),
     ];

@@ -392,6 +392,45 @@ impl SweepCache {
         self.traces.clear();
         self.term_planes.clear();
     }
+
+    /// Evaluates a heterogeneous batch of points, fanning out over `par`
+    /// workers, and returns the results **in point order** —
+    /// bit-identical to calling [`SweepCache::evaluate`] point by point,
+    /// at any worker count.
+    ///
+    /// Unlike [`sweep_par`], every point carries its *own* workload, so
+    /// one batch can mix resolutions, seeds, models and architectures;
+    /// points that share keys still materialize each weight set, trace
+    /// and term-plane set at most once through this cache, no matter
+    /// which worker gets there first. This is the substrate both the
+    /// sweep engine and the service's batch endpoint stand on.
+    pub fn evaluate_points(&self, points: &[EvalPoint], par: Jobs) -> Vec<NetworkResult> {
+        let tasks: Vec<_> = points
+            .iter()
+            .map(|p| {
+                let p = *p;
+                move || self.evaluate(p.model, p.dataset, p.sample, &p.workload, &p.eval)
+            })
+            .collect();
+        run_jobs(tasks, par)
+    }
+}
+
+/// One fully-specified evaluation point: a workload (what to trace) plus
+/// an architecture (what to price it on). [`SweepJob`] is the
+/// shared-workload special case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalPoint {
+    /// Model to trace.
+    pub model: CiModel,
+    /// Dataset the sample comes from.
+    pub dataset: DatasetId,
+    /// Sample index within the dataset.
+    pub sample: usize,
+    /// Per-point workload (resolution, seed, sample cap).
+    pub workload: WorkloadOptions,
+    /// Architecture/scheme/memory to evaluate the trace under.
+    pub eval: EvalOptions,
 }
 
 /// One unit of sweep work: trace `(model, dataset, sample)` and evaluate
@@ -421,14 +460,17 @@ pub fn sweep_par(
     par: Jobs,
     cache: &SweepCache,
 ) -> Vec<NetworkResult> {
-    let tasks: Vec<_> = jobs
+    let points: Vec<EvalPoint> = jobs
         .iter()
-        .map(|job| {
-            let job = *job;
-            move || cache.evaluate(job.model, job.dataset, job.sample, opts, &job.eval)
+        .map(|job| EvalPoint {
+            model: job.model,
+            dataset: job.dataset,
+            sample: job.sample,
+            workload: *opts,
+            eval: job.eval,
         })
         .collect();
-    run_jobs(tasks, par)
+    cache.evaluate_points(&points, par)
 }
 
 /// Traces one model across its datasets in parallel: the parallel,
@@ -575,6 +617,45 @@ mod tests {
             assert_eq!(p.dataset, s.dataset);
             assert_eq!(p.sample, s.sample);
             assert_eq!(p.trace.output, s.trace.output);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_points_match_pointwise_serial_evaluation() {
+        // evaluate_points mixes workloads (resolution, seed), models and
+        // architectures in one batch; the fanned results must be
+        // bit-identical to evaluating each point serially, in order.
+        let small = WorkloadOptions::test_small();
+        let other = WorkloadOptions { resolution: 48, seed: 7, ..small };
+        let points = vec![
+            EvalPoint {
+                model: CiModel::Ircnn,
+                dataset: DatasetId::Kodak24,
+                sample: 0,
+                workload: small,
+                eval: EvalOptions::new(Architecture::Diffy, SchemeChoice::Ideal),
+            },
+            EvalPoint {
+                model: CiModel::Vdsr,
+                dataset: DatasetId::Hd33,
+                sample: 0,
+                workload: other,
+                eval: EvalOptions::new(Architecture::Pra, SchemeChoice::Ideal),
+            },
+            EvalPoint {
+                model: CiModel::Ircnn,
+                dataset: DatasetId::Kodak24,
+                sample: 0,
+                workload: other,
+                eval: EvalOptions::new(Architecture::Vaa, SchemeChoice::Ideal),
+            },
+        ];
+        let cache = SweepCache::new();
+        let fanned = cache.evaluate_points(&points, Jobs::new(3));
+        let reference = SweepCache::new();
+        for (p, got) in points.iter().zip(&fanned) {
+            let want = reference.evaluate(p.model, p.dataset, p.sample, &p.workload, &p.eval);
+            assert_eq!(*got, want, "point order and content must be fan-out invariant");
         }
     }
 

@@ -1,10 +1,15 @@
 //! Minimal HTTP/1.1 framing on std I/O: request parsing with hard size
 //! limits and response writing.
 //!
-//! The service speaks exactly the subset it needs — one request per
-//! connection, `Content-Length` bodies, `Connection: close` on every
-//! response. Keeping the parser tiny keeps the failure surface auditable:
-//! anything outside the subset is a clean 400, never undefined behaviour.
+//! The service speaks exactly the subset it needs — `Content-Length`
+//! bodies on persistent (keep-alive) or one-shot connections. Keeping the
+//! parser tiny keeps the failure surface auditable: anything outside the
+//! subset is a clean 400, never undefined behaviour. Under keep-alive the
+//! framing rules are load-bearing, not cosmetic: a byte miscounted on one
+//! request becomes the *head of the next request* on the same connection,
+//! so everything ambiguous (whitespace-padded header names,
+//! `Transfer-Encoding`, conflicting lengths, unterminated lines) is
+//! rejected outright and the connection closed.
 
 use std::io::{self, BufRead, Write};
 
@@ -12,8 +17,24 @@ use std::io::{self, BufRead, Write};
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 
 /// Largest accepted request body, in bytes. Evaluation requests are a few
-/// hundred bytes; anything close to this limit is abuse, not traffic.
-pub const MAX_BODY_BYTES: usize = 64 * 1024;
+/// hundred bytes and batches a few KiB; anything close to this limit is
+/// abuse, not traffic.
+pub const MAX_BODY_BYTES: usize = 256 * 1024;
+
+/// Number of leading empty lines tolerated before the request line
+/// (RFC 9112 §2.2: a server SHOULD ignore at least one).
+const MAX_LEADING_BLANKS: usize = 4;
+
+/// The HTTP version a request was framed under. Keep-alive defaults
+/// differ: HTTP/1.1 persists unless `Connection: close`, HTTP/1.0 closes
+/// unless `Connection: keep-alive`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// `HTTP/1.0`.
+    Http10,
+    /// `HTTP/1.1`.
+    Http11,
+}
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +43,8 @@ pub struct Request {
     pub method: String,
     /// Request target path (query strings are kept verbatim).
     pub path: String,
+    /// Protocol version from the request line.
+    pub version: Version,
     /// Headers in arrival order, names lower-cased.
     pub headers: Vec<(String, String)>,
     /// The request body (empty when no `Content-Length` was sent).
@@ -33,10 +56,30 @@ impl Request {
     pub fn header(&self, name: &str) -> Option<&str> {
         self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
     }
+
+    /// Whether the peer asked to keep the connection open after the
+    /// response: `Connection: close` always closes, `Connection:
+    /// keep-alive` always persists, otherwise the version's default
+    /// applies (persist on 1.1, close on 1.0). The `Connection` value is
+    /// a comma-separated token list per RFC 9110 §7.6.1.
+    pub fn keep_alive(&self) -> bool {
+        if let Some(v) = self.header("connection") {
+            let mut tokens = v.split(',').map(str::trim);
+            if tokens.clone().any(|t| t.eq_ignore_ascii_case("close")) {
+                return false;
+            }
+            if tokens.any(|t| t.eq_ignore_ascii_case("keep-alive")) {
+                return true;
+            }
+        }
+        self.version == Version::Http11
+    }
 }
 
 /// A request the parser rejected, with the HTTP status the server should
-/// answer with (400 or 413).
+/// answer with (400 or 413). Framing-level rejections poison the
+/// connection — the next request's boundary can no longer be trusted —
+/// so the server answers and then closes, never keeps alive.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BadRequest {
     /// Status code to respond with.
@@ -51,19 +94,59 @@ impl BadRequest {
     }
 }
 
-/// Outcome of reading one request off a connection.
-pub type ParseResult = io::Result<Result<Request, BadRequest>>;
+/// How reading a request off a connection failed before a request (or a
+/// rejectable `BadRequest`) materialized.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed — or stayed silent past the read timeout — before
+    /// sending a single request byte. Under keep-alive this is the
+    /// *normal* end of a connection, not an error to alarm on.
+    Idle,
+    /// The connection failed mid-request: reset, timeout or EOF after
+    /// some head bytes had already arrived. Nothing can be answered.
+    Io(io::Error),
+}
 
-/// Reads one HTTP/1.1 request. `Err(io::Error)` means the connection
-/// failed (timeout, reset); `Ok(Err(BadRequest))` means the peer sent
-/// something the subset rejects and should be answered with its status.
+/// Outcome of reading one request off a connection.
+pub type ParseResult = Result<Result<Request, BadRequest>, ReadError>;
+
+/// Outcome of reading one head line.
+enum Line {
+    /// The empty line ending the head (or a tolerated leading blank).
+    Blank,
+    /// A non-empty line, stripped of its terminator, left in `line`.
+    Text,
+    /// The line ran past the head limit without a terminator.
+    TooLong,
+    /// Clean EOF before any byte of this line.
+    Eof,
+}
+
+/// Reads one HTTP/1.1 request. [`ReadError::Idle`] means the peer closed
+/// (or timed out) between requests; [`ReadError::Io`] means the
+/// connection failed mid-request; `Ok(Err(BadRequest))` means the peer
+/// sent something the subset rejects and should be answered with its
+/// status — and, because framing is no longer trustworthy, closed.
 pub fn read_request(reader: &mut impl BufRead) -> ParseResult {
     let mut head_bytes = 0usize;
     let mut line = String::new();
 
-    // Request line: METHOD SP PATH SP HTTP/1.1
-    if read_crlf_line(reader, &mut line, &mut head_bytes)?.is_none() {
-        return Ok(Err(BadRequest::new(400, "empty request")));
+    // Request line: METHOD SP PATH SP HTTP/1.x — after at most a few
+    // tolerated leading CRLFs (RFC 9112 §2.2).
+    let mut blanks = 0usize;
+    loop {
+        let first = blanks == 0 && head_bytes == 0;
+        match read_head_line(reader, &mut line, &mut head_bytes, first)? {
+            Line::Eof => return Err(ReadError::Idle),
+            Line::TooLong => return Ok(Err(BadRequest::new(413, "request line too long"))),
+            Line::Blank => {
+                blanks += 1;
+                if blanks > MAX_LEADING_BLANKS {
+                    return Ok(Err(BadRequest::new(400, "empty request")));
+                }
+            }
+            Line::Text => break,
+        }
     }
     let mut parts = line.split(' ');
     let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
@@ -73,25 +156,44 @@ pub fn read_request(reader: &mut impl BufRead) -> ParseResult {
         }
         _ => return Ok(Err(BadRequest::new(400, "malformed request line"))),
     };
-    if version != "HTTP/1.1" && version != "HTTP/1.0" {
-        return Ok(Err(BadRequest::new(400, "unsupported HTTP version")));
-    }
+    let version = match version {
+        "HTTP/1.1" => Version::Http11,
+        "HTTP/1.0" => Version::Http10,
+        _ => return Ok(Err(BadRequest::new(400, "unsupported HTTP version"))),
+    };
 
     // Headers until the empty line.
-    let mut headers = Vec::new();
+    let mut headers: Vec<(String, String)> = Vec::new();
     loop {
         if head_bytes > MAX_HEAD_BYTES {
             return Ok(Err(BadRequest::new(413, "request head too large")));
         }
-        match read_crlf_line(reader, &mut line, &mut head_bytes)? {
-            None => break,
-            Some(()) => {
+        match read_head_line(reader, &mut line, &mut head_bytes, false)? {
+            Line::Eof => return Err(ReadError::Io(closed_mid_head())),
+            Line::TooLong => return Ok(Err(BadRequest::new(413, "header line too long"))),
+            Line::Blank => break,
+            Line::Text => {
                 let Some((name, value)) = line.split_once(':') else {
                     return Ok(Err(BadRequest::new(400, "malformed header")));
                 };
-                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+                // RFC 9112 §5.1: no whitespace between the field name and
+                // the colon. `Content-Length : 5` is a smuggling desync
+                // vector — a lenient parser reads a length this parser
+                // ignored — so the name must be an exact token. This also
+                // rejects obs-fold continuations (leading whitespace).
+                if !is_token(name) {
+                    return Ok(Err(BadRequest::new(400, "malformed header name")));
+                }
+                headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
             }
         }
+    }
+
+    // Transfer-Encoding is not part of the subset. Ignoring it would be
+    // fatal under keep-alive: a chunked body this parser never consumed
+    // would be replayed as the head of the "next request".
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Ok(Err(BadRequest::new(400, "transfer-encoding not supported")));
     }
 
     // Body: exactly Content-Length bytes, if given. Multiple
@@ -113,12 +215,24 @@ pub fn read_request(reader: &mut impl BufRead) -> ParseResult {
                 return Ok(Err(BadRequest::new(413, "request body too large")));
             }
             let mut body = vec![0u8; len];
-            reader.read_exact(&mut body)?;
+            reader.read_exact(&mut body).map_err(ReadError::Io)?;
             body
         }
     };
 
-    Ok(Ok(Request { method, path, headers, body }))
+    Ok(Ok(Request { method, path, version, headers, body }))
+}
+
+fn closed_mid_head() -> io::Error {
+    io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed mid-head")
+}
+
+/// RFC 9110 token: the only characters legal in a header field name.
+fn is_token(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes().all(|b| {
+            b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+        })
 }
 
 /// Parses a `Content-Length` value: ASCII digits only. Stricter than
@@ -132,23 +246,58 @@ fn parse_content_length(v: &str) -> Option<usize> {
     v.parse().ok()
 }
 
-/// Reads one `\r\n`-terminated line into `line` (stripped); `None` marks
-/// the empty line that ends the head.
-fn read_crlf_line(
+/// Reads one `\r\n`-terminated head line into `line` (stripped).
+///
+/// The per-line read is capped at `MAX_HEAD_BYTES + 1` bytes; hitting the
+/// cap *without* a terminator is [`Line::TooLong`] — previously the
+/// capped tail was silently parsed as a separate header (a framing split
+/// no two parsers would ever agree on). EOF after partial bytes is an
+/// I/O error, never a valid line. `first` marks the very first read of a
+/// request, where a timeout with nothing buffered means "peer idle", not
+/// "request truncated".
+fn read_head_line(
     reader: &mut impl BufRead,
     line: &mut String,
     head_bytes: &mut usize,
-) -> io::Result<Option<()>> {
+    first: bool,
+) -> Result<Line, ReadError> {
     line.clear();
-    let n = io::Read::take(&mut *reader, MAX_HEAD_BYTES as u64 + 1).read_line(line)?;
+    let n = match io::Read::take(&mut *reader, MAX_HEAD_BYTES as u64 + 1).read_line(line) {
+        Ok(n) => n,
+        Err(e) => {
+            // A timeout (or reset) before any byte of the first line is
+            // the idle end of a keep-alive connection. `read_line` may
+            // have buffered partial bytes before failing; those mark a
+            // genuinely truncated request.
+            let idle_kind = matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::UnexpectedEof
+            );
+            return if first && line.is_empty() && idle_kind {
+                Err(ReadError::Idle)
+            } else {
+                Err(ReadError::Io(e))
+            };
+        }
+    };
     if n == 0 {
-        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed mid-head"));
+        return Ok(Line::Eof);
     }
     *head_bytes += n;
+    if !line.ends_with('\n') {
+        // No terminator: either the per-line cap was hit (overlong line)
+        // or the peer died mid-line. Distinguish by whether the cap was
+        // exhausted.
+        return if n > MAX_HEAD_BYTES {
+            Ok(Line::TooLong)
+        } else {
+            Err(ReadError::Io(closed_mid_head()))
+        };
+    }
     while line.ends_with('\n') || line.ends_with('\r') {
         line.pop();
     }
-    Ok(if line.is_empty() { None } else { Some(()) })
+    Ok(if line.is_empty() { Line::Blank } else { Line::Text })
 }
 
 /// Reason phrase for the status codes the service emits.
@@ -158,6 +307,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -166,18 +316,35 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes one JSON response and flushes. Every response closes the
-/// connection (`Connection: close`), keeping the protocol one-shot.
-pub fn write_json_response(writer: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
-    write!(
-        writer,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+/// Writes one JSON response and flushes, announcing the connection
+/// disposition the server decided: `Connection: keep-alive` when the
+/// connection will serve another request, `Connection: close` when the
+/// server will close after this response.
+pub fn write_json_response_conn(
+    writer: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    // Render first, write once: `write!` at an unbuffered socket emits a
+    // syscall per format fragment, and on a keep-alive connection those
+    // small segmented writes stall on Nagle + delayed-ACK.
+    let response = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
         status,
         reason(status),
         body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
         body
-    )?;
+    );
+    writer.write_all(response.as_bytes())?;
     writer.flush()
+}
+
+/// Writes one JSON response that closes the connection — the one-shot
+/// protocol, kept for shed/error paths and compatibility.
+pub fn write_json_response(writer: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
+    write_json_response_conn(writer, status, body, false)
 }
 
 #[cfg(test)]
@@ -185,9 +352,15 @@ mod tests {
     use super::*;
     use std::io::{BufReader, Cursor};
 
+    fn read(raw: &[u8]) -> ParseResult {
+        read_request(&mut BufReader::new(Cursor::new(raw.to_vec())))
+    }
+
     fn parse(raw: &str) -> Result<Request, BadRequest> {
-        read_request(&mut BufReader::new(Cursor::new(raw.as_bytes().to_vec())))
-            .expect("no io error on in-memory input")
+        match read(raw.as_bytes()) {
+            Ok(r) => r,
+            Err(e) => panic!("unexpected read error on in-memory input: {e:?}"),
+        }
     }
 
     #[test]
@@ -198,6 +371,7 @@ mod tests {
         .unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/evaluate");
+        assert_eq!(req.version, Version::Http11);
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.body, b"{\"k\": true}");
     }
@@ -215,6 +389,37 @@ mod tests {
         let req =
             parse("POST / HTTP/1.1\r\ncOnTeNt-LeNgTh: 2\r\n\r\nok").unwrap();
         assert_eq!(req.body, b"ok");
+    }
+
+    #[test]
+    fn keep_alive_follows_version_defaults_and_connection_header() {
+        // (request, expected keep_alive)
+        let cases = [
+            ("GET / HTTP/1.1\r\n\r\n", true),
+            ("GET / HTTP/1.0\r\n\r\n", false),
+            ("GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false),
+            ("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n", false),
+            ("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true),
+            ("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n", true),
+            // Token lists: close anywhere wins.
+            ("GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n", false),
+            ("GET / HTTP/1.0\r\nConnection: foo, keep-alive\r\n\r\n", true),
+            // Unknown tokens fall back to the version default.
+            ("GET / HTTP/1.1\r\nConnection: upgrade\r\n\r\n", true),
+            ("GET / HTTP/1.0\r\nConnection: upgrade\r\n\r\n", false),
+        ];
+        for (raw, want) in cases {
+            assert_eq!(parse(raw).unwrap().keep_alive(), want, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn leading_blank_lines_are_tolerated() {
+        let req = parse("\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/metrics");
+        // …but not without bound.
+        let raw = format!("{}GET / HTTP/1.1\r\n\r\n", "\r\n".repeat(MAX_LEADING_BLANKS + 1));
+        assert_eq!(parse(&raw).unwrap_err().status, 400);
     }
 
     #[test]
@@ -240,6 +445,40 @@ mod tests {
         );
         let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
         assert_eq!(parse(&huge).unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn rejects_whitespace_before_header_colon() {
+        // RFC 9112 §5.1: `Content-Length : 5` must be 400, not silently
+        // re-trimmed into a length a downstream parser may disagree on.
+        for raw in [
+            "POST / HTTP/1.1\r\nContent-Length : 2\r\n\r\nok",
+            "POST / HTTP/1.1\r\nContent-Length\t: 2\r\n\r\nok",
+            "POST / HTTP/1.1\r\n Content-Length: 2\r\n\r\nok", // obs-fold shape
+            "GET / HTTP/1.1\r\nx y: z\r\n\r\n",
+        ] {
+            let e = parse(raw).unwrap_err();
+            assert_eq!(e.status, 400, "{raw:?}");
+            assert!(e.message.contains("header"), "{raw:?}: {}", e.message);
+        }
+    }
+
+    #[test]
+    fn rejects_transfer_encoding_outright() {
+        // An unconsumed chunked body would be replayed as the next
+        // request's head under keep-alive.
+        for te in ["chunked", "identity", "gzip"] {
+            let raw = format!("POST / HTTP/1.1\r\nTransfer-Encoding: {te}\r\n\r\n");
+            let e = parse(&raw).unwrap_err();
+            assert_eq!(e.status, 400, "Transfer-Encoding: {te}");
+            assert!(e.message.contains("transfer-encoding"), "{}", e.message);
+        }
+        // Even alongside a Content-Length (the classic TE.CL smuggle).
+        let e = parse(
+            "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\nContent-Length: 2\r\n\r\nok",
+        )
+        .unwrap_err();
+        assert_eq!(e.status, 400);
     }
 
     #[test]
@@ -283,9 +522,53 @@ mod tests {
     }
 
     #[test]
+    fn header_line_exactly_at_the_limit_is_413_not_split() {
+        // One header line of exactly MAX_HEAD_BYTES bytes including its
+        // CRLF: a complete line, but the head is over budget — 413.
+        let req_line = "GET / HTTP/1.1\r\n";
+        let pad = MAX_HEAD_BYTES - "x-pad: ".len() - 2; // 2 = CRLF
+        let raw = format!("{req_line}x-pad: {}\r\n\r\n", "a".repeat(pad));
+        let e = parse(&raw).unwrap_err();
+        assert_eq!(e.status, 413, "{}", e.message);
+    }
+
+    #[test]
+    fn header_line_past_the_limit_is_413_not_two_headers() {
+        // A single unterminated line longer than the per-line cap used to
+        // be silently split in two, with the tail parsed as a separate
+        // header. It must be one 413, never two headers.
+        let raw = format!(
+            "GET / HTTP/1.1\r\nx-pad: {}\r\nx-smuggled: y\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES + 10)
+        );
+        let e = parse(&raw).unwrap_err();
+        assert_eq!(e.status, 413, "{}", e.message);
+        assert!(e.message.contains("too long"), "{}", e.message);
+    }
+
+    #[test]
+    fn overlong_request_line_is_413() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_HEAD_BYTES + 10));
+        let e = parse(&raw).unwrap_err();
+        assert_eq!(e.status, 413);
+    }
+
+    #[test]
+    fn clean_eof_before_any_byte_is_idle() {
+        assert!(matches!(read(b""), Err(ReadError::Idle)));
+    }
+
+    #[test]
+    fn eof_mid_head_is_an_io_error() {
+        for raw in [&b"GET / HT"[..], b"GET / HTTP/1.1\r\nHost: x"] {
+            assert!(matches!(read(raw), Err(ReadError::Io(_))), "{raw:?}");
+        }
+    }
+
+    #[test]
     fn truncated_request_is_an_io_error() {
-        let mut r = BufReader::new(Cursor::new(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc".to_vec()));
-        assert!(read_request(&mut r).is_err());
+        let r = read(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc");
+        assert!(matches!(r, Err(ReadError::Io(_))));
     }
 
     #[test]
@@ -297,5 +580,27 @@ mod tests {
         assert!(text.contains("Content-Length: 16\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"error\":\"busy\"}"));
+    }
+
+    #[test]
+    fn keep_alive_response_announces_disposition() {
+        let mut out = Vec::new();
+        write_json_response_conn(&mut out, 200, "{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(!text.contains("Connection: close"));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        // Two requests in one byte stream: after the first is read, the
+        // reader must sit exactly at the head of the second.
+        let raw = b"POST /evaluate HTTP/1.1\r\nContent-Length: 2\r\n\r\nokGET /metrics HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(Cursor::new(raw.to_vec()));
+        let first = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!((first.method.as_str(), first.body.as_slice()), ("POST", &b"ok"[..]));
+        let second = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!((second.method.as_str(), second.path.as_str()), ("GET", "/metrics"));
+        assert!(matches!(read_request(&mut reader), Err(ReadError::Idle)));
     }
 }

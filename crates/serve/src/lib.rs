@@ -11,9 +11,20 @@
 //!
 //! * **Bounded admission** — at most `queue_depth` connections wait; the
 //!   acceptor sheds overload with `503` instead of queueing unboundedly.
-//! * **Deadlines** — each request's budget runs from *accept*; workers
-//!   check it between pipeline stages and answer `504` the moment it
-//!   passes (an expired queued request is never evaluated).
+//! * **Keep-alive** — connections persist across requests (HTTP/1.1
+//!   semantics); a worker serves one request then re-enqueues the
+//!   connection through the same bounded queue, so a chatty client
+//!   waits its turn like everyone else. Idle connections are polled,
+//!   never pinned to a worker, and closed after `idle_timeout_ms`;
+//!   every connection turns over after `max_requests_per_conn`.
+//! * **Batching** — `POST /evaluate/batch` evaluates many grid points in
+//!   one request, fanned over the worker pool through the shared cache
+//!   (term planes build once per layer across the batch); every item's
+//!   result is bit-identical to its standalone `POST /evaluate`.
+//! * **Deadlines** — each request's budget runs from its arrival;
+//!   workers check it between pipeline stages and answer `504` the
+//!   moment it passes (an expired queued request is never evaluated),
+//!   and the socket read timeout is derived from the remaining budget.
 //! * **Graceful drain** — SIGTERM/SIGINT (opt-in), `POST /shutdown`, or
 //!   [`ServerHandle::shutdown`] stop admissions, finish the backlog, and
 //!   let [`Server::run`] return.
@@ -33,9 +44,9 @@
 //! # std::io::Result::Ok(())
 //! ```
 //!
-//! Endpoints: `POST /evaluate`, `GET /metrics`, `GET /healthz`,
-//! `POST /shutdown`. See DESIGN.md §"Service layer" for the threading
-//! model and the determinism argument.
+//! Endpoints: `POST /evaluate`, `POST /evaluate/batch`, `GET /metrics`,
+//! `GET /healthz`, `POST /shutdown`. See DESIGN.md §"Service layer" for
+//! the threading model and the determinism argument.
 
 #![warn(missing_docs)]
 
@@ -46,8 +57,8 @@ pub mod metrics;
 pub mod protocol;
 pub mod server;
 
-pub use client::{get, post, HttpResponse};
-pub use load::{closed_loop, LoadReport};
-pub use metrics::{LatencyHistogram, Metrics};
-pub use protocol::{result_to_json, EvalRequest};
+pub use client::{get, post, HttpResponse, KeepAliveClient};
+pub use load::{batch_body, closed_loop, closed_loop_mode, LoadMode, LoadReport};
+pub use metrics::{CloseReason, LatencyHistogram, Metrics};
+pub use protocol::{result_to_json, BatchRequest, EvalRequest};
 pub use server::{ServeConfig, Server, ServerHandle};

@@ -14,6 +14,21 @@ use std::time::Duration;
 /// else lands in the `other` bucket so response totals always conserve.
 pub const STATUSES: [u16; 8] = [200, 400, 404, 405, 413, 500, 503, 504];
 
+/// Why a connection was closed without a response being written for its
+/// pending request attempt. Together with the response counters these
+/// make request accounting exact: every attempt the server admits ends
+/// as a response, an abort, or an idle close — see
+/// [`Metrics::requests_accounted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseReason {
+    /// The peer closed (or stayed silent past the idle window) before
+    /// sending a request — the normal end of a keep-alive connection.
+    Idle,
+    /// The connection died mid-request (reset, timeout after partial
+    /// head, failed clone) — nothing could be answered.
+    Aborted,
+}
+
 /// One stage of the `/evaluate` request pipeline, in pipeline order.
 ///
 /// The per-stage histograms in `/metrics` and the serve trace spans use
@@ -161,11 +176,35 @@ impl Default for LatencyHistogram {
 
 /// All counters the service maintains.
 pub struct Metrics {
-    /// Connections accepted (including ones later rejected with 503).
+    /// Request *attempts* admitted by the server: one per accepted
+    /// connection plus one per keep-alive re-enqueue. Every attempt ends
+    /// as exactly one response, abort, or idle close (conservation:
+    /// [`Metrics::requests_accounted`]).
     pub requests_total: AtomicU64,
+    /// TCP connections accepted (including ones later rejected with 503).
+    pub connections_total: AtomicU64,
+    /// Connections currently open and being serviced (gauge).
+    pub connections_open: AtomicU64,
+    /// Keep-alive re-enqueues: request attempts beyond a connection's
+    /// first. `requests_total - keepalive_reuses_total` is the number of
+    /// connections that carried at least one attempt.
+    pub keepalive_reuses_total: AtomicU64,
+    /// Largest number of responses served over a single connection.
+    pub requests_per_conn_max: AtomicU64,
+    /// Attempts that ended without a response because the connection
+    /// died mid-request (reset, timeout after partial head, failed
+    /// clone).
+    pub aborted_total: AtomicU64,
+    /// Attempts that ended without a response because the peer closed
+    /// (or idled out) before sending a request — normal keep-alive end.
+    pub idle_closed_total: AtomicU64,
+    /// Items carried by `POST /evaluate/batch` requests (each batch is
+    /// one request attempt; its items are counted here).
+    pub batch_items_total: AtomicU64,
     /// Connections turned away because the admission queue was full.
     pub queue_rejected_total: AtomicU64,
-    /// Requests whose deadline expired before completion.
+    /// Requests (or batch items) whose deadline expired before
+    /// completion.
     pub deadline_expired_total: AtomicU64,
     /// Per-status response counts, aligned with [`STATUSES`]; the extra
     /// trailing slot counts statuses outside the table (`other`).
@@ -181,12 +220,39 @@ impl Metrics {
     pub fn new() -> Self {
         Self {
             requests_total: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            connections_open: AtomicU64::new(0),
+            keepalive_reuses_total: AtomicU64::new(0),
+            requests_per_conn_max: AtomicU64::new(0),
+            aborted_total: AtomicU64::new(0),
+            idle_closed_total: AtomicU64::new(0),
+            batch_items_total: AtomicU64::new(0),
             queue_rejected_total: AtomicU64::new(0),
             deadline_expired_total: AtomicU64::new(0),
             responses: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: LatencyHistogram::new(),
             stages: std::array::from_fn(|_| LatencyHistogram::new()),
         }
+    }
+
+    /// Counts one connection close that ended a pending request attempt
+    /// without a response, so conservation holds exactly.
+    pub fn record_close(&self, reason: CloseReason) {
+        match reason {
+            CloseReason::Idle => &self.idle_closed_total,
+            CloseReason::Aborted => &self.aborted_total,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Request attempts accounted for: every attempt ends as a response,
+    /// an abort, or an idle close. When the server is quiesced (no
+    /// connection in flight), this equals [`Metrics::requests_total`] —
+    /// the conservation law `tests/serve_keepalive.rs` asserts.
+    pub fn requests_accounted(&self) -> u64 {
+        self.responses_total()
+            + self.aborted_total.load(Ordering::Relaxed)
+            + self.idle_closed_total.load(Ordering::Relaxed)
     }
 
     /// Counts one response with the given status. A status outside
@@ -250,6 +316,18 @@ impl Metrics {
             .collect();
         JsonValue::object(vec![
             ("requests_total", self.requests_total.load(Ordering::Relaxed).into()),
+            (
+                "connections",
+                JsonValue::object(vec![
+                    ("total", self.connections_total.load(Ordering::Relaxed).into()),
+                    ("open", self.connections_open.load(Ordering::Relaxed).into()),
+                    ("keepalive_reuses", self.keepalive_reuses_total.load(Ordering::Relaxed).into()),
+                    ("requests_per_conn_max", self.requests_per_conn_max.load(Ordering::Relaxed).into()),
+                    ("aborted", self.aborted_total.load(Ordering::Relaxed).into()),
+                    ("idle_closed", self.idle_closed_total.load(Ordering::Relaxed).into()),
+                ]),
+            ),
+            ("batch_items_total", self.batch_items_total.load(Ordering::Relaxed).into()),
             ("queue_depth", queue_depth.into()),
             ("queue_capacity", queue_capacity.into()),
             ("queue_rejected_total", self.queue_rejected_total.load(Ordering::Relaxed).into()),
@@ -369,6 +447,35 @@ mod tests {
             .sum::<u64>()
             + v.get("responses").unwrap().get("other").unwrap().as_u64().unwrap();
         assert_eq!(rendered, recorded.len() as u64);
+    }
+
+    #[test]
+    fn connection_counters_render_and_conserve() {
+        let m = Metrics::new();
+        // Three attempts: one answered, one aborted mid-read, one idle
+        // keep-alive close. Conservation must hold exactly.
+        m.requests_total.fetch_add(3, Ordering::Relaxed);
+        m.connections_total.fetch_add(2, Ordering::Relaxed);
+        m.connections_open.fetch_add(2, Ordering::Relaxed);
+        m.keepalive_reuses_total.fetch_add(1, Ordering::Relaxed);
+        m.record_response(200);
+        m.record_close(CloseReason::Aborted);
+        assert_ne!(m.requests_accounted(), m.requests_total.load(Ordering::Relaxed));
+        m.record_close(CloseReason::Idle);
+        assert_eq!(m.requests_accounted(), m.requests_total.load(Ordering::Relaxed));
+        m.requests_per_conn_max.fetch_max(2, Ordering::Relaxed);
+        m.connections_open.fetch_sub(2, Ordering::Relaxed);
+
+        let v = m.to_json(0, 8, CacheStats::default());
+        let conns = v.get("connections").unwrap();
+        assert_eq!(conns.get("total").unwrap().as_u64(), Some(2));
+        assert_eq!(conns.get("open").unwrap().as_u64(), Some(0));
+        assert_eq!(conns.get("keepalive_reuses").unwrap().as_u64(), Some(1));
+        assert_eq!(conns.get("requests_per_conn_max").unwrap().as_u64(), Some(2));
+        assert_eq!(conns.get("aborted").unwrap().as_u64(), Some(1));
+        assert_eq!(conns.get("idle_closed").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("batch_items_total").unwrap().as_u64(), Some(0));
+        assert!(diffy_core::json::parse(&v.to_json()).is_ok());
     }
 
     #[test]

@@ -271,6 +271,85 @@ pub fn error_body(message: &str) -> String {
     JsonValue::object(vec![("error", JsonValue::from(message))]).to_json()
 }
 
+/// Largest accepted `POST /evaluate/batch` item count: big enough for a
+/// full grid row (every model × dataset pair), small enough that one
+/// batch cannot pin the pool for minutes.
+pub const MAX_BATCH_ITEMS: usize = 64;
+
+/// A parsed `POST /evaluate/batch` request: shared defaults merged under
+/// per-item overrides, each item parsed with the exact same rules (and
+/// rejection reasons) as a standalone `POST /evaluate` body.
+///
+/// Item parse failures do not fail the batch — they land in their item's
+/// slot so the response can report per-item errors while the valid items
+/// still evaluate. Structural problems (body not an object, `items`
+/// missing/empty/oversized) reject the whole batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRequest {
+    /// Per-item parse outcome, in request order.
+    pub items: Vec<Result<EvalRequest, String>>,
+    /// Batch-level deadline in milliseconds, clamped by the server like
+    /// a standalone request's. Item-level `deadline_ms` fields are
+    /// ignored — one budget governs the whole batch.
+    pub deadline_ms: Option<u64>,
+}
+
+impl BatchRequest {
+    /// Parses `{"defaults": {...}?, "items": [{...}, ...], "deadline_ms": n?}`.
+    pub fn from_json(v: &JsonValue) -> Result<BatchRequest, String> {
+        if !matches!(v, JsonValue::Object(_)) {
+            return Err("batch body must be a JSON object".to_string());
+        }
+        let defaults = match v.get("defaults") {
+            None => None,
+            Some(d @ JsonValue::Object(_)) => Some(d),
+            Some(_) => return Err("field `defaults` must be a JSON object".to_string()),
+        };
+        let items = match v.get("items") {
+            None => return Err("missing required field `items`".to_string()),
+            Some(JsonValue::Array(items)) => items,
+            Some(_) => return Err("field `items` must be an array".to_string()),
+        };
+        if items.is_empty() {
+            return Err("field `items` must not be empty".to_string());
+        }
+        if items.len() > MAX_BATCH_ITEMS {
+            return Err(format!("too many items: {} > {MAX_BATCH_ITEMS}", items.len()));
+        }
+        let deadline_ms = optional_u64(v, "deadline_ms")?;
+        let items = items
+            .iter()
+            .map(|item| {
+                if !matches!(item, JsonValue::Object(_)) {
+                    return Err("item must be a JSON object".to_string());
+                }
+                EvalRequest::from_json(&merge_objects(defaults, item))
+            })
+            .collect();
+        Ok(BatchRequest { items, deadline_ms })
+    }
+}
+
+/// Shallow object merge: `base`'s members in order, overridden by
+/// `overrides` where keys collide, with `overrides`-only keys appended.
+/// Member order is deterministic, so two items with the same effective
+/// fields parse — and therefore evaluate and serialize — identically.
+fn merge_objects(base: Option<&JsonValue>, overrides: &JsonValue) -> JsonValue {
+    let mut members: Vec<(String, JsonValue)> = match base {
+        Some(JsonValue::Object(m)) => m.clone(),
+        _ => Vec::new(),
+    };
+    if let JsonValue::Object(over) = overrides {
+        for (k, v) in over {
+            match members.iter_mut().find(|(name, _)| name == k) {
+                Some(slot) => slot.1 = v.clone(),
+                None => members.push((k.clone(), v.clone())),
+            }
+        }
+    }
+    JsonValue::Object(members)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -371,5 +450,74 @@ mod tests {
     #[test]
     fn error_body_is_json() {
         assert_eq!(error_body("queue full"), r#"{"error":"queue full"}"#);
+    }
+
+    #[test]
+    fn batch_items_merge_defaults_under_overrides() {
+        let v = parse(
+            r#"{"defaults": {"model": "IRCNN", "dataset": "Kodak24", "seed": 3},
+                "items": [{}, {"model": "VDSR"}, {"seed": 9, "resolution": 32}],
+                "deadline_ms": 500}"#,
+        )
+        .unwrap();
+        let b = BatchRequest::from_json(&v).unwrap();
+        assert_eq!(b.deadline_ms, Some(500));
+        assert_eq!(b.items.len(), 3);
+        let r0 = b.items[0].as_ref().unwrap();
+        assert_eq!((r0.model, r0.seed, r0.resolution), (CiModel::Ircnn, 3, 64));
+        let r1 = b.items[1].as_ref().unwrap();
+        assert_eq!((r1.model, r1.dataset, r1.seed), (CiModel::Vdsr, DatasetId::Kodak24, 3));
+        let r2 = b.items[2].as_ref().unwrap();
+        assert_eq!((r2.model, r2.seed, r2.resolution), (CiModel::Ircnn, 9, 32));
+    }
+
+    #[test]
+    fn batch_item_parses_exactly_like_a_standalone_request() {
+        // The merged item must go through the same parser as a
+        // standalone body — same defaults, same rejection reasons.
+        let standalone =
+            parse(r#"{"model": "dncnn", "dataset": "hd33", "resolution": 32, "arch": "vaa"}"#)
+                .unwrap();
+        let expect = EvalRequest::from_json(&standalone).unwrap();
+        let batch = parse(
+            r#"{"defaults": {"model": "dncnn", "dataset": "hd33"},
+                "items": [{"resolution": 32, "arch": "vaa"}]}"#,
+        )
+        .unwrap();
+        let b = BatchRequest::from_json(&batch).unwrap();
+        assert_eq!(b.items[0].as_ref().unwrap(), &expect);
+    }
+
+    #[test]
+    fn batch_item_errors_are_per_item_not_fatal() {
+        let v = parse(
+            r#"{"defaults": {"dataset": "Kodak24"},
+                "items": [{"model": "IRCNN"}, {"model": "nope"}, {}, [1]]}"#,
+        )
+        .unwrap();
+        let b = BatchRequest::from_json(&v).unwrap();
+        assert!(b.items[0].is_ok());
+        assert!(b.items[1].as_ref().unwrap_err().contains("unknown model"));
+        assert!(b.items[2].as_ref().unwrap_err().contains("missing required field `model`"));
+        assert!(b.items[3].as_ref().unwrap_err().contains("must be a JSON object"));
+    }
+
+    #[test]
+    fn batch_structural_errors_reject_the_whole_batch() {
+        let cases = [
+            (r#"[1]"#, "must be a JSON object"),
+            (r#"{"defaults": 5, "items": [{}]}"#, "`defaults` must be a JSON object"),
+            (r#"{"items": {}}"#, "`items` must be an array"),
+            (r#"{"items": []}"#, "must not be empty"),
+            (r#"{"defaults": {}}"#, "missing required field `items`"),
+            (r#"{"items": [{}], "deadline_ms": -5}"#, "non-negative"),
+        ];
+        for (body, needle) in cases {
+            let err = BatchRequest::from_json(&parse(body).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+        let many = format!(r#"{{"items": [{}]}}"#, vec!["{}"; MAX_BATCH_ITEMS + 1].join(","));
+        let err = BatchRequest::from_json(&parse(&many).unwrap()).unwrap_err();
+        assert!(err.contains("too many items"), "{err}");
     }
 }

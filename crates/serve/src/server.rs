@@ -1,5 +1,6 @@
 //! The evaluation server: a bounded admission queue feeding a fixed
-//! worker pool, with per-request deadlines and graceful drain.
+//! worker pool, with keep-alive connections, per-request deadlines and
+//! graceful drain.
 //!
 //! # Threading model
 //!
@@ -11,6 +12,18 @@
 //! until shutdown. There is no per-request thread spawn and no unbounded
 //! buffering anywhere: memory and concurrency are fixed at startup.
 //!
+//! # Keep-alive
+//!
+//! Connections persist across requests (HTTP/1.1 default; `Connection`
+//! headers are honored per version). A worker serves exactly **one**
+//! request, then *re-enqueues the connection* through the same bounded
+//! queue new connections use — a chatty client waits its turn behind
+//! everyone else instead of monopolizing a worker. A parked connection
+//! with no request bytes yet is *polled* (a short bounded `peek`) and
+//! re-parked, so an idle client never pins a worker either; it is closed
+//! once its idle window (`idle_timeout_ms`) passes, and every connection
+//! is closed after `max_requests_per_conn` responses.
+//!
 //! # Backpressure
 //!
 //! The queue holds at most `queue_depth` pending connections. When it is
@@ -20,11 +33,21 @@
 //! # Deadlines
 //!
 //! Each request carries a deadline (its `deadline_ms`, clamped to the
-//! server's `--deadline-ms`), measured from *accept* so queue wait counts
-//! against it. Workers check it cooperatively between pipeline stages —
-//! after parsing, after the trace build, after evaluation — and answer
-//! `504` the moment it has passed; a request that expired while queued is
-//! never evaluated at all.
+//! server's `--deadline-ms`), measured from its *anchor* — accept for a
+//! connection's first request, arrival of the next request for reused
+//! connections — so queue wait counts against it. Workers check it
+//! cooperatively between pipeline stages and answer `504` the moment it
+//! has passed; a request that expired while queued is never evaluated at
+//! all. The socket read timeout is derived from the deadline remaining
+//! at dequeue, so a slow-loris peer is cut off when the request budget
+//! runs out, not after a fixed 10 s grace.
+//!
+//! # Accounting
+//!
+//! Every admitted request attempt ends as exactly one response, one
+//! abort (connection died mid-request) or one idle close (peer finished
+//! a keep-alive conversation) — `/metrics` conservation is exact, not
+//! best-effort, and `tests/serve_keepalive.rs` asserts it.
 //!
 //! # Determinism
 //!
@@ -32,12 +55,15 @@
 //! draws traces and term planes through it exactly like the sweep paths
 //! do. Cached artifacts are pure functions of their keys and eviction
 //! only ever forces recomputation, so a served result is bit-identical to
-//! a direct `evaluate_network` call — under any concurrency, queue state
-//! or cache history (asserted end-to-end in `tests/serve_e2e.rs`).
+//! a direct `evaluate_network` call — under any concurrency, queue state,
+//! cache history, connection reuse or batching (asserted end-to-end in
+//! `tests/serve_e2e.rs` and `tests/serve_keepalive.rs`).
 
-use crate::http::{read_request, write_json_response, BadRequest, Request, MAX_BODY_BYTES};
-use crate::metrics::{Metrics, Stage};
-use crate::protocol::{error_body, result_to_json, EvalRequest};
+use crate::http::{
+    read_request, write_json_response_conn, BadRequest, ReadError, Request, MAX_BODY_BYTES,
+};
+use crate::metrics::{CloseReason, Metrics, Stage};
+use crate::protocol::{error_body, result_to_json, BatchRequest, EvalRequest};
 use diffy_core::json::{parse as parse_json, JsonValue};
 use diffy_core::parallel::{run_jobs, Jobs};
 use diffy_core::runner::SweepCache;
@@ -48,6 +74,12 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// How long a worker waits on a parked keep-alive connection before
+/// re-parking it: long enough that an actively pipelining client is
+/// picked up the instant its bytes land, short enough that an idle
+/// connection never pins a worker.
+const IDLE_POLL: Duration = Duration::from_millis(2);
 
 /// Server configuration, mirrored by the CLI's `diffy serve` flags.
 #[derive(Debug, Clone)]
@@ -60,6 +92,12 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Default and maximum per-request deadline, in milliseconds.
     pub deadline_ms: u64,
+    /// Requests served on one connection before the server closes it
+    /// (bounds per-connection state and guarantees turnover).
+    pub max_requests_per_conn: u32,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it, in milliseconds.
+    pub idle_timeout_ms: u64,
     /// Bounded-cache capacity: resident trace bundles (and weight sets).
     pub trace_cache: usize,
     /// Bounded-cache capacity: resident per-layer term-plane sets.
@@ -84,6 +122,8 @@ impl Default for ServeConfig {
             workers: Jobs::available(),
             queue_depth: 32,
             deadline_ms: 30_000,
+            max_requests_per_conn: 1_000,
+            idle_timeout_ms: 5_000,
             trace_cache: 64,
             plane_cache: 1024,
             test_hooks: false,
@@ -93,12 +133,23 @@ impl Default for ServeConfig {
     }
 }
 
-/// One accepted connection waiting for a worker.
+/// One connection waiting for a worker — freshly accepted, or re-enqueued
+/// between keep-alive requests. The buffered reader travels with the
+/// connection: a pipelined next request may already sit in its buffer,
+/// and dropping it would desync the stream.
 struct QueuedConn {
-    stream: TcpStream,
-    accepted_at: Instant,
-    /// Accept-order request id, tying trace spans to this connection.
+    /// Read half (a clone of the socket), with its head/body buffer.
+    reader: BufReader<TcpStream>,
+    /// Write half.
+    writer: TcpStream,
+    /// The current request attempt's time anchor: accept for the first
+    /// request, re-enqueue (or first-byte arrival after idling) for
+    /// later ones. Deadlines and the `request` trace span run from here.
+    anchor: Instant,
+    /// Id of the pending request attempt (accept-order sequence).
     req_id: u64,
+    /// Responses already written on this connection.
+    served: u32,
 }
 
 /// The bounded admission queue: `Mutex<VecDeque>` + condvar, closed at
@@ -171,6 +222,12 @@ struct Shared {
     req_seq: AtomicU64,
 }
 
+impl Shared {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || SIGNAL_DRAIN.load(Ordering::SeqCst)
+    }
+}
+
 /// Process-global flag set by the SIGTERM/SIGINT handler. Signal-safe:
 /// the handler does exactly one atomic store.
 static SIGNAL_DRAIN: AtomicBool = AtomicBool::new(false);
@@ -213,14 +270,15 @@ pub struct ServerHandle {
 
 impl ServerHandle {
     /// Begins graceful drain: stop accepting, finish queued requests,
-    /// then let `run` return. Idempotent.
+    /// then let `run` return. In-flight keep-alive connections finish
+    /// their current request with `Connection: close`. Idempotent.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
     }
 
     /// Whether drain has been requested.
     pub fn is_shutting_down(&self) -> bool {
-        self.shared.shutdown.load(Ordering::SeqCst) || SIGNAL_DRAIN.load(Ordering::SeqCst)
+        self.shared.draining()
     }
 }
 
@@ -229,6 +287,8 @@ impl Server {
     /// not accept connections until [`Server::run`].
     pub fn bind(config: ServeConfig) -> io::Result<Server> {
         assert!(config.queue_depth >= 1, "queue depth must be at least 1");
+        assert!(config.max_requests_per_conn >= 1, "per-connection cap must be at least 1");
+        assert!(config.idle_timeout_ms >= 1, "idle timeout must be at least 1ms");
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -286,18 +346,43 @@ impl Server {
 /// closes the queue so workers finish the backlog and exit.
 fn accept_loop(shared: &Shared, listener: &TcpListener) {
     loop {
-        if shared.shutdown.load(Ordering::SeqCst) || SIGNAL_DRAIN.load(Ordering::SeqCst) {
+        if shared.draining() {
             break;
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
-                shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+                // Responses are written whole; without TCP_NODELAY the
+                // kernel would sit on the final short segment of a
+                // keep-alive response waiting for the peer's delayed ACK.
+                let _ = stream.set_nodelay(true);
+                let m = &shared.metrics;
+                m.connections_total.fetch_add(1, Ordering::Relaxed);
+                m.connections_open.fetch_add(1, Ordering::Relaxed);
+                m.requests_total.fetch_add(1, Ordering::Relaxed);
                 let req_id = shared.req_seq.fetch_add(1, Ordering::Relaxed) + 1;
-                let conn = QueuedConn { stream, accepted_at: Instant::now(), req_id };
-                if let Err(rejected) = shared.queue.try_push(conn) {
-                    shared.metrics.queue_rejected_total.fetch_add(1, Ordering::Relaxed);
+                // Both halves are cloned up front; a clone that fails
+                // here is a connection that died before it carried
+                // anything — counted, never silently dropped.
+                let reader = match stream.try_clone() {
+                    Ok(s) => BufReader::new(s),
+                    Err(_) => {
+                        m.record_close(CloseReason::Aborted);
+                        m.connections_open.fetch_sub(1, Ordering::Relaxed);
+                        continue;
+                    }
+                };
+                let conn = QueuedConn {
+                    reader,
+                    writer: stream,
+                    anchor: Instant::now(),
+                    req_id,
+                    served: 0,
+                };
+                if let Err(mut rejected) = shared.queue.try_push(conn) {
+                    m.queue_rejected_total.fetch_add(1, Ordering::Relaxed);
                     trace::instant("queue_shed", || vec![("req", req_id.into())]);
-                    respond(shared, rejected.stream, 503, &error_body("queue full"));
+                    respond(shared, &mut rejected, 503, &error_body("queue full"), false);
+                    close_conn(shared, rejected, None);
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -319,133 +404,219 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Writes a JSON response, counting it; write errors only mean the peer
-/// went away, which the server must survive.
-///
-/// Ends with a *lingering close*: half-close the write side, then drain
-/// whatever the peer already sent before dropping the socket. A 503 is
-/// written before the request has been read at all — closing with unread
-/// bytes in the receive buffer makes the kernel send RST, which can
-/// discard the very response the peer is about to read.
-fn respond(shared: &Shared, mut stream: TcpStream, status: u16, body: &str) {
+/// Writes a JSON response with the decided connection disposition,
+/// counting it; write errors only mean the peer went away, which the
+/// server must survive. Returns whether the write succeeded (a failed
+/// write poisons the connection — it must not be reused).
+fn respond(shared: &Shared, conn: &mut QueuedConn, status: u16, body: &str, keep: bool) -> bool {
     shared.metrics.record_response(status);
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    if write_json_response(&mut stream, status, body).is_err() {
-        return; // peer gone; nothing to linger for
+    conn.served += 1;
+    let _ = conn.writer.set_write_timeout(Some(Duration::from_secs(10)));
+    write_json_response_conn(&mut conn.writer, status, body, keep).is_ok()
+}
+
+/// Retires a connection. `unanswered` records an attempt that ends
+/// without a response (abort or idle close) so request accounting stays
+/// exact; `None` means the last attempt was answered.
+///
+/// A connection that served responses ends with a *lingering close*:
+/// half-close the write side, then drain whatever the peer already sent
+/// before dropping the socket. A 503 is written before the request has
+/// been read at all — closing with unread bytes in the receive buffer
+/// makes the kernel send RST, which can discard the very response the
+/// peer is about to read.
+fn close_conn(shared: &Shared, mut conn: QueuedConn, unanswered: Option<CloseReason>) {
+    if let Some(reason) = unanswered {
+        shared.metrics.record_close(reason);
     }
-    let _ = stream.shutdown(Shutdown::Write);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    shared.metrics.connections_open.fetch_sub(1, Ordering::Relaxed);
+    shared.metrics.requests_per_conn_max.fetch_max(u64::from(conn.served), Ordering::Relaxed);
+    if conn.served == 0 || unanswered.is_some() {
+        return; // nothing was answered; nothing to protect with a linger
+    }
+    let _ = conn.writer.shutdown(Shutdown::Write);
+    let _ = conn.writer.set_read_timeout(Some(Duration::from_millis(500)));
     let mut scratch = [0u8; 4096];
     let mut drained = 0usize;
     // Bounded: stop at the peer's close, a timeout, or one body's worth.
     while drained <= MAX_BODY_BYTES {
-        match io::Read::read(&mut stream, &mut scratch) {
+        match io::Read::read(&mut conn.writer, &mut scratch) {
             Ok(0) | Err(_) => break,
             Ok(n) => drained += n,
         }
     }
 }
 
-/// Parses and routes one connection.
-fn handle_connection(shared: &Shared, conn: QueuedConn) {
-    let QueuedConn { stream, accepted_at, req_id } = conn;
-    let dequeued_at = Instant::now();
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return, // connection already dead
-    });
-    let request = match read_request(&mut reader) {
-        Err(_) => return, // peer vanished mid-request; nothing to answer
+/// Re-enqueues a connection after a keep-alive response: the next
+/// request attempt starts now and waits its turn behind every other
+/// queued connection. A full (or closed) queue ends the conversation
+/// instead — bounded state beats unbounded politeness.
+fn requeue(shared: &Shared, mut conn: QueuedConn) {
+    shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.keepalive_reuses_total.fetch_add(1, Ordering::Relaxed);
+    conn.req_id = shared.req_seq.fetch_add(1, Ordering::Relaxed) + 1;
+    conn.anchor = Instant::now();
+    if let Err(conn) = shared.queue.try_push(conn) {
+        close_conn(shared, conn, Some(CloseReason::Idle));
+    }
+}
+
+/// Serves one request off a dequeued connection, then re-enqueues or
+/// retires it.
+fn handle_connection(shared: &Shared, mut conn: QueuedConn) {
+    let mut dequeued_at = Instant::now();
+
+    // A reused connection with no buffered bytes may simply be idle:
+    // poll briefly instead of blocking, and re-park it so this worker
+    // can serve someone who is actually talking.
+    if conn.served > 0 && conn.reader.buffer().is_empty() {
+        let idle_deadline = conn.anchor + Duration::from_millis(shared.config.idle_timeout_ms);
+        let _ = conn.writer.set_read_timeout(Some(IDLE_POLL));
+        let mut probe = [0u8; 1];
+        match conn.writer.peek(&mut probe) {
+            Ok(0) => return close_conn(shared, conn, Some(CloseReason::Idle)),
+            Ok(_) => {
+                // The next request starts the moment its bytes arrive:
+                // re-anchor so queue-wait and the deadline measure this
+                // request, not the client's think time.
+                conn.anchor = Instant::now();
+                dequeued_at = conn.anchor;
+            }
+            Err(e)
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                if shared.draining() || Instant::now() >= idle_deadline {
+                    return close_conn(shared, conn, Some(CloseReason::Idle));
+                }
+                if let Err(conn) = shared.queue.try_push(conn) {
+                    return close_conn(shared, conn, Some(CloseReason::Idle));
+                }
+                return;
+            }
+            Err(_) => return close_conn(shared, conn, Some(CloseReason::Aborted)),
+        }
+    }
+
+    // The socket read budget is whatever remains of the request deadline
+    // at dequeue — a slow-loris peer is cut off with the deadline, not
+    // indulged for a fixed 10 s.
+    let budget = Duration::from_millis(shared.config.deadline_ms);
+    let remaining = (conn.anchor + budget).saturating_duration_since(Instant::now());
+    let read_timeout =
+        remaining.clamp(Duration::from_millis(10), Duration::from_secs(10));
+    let _ = conn.writer.set_read_timeout(Some(read_timeout));
+
+    let request = match read_request(&mut conn.reader) {
+        Err(ReadError::Idle) => return close_conn(shared, conn, Some(CloseReason::Idle)),
+        Err(ReadError::Io(_)) => return close_conn(shared, conn, Some(CloseReason::Aborted)),
         Ok(Err(BadRequest { status, message })) => {
-            respond(shared, stream, status, &error_body(&message));
-            return;
+            // The framing is no longer trustworthy — answer and close;
+            // reusing the stream could misread the next request's head.
+            respond(shared, &mut conn, status, &error_body(&message), false);
+            return close_conn(shared, conn, None);
         }
         Ok(Ok(req)) => req,
     };
 
-    match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/evaluate") => {
-            handle_evaluate(shared, stream, &request, accepted_at, dequeued_at, req_id)
+    // Connection disposition: what the client asked for, bounded by the
+    // server's drain state and per-connection request cap.
+    let mut keep = request.keep_alive()
+        && !shared.draining()
+        && conn.served + 1 < shared.config.max_requests_per_conn;
+
+    let healthy = match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/evaluate") => handle_evaluate(shared, &mut conn, &request, dequeued_at, keep),
+        ("POST", "/evaluate/batch") => {
+            handle_evaluate_batch(shared, &mut conn, &request, dequeued_at, keep)
         }
         ("GET", "/trace") => {
             let body = trace::Collector::global().snapshot().to_chrome_json().to_json();
-            respond(shared, stream, 200, &body);
+            respond(shared, &mut conn, 200, &body, keep)
         }
         ("GET", "/metrics") => {
             let body = shared
                 .metrics
                 .to_json(shared.queue.depth(), shared.config.queue_depth, shared.cache.stats())
                 .to_json();
-            respond(shared, stream, 200, &body);
+            respond(shared, &mut conn, 200, &body, keep)
         }
         ("GET", "/healthz") => {
-            let draining = shared.shutdown.load(Ordering::SeqCst);
+            let draining = shared.draining();
             let body = JsonValue::object(vec![
                 ("status", JsonValue::from(if draining { "draining" } else { "ok" })),
             ])
             .to_json();
-            respond(shared, stream, 200, &body);
+            respond(shared, &mut conn, 200, &body, keep)
         }
         ("POST", "/shutdown") => {
             shared.shutdown.store(true, Ordering::SeqCst);
+            keep = false;
             let body = JsonValue::object(vec![("draining", JsonValue::Bool(true))]).to_json();
-            respond(shared, stream, 200, &body);
+            respond(shared, &mut conn, 200, &body, false)
         }
-        ("POST" | "GET", "/evaluate" | "/metrics" | "/healthz" | "/shutdown" | "/trace") => {
-            respond(shared, stream, 405, &error_body("method not allowed"));
+        ("POST" | "GET", "/evaluate" | "/evaluate/batch" | "/metrics" | "/healthz"
+        | "/shutdown" | "/trace") => {
+            respond(shared, &mut conn, 405, &error_body("method not allowed"), keep)
         }
-        _ => respond(shared, stream, 404, &error_body("no such endpoint")),
+        _ => respond(shared, &mut conn, 404, &error_body("no such endpoint"), keep),
+    };
+
+    if keep && healthy {
+        requeue(shared, conn);
+    } else {
+        close_conn(shared, conn, None);
     }
 }
 
 /// The `/evaluate` pipeline: parse → trace → evaluate → serialize, with a
 /// cooperative deadline check between every stage.
 ///
-/// A "request" trace span anchored at *accept* covers the whole pipeline
-/// (tagged with the accept-order request id); each stage records both a
+/// A "request" trace span anchored at the connection's current anchor
+/// (accept, or next-request arrival on reused connections) covers the
+/// whole pipeline (tagged with the request id); each stage records both a
 /// child span and its `/metrics` stage histogram, and the stages tile the
 /// request end to end — queue wait through response write — so their
 /// durations sum to the latency histogram's sample up to span overhead.
 fn handle_evaluate(
     shared: &Shared,
-    stream: TcpStream,
+    conn: &mut QueuedConn,
     request: &Request,
-    accepted_at: Instant,
     dequeued_at: Instant,
-    req_id: u64,
-) {
-    let started = accepted_at;
+    keep: bool,
+) -> bool {
+    let anchored_at = conn.anchor;
+    let req_id = conn.req_id;
     let collector = trace::Collector::global();
     let _req_span =
-        collector.span_from("request", collector.ns_of(accepted_at), || vec![("req", req_id.into())]);
-    let queue_wait = dequeued_at.saturating_duration_since(accepted_at);
+        collector.span_from("request", collector.ns_of(anchored_at), || vec![("req", req_id.into())]);
+    let queue_wait = dequeued_at.saturating_duration_since(anchored_at);
     shared.metrics.stage(Stage::QueueWait).record(queue_wait);
     collector.record_manual(
         Stage::QueueWait.name(),
-        collector.ns_of(accepted_at),
+        collector.ns_of(anchored_at),
         queue_wait.as_nanos().min(u128::from(u64::MAX)) as u64,
         Vec::new,
     );
 
-    let (status, body) = evaluate_stages(shared, request, accepted_at, dequeued_at);
+    let (status, body) = evaluate_stages(shared, request, anchored_at, dequeued_at);
     if status == 504 {
         shared.metrics.deadline_expired_total.fetch_add(1, Ordering::Relaxed);
     }
 
     let write_start = Instant::now();
-    {
+    let healthy = {
         let _s = collector.span(Stage::Write.name());
-        respond(shared, stream, status, &body);
-    }
+        respond(shared, conn, status, &body, keep)
+    };
     shared.metrics.stage(Stage::Write).record(write_start.elapsed());
-    shared.metrics.latency.record(started.elapsed());
+    shared.metrics.latency.record(anchored_at.elapsed());
+    healthy
 }
 
 fn evaluate_stages(
     shared: &Shared,
     request: &Request,
-    accepted_at: Instant,
+    anchored_at: Instant,
     dequeued_at: Instant,
 ) -> (u16, String) {
     let collector = trace::Collector::global();
@@ -477,7 +648,7 @@ fn evaluate_stages(
     };
 
     let budget_ms = eval_req.deadline_ms.unwrap_or(shared.config.deadline_ms);
-    let deadline = accepted_at + Duration::from_millis(budget_ms.min(shared.config.deadline_ms));
+    let deadline = anchored_at + Duration::from_millis(budget_ms.min(shared.config.deadline_ms));
     let expired = |stage: &str| {
         (504, error_body(&format!("deadline exceeded ({stage})")))
     };
@@ -537,6 +708,163 @@ fn evaluate_stages(
     (200, body)
 }
 
+/// The `/evaluate/batch` pipeline: one parsed batch fans its items over
+/// the same `run_jobs` pool and shared `SweepCache` the sweeps use, so
+/// weights, traces and per-layer term planes are built once per key
+/// across the whole batch. Items are independent: each reports its own
+/// result or error, in request order, and each result is bit-identical
+/// to the equivalent standalone `POST /evaluate` body.
+fn handle_evaluate_batch(
+    shared: &Shared,
+    conn: &mut QueuedConn,
+    request: &Request,
+    dequeued_at: Instant,
+    keep: bool,
+) -> bool {
+    let anchored_at = conn.anchor;
+    let req_id = conn.req_id;
+    let collector = trace::Collector::global();
+    let metrics = &shared.metrics;
+    let _req_span = collector.span_from("request", collector.ns_of(anchored_at), || {
+        vec![("req", req_id.into()), ("kind", "batch".into())]
+    });
+    let queue_wait = dequeued_at.saturating_duration_since(anchored_at);
+    metrics.stage(Stage::QueueWait).record(queue_wait);
+    collector.record_manual(
+        Stage::QueueWait.name(),
+        collector.ns_of(anchored_at),
+        queue_wait.as_nanos().min(u128::from(u64::MAX)) as u64,
+        Vec::new,
+    );
+
+    let parse_result = (|| {
+        let Ok(body_text) = std::str::from_utf8(&request.body) else {
+            return Err((400, error_body("body must be UTF-8 JSON")));
+        };
+        let parsed = match parse_json(body_text) {
+            Ok(v) => v,
+            Err(e) => return Err((400, error_body(&format!("bad JSON: {e}")))),
+        };
+        BatchRequest::from_json(&parsed).map_err(|e| (400, error_body(&e)))
+    })();
+    let parse_elapsed = dequeued_at.elapsed();
+    metrics.stage(Stage::Parse).record(parse_elapsed);
+    collector.record_manual(
+        Stage::Parse.name(),
+        collector.ns_of(dequeued_at),
+        parse_elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+        Vec::new,
+    );
+
+    let (status, body) = match parse_result {
+        Err(resp) => resp,
+        Ok(batch) => {
+            metrics.batch_items_total.fetch_add(batch.items.len() as u64, Ordering::Relaxed);
+            let budget_ms = batch.deadline_ms.unwrap_or(shared.config.deadline_ms);
+            let deadline =
+                anchored_at + Duration::from_millis(budget_ms.min(shared.config.deadline_ms));
+
+            // Fan the items over the pool, capped at the server's worker
+            // count; results come back in item order (run_jobs is
+            // order-stable at any parallelism).
+            let fan = Jobs::new(batch.items.len().min(shared.config.workers.get()));
+            let tasks: Vec<_> = batch
+                .items
+                .iter()
+                .map(|item| move || evaluate_batch_item(shared, item, deadline))
+                .collect();
+            let stage_start = Instant::now();
+            let outcomes = {
+                let _s = collector.span(Stage::Evaluate.name());
+                run_jobs(tasks, fan)
+            };
+            metrics.stage(Stage::Evaluate).record(stage_start.elapsed());
+
+            let expired = outcomes.iter().filter(|(s, _)| *s == 504).count() as u64;
+            if expired > 0 {
+                metrics.deadline_expired_total.fetch_add(expired, Ordering::Relaxed);
+            }
+            let errors = outcomes.iter().filter(|(s, _)| *s != 200).count();
+
+            let stage_start = Instant::now();
+            let body = {
+                let _s = collector.span(Stage::Serialize.name());
+                JsonValue::object(vec![
+                    ("count", outcomes.len().into()),
+                    ("errors", errors.into()),
+                    (
+                        "items",
+                        JsonValue::Array(outcomes.into_iter().map(|(_, v)| v).collect()),
+                    ),
+                ])
+                .to_json()
+            };
+            metrics.stage(Stage::Serialize).record(stage_start.elapsed());
+            (200, body)
+        }
+    };
+
+    let write_start = Instant::now();
+    let healthy = {
+        let _s = collector.span(Stage::Write.name());
+        respond(shared, conn, status, &body, keep)
+    };
+    metrics.stage(Stage::Write).record(write_start.elapsed());
+    metrics.latency.record(anchored_at.elapsed());
+    healthy
+}
+
+/// Evaluates one batch item: `{"status": 200, "result": {…}}` on
+/// success — the embedded object is byte-identical to the standalone
+/// `POST /evaluate` body — or `{"status": s, "error": "…"}`.
+fn evaluate_batch_item(
+    shared: &Shared,
+    parsed: &Result<EvalRequest, String>,
+    deadline: Instant,
+) -> (u16, JsonValue) {
+    let item_error = |status: u16, msg: &str| {
+        (
+            status,
+            JsonValue::object(vec![
+                ("status", u64::from(status).into()),
+                ("error", JsonValue::from(msg)),
+            ]),
+        )
+    };
+    let req = match parsed {
+        Ok(r) => r,
+        Err(e) => return item_error(400, e),
+    };
+    if Instant::now() >= deadline {
+        return item_error(504, "deadline exceeded (batch)");
+    }
+    if shared.config.test_hooks {
+        if let Some(ms) = req.test_sleep_ms {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        if Instant::now() >= deadline {
+            return item_error(504, "deadline exceeded (batch)");
+        }
+    }
+    let workload = req.workload();
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let bundle = shared.cache.bundle(req.model, req.dataset, req.sample, &workload);
+        let result =
+            shared.cache.evaluate(req.model, req.dataset, req.sample, &workload, &req.eval_options());
+        (result, bundle.source_pixels)
+    }));
+    match run {
+        Err(_) => item_error(500, "evaluation failed"),
+        Ok((result, source_pixels)) => (
+            200,
+            JsonValue::object(vec![
+                ("status", 200u64.into()),
+                ("result", result_to_json(&result, source_pixels)),
+            ]),
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -550,7 +878,14 @@ mod tests {
         let mk = || {
             let _client = TcpStream::connect(addr).unwrap();
             let (server_side, _) = listener.accept().unwrap();
-            QueuedConn { stream: server_side, accepted_at: Instant::now(), req_id: 0 }
+            let reader = BufReader::new(server_side.try_clone().unwrap());
+            QueuedConn {
+                reader,
+                writer: server_side,
+                anchor: Instant::now(),
+                req_id: 0,
+                served: 0,
+            }
         };
         let q = ConnQueue::new(2);
         assert!(q.try_push(mk()).is_ok());
@@ -570,6 +905,8 @@ mod tests {
         assert!(c.queue_depth >= 1);
         assert!(c.workers.get() >= 1);
         assert!(c.deadline_ms > 0);
+        assert!(c.max_requests_per_conn >= 1);
+        assert!(c.idle_timeout_ms >= 1);
         assert!(!c.test_hooks);
     }
 }

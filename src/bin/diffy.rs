@@ -112,6 +112,12 @@ serve options:
   --addr HOST:PORT  bind address (default 127.0.0.1:7878; port 0 = ephemeral)
   --queue-depth N   admission-queue capacity, >= 1 (default 32); full -> 503
   --deadline-ms N   per-request deadline budget, >= 1 (default 30000)
+  --max-requests-per-conn N
+                    close a keep-alive connection after N responses,
+                    >= 1 (default 1000)
+  --idle-timeout-ms N
+                    close a keep-alive connection idle for N ms between
+                    requests, >= 1 (default 5000)
   --trace-out FILE  also serves the live capture at GET /trace; the file is
                     written when the server drains
 
@@ -366,10 +372,26 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
             .filter(|&n: &u64| n >= 1)
             .ok_or_else(|| format!("bad --deadline-ms {v} (want an integer >= 1)"))?;
     }
+    if let Some(v) = parse_flag(rest, "--max-requests-per-conn")? {
+        config.max_requests_per_conn = v
+            .parse()
+            .ok()
+            .filter(|&n: &u32| n >= 1)
+            .ok_or_else(|| format!("bad --max-requests-per-conn {v} (want an integer >= 1)"))?;
+    }
+    if let Some(v) = parse_flag(rest, "--idle-timeout-ms")? {
+        config.idle_timeout_ms = v
+            .parse()
+            .ok()
+            .filter(|&n: &u64| n >= 1)
+            .ok_or_else(|| format!("bad --idle-timeout-ms {v} (want an integer >= 1)"))?;
+    }
     config.trace_capture = parse_flag(rest, "--trace-out")?.is_some();
     let server = diffy::serve::Server::bind(config).map_err(|e| format!("bind failed: {e}"))?;
     println!("diffy-serve listening on http://{}", server.local_addr());
-    println!("POST /evaluate | GET /metrics | GET /trace | GET /healthz | POST /shutdown");
+    println!(
+        "POST /evaluate | POST /evaluate/batch | GET /metrics | GET /trace | GET /healthz | POST /shutdown"
+    );
     server.run().map_err(|e| format!("server failed: {e}"))
 }
 

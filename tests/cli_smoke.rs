@@ -121,14 +121,29 @@ fn usage_mentions_serve() {
     let out = diffy(&["help"]);
     assert!(out.status.success());
     let text = stdout(&out);
-    for needle in ["serve", "--addr", "--queue-depth", "--deadline-ms", "--trace-out"] {
+    for needle in [
+        "serve",
+        "--addr",
+        "--queue-depth",
+        "--deadline-ms",
+        "--max-requests-per-conn",
+        "--idle-timeout-ms",
+        "--trace-out",
+    ] {
         assert!(text.contains(needle), "missing {needle:?} in usage:\n{text}");
     }
 }
 
 #[test]
 fn serve_flags_without_values_are_hard_errors() {
-    for flag in ["--addr", "--queue-depth", "--deadline-ms", "--jobs"] {
+    for flag in [
+        "--addr",
+        "--queue-depth",
+        "--deadline-ms",
+        "--max-requests-per-conn",
+        "--idle-timeout-ms",
+        "--jobs",
+    ] {
         let out = diffy(&["serve", flag]);
         assert!(!out.status.success(), "{flag} without value must fail");
         assert!(
@@ -148,6 +163,18 @@ fn serve_rejects_bad_flag_values() {
     let out = diffy(&["serve", "--deadline-ms", "soon"]);
     assert!(!out.status.success(), "non-numeric --deadline-ms must fail");
     assert!(stderr(&out).contains("bad --deadline-ms soon"), "stderr: {}", stderr(&out));
+
+    let out = diffy(&["serve", "--max-requests-per-conn", "0"]);
+    assert!(!out.status.success(), "--max-requests-per-conn 0 must fail");
+    assert!(
+        stderr(&out).contains("bad --max-requests-per-conn 0"),
+        "stderr: {}",
+        stderr(&out)
+    );
+
+    let out = diffy(&["serve", "--idle-timeout-ms", "forever"]);
+    assert!(!out.status.success(), "non-numeric --idle-timeout-ms must fail");
+    assert!(stderr(&out).contains("bad --idle-timeout-ms forever"), "stderr: {}", stderr(&out));
 
     let out = diffy(&["serve", "--jobs", "0"]);
     assert!(!out.status.success(), "--jobs 0 must fail");

@@ -11,9 +11,10 @@ use diffy::core::parallel::{run_jobs, Jobs};
 use diffy::core::runner::ci_trace_bundle;
 use diffy::serve::protocol::EvalRequest;
 use diffy::serve::{get, post, result_to_json, ServeConfig, Server, ServerHandle};
-use std::net::SocketAddr;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Generous client-side timeout; tests assert on statuses, not latency.
 const TIMEOUT: Duration = Duration::from_secs(30);
@@ -154,6 +155,45 @@ fn expired_deadline_answers_504() {
     let m = diffy::core::json::parse(&get(addr, "/metrics", TIMEOUT).unwrap().body).unwrap();
     assert_eq!(m.get("deadline_expired_total").unwrap().as_u64(), Some(1));
     assert_eq!(m.get("responses").unwrap().get("504").unwrap().as_u64(), Some(1));
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn slow_loris_is_cut_off_at_the_deadline_not_the_read_grace() {
+    // A peer that sends a partial head and stalls used to hold a worker
+    // for the full fixed 10 s socket read timeout, regardless of
+    // --deadline-ms. The read budget must be the deadline remaining at
+    // dequeue: with a 500 ms deadline the loris is cut off (and counted
+    // as an abort) in well under the old grace.
+    let (addr, handle, thread) = boot(ServeConfig {
+        workers: Jobs::new(1),
+        deadline_ms: 500,
+        ..ServeConfig::default()
+    });
+
+    let mut loris = TcpStream::connect(addr).expect("connect");
+    loris.write_all(b"POST /evaluate HTTP/1.1\r\nContent-Le").unwrap();
+    loris.flush().unwrap();
+    // If the server still indulged the fixed 10 s grace, this read would
+    // outlast its own 8 s timeout and the elapsed assertion would fail.
+    loris.set_read_timeout(Some(Duration::from_secs(8))).unwrap();
+    let waiting = Instant::now();
+    let mut sink = [0u8; 64];
+    let outcome = loris.read(&mut sink);
+    let held = waiting.elapsed();
+    assert!(
+        matches!(outcome, Ok(0) | Err(_)),
+        "server must sever the stalled connection, got {outcome:?}"
+    );
+    assert!(held < Duration::from_secs(5), "loris held its worker for {held:?}");
+
+    // The sole worker is free again, and the abort is accounted — the
+    // attempt neither vanished nor masqueraded as a response.
+    let m = diffy::core::json::parse(&get(addr, "/metrics", TIMEOUT).unwrap().body).unwrap();
+    let conns = m.get("connections").unwrap();
+    assert_eq!(conns.get("aborted").unwrap().as_u64(), Some(1), "{conns:?}");
 
     handle.shutdown();
     thread.join().unwrap();
