@@ -128,6 +128,20 @@ enum Line {
 /// sent something the subset rejects and should be answered with its
 /// status — and, because framing is no longer trustworthy, closed.
 pub fn read_request(reader: &mut impl BufRead) -> ParseResult {
+    read_request_with(reader, &mut || Ok(()))
+}
+
+/// [`read_request`] with a `tick` hook that runs before **every** socket
+/// read — each head-line refill and each body chunk. The hook can re-arm
+/// a shrinking read timeout and abort the request by returning `Err`
+/// once an absolute deadline has passed. A per-read timeout alone cannot
+/// bound a request's wall-clock cost: a peer trickling one byte just
+/// under the timeout keeps every individual read succeeding, so only a
+/// check *between* reads cuts it off.
+pub fn read_request_with(
+    reader: &mut impl BufRead,
+    tick: &mut dyn FnMut() -> io::Result<()>,
+) -> ParseResult {
     let mut head_bytes = 0usize;
     let mut line = String::new();
 
@@ -136,7 +150,7 @@ pub fn read_request(reader: &mut impl BufRead) -> ParseResult {
     let mut blanks = 0usize;
     loop {
         let first = blanks == 0 && head_bytes == 0;
-        match read_head_line(reader, &mut line, &mut head_bytes, first)? {
+        match read_head_line(reader, &mut line, &mut head_bytes, first, tick)? {
             Line::Eof => return Err(ReadError::Idle),
             Line::TooLong => return Ok(Err(BadRequest::new(413, "request line too long"))),
             Line::Blank => {
@@ -168,7 +182,7 @@ pub fn read_request(reader: &mut impl BufRead) -> ParseResult {
         if head_bytes > MAX_HEAD_BYTES {
             return Ok(Err(BadRequest::new(413, "request head too large")));
         }
-        match read_head_line(reader, &mut line, &mut head_bytes, false)? {
+        match read_head_line(reader, &mut line, &mut head_bytes, false, tick)? {
             Line::Eof => return Err(ReadError::Io(closed_mid_head())),
             Line::TooLong => return Ok(Err(BadRequest::new(413, "header line too long"))),
             Line::Blank => break,
@@ -214,8 +228,25 @@ pub fn read_request(reader: &mut impl BufRead) -> ParseResult {
             if len > MAX_BODY_BYTES {
                 return Ok(Err(BadRequest::new(413, "request body too large")));
             }
+            // Chunked (not `read_exact`) so `tick` runs between reads:
+            // `read_exact` loops internally and would let a trickling
+            // peer stretch one body across MAX_BODY_BYTES timeouts.
             let mut body = vec![0u8; len];
-            reader.read_exact(&mut body).map_err(ReadError::Io)?;
+            let mut filled = 0usize;
+            while filled < len {
+                tick().map_err(ReadError::Io)?;
+                match reader.read(&mut body[filled..]) {
+                    Ok(0) => {
+                        return Err(ReadError::Io(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-body",
+                        )))
+                    }
+                    Ok(n) => filled += n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(ReadError::Io(e)),
+                }
+            }
             body
         }
     };
@@ -246,7 +277,8 @@ fn parse_content_length(v: &str) -> Option<usize> {
     v.parse().ok()
 }
 
-/// Reads one `\r\n`-terminated head line into `line` (stripped).
+/// Reads one `\r\n`-terminated head line into `line` (stripped),
+/// consulting `tick` before every underlying read.
 ///
 /// The per-line read is capped at `MAX_HEAD_BYTES + 1` bytes; hitting the
 /// cap *without* a terminator is [`Line::TooLong`] — previously the
@@ -260,40 +292,75 @@ fn read_head_line(
     line: &mut String,
     head_bytes: &mut usize,
     first: bool,
+    tick: &mut dyn FnMut() -> io::Result<()>,
 ) -> Result<Line, ReadError> {
     line.clear();
-    let n = match io::Read::take(&mut *reader, MAX_HEAD_BYTES as u64 + 1).read_line(line) {
-        Ok(n) => n,
-        Err(e) => {
-            // A timeout (or reset) before any byte of the first line is
-            // the idle end of a keep-alive connection. `read_line` may
-            // have buffered partial bytes before failing; those mark a
-            // genuinely truncated request.
-            let idle_kind = matches!(
-                e.kind(),
-                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::UnexpectedEof
-            );
-            return if first && line.is_empty() && idle_kind {
-                Err(ReadError::Idle)
-            } else {
-                Err(ReadError::Io(e))
-            };
+    let mut raw: Vec<u8> = Vec::new();
+    // Loop over `fill_buf` (not `read_line`, whose internal loop would
+    // run read after read without ever consulting `tick`): each pass
+    // ticks, refills, and consumes up to the line terminator.
+    let terminated = loop {
+        if let Err(e) = tick() {
+            return Err(ReadError::Io(e));
         }
+        let available = match reader.fill_buf() {
+            Ok(a) => a,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                // A timeout (or reset) before any byte of the first line
+                // is the idle end of a keep-alive connection; partial
+                // bytes mark a genuinely truncated request.
+                let idle_kind = matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::UnexpectedEof
+                );
+                return if first && raw.is_empty() && idle_kind {
+                    Err(ReadError::Idle)
+                } else {
+                    Err(ReadError::Io(e))
+                };
+            }
+        };
+        if available.is_empty() {
+            if raw.is_empty() {
+                return Ok(Line::Eof);
+            }
+            break false; // EOF mid-line
+        }
+        let cap_left = (MAX_HEAD_BYTES + 1).saturating_sub(raw.len());
+        if cap_left == 0 {
+            break false; // cap exhausted without a terminator
+        }
+        let chunk = &available[..available.len().min(cap_left)];
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            raw.extend_from_slice(&chunk[..=pos]);
+            reader.consume(pos + 1);
+            break true;
+        }
+        let taken = chunk.len();
+        raw.extend_from_slice(chunk);
+        reader.consume(taken);
     };
-    if n == 0 {
-        return Ok(Line::Eof);
-    }
-    *head_bytes += n;
-    if !line.ends_with('\n') {
+    *head_bytes += raw.len();
+    if !terminated {
         // No terminator: either the per-line cap was hit (overlong line)
         // or the peer died mid-line. Distinguish by whether the cap was
         // exhausted.
-        return if n > MAX_HEAD_BYTES {
+        return if raw.len() > MAX_HEAD_BYTES {
             Ok(Line::TooLong)
         } else {
             Err(ReadError::Io(closed_mid_head()))
         };
     }
+    let Ok(text) = std::str::from_utf8(&raw) else {
+        return Err(ReadError::Io(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "non-UTF-8 bytes in request head",
+        )));
+    };
+    line.push_str(text);
     while line.ends_with('\n') || line.ends_with('\r') {
         line.pop();
     }
@@ -569,6 +636,55 @@ mod tests {
     fn truncated_request_is_an_io_error() {
         let r = read(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc");
         assert!(matches!(r, Err(ReadError::Io(_))));
+    }
+
+    #[test]
+    fn tick_runs_before_every_read_and_a_clean_parse_is_unaffected() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let mut calls = 0usize;
+        let mut tick = || {
+            calls += 1;
+            Ok(())
+        };
+        let req = read_request_with(&mut BufReader::new(Cursor::new(raw.to_vec())), &mut tick)
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"hello");
+        // One tick per head line (request line, one header, the blank)
+        // plus at least one for the body.
+        assert!(calls >= 4, "tick ran {calls} times");
+    }
+
+    #[test]
+    fn tick_abort_severs_a_trickled_head() {
+        // A deadline hook that fails on its first consultation: the read
+        // must abort as an I/O error before parsing anything.
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let mut tick =
+            || Err(io::Error::new(io::ErrorKind::TimedOut, "deadline exceeded during read"));
+        let r = read_request_with(&mut BufReader::new(Cursor::new(raw.to_vec())), &mut tick);
+        match r {
+            Err(ReadError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::TimedOut),
+            other => panic!("expected an I/O abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tick_abort_severs_a_trickled_body() {
+        // Head parses under budget (ticks 1–3: request line, header,
+        // blank line), then the deadline passes before the body read.
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let mut calls = 0usize;
+        let mut tick = || {
+            calls += 1;
+            if calls >= 4 {
+                Err(io::Error::new(io::ErrorKind::TimedOut, "deadline exceeded during read"))
+            } else {
+                Ok(())
+            }
+        };
+        let r = read_request_with(&mut BufReader::new(Cursor::new(raw.to_vec())), &mut tick);
+        assert!(matches!(r, Err(ReadError::Io(_))), "body read must abort, got {r:?}");
     }
 
     #[test]

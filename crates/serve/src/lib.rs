@@ -14,17 +14,21 @@
 //! * **Keep-alive** — connections persist across requests (HTTP/1.1
 //!   semantics); a worker serves one request then re-enqueues the
 //!   connection through the same bounded queue, so a chatty client
-//!   waits its turn like everyone else. Idle connections are polled,
-//!   never pinned to a worker, and closed after `idle_timeout_ms`;
-//!   every connection turns over after `max_requests_per_conn`.
+//!   waits its turn like everyone else. Idle connections are *parked*
+//!   in a separate bounded lot swept by a dedicated poller — never
+//!   pinned to a worker, never occupying an admission slot — and closed
+//!   after `idle_timeout_ms`; every connection turns over after
+//!   `max_requests_per_conn`.
 //! * **Batching** — `POST /evaluate/batch` evaluates many grid points in
 //!   one request, fanned over the worker pool through the shared cache
-//!   (term planes build once per layer across the batch); every item's
-//!   result is bit-identical to its standalone `POST /evaluate`.
+//!   (term planes build once per layer across the batch) under a
+//!   server-wide fan cap; every item's result is bit-identical to its
+//!   standalone `POST /evaluate`.
 //! * **Deadlines** — each request's budget runs from its arrival;
 //!   workers check it between pipeline stages and answer `504` the
 //!   moment it passes (an expired queued request is never evaluated),
-//!   and the socket read timeout is derived from the remaining budget.
+//!   and the socket read budget is the remaining deadline, re-armed
+//!   before every read — a peer trickling bytes cannot stretch it.
 //! * **Graceful drain** — SIGTERM/SIGINT (opt-in), `POST /shutdown`, or
 //!   [`ServerHandle::shutdown`] stop admissions, finish the backlog, and
 //!   let [`Server::run`] return.

@@ -4,25 +4,31 @@
 //!
 //! # Threading model
 //!
-//! `Server::run` launches one acceptor plus `workers` evaluation workers
-//! as jobs on `diffy_core::parallel::run_jobs` — the same scoped-thread
-//! pool the sweeps use, here with one long-lived loop per slot. The
-//! acceptor polls a non-blocking listener, counts the connection, and
-//! tries to enqueue it; workers block on the queue's condvar and drain it
-//! until shutdown. There is no per-request thread spawn and no unbounded
-//! buffering anywhere: memory and concurrency are fixed at startup.
+//! `Server::run` launches one acceptor, one parker (sweeping idle
+//! keep-alive connections), plus `workers` evaluation workers as jobs on
+//! `diffy_core::parallel::run_jobs` — the same scoped-thread pool the
+//! sweeps use, here with one long-lived loop per slot. The acceptor
+//! polls a non-blocking listener, counts the connection, and tries to
+//! enqueue it; workers block on the queue's condvar and drain it until
+//! shutdown. There is no per-request thread spawn and no unbounded
+//! buffering anywhere: memory and concurrency are fixed at startup
+//! (batch fan-out draws on a fixed server-wide permit pool).
 //!
 //! # Keep-alive
 //!
 //! Connections persist across requests (HTTP/1.1 default; `Connection`
 //! headers are honored per version). A worker serves exactly **one**
-//! request, then *re-enqueues the connection* through the same bounded
-//! queue new connections use — a chatty client waits its turn behind
-//! everyone else instead of monopolizing a worker. A parked connection
-//! with no request bytes yet is *polled* (a short bounded `peek`) and
-//! re-parked, so an idle client never pins a worker either; it is closed
-//! once its idle window (`idle_timeout_ms`) passes, and every connection
-//! is closed after `max_requests_per_conn` responses.
+//! request; a connection with a pipelined next request already buffered
+//! is *re-enqueued* through the same bounded queue new connections use —
+//! a chatty client waits its turn behind everyone else instead of
+//! monopolizing a worker. A connection with no request bytes yet is
+//! *parked* in a separate bounded lot, outside the admission queue: a
+//! dedicated parker thread polls parked sockets non-blockingly, moves
+//! one back into the queue the moment its next request's first byte
+//! arrives, and closes it once its idle window (`idle_timeout_ms`)
+//! passes. Idle clients therefore never pin a worker, never occupy an
+//! admission slot, and cost no per-connection worker churn; every
+//! connection is closed after `max_requests_per_conn` responses.
 //!
 //! # Backpressure
 //!
@@ -38,9 +44,11 @@
 //! connections — so queue wait counts against it. Workers check it
 //! cooperatively between pipeline stages and answer `504` the moment it
 //! has passed; a request that expired while queued is never evaluated at
-//! all. The socket read timeout is derived from the deadline remaining
-//! at dequeue, so a slow-loris peer is cut off when the request budget
-//! runs out, not after a fixed 10 s grace.
+//! all. The socket read budget is the deadline remaining, re-armed
+//! before *every* read: a slow-loris peer is cut off when the request
+//! budget runs out whether it stays silent or trickles bytes just under
+//! each read timeout. Lingering closes carry a wall-clock budget too, so
+//! a trickling peer cannot hold a thread in the drain loop either.
 //!
 //! # Accounting
 //!
@@ -60,7 +68,7 @@
 //! `tests/serve_e2e.rs` and `tests/serve_keepalive.rs`).
 
 use crate::http::{
-    read_request, write_json_response_conn, BadRequest, ReadError, Request, MAX_BODY_BYTES,
+    read_request_with, write_json_response_conn, BadRequest, ReadError, Request, MAX_BODY_BYTES,
 };
 use crate::metrics::{CloseReason, Metrics, Stage};
 use crate::protocol::{error_body, result_to_json, BatchRequest, EvalRequest};
@@ -75,11 +83,46 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// How long a worker waits on a parked keep-alive connection before
-/// re-parking it: long enough that an actively pipelining client is
-/// picked up the instant its bytes land, short enough that an idle
-/// connection never pins a worker.
-const IDLE_POLL: Duration = Duration::from_millis(2);
+/// How often the parker sweeps parked keep-alive connections: each sweep
+/// is one non-blocking `peek` per parked socket, so an actively
+/// resuming client is picked up within a few milliseconds while idle
+/// connections cost a handful of syscalls per sweep — not a continuous
+/// pop/peek/re-push cycle through the admission queue.
+const PARK_SWEEP: Duration = Duration::from_millis(5);
+
+/// Parked-connection capacity per admission-queue slot (floored at
+/// [`MIN_PARKED_CAP`]): idle keep-alive connections wait in the lot, so
+/// this — not `queue_depth` — bounds how many idle clients the server
+/// keeps open.
+const PARKED_PER_QUEUE_SLOT: usize = 8;
+
+/// Minimum parking-lot capacity, so tiny-queue configurations still hold
+/// a sensible number of idle keep-alive clients.
+const MIN_PARKED_CAP: usize = 64;
+
+/// Wall-clock budget of a lingering close on a worker thread. The byte
+/// cap alone is no bound in time: a peer trickling one byte per
+/// sub-timeout read would keep the drain loop alive for hours.
+const LINGER_BUDGET: Duration = Duration::from_millis(1_000);
+
+/// Lingering-close budget on the acceptor's 503 shed path: the single
+/// accept thread must return to accepting almost immediately, so a shed
+/// peer gets one short drain window, not a full linger.
+const SHED_LINGER_BUDGET: Duration = Duration::from_millis(25);
+
+/// Grace past the request deadline granted to socket reads: an
+/// expired-while-queued request whose bytes have already arrived should
+/// still be *answered* 504 rather than torn down mid-read, so the read
+/// path aborts only once the deadline is decisively gone.
+const READ_GRACE: Duration = Duration::from_millis(250);
+
+/// How long a worker peeks at a just-served connection before parking
+/// it: a closed-loop client sends its next request within a round-trip
+/// of the response, and catching it here keeps the connection on the
+/// hot path (requeue) instead of paying a parker-sweep latency. One
+/// bounded peek per response — an idle client costs this once, then
+/// waits in the lot, not in a worker's hands.
+const PARK_GRACE: Duration = Duration::from_millis(2);
 
 /// Server configuration, mirrored by the CLI's `diffy serve` flags.
 #[derive(Debug, Clone)]
@@ -211,9 +254,107 @@ impl ConnQueue {
     }
 }
 
-/// State shared between the acceptor, the workers and [`ServerHandle`]s.
+/// A keep-alive connection waiting — outside the admission queue — for
+/// its next request's first byte.
+struct ParkedConn {
+    conn: QueuedConn,
+    /// When the idle window expires and the parker closes the connection.
+    idle_deadline: Instant,
+}
+
+/// The bounded lot of parked keep-alive connections. Parked sockets are
+/// non-blocking; only the parker thread touches them, with one `peek`
+/// per sweep. Keeping them here — not in the admission queue — means
+/// `queue_depth` idle clients cannot starve fresh connections into 503s,
+/// and workers never burn cycles cycling idle connections.
+struct ParkingLot {
+    state: Mutex<LotState>,
+    capacity: usize,
+}
+
+struct LotState {
+    parked: Vec<ParkedConn>,
+    closed: bool,
+}
+
+impl ParkingLot {
+    fn new(capacity: usize) -> Self {
+        Self { state: Mutex::new(LotState { parked: Vec::new(), closed: false }), capacity }
+    }
+
+    /// Admits a connection to the lot, or returns it (lot full, or
+    /// closed for drain).
+    fn try_park(&self, conn: ParkedConn) -> Result<(), ParkedConn> {
+        let mut state = self.state.lock().expect("lot poisoned");
+        if state.closed || state.parked.len() >= self.capacity {
+            return Err(conn);
+        }
+        state.parked.push(conn);
+        Ok(())
+    }
+
+    /// Takes every parked connection for one sweep; survivors are
+    /// re-admitted via [`ParkingLot::try_park`].
+    fn take_all(&self) -> Vec<ParkedConn> {
+        std::mem::take(&mut self.state.lock().expect("lot poisoned").parked)
+    }
+
+    /// Closes the lot (late parkers are refused, under the same lock, so
+    /// none can slip in after the final sweep) and returns the backlog.
+    fn close(&self) -> Vec<ParkedConn> {
+        let mut state = self.state.lock().expect("lot poisoned");
+        state.closed = true;
+        std::mem::take(&mut state.parked)
+    }
+}
+
+/// Permits bounding the *extra* evaluation threads batch requests may
+/// fan out, server-wide. Each `/evaluate/batch` always runs on its own
+/// serving worker and adds only as many threads as it can take permits
+/// for, so `workers` concurrent batches top out near 2× the pool — not
+/// workers² as an uncapped per-request `run_jobs` fan would.
+struct FanPermits {
+    available: Mutex<usize>,
+}
+
+impl FanPermits {
+    fn new(n: usize) -> Self {
+        Self { available: Mutex::new(n) }
+    }
+
+    /// Takes up to `want` permits without blocking; returns how many
+    /// were taken (possibly zero — the caller then runs inline).
+    fn acquire_up_to(&self, want: usize) -> usize {
+        let mut avail = self.available.lock().expect("permits poisoned");
+        let take = want.min(*avail);
+        *avail -= take;
+        take
+    }
+
+    fn release(&self, n: usize) {
+        *self.available.lock().expect("permits poisoned") += n;
+    }
+}
+
+/// Releases its fan permits on drop, so a panicking batch cannot leak
+/// them.
+struct PermitGuard<'a> {
+    permits: &'a FanPermits,
+    n: usize,
+}
+
+impl Drop for PermitGuard<'_> {
+    fn drop(&mut self) {
+        self.permits.release(self.n);
+    }
+}
+
+/// State shared between the acceptor, the parker, the workers and
+/// [`ServerHandle`]s.
 struct Shared {
     queue: ConnQueue,
+    parked: ParkingLot,
+    batch_fan: FanPermits,
     metrics: Metrics,
     cache: SweepCache,
     config: ServeConfig,
@@ -291,8 +432,11 @@ impl Server {
         assert!(config.idle_timeout_ms >= 1, "idle timeout must be at least 1ms");
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let parked_cap = config.queue_depth.saturating_mul(PARKED_PER_QUEUE_SLOT).max(MIN_PARKED_CAP);
         let shared = Arc::new(Shared {
             queue: ConnQueue::new(config.queue_depth),
+            parked: ParkingLot::new(parked_cap),
+            batch_fan: FanPermits::new(config.workers.get().saturating_sub(1)),
             metrics: Metrics::new(),
             cache: SweepCache::bounded(config.trace_cache, config.plane_cache),
             config,
@@ -317,9 +461,10 @@ impl Server {
         &self.shared.config
     }
 
-    /// Serves until graceful drain completes: acceptor + workers run as
-    /// one scoped-thread pool; on shutdown the acceptor stops admitting,
-    /// queued requests are still answered, then all threads join.
+    /// Serves until graceful drain completes: acceptor + parker +
+    /// workers run as one scoped-thread pool; on shutdown the acceptor
+    /// stops admitting, queued requests are still answered, parked
+    /// connections are retired, then all threads join.
     pub fn run(self) -> io::Result<()> {
         if self.shared.config.handle_signals {
             install_signal_handler();
@@ -332,12 +477,13 @@ impl Server {
         let shared = &self.shared;
         let listener = &self.listener;
 
-        let mut jobs: Vec<Box<dyn FnOnce() + Send>> = Vec::with_capacity(workers + 1);
+        let mut jobs: Vec<Box<dyn FnOnce() + Send>> = Vec::with_capacity(workers + 2);
         jobs.push(Box::new(move || accept_loop(shared, listener)));
+        jobs.push(Box::new(move || parker_loop(shared)));
         for _ in 0..workers {
             jobs.push(Box::new(move || worker_loop(shared)));
         }
-        run_jobs(jobs, Jobs::new(workers + 1));
+        run_jobs(jobs, Jobs::new(workers + 2));
         Ok(())
     }
 }
@@ -382,7 +528,9 @@ fn accept_loop(shared: &Shared, listener: &TcpListener) {
                     m.queue_rejected_total.fetch_add(1, Ordering::Relaxed);
                     trace::instant("queue_shed", || vec![("req", req_id.into())]);
                     respond(shared, &mut rejected, 503, &error_body("queue full"), false);
-                    close_conn(shared, rejected, None);
+                    // Shortened linger: this is the sole accept thread,
+                    // and a shed storm must not stall every new accept.
+                    close_conn_within(shared, rejected, None, SHED_LINGER_BUDGET);
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -425,7 +573,20 @@ fn respond(shared: &Shared, conn: &mut QueuedConn, status: u16, body: &str, keep
 /// been read at all — closing with unread bytes in the receive buffer
 /// makes the kernel send RST, which can discard the very response the
 /// peer is about to read.
-fn close_conn(shared: &Shared, mut conn: QueuedConn, unanswered: Option<CloseReason>) {
+fn close_conn(shared: &Shared, conn: QueuedConn, unanswered: Option<CloseReason>) {
+    close_conn_within(shared, conn, unanswered, LINGER_BUDGET);
+}
+
+/// [`close_conn`] with an explicit wall-clock budget for the lingering
+/// drain. The drain is bounded in bytes *and* time: the byte cap alone
+/// would let a peer trickling one byte per sub-timeout read pin the
+/// closing thread for hours.
+fn close_conn_within(
+    shared: &Shared,
+    mut conn: QueuedConn,
+    unanswered: Option<CloseReason>,
+    linger: Duration,
+) {
     if let Some(reason) = unanswered {
         shared.metrics.record_close(reason);
     }
@@ -435,11 +596,17 @@ fn close_conn(shared: &Shared, mut conn: QueuedConn, unanswered: Option<CloseRea
         return; // nothing was answered; nothing to protect with a linger
     }
     let _ = conn.writer.shutdown(Shutdown::Write);
-    let _ = conn.writer.set_read_timeout(Some(Duration::from_millis(500)));
+    let linger_deadline = Instant::now() + linger;
     let mut scratch = [0u8; 4096];
     let mut drained = 0usize;
-    // Bounded: stop at the peer's close, a timeout, or one body's worth.
+    // Stop at the peer's close, an error, one body's worth, or the
+    // linger budget — whichever comes first.
     while drained <= MAX_BODY_BYTES {
+        let remaining = linger_deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            break;
+        }
+        let _ = conn.writer.set_read_timeout(Some(remaining.min(Duration::from_millis(500))));
         match io::Read::read(&mut conn.writer, &mut scratch) {
             Ok(0) | Err(_) => break,
             Ok(n) => drained += n,
@@ -447,66 +614,149 @@ fn close_conn(shared: &Shared, mut conn: QueuedConn, unanswered: Option<CloseRea
     }
 }
 
-/// Re-enqueues a connection after a keep-alive response: the next
-/// request attempt starts now and waits its turn behind every other
-/// queued connection. A full (or closed) queue ends the conversation
-/// instead — bounded state beats unbounded politeness.
-fn requeue(shared: &Shared, mut conn: QueuedConn) {
+/// Hands a connection its next request attempt (counted, id'd) after a
+/// keep-alive response, then either re-enqueues it — its next request is
+/// already buffered or arrives within [`PARK_GRACE`], so it waits its
+/// turn behind every other queued connection — or parks it in the lot
+/// until its next request's first byte arrives. A full (or closed)
+/// queue or lot ends the conversation instead — bounded state beats
+/// unbounded politeness.
+fn requeue_or_park(shared: &Shared, mut conn: QueuedConn) {
     shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
     shared.metrics.keepalive_reuses_total.fetch_add(1, Ordering::Relaxed);
     conn.req_id = shared.req_seq.fetch_add(1, Ordering::Relaxed) + 1;
     conn.anchor = Instant::now();
-    if let Err(conn) = shared.queue.try_push(conn) {
-        close_conn(shared, conn, Some(CloseReason::Idle));
-    }
-}
-
-/// Serves one request off a dequeued connection, then re-enqueues or
-/// retires it.
-fn handle_connection(shared: &Shared, mut conn: QueuedConn) {
-    let mut dequeued_at = Instant::now();
-
-    // A reused connection with no buffered bytes may simply be idle:
-    // poll briefly instead of blocking, and re-park it so this worker
-    // can serve someone who is actually talking.
-    if conn.served > 0 && conn.reader.buffer().is_empty() {
-        let idle_deadline = conn.anchor + Duration::from_millis(shared.config.idle_timeout_ms);
-        let _ = conn.writer.set_read_timeout(Some(IDLE_POLL));
+    if conn.reader.buffer().is_empty() {
+        // A closed-loop client's next request lands within a round-trip:
+        // one short peek catches it and keeps the connection on the hot
+        // path. Silence past the grace parks it — this is the only peek
+        // an idle connection ever costs a worker.
+        let _ = conn.writer.set_read_timeout(Some(PARK_GRACE));
         let mut probe = [0u8; 1];
         match conn.writer.peek(&mut probe) {
             Ok(0) => return close_conn(shared, conn, Some(CloseReason::Idle)),
             Ok(_) => {
-                // The next request starts the moment its bytes arrive:
-                // re-anchor so queue-wait and the deadline measure this
-                // request, not the client's think time.
+                // Re-anchor to the bytes' arrival, not the response.
                 conn.anchor = Instant::now();
-                dequeued_at = conn.anchor;
             }
             Err(e)
                 if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
             {
-                if shared.draining() || Instant::now() >= idle_deadline {
-                    return close_conn(shared, conn, Some(CloseReason::Idle));
+                let idle_deadline =
+                    conn.anchor + Duration::from_millis(shared.config.idle_timeout_ms);
+                if conn.writer.set_nonblocking(true).is_err() {
+                    return close_conn(shared, conn, Some(CloseReason::Aborted));
                 }
-                if let Err(conn) = shared.queue.try_push(conn) {
-                    return close_conn(shared, conn, Some(CloseReason::Idle));
+                if let Err(p) = shared.parked.try_park(ParkedConn { conn, idle_deadline }) {
+                    close_conn(shared, p.conn, Some(CloseReason::Idle));
                 }
                 return;
             }
             Err(_) => return close_conn(shared, conn, Some(CloseReason::Aborted)),
         }
     }
+    if let Err(conn) = shared.queue.try_push(conn) {
+        close_conn(shared, conn, Some(CloseReason::Idle));
+    }
+}
 
-    // The socket read budget is whatever remains of the request deadline
-    // at dequeue — a slow-loris peer is cut off with the deadline, not
-    // indulged for a fixed 10 s.
-    let budget = Duration::from_millis(shared.config.deadline_ms);
-    let remaining = (conn.anchor + budget).saturating_duration_since(Instant::now());
-    let read_timeout =
-        remaining.clamp(Duration::from_millis(10), Duration::from_secs(10));
-    let _ = conn.writer.set_read_timeout(Some(read_timeout));
+/// Sweeps parked connections until drain, then retires whatever is left.
+fn parker_loop(shared: &Shared) {
+    while !shared.draining() {
+        sweep_parked(shared);
+        std::thread::sleep(PARK_SWEEP);
+    }
+    // Closing the lot refuses late parkers under the lot's own lock, so
+    // no connection can slip in behind this final sweep and leak.
+    for p in shared.parked.close() {
+        close_conn(shared, p.conn, Some(CloseReason::Idle));
+    }
+}
 
-    let request = match read_request(&mut conn.reader) {
+/// One parker sweep: close dead or idle-expired parked connections, move
+/// ones whose next request has begun arriving into the admission queue,
+/// and re-park the rest.
+fn sweep_parked(shared: &Shared) {
+    let mut probe = [0u8; 1];
+    for mut p in shared.parked.take_all() {
+        if shared.draining() {
+            close_conn(shared, p.conn, Some(CloseReason::Idle));
+            continue;
+        }
+        match p.conn.writer.peek(&mut probe) {
+            Ok(0) => close_conn(shared, p.conn, Some(CloseReason::Idle)),
+            Ok(_) => {
+                // The next request starts the moment its bytes arrive:
+                // re-anchor so queue-wait and the deadline measure this
+                // request, not the client's think time.
+                if p.conn.writer.set_nonblocking(false).is_err() {
+                    close_conn(shared, p.conn, Some(CloseReason::Aborted));
+                    continue;
+                }
+                p.conn.anchor = Instant::now();
+                let idle_deadline = p.idle_deadline;
+                if let Err(conn) = shared.queue.try_push(p.conn) {
+                    // Queue full: the bytes wait in the socket and the
+                    // connection stays parked (still under its idle
+                    // window, which bounds how long a jammed queue can
+                    // strand it) to retry next sweep.
+                    repark(shared, ParkedConn { conn, idle_deadline });
+                }
+            }
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if Instant::now() >= p.idle_deadline {
+                    close_conn(shared, p.conn, Some(CloseReason::Idle));
+                } else {
+                    repark(shared, p);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => repark(shared, p),
+            Err(_) => close_conn(shared, p.conn, Some(CloseReason::Aborted)),
+        }
+    }
+}
+
+/// Returns a still-idle connection to the lot (restoring non-blocking
+/// mode), closing it if the lot refuses.
+fn repark(shared: &Shared, p: ParkedConn) {
+    if p.conn.writer.set_nonblocking(true).is_err() {
+        return close_conn(shared, p.conn, Some(CloseReason::Aborted));
+    }
+    if let Err(p) = shared.parked.try_park(p) {
+        close_conn(shared, p.conn, Some(CloseReason::Idle));
+    }
+}
+
+/// Serves one request off a dequeued connection, then re-enqueues, parks
+/// or retires it. Every queued connection is *live*: its request bytes
+/// are buffered, arriving, or expected imminently — idle ones wait in
+/// the parking lot instead, so a worker here never babysits silence.
+fn handle_connection(shared: &Shared, mut conn: QueuedConn) {
+    let dequeued_at = Instant::now();
+
+    // The socket read budget is whatever remains of the request
+    // deadline, re-armed before *every* read: a peer trickling bytes
+    // just under each read timeout is still cut off once the budget
+    // (plus the grace that lets an expired-while-queued request be
+    // answered 504) is gone — not indulged one timeout per byte.
+    let read_deadline =
+        conn.anchor + Duration::from_millis(shared.config.deadline_ms) + READ_GRACE;
+    let writer = &conn.writer;
+    let mut tick = move || -> io::Result<()> {
+        let remaining = read_deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "request deadline exceeded during read",
+            ));
+        }
+        let _ = writer.set_read_timeout(Some(
+            remaining.clamp(Duration::from_millis(10), Duration::from_secs(10)),
+        ));
+        Ok(())
+    };
+
+    let request = match read_request_with(&mut conn.reader, &mut tick) {
         Err(ReadError::Idle) => return close_conn(shared, conn, Some(CloseReason::Idle)),
         Err(ReadError::Io(_)) => return close_conn(shared, conn, Some(CloseReason::Aborted)),
         Ok(Err(BadRequest { status, message })) => {
@@ -562,7 +812,7 @@ fn handle_connection(shared: &Shared, mut conn: QueuedConn) {
     };
 
     if keep && healthy {
-        requeue(shared, conn);
+        requeue_or_park(shared, conn);
     } else {
         close_conn(shared, conn, None);
     }
@@ -764,10 +1014,17 @@ fn handle_evaluate_batch(
             let deadline =
                 anchored_at + Duration::from_millis(budget_ms.min(shared.config.deadline_ms));
 
-            // Fan the items over the pool, capped at the server's worker
-            // count; results come back in item order (run_jobs is
-            // order-stable at any parallelism).
-            let fan = Jobs::new(batch.items.len().min(shared.config.workers.get()));
+            // Fan the items over the pool, bounded *globally*: the batch
+            // always gets this serving worker (fan 1 runs inline) plus
+            // however many extra-thread permits remain server-wide, so
+            // W workers all serving batches at once cannot stack W²
+            // evaluation threads. Results come back in item order
+            // (run_jobs is order-stable at any parallelism).
+            let want =
+                batch.items.len().min(shared.config.workers.get()).saturating_sub(1);
+            let extra = shared.batch_fan.acquire_up_to(want);
+            let _permits = PermitGuard { permits: &shared.batch_fan, n: extra };
+            let fan = Jobs::new(1 + extra);
             let tasks: Vec<_> = batch
                 .items
                 .iter()
@@ -778,6 +1035,7 @@ fn handle_evaluate_batch(
                 let _s = collector.span(Stage::Evaluate.name());
                 run_jobs(tasks, fan)
             };
+            drop(_permits);
             metrics.stage(Stage::Evaluate).record(stage_start.elapsed());
 
             let expired = outcomes.iter().filter(|(s, _)| *s == 504).count() as u64;
@@ -868,6 +1126,7 @@ fn evaluate_batch_item(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write as _;
 
     #[test]
     fn queue_sheds_above_capacity_and_drains_after_close() {
@@ -897,6 +1156,90 @@ mod tests {
         assert!(q.pop().is_some(), "backlog drains after close");
         assert!(q.pop().is_some());
         assert!(q.pop().is_none(), "drained + closed ends the workers");
+    }
+
+    #[test]
+    fn fan_permits_bound_total_extra_threads() {
+        let permits = FanPermits::new(3);
+        assert_eq!(permits.acquire_up_to(2), 2, "takes what it asks for while available");
+        assert_eq!(permits.acquire_up_to(5), 1, "then only what remains");
+        assert_eq!(permits.acquire_up_to(4), 0, "exhausted pool degrades to inline");
+        permits.release(1);
+        assert_eq!(permits.acquire_up_to(4), 1, "released permits come back");
+        permits.release(3);
+    }
+
+    #[test]
+    fn parking_lot_is_bounded_and_closes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mk = || {
+            let _client = TcpStream::connect(addr).unwrap();
+            let (server_side, _) = listener.accept().unwrap();
+            let reader = BufReader::new(server_side.try_clone().unwrap());
+            ParkedConn {
+                conn: QueuedConn {
+                    reader,
+                    writer: server_side,
+                    anchor: Instant::now(),
+                    req_id: 0,
+                    served: 1,
+                },
+                idle_deadline: Instant::now() + Duration::from_secs(1),
+            }
+        };
+        let lot = ParkingLot::new(2);
+        assert!(lot.try_park(mk()).is_ok());
+        assert!(lot.try_park(mk()).is_ok());
+        assert!(lot.try_park(mk()).is_err(), "third park must be refused");
+        assert_eq!(lot.close().len(), 2, "close returns the backlog");
+        assert!(lot.try_park(mk()).is_err(), "closed lot refuses late parkers");
+    }
+
+    #[test]
+    fn lingering_close_is_bounded_in_wall_clock_not_just_bytes() {
+        // A peer that trickles bytes keeps every drain read succeeding;
+        // only the linger's wall-clock budget may end it. Byte budget
+        // alone would run this for MAX_BODY_BYTES reads.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        let conn = QueuedConn {
+            reader: BufReader::new(server_side.try_clone().unwrap()),
+            writer: server_side,
+            anchor: Instant::now(),
+            req_id: 1,
+            served: 1, // answered: close_conn will linger
+        };
+        let trickler = std::thread::spawn(move || {
+            // ~2 s of trickle, one byte every 50 ms; stop on EPIPE.
+            for _ in 0..40 {
+                if client.write_all(b"x").is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        });
+        let shared = Shared {
+            queue: ConnQueue::new(1),
+            parked: ParkingLot::new(1),
+            batch_fan: FanPermits::new(0),
+            metrics: Metrics::new(),
+            cache: SweepCache::bounded(1, 1),
+            config: ServeConfig::default(),
+            shutdown: AtomicBool::new(false),
+            req_seq: AtomicU64::new(0),
+        };
+        shared.metrics.connections_open.fetch_add(1, Ordering::Relaxed);
+        let closing = Instant::now();
+        close_conn_within(&shared, conn, None, Duration::from_millis(200));
+        let held = closing.elapsed();
+        assert!(
+            held < Duration::from_millis(1_500),
+            "linger must stop at its budget, held {held:?}"
+        );
+        trickler.join().unwrap();
     }
 
     #[test]

@@ -200,6 +200,58 @@ fn slow_loris_is_cut_off_at_the_deadline_not_the_read_grace() {
 }
 
 #[test]
+fn trickling_slow_loris_is_cut_off_at_the_deadline() {
+    // A loris that keeps every individual read *succeeding* — one head
+    // byte every 100 ms — used to evade the deadline-derived read
+    // timeout entirely (the timeout was armed once, and each arriving
+    // byte reset the clock), holding a worker for up to MAX_HEAD_BYTES
+    // reads. The read budget must be wall-clock: checked and re-armed
+    // before every read, severing the trickle once the deadline (plus
+    // the short answer grace) passes.
+    let (addr, handle, thread) = boot(ServeConfig {
+        workers: Jobs::new(1),
+        deadline_ms: 500,
+        ..ServeConfig::default()
+    });
+
+    let mut loris = TcpStream::connect(addr).expect("connect");
+    loris.set_read_timeout(Some(Duration::from_secs(8))).unwrap();
+    let waiting = Instant::now();
+    let writer = {
+        let mut loris = loris.try_clone().unwrap();
+        std::thread::spawn(move || {
+            // ~8 s worth of trickle — far past the 500 ms deadline, far
+            // under each per-read timeout; stops at the server's close.
+            let head = b"POST /evaluate HTTP/1.1\r\nX-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\
+                         aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa";
+            for b in head {
+                if loris.write_all(&[*b]).is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        })
+    };
+    let mut sink = [0u8; 64];
+    let outcome = loris.read(&mut sink);
+    let held = waiting.elapsed();
+    writer.join().unwrap();
+    assert!(
+        matches!(outcome, Ok(0) | Err(_)),
+        "server must sever the trickling connection, got {outcome:?}"
+    );
+    assert!(held < Duration::from_secs(5), "trickling loris held its worker for {held:?}");
+
+    // The sole worker is free again, and the abort is accounted.
+    let m = diffy::core::json::parse(&get(addr, "/metrics", TIMEOUT).unwrap().body).unwrap();
+    let conns = m.get("connections").unwrap();
+    assert_eq!(conns.get("aborted").unwrap().as_u64(), Some(1), "{conns:?}");
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
 fn shutdown_endpoint_drains_gracefully() {
     let (addr, handle, thread) = boot(ServeConfig::default());
 

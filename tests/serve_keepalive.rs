@@ -254,6 +254,46 @@ fn idle_keepalive_connection_is_closed_and_accounted() {
 }
 
 #[test]
+fn idle_parked_connections_do_not_occupy_the_admission_queue() {
+    // queue_depth 1: when idle keep-alive connections cycled through the
+    // admission queue, a handful of idle clients kept it full — fresh
+    // connections shed 503 while the worker sat idle, and every idle
+    // connection cost a continuous pop/peek/re-push churn. Parked
+    // connections must wait in the lot instead, leaving the queue free.
+    let (addr, handle, thread) = boot(ServeConfig {
+        workers: Jobs::new(1),
+        queue_depth: 1,
+        ..ServeConfig::default()
+    });
+
+    // Three clients each serve one request, then sit idle.
+    let mut idlers: Vec<KeepAliveClient> =
+        (0..3).map(|_| KeepAliveClient::new(addr, TIMEOUT)).collect();
+    for c in idlers.iter_mut() {
+        assert_eq!(c.get("/healthz").expect("healthz").status, 200);
+    }
+    // Give the server a few sweep cycles to park all three.
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Fresh one-shot connections must be admitted and served, every
+    // time — the idle clients hold no admission slot.
+    for i in 0..5 {
+        let resp = get(addr, "/healthz", TIMEOUT).expect("fresh connection served");
+        assert_eq!(resp.status, 200, "fresh connection {i} shed by idle parked clients");
+    }
+
+    // And the parked clients resume on their original connections.
+    for c in idlers.iter_mut() {
+        assert_eq!(c.get("/healthz").expect("parked client resumes").status, 200);
+        assert_eq!(c.connects(), 1, "resuming must not need a reconnect");
+    }
+    drop(idlers);
+    assert_conserved_once_quiesced(addr);
+    handle.shutdown();
+    thread.join().expect("server drains");
+}
+
+#[test]
 fn pipelined_request_after_body_level_400_is_served() {
     let (addr, handle, thread) = boot(ServeConfig::default());
 
