@@ -1,0 +1,32 @@
+# Convenience entrypoints. Everything here is plain cargo underneath;
+# the fuzz targets exist so "reproduce what CI ran" is one command.
+
+CARGO ?= cargo
+FUZZ_ITERS ?= 20000
+FUZZ_SEED ?= 0xd1ff
+
+.PHONY: build test fuzz fuzz-smoke clippy
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) build --release && $(CARGO) test -q
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+# The bounded pass CI runs: conformance + determinism suites, then every
+# driver at a fixed budget. Failing inputs land in fuzz_failures/ next to
+# a ready-to-paste regression test on stderr.
+fuzz-smoke:
+	$(CARGO) test -p diffy-fuzz --release
+	$(CARGO) run -p diffy-fuzz --release --bin fuzz -- \
+		all --iters $(FUZZ_ITERS) --seed $(FUZZ_SEED) --failures-dir fuzz_failures
+
+# A longer exploratory run. Override FUZZ_SEED to explore a different
+# part of the input space; every case is reproducible from the printed
+# (target, seed, case) triple.
+fuzz:
+	$(CARGO) run -p diffy-fuzz --release --bin fuzz -- \
+		all --iters 200000 --seed $(FUZZ_SEED) --failures-dir fuzz_failures

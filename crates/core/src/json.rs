@@ -378,8 +378,14 @@ impl Parser<'_> {
         if end > self.bytes.len() {
             return Err(self.err("truncated \\u escape"));
         }
-        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
-            .map_err(|_| self.err("non-ASCII in \\u escape"))?;
+        let digits = &self.bytes[self.pos..end];
+        // Exactly four ASCII hex digits. `u32::from_str_radix` alone is
+        // too lenient — it accepts a leading `+`, so `\u+041` would have
+        // decoded as `A`.
+        if !digits.iter().all(u8::is_ascii_hexdigit) {
+            return Err(self.err("bad \\u escape digits"));
+        }
+        let hex = std::str::from_utf8(digits).expect("hex digits are ASCII");
         let cp =
             u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape digits"))?;
         self.pos = end;
@@ -412,16 +418,19 @@ impl Parser<'_> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
         if integral {
-            match text.parse::<i128>() {
-                Ok(i) => Ok(JsonValue::Int(i)),
-                // Out-of-range integral literal: fall back to float.
-                Err(_) => text
-                    .parse::<f64>()
-                    .map(JsonValue::Float)
-                    .map_err(|_| self.err("bad number")),
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(JsonValue::Int(i));
             }
-        } else {
-            text.parse::<f64>().map(JsonValue::Float).map_err(|_| self.err("bad number"))
+            // Out-of-range integral literal: fall back to float.
+        }
+        // Rust's f64 parser saturates to ±inf past ~1.8e308, but inf has
+        // no JSON representation — accepting `1e999` here would produce a
+        // value the emitter can only panic on. Grammar-valid but
+        // unrepresentable is still a parse error.
+        match text.parse::<f64>() {
+            Ok(f) if f.is_finite() => Ok(JsonValue::Float(f)),
+            Ok(_) => Err(self.err("number out of representable range")),
+            Err(_) => Err(self.err("bad number")),
         }
     }
 
@@ -607,6 +616,127 @@ mod tests {
     fn rejects_recursion_bombs() {
         let deep = "[".repeat(200) + &"]".repeat(200);
         assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn nesting_bound_is_exact() {
+        // The depth check runs on entry to `value`, and an *empty* inner
+        // array returns without recursing, so MAX_DEPTH + 1 brackets is
+        // the last shape that parses; one more is an error, never an
+        // overflow.
+        let ok = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        assert!(parse(&ok).is_ok(), "bracket depth {} must parse", MAX_DEPTH + 1);
+        let over = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        let e = parse(&over).unwrap_err();
+        assert!(e.message.contains("nesting"), "{e}");
+        // Objects count against the same budget, and a non-empty leaf
+        // recurses once more than an empty one.
+        let deep_obj = "{\"k\":".repeat(MAX_DEPTH + 1) + "null" + &"}".repeat(MAX_DEPTH + 1);
+        assert!(parse(&deep_obj).is_err());
+        let ok_obj = "{\"k\":".repeat(MAX_DEPTH) + "null" + &"}".repeat(MAX_DEPTH);
+        assert!(parse(&ok_obj).is_ok());
+    }
+
+    #[test]
+    fn fuzz_regression_overflowing_numbers_do_not_parse_to_infinity() {
+        // Found by the JSON byte fuzzer: `1e999` passed the grammar, f64
+        // parsing saturated it to +inf, and the re-emit leg of the
+        // differential property panicked inside `json_number` (inf has no
+        // JSON form). The same hole existed for integral literals wide
+        // enough to overflow both i128 and f64.
+        for doc in ["1e999", "-1e999", "1e308999", &format!("1{}", "0".repeat(400))] {
+            let e = parse(doc).unwrap_err();
+            assert!(e.message.contains("range"), "{doc}: {e}");
+        }
+        // Near the edge both ways: f64::MAX round-trips, just past it
+        // does not.
+        assert!(parse("1.7976931348623157e308").is_ok());
+        assert!(parse("1.8e308").is_err());
+        // Integral overflow of i128 that still fits f64 stays accepted
+        // as an (inexact) float, as before.
+        assert_eq!(
+            parse("340282366920938463463374607431768211456").unwrap(), // 2^128
+            JsonValue::Float(2f64.powi(128))
+        );
+    }
+
+    #[test]
+    fn fuzz_regression_unicode_escape_digits_are_strict() {
+        // Found by the JSON byte fuzzer: `u32::from_str_radix` accepts a
+        // leading `+`, so `\u+041` decoded to `A` instead of erroring.
+        for doc in [r#""\u+041""#, r#""\u 041""#, r#""\u00g1""#, r#""\u-041""#] {
+            let e = parse(doc).unwrap_err();
+            assert!(e.message.contains("escape"), "{doc}: {e}");
+        }
+        assert_eq!(parse(r#""\u0041""#).unwrap().as_str(), Some("A"));
+    }
+
+    #[test]
+    fn duplicate_keys_are_preserved_and_get_returns_the_first() {
+        // The document model is an ordered member list, not a map: a
+        // duplicate key neither errors nor overwrites, and lookups see
+        // the first occurrence. Pinned so serve-layer semantics (last
+        // writer does NOT win) cannot drift silently.
+        let v = parse(r#"{"a": 1, "b": 2, "a": 3}"#).unwrap();
+        assert_eq!(v.get("a"), Some(&JsonValue::Int(1)));
+        let JsonValue::Object(members) = &v else { panic!("not an object") };
+        assert_eq!(members.len(), 3);
+        assert_eq!(members[2], ("a".to_string(), JsonValue::Int(3)));
+        // And the round trip preserves both occurrences bytewise.
+        assert_eq!(v.to_json(), r#"{"a":1,"b":2,"a":3}"#);
+    }
+
+    #[test]
+    fn surrogate_error_paths_are_rejected() {
+        let cases = [
+            (r#""\ud800""#, "lone high surrogate"),
+            (r#""\ud800x""#, "high surrogate then literal"),
+            (r#""\ud800\u0041""#, "high surrogate then non-surrogate"),
+            (r#""\udc00""#, "lone low surrogate"),
+            (r#""\ud800\ud800""#, "high surrogate twice"),
+            (r#""\ud800\u""#, "high surrogate then truncated escape"),
+            (r#""\u00""#, "truncated escape at end of string"),
+        ];
+        for (doc, why) in cases {
+            assert!(parse(doc).is_err(), "{why}: {doc}");
+        }
+        // The full pair still decodes.
+        assert_eq!(parse(r#""\ud83d\ude00""#).unwrap().as_str(), Some("\u{1F600}"));
+    }
+
+    #[test]
+    fn number_edge_cases() {
+        // i128 bounds are exact in both directions.
+        let max = i128::MAX.to_string();
+        let min = i128::MIN.to_string();
+        assert_eq!(parse(&max).unwrap(), JsonValue::Int(i128::MAX));
+        assert_eq!(parse(&min).unwrap(), JsonValue::Int(i128::MIN));
+        assert_eq!(parse(&max).unwrap().to_json(), max);
+        assert_eq!(parse(&min).unwrap().to_json(), min);
+        // -0 is integral zero (JSON allows the sign; i128 has no -0).
+        assert_eq!(parse("-0").unwrap(), JsonValue::Int(0));
+        // -0.0 keeps its sign bit as a float but compares equal to 0.0.
+        assert_eq!(parse("-0.0").unwrap(), JsonValue::Float(0.0));
+        // Leading zeros are malformed everywhere a digit run starts…
+        for doc in ["01", "-01", "00", "[01]", r#"{"a": 007}"#] {
+            assert!(parse(doc).is_err(), "{doc}");
+        }
+        // …but a lone 0 and 0-prefixed fractions/exponents are fine.
+        for doc in ["0", "-0", "0.5", "0e0", "1e07", "0.00", "2E+3", "2e-3"] {
+            assert!(parse(doc).is_ok(), "{doc}");
+        }
+        // Incomplete number shapes.
+        for doc in ["-", "1.", ".5", "1e", "1e+", "+1", "1_000", "0x10", "Infinity", "NaN"] {
+            assert!(parse(doc).is_err(), "{doc}");
+        }
+    }
+
+    #[test]
+    fn error_offsets_stay_within_the_input() {
+        for doc in ["", "[1,", "{\"a\":", "tru", "1e999", "\"\\u+041\"", "[1]x"] {
+            let e = parse(doc).unwrap_err();
+            assert!(e.offset <= doc.len(), "{doc}: offset {} > len {}", e.offset, doc.len());
+        }
     }
 
     #[test]

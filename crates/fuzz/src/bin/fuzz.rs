@@ -1,0 +1,105 @@
+//! Standalone fuzz entrypoint: `fuzz [http|json|protocol|all] [flags]`.
+//!
+//! Runs the requested drivers, prints an outcome census per driver, and
+//! on any contract violation prints a ready-to-paste regression test,
+//! optionally writes the failing input to `--failures-dir`, and exits
+//! non-zero. Defaults come from the environment (`DIFFY_FUZZ_ITERS`,
+//! `DIFFY_FUZZ_SEED`, `DIFFY_FUZZ_TIME_CAP_MS`), so CI and `make fuzz`
+//! share one configuration surface.
+//!
+//! ```text
+//! fuzz all --iters 20000 --seed 0xd1ff --time-cap-ms 60000 \
+//!      --failures-dir fuzz_failures
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use diffy_fuzz::{all_drivers, run_driver, Driver, FuzzConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fuzz [http|json|protocol|all] [--iters N] [--seed S] \
+         [--time-cap-ms T] [--failures-dir DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64(value: &str, flag: &str) -> u64 {
+    let parsed = if let Some(hex) = value.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        value.parse()
+    };
+    parsed.unwrap_or_else(|_| {
+        eprintln!("fuzz: bad value {value:?} for {flag}");
+        std::process::exit(2);
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut target = "all".to_string();
+    let mut cfg = FuzzConfig::from_env(diffy_fuzz::DEFAULT_ITERS);
+    let mut failures_dir: Option<String> = None;
+
+    let mut it = args.iter();
+    let mut positional_seen = false;
+    while let Some(arg) = it.next() {
+        let mut flag_value = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("fuzz: {flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--iters" => cfg.iters = parse_u64(&flag_value("--iters"), "--iters"),
+            "--seed" => cfg.seed = parse_u64(&flag_value("--seed"), "--seed"),
+            "--time-cap-ms" => {
+                cfg.time_cap =
+                    Some(Duration::from_millis(parse_u64(&flag_value("--time-cap-ms"), "--time-cap-ms")));
+            }
+            "--failures-dir" => failures_dir = Some(flag_value("--failures-dir")),
+            "http" | "json" | "protocol" | "all" if !positional_seen => {
+                target = arg.clone();
+                positional_seen = true;
+            }
+            _ => usage(),
+        }
+    }
+
+    let drivers: Vec<Box<dyn Driver>> = all_drivers()
+        .into_iter()
+        .filter(|d| target == "all" || d.name() == target)
+        .collect();
+    if drivers.is_empty() {
+        usage();
+    }
+
+    let mut total_failures = 0usize;
+    for driver in &drivers {
+        let report = run_driver(driver.as_ref(), &cfg);
+        println!("{}", report.summary());
+        for (i, failure) in report.failures.iter().enumerate() {
+            total_failures += 1;
+            eprintln!("\n{}", failure.regression_test());
+            if let Some(dir) = &failures_dir {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("fuzz: cannot create {dir}: {e}");
+                    continue;
+                }
+                let path = format!("{dir}/{}-{:#x}-{i}.bin", failure.target, failure.seed);
+                match std::fs::write(&path, &failure.input) {
+                    Ok(()) => eprintln!("fuzz: failing input written to {path}"),
+                    Err(e) => eprintln!("fuzz: cannot write {path}: {e}"),
+                }
+            }
+        }
+    }
+    if total_failures > 0 {
+        eprintln!("\nfuzz: {total_failures} contract violation(s) — see regression tests above");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

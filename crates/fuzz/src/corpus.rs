@@ -1,0 +1,197 @@
+//! The seed corpus: every parser bug this repo ever fixed by hand,
+//! encoded as a named input. The fuzz drivers replay the corpus before
+//! any generated case on every run, and the conformance tests
+//! (`tests/http_conformance.rs`, `tests/json_conformance.rs`) pin the
+//! exact expected classification for each entry — so a regression in a
+//! historical fix fails by *name*, not by fishing a seed out of a log.
+
+/// One corpus entry: a name (stable, test-friendly) and the input bytes.
+#[derive(Debug, Clone)]
+pub struct CorpusCase {
+    /// Stable identifier; conformance tests key expectations on it.
+    pub name: &'static str,
+    /// The exact bytes fed to the parser.
+    pub input: Vec<u8>,
+}
+
+fn case(name: &'static str, input: impl Into<Vec<u8>>) -> CorpusCase {
+    CorpusCase { name, input: input.into() }
+}
+
+/// HTTP seed corpus. Entries tagged `pr4_` / `pr5_` / `pr6_` reproduce
+/// the framing fixes those PRs shipped; the rest span the RFC 9112
+/// request grammar.
+pub fn http_corpus() -> Vec<CorpusCase> {
+    let max_head = diffy_serve::http::MAX_HEAD_BYTES;
+    let max_body = diffy_serve::http::MAX_BODY_BYTES;
+    vec![
+        // -- Baseline accepts --------------------------------------------
+        case("get_simple", "GET /metrics HTTP/1.1\r\n\r\n"),
+        case(
+            "post_with_body",
+            "POST /evaluate HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\n{\"k\": true}",
+        ),
+        case("http10_one_shot", "GET / HTTP/1.0\r\n\r\n"),
+        case("leading_blank_lines", "\r\n\r\nGET / HTTP/1.1\r\n\r\n"),
+        case("bare_lf_terminators", "GET / HTTP/1.1\nHost: x\n\n"),
+        case("ows_around_header_value", "GET / HTTP/1.1\r\nHost: \t x \t\r\n\r\n"),
+        // -- PR 4 framing fixes ------------------------------------------
+        case(
+            "pr4_conflicting_content_lengths",
+            "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 11\r\n\r\nok",
+        ),
+        case(
+            "pr4_repeated_identical_content_lengths",
+            "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok",
+        ),
+        case("pr4_signed_content_length", "POST / HTTP/1.1\r\nContent-Length: +2\r\n\r\nok"),
+        case("pr4_nondigit_content_length", "POST / HTTP/1.1\r\nContent-Length: 0x2\r\n\r\nok"),
+        // -- PR 5 framing fixes ------------------------------------------
+        case("pr5_space_in_header_name", "GET / HTTP/1.1\r\nx y: z\r\n\r\n"),
+        case(
+            "pr5_space_before_colon",
+            "POST / HTTP/1.1\r\nContent-Length : 2\r\n\r\nok",
+        ),
+        case("pr5_obs_fold_continuation", "GET / HTTP/1.1\r\n folded: v\r\n\r\n"),
+        case(
+            "pr5_transfer_encoding_chunked",
+            "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+        ),
+        case(
+            "pr5_te_cl_smuggle",
+            "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\nContent-Length: 2\r\n\r\nok",
+        ),
+        case(
+            "pr5_overlong_header_line",
+            format!("GET / HTTP/1.1\r\nx-pad: {}\r\nx-smuggled: y\r\n\r\n", "a".repeat(max_head + 10)),
+        ),
+        case(
+            "pr5_overlong_request_line",
+            format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(max_head + 10)),
+        ),
+        // -- PR 6 framing fixes (this harness's first catch) -------------
+        case(
+            "pr6_bare_cr_in_header_value",
+            "GET / HTTP/1.1\r\nx: val\rX-Smuggled: y\r\n\r\n",
+        ),
+        case("pr6_trailing_cr_run", "GET / HTTP/1.1\r\r\n\r\n"),
+        case(
+            "pr6_nul_in_header_value",
+            b"GET / HTTP/1.1\r\nx: a\x00b\r\n\r\n".to_vec(),
+        ),
+        case(
+            "pr6_connection_lines_combine",
+            "GET / HTTP/1.1\r\nConnection: keep-alive\r\nConnection: close\r\n\r\n",
+        ),
+        case(
+            "pr6_content_length_overflow",
+            "POST / HTTP/1.1\r\nContent-Length: 18446744073709551616\r\n\r\n",
+        ),
+        case(
+            "pr6_unicode_whitespace_content_length",
+            "POST / HTTP/1.1\r\nContent-Length:\u{a0}5\r\n\r\nhello",
+        ),
+        // -- Grammar probes ----------------------------------------------
+        case("double_space_request_line", "GET  / HTTP/1.1\r\n\r\n"),
+        case("missing_version", "GET /\r\n\r\n"),
+        case("http2_version", "GET / HTTP/2\r\n\r\n"),
+        case("non_origin_path", "GET x HTTP/1.1\r\n\r\n"),
+        case("empty_input", ""),
+        case("truncated_head", "GET / HT"),
+        case("truncated_body", "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+        case(
+            "body_at_limit",
+            {
+                let mut v =
+                    format!("POST / HTTP/1.1\r\nContent-Length: {max_body}\r\n\r\n").into_bytes();
+                v.extend(vec![b'x'; max_body]);
+                v
+            },
+        ),
+        case(
+            "body_over_limit",
+            format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", max_body + 1),
+        ),
+        case(
+            "pipelined_pair",
+            "POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\nokGET /metrics HTTP/1.1\r\n\r\n",
+        ),
+    ]
+}
+
+/// JSON seed corpus: the emit/parse bugs this harness caught plus the
+/// error paths the conformance suite pins.
+pub fn json_corpus() -> Vec<CorpusCase> {
+    vec![
+        case("empty_object", "{}"),
+        case("nested_doc", r#"{"b": [1, 2.5, "x"], "a": {"k": null}}"#),
+        case("u64_max", "18446744073709551615"),
+        case("i128_bounds", "[170141183460469231731687303715884105727, -170141183460469231731687303715884105728]"),
+        case("pr6_exponent_to_infinity", "1e999"),
+        case("pr6_integral_to_infinity", format!("1{}", "0".repeat(400))),
+        case("pr6_signed_hex_escape", r#""\u+041""#),
+        case("lone_high_surrogate", r#""\ud800""#),
+        case("surrogate_pair", r#""😀""#),
+        case("duplicate_keys", r#"{"a": 1, "a": 2}"#),
+        case("deep_nesting_bomb", "[".repeat(200) + &"]".repeat(200)),
+        case("leading_zero", "01"),
+        case("minus_zero", "-0"),
+        case("trailing_garbage", "[1] garbage"),
+        case("raw_control_in_string", "\"\u{1}\""),
+        case("unterminated_string", "\"unterminated"),
+    ]
+}
+
+/// Protocol seed corpus: the PR 4 truncation-cast fixes plus structural
+/// batch probes.
+pub fn proto_corpus() -> Vec<CorpusCase> {
+    vec![
+        case("minimal_valid", r#"{"model": "IRCNN", "dataset": "Kodak24"}"#),
+        case(
+            "full_valid",
+            r#"{"model": "dncnn", "dataset": "hd33", "sample": 2, "resolution": 32,
+                "seed": 9, "arch": "vaa", "scheme": "Ideal", "memory": "HBM2"}"#,
+        ),
+        case(
+            "pr4_sample_u32_wraparound",
+            r#"{"model": "IRCNN", "dataset": "Kodak24", "sample": 4294967296}"#,
+        ),
+        case(
+            "pr4_resolution_u32_wraparound",
+            r#"{"model": "IRCNN", "dataset": "Kodak24", "resolution": 4294967360}"#,
+        ),
+        case("negative_seed", r#"{"model": "IRCNN", "dataset": "Kodak24", "seed": -1}"#),
+        case("float_sample", r#"{"model": "IRCNN", "dataset": "Kodak24", "sample": 1.5}"#),
+        case("array_body", "[1]"),
+        case(
+            "batch_defaults_merge",
+            r#"{"defaults": {"model": "IRCNN", "dataset": "Kodak24"},
+                "items": [{}, {"model": "VDSR"}]}"#,
+        ),
+        case("batch_empty_items", r#"{"items": []}"#),
+        case(
+            "batch_oversized",
+            format!(r#"{{"items": [{}]}}"#, vec!["{}"; 65].join(",")),
+        ),
+        case(
+            "batch_item_wrong_type",
+            r#"{"defaults": {"model": "IRCNN", "dataset": "Kodak24"}, "items": [[1]]}"#,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn corpus_names_are_unique_within_each_target() {
+        for corpus in [http_corpus(), json_corpus(), proto_corpus()] {
+            let mut seen = HashSet::new();
+            for c in &corpus {
+                assert!(seen.insert(c.name), "duplicate corpus name {}", c.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! JSON fuzzing: a structured [`JsonValue`] generator for the
+//! differential round-trip property `parse(emit(v)) == v`, plus a byte
+//! mutator that feeds near-miss documents to `diffy_core::json::parse`
+//! asserting it never panics, keeps error offsets in bounds, and stays
+//! emit-idempotent on everything it accepts.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use diffy_core::json::{parse, JsonValue};
+
+use crate::corpus;
+
+/// Generates one structurally random [`JsonValue`] — the generator half
+/// of the differential property. Floats are always finite (non-finite
+/// values have no JSON form), integers cover the full `i128` range so
+/// `u64` cycle counts round-trip exactly, strings mix ASCII, escapes,
+/// astral-plane scalars and control characters.
+pub fn gen_value(rng: &mut StdRng, depth: usize) -> JsonValue {
+    let leaf_only = depth >= 6;
+    match rng.random_range(0..if leaf_only { 5u32 } else { 7u32 }) {
+        0 => JsonValue::Null,
+        1 => JsonValue::Bool(rng.random::<bool>()),
+        2 => JsonValue::Int(gen_int(rng)),
+        3 => JsonValue::Float(gen_finite_f64(rng)),
+        4 => JsonValue::Str(gen_string(rng)),
+        5 => {
+            let n = rng.random_range(0..4usize);
+            JsonValue::Array((0..n).map(|_| gen_value(rng, depth + 1)).collect())
+        }
+        _ => {
+            let n = rng.random_range(0..4usize);
+            JsonValue::Object(
+                (0..n)
+                    .map(|i| {
+                        // Occasional duplicate keys: the document model
+                        // preserves them, so the round trip must too.
+                        let key = if i > 0 && rng.random_range(0..8u32) == 0 {
+                            "dup".to_string()
+                        } else {
+                            gen_string(rng)
+                        };
+                        (key, gen_value(rng, depth + 1))
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+fn gen_int(rng: &mut StdRng) -> i128 {
+    match rng.random_range(0..6u32) {
+        0 => i128::from(rng.random_range(-100i64..100)),
+        1 => i128::from(rng.random::<u64>()), // full u64 range, incl. > 2^53
+        2 => i128::from(rng.random::<i64>()),
+        3 => i128::MAX - i128::from(rng.random_range(0..3u8)),
+        4 => i128::MIN + i128::from(rng.random_range(0..3u8)),
+        _ => {
+            // Around the f64-exactness cliff at 2^53.
+            let base = 1i128 << 53;
+            base + i128::from(rng.random_range(-2i64..=2))
+        }
+    }
+}
+
+fn gen_finite_f64(rng: &mut StdRng) -> f64 {
+    loop {
+        // Uniform over bit patterns reaches subnormals, extreme
+        // exponents and negative zero — the shapes shortest-roundtrip
+        // formatting has to survive.
+        let f = f64::from_bits(rng.random::<u64>());
+        if f.is_finite() {
+            return f;
+        }
+    }
+}
+
+fn gen_string(rng: &mut StdRng) -> String {
+    const POOL: &[char] =
+        &['a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{1}', '\u{1f}', 'é', 'Ж',
+            '\u{2028}', '\u{10348}', '\u{1F600}', '\u{fffd}'];
+    let n = rng.random_range(0..10usize);
+    (0..n).map(|_| POOL[rng.random_range(0..POOL.len())]).collect()
+}
+
+/// Deterministic checker repro tests call: parses `input` (lossily
+/// decoded if mutation broke UTF-8), asserting the parser contract.
+/// Returns the outcome label.
+pub fn check_input(input: &[u8]) -> String {
+    let text = String::from_utf8_lossy(input);
+    match parse(&text) {
+        Ok(v) => {
+            // Emit-idempotence: anything the parser accepts must
+            // serialize, re-parse to the same value, and re-serialize to
+            // the same bytes. This is the check that caught `1e999`
+            // parsing to an unserializable infinity.
+            let emitted = v.to_json();
+            let reparsed = parse(&emitted).unwrap_or_else(|e| {
+                panic!("emitter output failed to re-parse: {e} (doc: {emitted})")
+            });
+            assert_eq!(reparsed, v, "parse(emit(v)) != v for emitted doc {emitted}");
+            assert_eq!(reparsed.to_json(), emitted, "emit not idempotent for {emitted}");
+            if emitted.as_bytes() == input {
+                "roundtrip_exact".to_string()
+            } else {
+                "parsed_normalized".to_string()
+            }
+        }
+        Err(e) => {
+            assert!(
+                e.offset <= text.len(),
+                "error offset {} beyond input length {}",
+                e.offset,
+                text.len()
+            );
+            assert!(!e.message.is_empty(), "rejection with an empty reason");
+            "rejected".to_string()
+        }
+    }
+}
+
+/// The JSON byte-fuzz driver.
+pub struct JsonDriver;
+
+impl crate::Driver for JsonDriver {
+    fn name(&self) -> &'static str {
+        "json"
+    }
+
+    fn corpus(&self) -> Vec<(String, Vec<u8>)> {
+        corpus::json_corpus().into_iter().map(|c| (c.name.to_string(), c.input)).collect()
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<u8> {
+        let mut bytes = gen_value(rng, 0).to_json().into_bytes();
+        // Half the cases stay pristine (exact round-trip), half get
+        // byte-level damage (parser robustness).
+        for _ in 0..rng.random_range(0..=2usize) {
+            mutate(&mut bytes, rng);
+        }
+        bytes
+    }
+
+    fn check(&self, input: &[u8], _delivery: &mut StdRng) -> String {
+        check_input(input)
+    }
+}
+
+/// One byte-level mutation: truncation, byte flips, structural token
+/// splices, digit/escape corruption, slice duplication.
+pub fn mutate(bytes: &mut Vec<u8>, rng: &mut StdRng) {
+    if bytes.is_empty() {
+        bytes.extend_from_slice(b"{}");
+    }
+    match rng.random_range(0..7u32) {
+        0 => bytes.truncate(rng.random_range(0..bytes.len())),
+        1 => {
+            let i = rng.random_range(0..bytes.len());
+            bytes[i] = rng.random::<u8>();
+        }
+        2 => {
+            let i = rng.random_range(0..=bytes.len());
+            let t = *pick(rng, b"{}[]\",:\\");
+            bytes.insert(i, t);
+        }
+        3 => {
+            let i = rng.random_range(0..bytes.len());
+            bytes.remove(i);
+        }
+        4 => {
+            // Number damage: signs, exponents, leading zeros.
+            let frag = *pick(
+                rng,
+                &[b"1e999".as_slice(), b"-0", b"01", b"1e", b"--1", b".5", b"1.", b"+1"],
+            );
+            let i = rng.random_range(0..=bytes.len());
+            bytes.splice(i..i, frag.iter().copied());
+        }
+        5 => {
+            // Escape damage inside strings.
+            let frag = *pick(
+                rng,
+                &[br"\u+041".as_slice(), br"\ud800", br"\u00", br"\x41", br"\"],
+            );
+            let i = rng.random_range(0..=bytes.len());
+            bytes.splice(i..i, frag.iter().copied());
+        }
+        _ => {
+            // Duplicate a random slice (repeated members, nested bombs).
+            let a = rng.random_range(0..bytes.len());
+            let b = rng.random_range(a..=bytes.len().min(a + 32));
+            let slice: Vec<u8> = bytes[a..b].to_vec();
+            bytes.splice(a..a, slice);
+        }
+    }
+}
+
+pub(crate) fn pick<'a, T>(rng: &mut StdRng, items: &'a [T]) -> &'a T {
+    &items[rng.random_range(0..items.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_rng;
+
+    #[test]
+    fn generated_values_round_trip_exactly() {
+        for i in 0..256 {
+            let v = gen_value(&mut case_rng(21, i, 0), 0);
+            let doc = v.to_json();
+            let back = parse(&doc).unwrap_or_else(|e| panic!("emit must parse: {e} ({doc})"));
+            assert_eq!(back, v, "differential failure for {doc}");
+        }
+    }
+
+    #[test]
+    fn pristine_generator_output_classifies_as_exact_roundtrip() {
+        for i in 0..64 {
+            let doc = gen_value(&mut case_rng(22, i, 0), 0).to_json();
+            assert_eq!(check_input(doc.as_bytes()), "roundtrip_exact", "{doc}");
+        }
+    }
+
+    #[test]
+    fn u64_and_i128_bounds_survive_the_property() {
+        for v in [
+            JsonValue::Int(i128::from(u64::MAX)),
+            JsonValue::Int(i128::MAX),
+            JsonValue::Int(i128::MIN),
+            JsonValue::Int((1 << 53) + 1),
+        ] {
+            assert_eq!(parse(&v.to_json()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic() {
+        let make = |seed: u64| {
+            let mut rng = case_rng(seed, 9, 0);
+            let mut b = gen_value(&mut rng, 0).to_json().into_bytes();
+            mutate(&mut b, &mut rng);
+            b
+        };
+        assert_eq!(make(4), make(4));
+    }
+}

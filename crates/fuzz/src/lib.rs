@@ -1,0 +1,375 @@
+//! Deterministic fuzzing + conformance harness for the hand-rolled
+//! parsers: `diffy_serve::http`, `diffy_serve::protocol`, and
+//! `diffy_core::json`.
+//!
+//! PRs 4 and 5 each shipped a "framing bugfix sweep" found by reading the
+//! parsers very hard. This crate replaces that per-PR archaeology with a
+//! mechanical pin: seed-driven structured mutators throw adversarial
+//! inputs at the real entry points (`read_request_with`,
+//! `EvalRequest::from_json`, `json::parse`) and assert the parser
+//! *contract* — no panic, bounded reads, and every input lands in a
+//! classified outcome (parsed / 400-class reject / 413 / severed) — while
+//! RFC 9112 / JSON conformance tables and a `parse ∘ emit = id`
+//! differential property pin the behaviour of everything the fuzzers ever
+//! caught.
+//!
+//! # Determinism
+//!
+//! Everything is reproducible from `(target, seed, iteration)`:
+//!
+//! * Each iteration derives its own generator RNG and its own delivery
+//!   RNG from the run seed via a SplitMix64 mix ([`case_rng`]), so case
+//!   *i* is byte-identical no matter how many other cases ran, in which
+//!   order, or whether a time cap cut the run short.
+//! * Input bytes fold into a running FNV-1a fingerprint recorded in the
+//!   [`FuzzReport`]; two runs with the same config must produce equal
+//!   reports (`tests/fuzz_determinism.rs` asserts it).
+//! * A failing case prints itself as a ready-to-paste `#[test]` with the
+//!   input inlined as a byte-string literal — no corpus file required to
+//!   reproduce, the repro *is* the regression test.
+//!
+//! # Budget
+//!
+//! Iteration counts come from the caller or `DIFFY_FUZZ_ITERS`; a wall
+//! clock cap (`DIFFY_FUZZ_TIME_CAP_MS`) bounds CI latency. A truncated
+//! run is marked in the report but stays deterministic per-case.
+//!
+//! # Entry points
+//!
+//! * `cargo run -p diffy-fuzz --bin fuzz -- all` (or `make fuzz`) — the
+//!   standalone drivers, with failing inputs written to disk.
+//! * `cargo test -p diffy-fuzz` (or `make fuzz-smoke`) — the bounded
+//!   smoke pass CI runs: every driver, the conformance tables, the
+//!   round-trip property and the determinism gate.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod corpus;
+pub mod http;
+pub mod json;
+pub mod proto;
+
+/// Default iteration budget when neither the caller nor
+/// `DIFFY_FUZZ_ITERS` says otherwise: small enough to keep `cargo test`
+/// fast, large enough to exercise every mutation class.
+pub const DEFAULT_ITERS: u64 = 256;
+
+/// Run parameters for one fuzz driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzConfig {
+    /// Base seed; every case RNG derives from it.
+    pub seed: u64,
+    /// Generated iterations (the seed corpus always runs in addition).
+    pub iters: u64,
+    /// Wall-clock cap; exceeding it truncates the run (recorded in the
+    /// report) instead of failing it.
+    pub time_cap: Option<Duration>,
+}
+
+impl FuzzConfig {
+    /// A config from the environment: `DIFFY_FUZZ_ITERS` (default
+    /// `default_iters`), `DIFFY_FUZZ_SEED` (default `0xD1FF`), and
+    /// `DIFFY_FUZZ_TIME_CAP_MS` (default none).
+    pub fn from_env(default_iters: u64) -> FuzzConfig {
+        let parse_u64 = |name: &str| -> Option<u64> {
+            std::env::var(name).ok().and_then(|v| v.parse().ok())
+        };
+        FuzzConfig {
+            seed: parse_u64("DIFFY_FUZZ_SEED").unwrap_or(0xD1FF),
+            iters: parse_u64("DIFFY_FUZZ_ITERS").unwrap_or(default_iters),
+            time_cap: parse_u64("DIFFY_FUZZ_TIME_CAP_MS").map(Duration::from_millis),
+        }
+    }
+}
+
+/// The RNG for one case: run seed and iteration mixed through SplitMix64
+/// so neighbouring iterations get uncorrelated streams, plus a `lane` so
+/// input *generation* (lane 0) and input *delivery* — chunk sizes, tick
+/// schedules (lane 1) — draw from independent streams. Lane separation is
+/// what lets a repro reconstruct the exact input bytes without replaying
+/// the delivery schedule.
+pub fn case_rng(seed: u64, iteration: u64, lane: u64) -> StdRng {
+    let mut x = seed ^ iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ lane.rotate_left(32);
+    // One SplitMix64 round decorrelates the lanes before seeding.
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(x ^ (x >> 31))
+}
+
+/// 64-bit FNV-1a over `bytes`, chained from `acc` — the running input
+/// fingerprint in a [`FuzzReport`].
+pub fn fnv1a(mut acc: u64, bytes: &[u8]) -> u64 {
+    if acc == 0 {
+        acc = 0xcbf2_9ce4_8422_2325;
+    }
+    for &b in bytes {
+        acc ^= u64::from(b);
+        acc = acc.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    acc
+}
+
+/// One parser-contract violation: the input that did it and how to
+/// reproduce it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailingCase {
+    /// Driver name (`http` / `json` / `protocol`).
+    pub target: &'static str,
+    /// Run seed the case derives from.
+    pub seed: u64,
+    /// Case id: `iter=N` for generated cases, `corpus=<name>` for seed
+    /// corpus entries.
+    pub case: String,
+    /// The exact input bytes fed to the parser.
+    pub input: Vec<u8>,
+    /// The panic (or assertion) message the case died with.
+    pub panic_msg: String,
+}
+
+impl FailingCase {
+    /// Renders a ready-to-paste `#[test]` reproducing this failure: the
+    /// input inlined as a byte-string literal, fed to the same driver
+    /// check the fuzzer ran. Paste it next to the parser's other
+    /// regression tests, fix, keep.
+    pub fn regression_test(&self) -> String {
+        let slug: String = self
+            .case
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        format!(
+            "// ---- ready-to-paste regression test (diffy-fuzz) ----\n\
+             // reproduces: target={} seed={:#x} {}\n\
+             // panicked with: {}\n\
+             #[test]\n\
+             fn fuzz_regression_{}_{}() {{\n\
+             \x20   let input: &[u8] = {};\n\
+             \x20   // Must classify cleanly (no panic, bounded reads):\n\
+             \x20   diffy_fuzz::{}::check_input(input);\n\
+             }}\n",
+            self.target,
+            self.seed,
+            self.case,
+            self.panic_msg.replace('\n', " / "),
+            self.target,
+            slug,
+            rust_byte_string(&self.input),
+            module_for(self.target),
+        )
+    }
+}
+
+fn module_for(target: &str) -> &'static str {
+    match target {
+        "http" => "http",
+        "json" => "json",
+        _ => "proto",
+    }
+}
+
+/// Escapes `bytes` as a Rust byte-string literal (`b"..."`).
+pub fn rust_byte_string(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() + 16);
+    out.push_str("b\"");
+    for &b in bytes {
+        match b {
+            b'"' => out.push_str("\\\""),
+            b'\\' => out.push_str("\\\\"),
+            b'\n' => out.push_str("\\n"),
+            b'\r' => out.push_str("\\r"),
+            b'\t' => out.push_str("\\t"),
+            0x20..=0x7e => out.push(b as char),
+            _ => out.push_str(&format!("\\x{b:02x}")),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// What one fuzz run did: outcome census, input fingerprint, failures.
+///
+/// Two runs with equal `(driver, FuzzConfig)` and no time-cap truncation
+/// must compare equal — the bit-determinism contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzReport {
+    /// Driver name.
+    pub target: &'static str,
+    /// Seed the run derived from.
+    pub seed: u64,
+    /// Generated iterations actually run (excludes corpus entries).
+    pub iters_run: u64,
+    /// Whether the time cap cut the run short.
+    pub truncated: bool,
+    /// Cases per outcome label (e.g. `parsed`, `reject_400`, `severed`).
+    pub outcomes: BTreeMap<String, u64>,
+    /// Chained FNV-1a over every input fed to the parser, corpus first.
+    pub input_fingerprint: u64,
+    /// Contract violations, in discovery order.
+    pub failures: Vec<FailingCase>,
+}
+
+impl FuzzReport {
+    /// Total cases fed to the parser, corpus entries included.
+    pub fn cases(&self) -> u64 {
+        self.outcomes.values().sum::<u64>() + self.failures.len() as u64
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        let outcomes: Vec<String> =
+            self.outcomes.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        format!(
+            "[{}] seed={:#x} cases={} fingerprint={:#018x}{}{} {}",
+            self.target,
+            self.seed,
+            self.cases(),
+            self.input_fingerprint,
+            if self.truncated { " (time-capped)" } else { "" },
+            if self.failures.is_empty() {
+                String::new()
+            } else {
+                format!(" FAILURES={}", self.failures.len())
+            },
+            outcomes.join(" "),
+        )
+    }
+}
+
+/// One fuzz driver: a seed corpus, an input generator, and a checker that
+/// feeds an input to the real parser asserting the parser contract.
+/// Panics inside `check` are the failure signal — the runner catches
+/// them, records the input, and keeps going.
+pub trait Driver {
+    /// Driver name, used in reports and repro tests.
+    fn name(&self) -> &'static str;
+    /// Named seed-corpus entries (every historical framing fix lives
+    /// here); run before the generated cases on every run.
+    fn corpus(&self) -> Vec<(String, Vec<u8>)>;
+    /// Generates one input from the lane-0 RNG.
+    fn generate(&self, rng: &mut StdRng) -> Vec<u8>;
+    /// Feeds `input` to the parser under test, classifying the outcome.
+    /// The lane-1 RNG drives delivery (chunking, tick schedules) only.
+    fn check(&self, input: &[u8], delivery: &mut StdRng) -> String;
+}
+
+/// Runs `driver` under `cfg`: corpus first, then generated cases until
+/// the iteration budget or time cap is exhausted.
+pub fn run_driver(driver: &dyn Driver, cfg: &FuzzConfig) -> FuzzReport {
+    let started = Instant::now();
+    let mut report = FuzzReport {
+        target: driver.name(),
+        seed: cfg.seed,
+        iters_run: 0,
+        truncated: false,
+        outcomes: BTreeMap::new(),
+        input_fingerprint: 0,
+        failures: Vec::new(),
+    };
+    for (name, input) in driver.corpus() {
+        let mut delivery = case_rng(cfg.seed, fnv1a(0, name.as_bytes()), 1);
+        run_case(driver, &mut report, format!("corpus={name}"), input, &mut delivery);
+    }
+    for i in 0..cfg.iters {
+        if let Some(cap) = cfg.time_cap {
+            if started.elapsed() > cap {
+                report.truncated = true;
+                break;
+            }
+        }
+        let input = driver.generate(&mut case_rng(cfg.seed, i, 0));
+        let mut delivery = case_rng(cfg.seed, i, 1);
+        run_case(driver, &mut report, format!("iter={i}"), input, &mut delivery);
+        report.iters_run += 1;
+    }
+    report
+}
+
+fn run_case(
+    driver: &dyn Driver,
+    report: &mut FuzzReport,
+    case: String,
+    input: Vec<u8>,
+    delivery: &mut StdRng,
+) {
+    report.input_fingerprint = fnv1a(report.input_fingerprint, &input);
+    match panic::catch_unwind(AssertUnwindSafe(|| driver.check(&input, delivery))) {
+        Ok(label) => *report.outcomes.entry(label).or_insert(0) += 1,
+        Err(payload) => {
+            let panic_msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            report.failures.push(FailingCase {
+                target: driver.name(),
+                seed: report.seed,
+                case,
+                input,
+                panic_msg,
+            });
+        }
+    }
+}
+
+/// Every driver, in fixed order — what `fuzz all` and the smoke tests
+/// run.
+pub fn all_drivers() -> Vec<Box<dyn Driver>> {
+    vec![
+        Box::new(http::HttpDriver),
+        Box::new(json::JsonDriver),
+        Box::new(proto::ProtoDriver),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_rng_lanes_and_iterations_are_decorrelated() {
+        use rand::RngExt;
+        let a = case_rng(7, 0, 0).random::<u64>();
+        let b = case_rng(7, 0, 1).random::<u64>();
+        let c = case_rng(7, 1, 0).random::<u64>();
+        let d = case_rng(8, 0, 0).random::<u64>();
+        assert!(a != b && a != c && a != d, "{a} {b} {c} {d}");
+        // …and stable across calls.
+        assert_eq!(a, case_rng(7, 0, 0).random::<u64>());
+    }
+
+    #[test]
+    fn byte_string_literal_round_trips_through_rustc_rules() {
+        assert_eq!(rust_byte_string(b"GET / HTTP/1.1\r\n"), r#"b"GET / HTTP/1.1\r\n""#);
+        assert_eq!(rust_byte_string(b"\x00\xff\"\\"), r#"b"\x00\xff\"\\""#);
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive_and_nonzero() {
+        let ab = fnv1a(fnv1a(0, b"a"), b"b");
+        let ba = fnv1a(fnv1a(0, b"b"), b"a");
+        assert_ne!(ab, ba);
+        assert_ne!(ab, 0);
+    }
+
+    #[test]
+    fn regression_test_rendering_is_pasteable() {
+        let case = FailingCase {
+            target: "http",
+            seed: 0xD1FF,
+            case: "iter=3".to_string(),
+            input: b"GET /\x00 HTTP/1.1\r\n\r\n".to_vec(),
+            panic_msg: "boom".to_string(),
+        };
+        let test = case.regression_test();
+        assert!(test.contains("fn fuzz_regression_http_iter_3()"), "{test}");
+        assert!(test.contains(r#"b"GET /\x00 HTTP/1.1\r\n\r\n""#), "{test}");
+        assert!(test.contains("diffy_fuzz::http::check_input(input);"), "{test}");
+    }
+}

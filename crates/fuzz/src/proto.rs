@@ -1,0 +1,269 @@
+//! Protocol-object fuzzing: build evaluation-request JSON documents with
+//! mutated field types and ranges, feed them to
+//! [`EvalRequest::from_json`] and [`BatchRequest::from_json`], and assert
+//! validation never panics, every rejection carries a reason, and every
+//! accepted request satisfies the documented range invariants.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use diffy_core::json::{parse, JsonValue};
+use diffy_serve::protocol::{
+    BatchRequest, EvalRequest, MAX_BATCH_ITEMS, MAX_RESOLUTION, MIN_RESOLUTION,
+};
+
+use crate::corpus;
+
+/// Deterministic checker repro tests call: parses `input` as JSON (the
+/// generator only emits valid JSON, but mutated corpus entries may not
+/// be) and runs both request parsers over it, asserting the validation
+/// contract. Returns the outcome label.
+pub fn check_input(input: &[u8]) -> String {
+    let text = String::from_utf8_lossy(input);
+    let Ok(v) = parse(&text) else {
+        return "not_json".to_string();
+    };
+    let single = EvalRequest::from_json(&v);
+    let batch = BatchRequest::from_json(&v);
+    if let Ok(req) = &single {
+        assert!(
+            (MIN_RESOLUTION..=MAX_RESOLUTION).contains(&req.resolution),
+            "accepted out-of-range resolution {}",
+            req.resolution
+        );
+        assert!(
+            req.sample < req.dataset.samples(),
+            "accepted out-of-range sample {} for {}",
+            req.sample,
+            req.dataset
+        );
+        // The derived option structs must be constructible for anything
+        // validation accepted.
+        let _ = req.workload();
+        let _ = req.eval_options();
+    }
+    if let Err(reason) = &single {
+        assert!(!reason.is_empty(), "single rejection with an empty reason");
+    }
+    match &batch {
+        Ok(b) => {
+            assert!(
+                !b.items.is_empty() && b.items.len() <= MAX_BATCH_ITEMS,
+                "accepted batch with {} items",
+                b.items.len()
+            );
+            for item in &b.items {
+                if let Err(reason) = item {
+                    assert!(!reason.is_empty(), "batch item rejection with an empty reason");
+                }
+            }
+        }
+        Err(reason) => {
+            assert!(!reason.is_empty(), "batch rejection with an empty reason");
+        }
+    }
+    match (single.is_ok(), batch.is_ok()) {
+        (true, _) => "single_ok".to_string(),
+        (false, true) => "batch_ok".to_string(),
+        (false, false) => "rejected".to_string(),
+    }
+}
+
+/// The protocol-object driver.
+pub struct ProtoDriver;
+
+impl crate::Driver for ProtoDriver {
+    fn name(&self) -> &'static str {
+        "protocol"
+    }
+
+    fn corpus(&self) -> Vec<(String, Vec<u8>)> {
+        corpus::proto_corpus().into_iter().map(|c| (c.name.to_string(), c.input)).collect()
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<u8> {
+        let doc = if rng.random_range(0..4u32) == 0 {
+            gen_batch_body(rng)
+        } else {
+            gen_eval_body(rng)
+        };
+        doc.to_json().into_bytes()
+    }
+
+    fn check(&self, input: &[u8], _delivery: &mut StdRng) -> String {
+        check_input(input)
+    }
+}
+
+fn pick<'a, T>(rng: &mut StdRng, items: &'a [T]) -> &'a T {
+    &items[rng.random_range(0..items.len())]
+}
+
+/// A request body mixing valid values, invalid values, wrong types and
+/// boundary numbers, field by field.
+pub fn gen_eval_body(rng: &mut StdRng) -> JsonValue {
+    // Occasionally a non-object body.
+    if rng.random_range(0..16u32) == 0 {
+        return gen_wrong_type(rng);
+    }
+    let mut members: Vec<(String, JsonValue)> = Vec::new();
+    let field = |name: &str, members: &mut Vec<(String, JsonValue)>, v: JsonValue| {
+        members.push((name.to_string(), v));
+    };
+    if rng.random_range(0..8u32) != 0 {
+        field("model", &mut members, gen_name_field(rng, &["IRCNN", "DnCNN", "FFDNet", "JointNet", "VDSR", "ircnn", "nope", ""]));
+    }
+    if rng.random_range(0..8u32) != 0 {
+        field("dataset", &mut members, gen_name_field(rng, &["Kodak24", "HD33", "hd33", "McM18", "bogus", ""]));
+    }
+    if rng.random::<bool>() {
+        field("sample", &mut members, gen_numeric_field(rng, &[0, 1, 17, 23, 24, 1 << 32, u64::MAX as i128, -1, (1 << 32) + 5]));
+    }
+    if rng.random::<bool>() {
+        field(
+            "resolution",
+            &mut members,
+            gen_numeric_field(
+                rng,
+                &[
+                    MIN_RESOLUTION as i128 - 1,
+                    MIN_RESOLUTION as i128,
+                    64,
+                    MAX_RESOLUTION as i128,
+                    MAX_RESOLUTION as i128 + 1,
+                    (1 << 32) + 64,
+                    -64,
+                ],
+            ),
+        );
+    }
+    if rng.random::<bool>() {
+        field("seed", &mut members, gen_numeric_field(rng, &[0, 1, u64::MAX as i128, u64::MAX as i128 + 1, -1]));
+    }
+    if rng.random::<bool>() {
+        field("arch", &mut members, gen_name_field(rng, &["Diffy", "VAA", "PRA", "SCNN", "scnn", "TPU", ""]));
+    }
+    if rng.random::<bool>() {
+        field("scheme", &mut members, gen_name_field(rng, &["DeltaD16", "RawD16", "Profiled", "Ideal", "NoCompression", "deltad16", "zip"]));
+    }
+    if rng.random::<bool>() {
+        field("memory", &mut members, gen_name_field(rng, &["DDR4-3200", "HBM2", "HBM3", "ddr4-3200", "SRAM"]));
+    }
+    if rng.random_range(0..4u32) == 0 {
+        field("deadline_ms", &mut members, gen_numeric_field(rng, &[0, 50, u64::MAX as i128, -5]));
+    }
+    if rng.random_range(0..8u32) == 0 {
+        field(&format!("x_{}", rng.random_range(0..99u32)), &mut members, gen_wrong_type(rng));
+    }
+    JsonValue::Object(members)
+}
+
+/// A batch body: defaults + items, with structural damage mixed in.
+pub fn gen_batch_body(rng: &mut StdRng) -> JsonValue {
+    let mut members: Vec<(String, JsonValue)> = Vec::new();
+    match rng.random_range(0..4u32) {
+        0 => {}
+        1 => members.push(("defaults".to_string(), gen_eval_body(rng))),
+        2 => members.push(("defaults".to_string(), gen_wrong_type(rng))),
+        _ => members.push((
+            "defaults".to_string(),
+            JsonValue::object(vec![
+                ("model", JsonValue::from("IRCNN")),
+                ("dataset", JsonValue::from("Kodak24")),
+            ]),
+        )),
+    }
+    let items = match rng.random_range(0..6u32) {
+        0 => None,
+        1 => Some(JsonValue::Array(Vec::new())),
+        2 => Some(gen_wrong_type(rng)),
+        3 => {
+            let n = rng.random_range(MAX_BATCH_ITEMS..MAX_BATCH_ITEMS + 3);
+            Some(JsonValue::Array(vec![JsonValue::Object(Vec::new()); n + 1]))
+        }
+        _ => {
+            let n = rng.random_range(1..5usize);
+            Some(JsonValue::Array(
+                (0..n)
+                    .map(|_| {
+                        if rng.random_range(0..5u32) == 0 {
+                            gen_wrong_type(rng)
+                        } else {
+                            gen_eval_body(rng)
+                        }
+                    })
+                    .collect(),
+            ))
+        }
+    };
+    if let Some(items) = items {
+        members.push(("items".to_string(), items));
+    }
+    if rng.random_range(0..4u32) == 0 {
+        members.push(("deadline_ms".to_string(), gen_numeric_field(rng, &[100, -1, u64::MAX as i128])));
+    }
+    JsonValue::Object(members)
+}
+
+/// A value for a name-vocabulary field: usually a string from `pool`
+/// (valid and invalid spellings), sometimes a wrong type outright.
+fn gen_name_field(rng: &mut StdRng, pool: &[&str]) -> JsonValue {
+    if rng.random_range(0..6u32) == 0 {
+        gen_wrong_type(rng)
+    } else {
+        JsonValue::from(*pick(rng, pool))
+    }
+}
+
+/// A value for a numeric field: boundary integers from `pool`, floats,
+/// or a wrong type.
+fn gen_numeric_field(rng: &mut StdRng, pool: &[i128]) -> JsonValue {
+    match rng.random_range(0..8u32) {
+        0 => JsonValue::Float(*pick(rng, &[0.5, -1.5, 64.0, 1e18])),
+        1 => gen_wrong_type(rng),
+        _ => JsonValue::Int(*pick(rng, pool)),
+    }
+}
+
+/// A structurally wrong value for any field.
+fn gen_wrong_type(rng: &mut StdRng) -> JsonValue {
+    match rng.random_range(0..6u32) {
+        0 => JsonValue::Null,
+        1 => JsonValue::Bool(rng.random::<bool>()),
+        2 => JsonValue::Array(vec![JsonValue::Int(1)]),
+        3 => JsonValue::Object(vec![("k".to_string(), JsonValue::Null)]),
+        4 => JsonValue::Str("not-a-number".to_string()),
+        _ => JsonValue::Int(i128::from(rng.random::<i64>())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_rng;
+    use crate::Driver;
+
+    #[test]
+    fn generator_emits_valid_json_and_checker_classifies() {
+        for i in 0..128 {
+            let input = ProtoDriver.generate(&mut case_rng(31, i, 0));
+            let label = check_input(&input);
+            assert_ne!(label, "not_json", "{}", String::from_utf8_lossy(&input));
+        }
+    }
+
+    #[test]
+    fn fully_valid_bodies_classify_single_ok() {
+        let input = br#"{"model": "IRCNN", "dataset": "Kodak24", "resolution": 64}"#;
+        assert_eq!(check_input(input), "single_ok");
+    }
+
+    #[test]
+    fn boundary_resolutions_obey_the_range_invariant() {
+        for (res, ok) in [(15u64, false), (16, true), (512, true), (513, false)] {
+            let body = format!(r#"{{"model": "IRCNN", "dataset": "Kodak24", "resolution": {res}}}"#);
+            let label = check_input(body.as_bytes());
+            assert_eq!(label == "single_ok", ok, "resolution {res} → {label}");
+        }
+    }
+}

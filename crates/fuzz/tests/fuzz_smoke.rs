@@ -1,0 +1,57 @@
+//! The bounded smoke pass CI runs: every driver, corpus + generated
+//! cases, budget controlled by `DIFFY_FUZZ_ITERS` / `DIFFY_FUZZ_SEED` /
+//! `DIFFY_FUZZ_TIME_CAP_MS`. On a contract violation the failure
+//! message carries a ready-to-paste regression test naming the exact
+//! input, so a red CI run is directly actionable.
+
+use diffy_fuzz::{all_drivers, run_driver, FuzzConfig};
+
+#[test]
+fn all_drivers_run_clean_within_the_budget() {
+    let cfg = FuzzConfig::from_env(diffy_fuzz::DEFAULT_ITERS);
+    for driver in all_drivers() {
+        let report = run_driver(driver.as_ref(), &cfg);
+        println!("{}", report.summary());
+        if !report.failures.is_empty() {
+            let rendered: Vec<String> =
+                report.failures.iter().map(|f| f.regression_test()).collect();
+            panic!(
+                "{} contract violation(s) in driver {}:\n\n{}",
+                report.failures.len(),
+                report.target,
+                rendered.join("\n\n")
+            );
+        }
+        // The smoke pass must actually exercise the parsers: at minimum
+        // every corpus entry ran, and at least one outcome was recorded.
+        assert!(report.iters_run > 0 || report.truncated, "{} ran nothing", report.target);
+        assert!(!report.outcomes.is_empty(), "{} recorded no outcomes", report.target);
+    }
+}
+
+#[test]
+fn same_seed_runs_are_bit_identical() {
+    // The determinism gate: two runs with the same config produce the
+    // same outcome census, the same input fingerprint, and the same
+    // failures. Time caps are excluded — wall clock is the one
+    // non-deterministic input, so the gate pins iteration count instead.
+    let cfg = FuzzConfig { seed: 0xD1FF, iters: 64, time_cap: None };
+    for driver in all_drivers() {
+        let a = run_driver(driver.as_ref(), &cfg);
+        let b = run_driver(driver.as_ref(), &cfg);
+        assert_eq!(a, b, "driver {} is not deterministic", driver.name());
+    }
+}
+
+#[test]
+fn different_seeds_explore_different_inputs() {
+    for driver in all_drivers() {
+        let a = run_driver(driver.as_ref(), &FuzzConfig { seed: 1, iters: 32, time_cap: None });
+        let b = run_driver(driver.as_ref(), &FuzzConfig { seed: 2, iters: 32, time_cap: None });
+        assert_ne!(
+            a.input_fingerprint, b.input_fingerprint,
+            "driver {} ignores the seed",
+            driver.name()
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! RFC 9112 conformance table for `diffy_serve::http::read_request`.
+//!
+//! Every seed-corpus entry (including each historical PR 4/5/6 framing
+//! fix) must land on its pinned classification, and an exhaustiveness
+//! gate fails the suite if a corpus entry ever lacks an expectation —
+//! adding a fix to the corpus without pinning it here is an error.
+
+use std::io::{BufReader, Cursor};
+
+use diffy_fuzz::corpus::http_corpus;
+use diffy_serve::http::{read_request, ReadError, Request};
+
+/// Pinned classification for one conformance case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Expect {
+    /// Parses; (method, path, keep_alive after the parse).
+    Ok(&'static str, &'static str, bool),
+    /// Clean rejection with this status.
+    Reject(u16),
+    /// Clean EOF before any byte: the idle end of a connection.
+    Idle,
+    /// Connection died mid-request.
+    Severed,
+}
+
+/// name → expectation for every corpus entry. Names must match
+/// `corpus::http_corpus` exactly; the exhaustiveness test enforces it.
+fn expectations() -> Vec<(&'static str, Expect)> {
+    use Expect::*;
+    vec![
+        ("get_simple", Ok("GET", "/metrics", true)),
+        ("post_with_body", Ok("POST", "/evaluate", true)),
+        ("http10_one_shot", Ok("GET", "/", false)),
+        ("leading_blank_lines", Ok("GET", "/", true)),
+        ("bare_lf_terminators", Ok("GET", "/", true)),
+        ("ows_around_header_value", Ok("GET", "/", true)),
+        ("pr4_conflicting_content_lengths", Reject(400)),
+        ("pr4_repeated_identical_content_lengths", Ok("POST", "/", true)),
+        ("pr4_signed_content_length", Reject(400)),
+        ("pr4_nondigit_content_length", Reject(400)),
+        ("pr5_space_in_header_name", Reject(400)),
+        ("pr5_space_before_colon", Reject(400)),
+        ("pr5_obs_fold_continuation", Reject(400)),
+        ("pr5_transfer_encoding_chunked", Reject(400)),
+        ("pr5_te_cl_smuggle", Reject(400)),
+        ("pr5_overlong_header_line", Reject(413)),
+        ("pr5_overlong_request_line", Reject(413)),
+        ("pr6_bare_cr_in_header_value", Reject(400)),
+        ("pr6_trailing_cr_run", Reject(400)),
+        ("pr6_nul_in_header_value", Reject(400)),
+        ("pr6_connection_lines_combine", Ok("GET", "/", false)),
+        ("pr6_content_length_overflow", Reject(413)),
+        ("pr6_unicode_whitespace_content_length", Reject(400)),
+        ("double_space_request_line", Reject(400)),
+        ("missing_version", Reject(400)),
+        ("http2_version", Reject(400)),
+        ("non_origin_path", Reject(400)),
+        ("empty_input", Idle),
+        ("truncated_head", Severed),
+        ("truncated_body", Severed),
+        ("body_at_limit", Ok("POST", "/", true)),
+        ("body_over_limit", Reject(413)),
+        ("pipelined_pair", Ok("POST", "/", true)),
+    ]
+}
+
+fn classify(input: &[u8]) -> (Expect, Option<Request>) {
+    match read_request(&mut BufReader::new(Cursor::new(input.to_vec()))) {
+        Ok(Ok(req)) => (Expect::Ok("", "", req.keep_alive()), Some(req)),
+        Ok(Err(bad)) => (Expect::Reject(bad.status), None),
+        Err(ReadError::Idle) => (Expect::Idle, None),
+        Err(ReadError::Io(_)) => (Expect::Severed, None),
+    }
+}
+
+#[test]
+fn conformance_table_pins_every_corpus_entry() {
+    let expectations = expectations();
+    for case in http_corpus() {
+        let want = expectations
+            .iter()
+            .find(|(name, _)| *name == case.name)
+            .unwrap_or_else(|| panic!("corpus entry {} has no pinned expectation", case.name))
+            .1;
+        let (got, req) = classify(&case.input);
+        match want {
+            Expect::Ok(method, path, keep_alive) => {
+                let req = req.unwrap_or_else(|| panic!("{}: expected parse, got {got:?}", case.name));
+                assert_eq!(req.method, method, "{}", case.name);
+                assert_eq!(req.path, path, "{}", case.name);
+                assert_eq!(req.keep_alive(), keep_alive, "{}", case.name);
+            }
+            other => assert_eq!(got, other, "{}", case.name),
+        }
+    }
+}
+
+#[test]
+fn expectations_have_no_orphans() {
+    // The reverse gate: an expectation whose corpus entry was renamed or
+    // deleted is as suspicious as an unpinned entry.
+    let names: Vec<&str> = http_corpus().iter().map(|c| c.name).collect();
+    for (name, _) in expectations() {
+        assert!(names.contains(&name), "expectation {name} has no corpus entry");
+    }
+}
+
+#[test]
+fn rfc9112_request_line_forms() {
+    // Beyond the corpus: the request-line grammar row by row.
+    let cases: Vec<(&str, Expect)> = vec![
+        ("GET / HTTP/1.1\r\n\r\n", Expect::Ok("GET", "/", true)),
+        ("get / HTTP/1.1\r\n\r\n", Expect::Ok("get", "/", true)), // methods are case-sensitive tokens
+        ("GET /a/b?q=1 HTTP/1.1\r\n\r\n", Expect::Ok("GET", "/a/b?q=1", true)),
+        ("GET / HTTP/1.1 \r\n\r\n", Expect::Reject(400)), // trailing SP = 4th part
+        (" GET / HTTP/1.1\r\n\r\n", Expect::Reject(400)),
+        ("GET\t/ HTTP/1.1\r\n\r\n", Expect::Reject(400)), // tab is not the SP separator
+        ("GET * HTTP/1.1\r\n\r\n", Expect::Reject(400)),  // asterisk-form unsupported
+        ("GET http://h/ HTTP/1.1\r\n\r\n", Expect::Reject(400)), // absolute-form unsupported
+        ("HTTP/1.1 200 OK\r\n\r\n", Expect::Reject(400)), // a response is not a request
+        ("GET / HTTP/1.2\r\n\r\n", Expect::Reject(400)),
+        ("GET / http/1.1\r\n\r\n", Expect::Reject(400)), // version is case-sensitive
+    ];
+    for (raw, want) in cases {
+        let (got, req) = classify(raw.as_bytes());
+        match want {
+            Expect::Ok(method, path, _) => {
+                let req = req.unwrap_or_else(|| panic!("{raw:?}: expected parse, got {got:?}"));
+                assert_eq!((req.method.as_str(), req.path.as_str()), (method, path), "{raw:?}");
+            }
+            other => assert_eq!(got, other, "{raw:?}"),
+        }
+    }
+}
+
+#[test]
+fn rfc9110_connection_token_semantics() {
+    let cases = [
+        ("GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false),
+        ("GET / HTTP/1.1\r\nConnection: CLOSE\r\n\r\n", false),
+        ("GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n", false),
+        ("GET / HTTP/1.1\r\nConnection: upgrade\r\n\r\n", true),
+        ("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n", true),
+        ("GET / HTTP/1.0\r\nConnection: foo, keep-alive\r\n\r\n", true),
+        ("GET / HTTP/1.0\r\n\r\n", false),
+        // Repeated field lines combine (the PR 6 fix).
+        ("GET / HTTP/1.1\r\nConnection: keep-alive\r\nConnection: close\r\n\r\n", false),
+        ("GET / HTTP/1.0\r\nConnection: a\r\nConnection: keep-alive\r\n\r\n", true),
+    ];
+    for (raw, want) in cases {
+        let (_, req) = classify(raw.as_bytes());
+        let req = req.unwrap_or_else(|| panic!("{raw:?} must parse"));
+        assert_eq!(req.keep_alive(), want, "{raw:?}");
+    }
+}
+
+#[test]
+fn rfc9112_content_length_rules() {
+    use diffy_serve::http::MAX_BODY_BYTES;
+    let reject: Vec<(String, u16)> = vec![
+        ("POST / HTTP/1.1\r\nContent-Length: +2\r\n\r\nok".into(), 400),
+        ("POST / HTTP/1.1\r\nContent-Length: -2\r\n\r\nok".into(), 400),
+        ("POST / HTTP/1.1\r\nContent-Length: 2 2\r\n\r\nok".into(), 400),
+        ("POST / HTTP/1.1\r\nContent-Length: 2.0\r\n\r\nok".into(), 400),
+        ("POST / HTTP/1.1\r\nContent-Length:\r\n\r\n".into(), 400),
+        ("POST / HTTP/1.1\r\nContent-Length: 2,2\r\n\r\nok".into(), 400),
+        (format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1), 413),
+        ("POST / HTTP/1.1\r\nContent-Length: 340282366920938463463374607431768211456\r\n\r\n"
+            .into(), 413),
+    ];
+    for (raw, status) in reject {
+        let (got, _) = classify(raw.as_bytes());
+        assert_eq!(got, Expect::Reject(status), "{raw:?}");
+    }
+    // Zero-length body parses to an empty body, leaving the stream
+    // aligned for the next request.
+    let raw = b"POST / HTTP/1.1\r\nContent-Length: 0\r\n\r\nGET /n HTTP/1.1\r\n\r\n";
+    let mut reader = BufReader::new(Cursor::new(raw.to_vec()));
+    let first = read_request(&mut reader).unwrap().unwrap();
+    assert!(first.body.is_empty());
+    let second = read_request(&mut reader).unwrap().unwrap();
+    assert_eq!(second.path, "/n");
+}

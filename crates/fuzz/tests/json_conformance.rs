@@ -1,0 +1,76 @@
+//! Conformance table for `diffy_core::json`: every seed-corpus entry is
+//! pinned to accept/reject, with exact values where the distinction
+//! matters (u64-exact integers, duplicate keys, `-0`).
+
+use diffy_core::json::{parse, JsonValue};
+use diffy_fuzz::corpus::json_corpus;
+
+/// Pinned classification: parses (and optionally to this exact value),
+/// or is rejected.
+enum Expect {
+    Ok(Option<JsonValue>),
+    Reject,
+}
+
+fn expectations() -> Vec<(&'static str, Expect)> {
+    use Expect::*;
+    vec![
+        ("empty_object", Ok(Some(JsonValue::Object(Vec::new())))),
+        ("nested_doc", Ok(None)),
+        ("u64_max", Ok(Some(JsonValue::Int(i128::from(u64::MAX))))),
+        ("i128_bounds", Ok(Some(JsonValue::Array(vec![
+            JsonValue::Int(i128::MAX),
+            JsonValue::Int(i128::MIN),
+        ])))),
+        ("pr6_exponent_to_infinity", Reject),
+        ("pr6_integral_to_infinity", Reject),
+        ("pr6_signed_hex_escape", Reject),
+        ("lone_high_surrogate", Reject),
+        ("surrogate_pair", Ok(Some(JsonValue::Str("😀".to_string())))),
+        ("duplicate_keys", Ok(Some(JsonValue::Object(vec![
+            ("a".to_string(), JsonValue::Int(1)),
+            ("a".to_string(), JsonValue::Int(2)),
+        ])))),
+        ("deep_nesting_bomb", Reject),
+        ("leading_zero", Reject),
+        ("minus_zero", Ok(Some(JsonValue::Int(0)))),
+        ("trailing_garbage", Reject),
+        ("raw_control_in_string", Reject),
+        ("unterminated_string", Reject),
+    ]
+}
+
+#[test]
+fn conformance_table_pins_every_corpus_entry() {
+    let expectations = expectations();
+    for case in json_corpus() {
+        let want = expectations
+            .iter()
+            .find(|(name, _)| *name == case.name)
+            .unwrap_or_else(|| panic!("corpus entry {} has no pinned expectation", case.name));
+        let text = String::from_utf8(case.input.clone()).expect("json corpus is UTF-8");
+        let got = parse(&text);
+        match &want.1 {
+            Expect::Ok(value) => {
+                let v = got.unwrap_or_else(|e| panic!("{}: expected parse, got {e}", case.name));
+                if let Some(expected) = value {
+                    assert_eq!(&v, expected, "{}", case.name);
+                }
+                // Every accepted corpus entry must satisfy the
+                // differential property too.
+                assert_eq!(parse(&v.to_json()).unwrap(), v, "{}", case.name);
+            }
+            Expect::Reject => {
+                assert!(got.is_err(), "{}: expected rejection, parsed", case.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn expectations_have_no_orphans() {
+    let names: Vec<&str> = json_corpus().iter().map(|c| c.name).collect();
+    for (name, _) in expectations() {
+        assert!(names.contains(&name), "expectation {name} has no corpus entry");
+    }
+}

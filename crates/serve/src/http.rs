@@ -60,19 +60,28 @@ impl Request {
     /// Whether the peer asked to keep the connection open after the
     /// response: `Connection: close` always closes, `Connection:
     /// keep-alive` always persists, otherwise the version's default
-    /// applies (persist on 1.1, close on 1.0). The `Connection` value is
-    /// a comma-separated token list per RFC 9110 §7.6.1.
+    /// applies (persist on 1.1, close on 1.0). Each `Connection` value is
+    /// a comma-separated token list per RFC 9110 §7.6.1, and repeated
+    /// `Connection` field lines combine into one list (RFC 9110 §5.3) —
+    /// consulting only the first line would let `Connection: keep-alive`
+    /// followed by `Connection: close` hold a connection the peer asked
+    /// to close.
     pub fn keep_alive(&self) -> bool {
-        if let Some(v) = self.header("connection") {
-            let mut tokens = v.split(',').map(str::trim);
-            if tokens.clone().any(|t| t.eq_ignore_ascii_case("close")) {
-                return false;
+        let mut keep = false;
+        for (k, v) in &self.headers {
+            if k != "connection" {
+                continue;
             }
-            if tokens.any(|t| t.eq_ignore_ascii_case("keep-alive")) {
-                return true;
+            for token in v.split(',').map(str::trim) {
+                if token.eq_ignore_ascii_case("close") {
+                    return false;
+                }
+                if token.eq_ignore_ascii_case("keep-alive") {
+                    keep = true;
+                }
             }
         }
-        self.version == Version::Http11
+        keep || self.version == Version::Http11
     }
 }
 
@@ -118,6 +127,10 @@ enum Line {
     Text,
     /// The line ran past the head limit without a terminator.
     TooLong,
+    /// The line carried a control byte outside the CRLF terminator — a
+    /// bare CR, a NUL, an embedded LF-smuggle — which RFC 9112 §2.2
+    /// requires rejecting rather than reinterpreting.
+    Ctl,
     /// Clean EOF before any byte of this line.
     Eof,
 }
@@ -153,6 +166,7 @@ pub fn read_request_with(
         match read_head_line(reader, &mut line, &mut head_bytes, first, tick)? {
             Line::Eof => return Err(ReadError::Idle),
             Line::TooLong => return Ok(Err(BadRequest::new(413, "request line too long"))),
+            Line::Ctl => return Ok(Err(BadRequest::new(400, "control byte in request head"))),
             Line::Blank => {
                 blanks += 1;
                 if blanks > MAX_LEADING_BLANKS {
@@ -185,6 +199,7 @@ pub fn read_request_with(
         match read_head_line(reader, &mut line, &mut head_bytes, false, tick)? {
             Line::Eof => return Err(ReadError::Io(closed_mid_head())),
             Line::TooLong => return Ok(Err(BadRequest::new(413, "header line too long"))),
+            Line::Ctl => return Ok(Err(BadRequest::new(400, "control byte in request head"))),
             Line::Blank => break,
             Line::Text => {
                 let Some((name, value)) = line.split_once(':') else {
@@ -198,7 +213,13 @@ pub fn read_request_with(
                 if !is_token(name) {
                     return Ok(Err(BadRequest::new(400, "malformed header name")));
                 }
-                headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+                // Trim OWS only (SP / HTAB, RFC 9110 §5.6.3). `str::trim`
+                // strips every Unicode White_Space character, so a
+                // Content-Length of "\u{a0}5" would quietly become "5"
+                // here while a byte-exact parser elsewhere rejects it —
+                // two framings of one message.
+                let value = value.trim_matches([' ', '\t']);
+                headers.push((name.to_ascii_lowercase(), value.to_string()));
             }
         }
     }
@@ -225,9 +246,10 @@ pub fn read_request_with(
             let Some(len) = parse_content_length(first) else {
                 return Ok(Err(BadRequest::new(400, "bad content-length")));
             };
-            if len > MAX_BODY_BYTES {
+            if len > MAX_BODY_BYTES as u128 {
                 return Ok(Err(BadRequest::new(413, "request body too large")));
             }
+            let len = len as usize; // ≤ MAX_BODY_BYTES: usize-exact on any target
             // Chunked (not `read_exact`) so `tick` runs between reads:
             // `read_exact` loops internally and would let a trickling
             // peer stretch one body across MAX_BODY_BYTES timeouts.
@@ -270,11 +292,18 @@ fn is_token(s: &str) -> bool {
 /// `usize::from_str`, which accepts a leading `+` ("+5" parses to 5) —
 /// a sign is not valid header framing and another parser in the chain
 /// may read it differently, so it is rejected outright.
-fn parse_content_length(v: &str) -> Option<usize> {
+///
+/// Returns the value in `u128` so the *caller* classifies magnitude: a
+/// syntactically valid length that merely overflows the native integer
+/// is "body too large" (413), not "malformed" (400) — `parse::<usize>()`
+/// conflated the two, and on a 32-bit target would have 400'd lengths a
+/// 64-bit peer considers well-formed. Values past even `u128` saturate,
+/// which the 413 comparison classifies identically.
+fn parse_content_length(v: &str) -> Option<u128> {
     if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
         return None;
     }
-    v.parse().ok()
+    Some(v.parse::<u128>().unwrap_or(u128::MAX))
 }
 
 /// Reads one `\r\n`-terminated head line into `line` (stripped),
@@ -361,8 +390,19 @@ fn read_head_line(
         )));
     };
     line.push_str(text);
-    while line.ends_with('\n') || line.ends_with('\r') {
+    // Strip exactly one terminator: `\r\n` or a tolerated bare `\n`.
+    // Anything else — a stray trailing `\r\r\n`, an interior bare CR, a
+    // NUL — is a control byte a lenient parser downstream might treat as
+    // a line break or a truncation point, i.e. a framing desync vector.
+    // RFC 9112 §2.2: bare CR outside the terminator must be rejected.
+    if line.ends_with('\n') {
         line.pop();
+    }
+    if line.ends_with('\r') {
+        line.pop();
+    }
+    if line.bytes().any(|b| b < 0x20 && b != b'\t') {
+        return Ok(Line::Ctl);
     }
     Ok(if line.is_empty() { Line::Blank } else { Line::Text })
 }
@@ -577,6 +617,79 @@ mod tests {
             let e = parse(&raw).unwrap_err();
             assert_eq!(e.status, 400, "value {v:?} must be rejected");
         }
+    }
+
+    #[test]
+    fn fuzz_regression_bare_cr_in_head_is_400() {
+        // Found by the structured HTTP fuzzer (CRLF games): an interior
+        // bare CR survived into the parsed header value (and a trailing
+        // run of CRs was silently stripped), so `val\rX-Smuggled: y` was
+        // one header to this parser and two to any CR-tolerant parser
+        // downstream. RFC 9112 §2.2: bare CR must be rejected.
+        for raw in [
+            "GET / HTTP/1.1\r\nx: val\rX-Smuggled: y\r\n\r\n",
+            "GET / HTTP/1.1\r\r\n\r\n",
+            "GET / HTTP/1.1\r\nx: y\r\r\n\r\n",
+            "GET \r/ HTTP/1.1\r\n\r\n",
+            "GET / HTTP/1.1\r\nx: a\u{0}b\r\n\r\n", // NUL is just as toxic
+        ] {
+            let e = parse(raw).unwrap_err();
+            assert_eq!(e.status, 400, "{raw:?}");
+            assert!(e.message.contains("control byte"), "{raw:?}: {}", e.message);
+        }
+        // Tabs are legal OWS inside header values, not control noise.
+        let req = parse("GET / HTTP/1.1\r\nx: a\tb\r\n\r\n").unwrap();
+        assert_eq!(req.header("x"), Some("a\tb"));
+    }
+
+    #[test]
+    fn fuzz_regression_repeated_connection_headers_combine() {
+        // Found by the protocol-object fuzzer: `keep_alive()` consulted
+        // only the *first* Connection field line, so `Connection:
+        // keep-alive` + `Connection: close` kept a connection the peer
+        // asked to close. RFC 9110 §5.3: repeated field lines combine.
+        let cases = [
+            ("GET / HTTP/1.1\r\nConnection: keep-alive\r\nConnection: close\r\n\r\n", false),
+            ("GET / HTTP/1.1\r\nConnection: close\r\nConnection: keep-alive\r\n\r\n", false),
+            ("GET / HTTP/1.0\r\nConnection: foo\r\nConnection: keep-alive\r\n\r\n", true),
+            ("GET / HTTP/1.0\r\nConnection: keep-alive\r\nConnection: Close\r\n\r\n", false),
+        ];
+        for (raw, want) in cases {
+            assert_eq!(parse(raw).unwrap().keep_alive(), want, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn fuzz_regression_content_length_overflow_is_413_not_400() {
+        // Found by the Content-Length corruption mutator: a digits-only
+        // value too large for the native integer fell out of
+        // `parse::<usize>()` as "malformed" (400). It is well-formed and
+        // huge — the same class as MAX_BODY_BYTES + 1, which already
+        // answered 413 — and on a 32-bit target the old path reclassified
+        // lengths a 64-bit peer parses fine.
+        for v in [
+            "18446744073709551616",                     // 2^64
+            "99999999999999999999999999999999999999",   // > u128 parse width
+            &format!("{}", u64::MAX),
+        ] {
+            let raw = format!("POST / HTTP/1.1\r\nContent-Length: {v}\r\n\r\n");
+            let e = parse(&raw).unwrap_err();
+            assert_eq!(e.status, 413, "value {v:?}: {}", e.message);
+        }
+    }
+
+    #[test]
+    fn fuzz_regression_unicode_whitespace_is_not_ows() {
+        // Found by the header-splice mutator: `str::trim` stripped any
+        // Unicode White_Space from header values, so "\u{a0}5" became a
+        // framing length this parser accepted and byte-exact parsers
+        // reject. Only SP and HTAB are OWS (RFC 9110 §5.6.3).
+        let raw = "POST / HTTP/1.1\r\nContent-Length:\u{a0}5\r\n\r\nhello";
+        let e = parse(raw).unwrap_err();
+        assert_eq!(e.status, 400, "{}", e.message);
+        // NBSP inside a non-framing value is preserved, not trimmed.
+        let req = parse("GET / HTTP/1.1\r\nx: \u{a0}y\r\n\r\n").unwrap();
+        assert_eq!(req.header("x"), Some("\u{a0}y"));
     }
 
     #[test]
