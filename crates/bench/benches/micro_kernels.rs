@@ -17,9 +17,9 @@ use diffy_core::dc::differential_conv2d;
 use diffy_core::runner::{sweep_par, SweepCache, SweepJob, WorkloadOptions};
 use diffy_core::{EvalOptions, SchemeChoice};
 use diffy_encoding::bitstream::BitWriter;
-use diffy_encoding::delta::delta_rows_wrapping;
+use diffy_encoding::delta::{delta_rows_wrapping, undelta_rows_wrapping};
 use diffy_encoding::precision::Signedness;
-use diffy_encoding::{booth_terms, StorageScheme};
+use diffy_encoding::{booth_terms, booth_terms_slice, booth_terms_slice_swar, StorageScheme};
 use diffy_imaging::datasets::DatasetId;
 use diffy_models::{CiModel, LayerTrace};
 use diffy_sim::{
@@ -41,13 +41,26 @@ fn bench_booth(c: &mut Criterion) {
     let values = pseudo_values(64 * 1024);
     let mut g = c.benchmark_group("booth_terms");
     g.throughput(Throughput::Elements(values.len() as u64));
-    g.bench_function("lookup_64k", |b| {
+    g.bench_function("closed_form_64k", |b| {
         b.iter(|| {
             let mut acc = 0u64;
             for &v in &values {
                 acc += booth_terms(black_box(v)) as u64;
             }
             acc
+        })
+    });
+    let mut counts = vec![0u8; values.len()];
+    g.bench_function("lane_dispatch_64k", |b| {
+        b.iter(|| {
+            booth_terms_slice(black_box(&values), &mut counts);
+            counts[0]
+        })
+    });
+    g.bench_function("lane_swar_64k", |b| {
+        b.iter(|| {
+            booth_terms_slice_swar(black_box(&values), &mut counts);
+            counts[0]
         })
     });
     g.finish();
@@ -138,19 +151,63 @@ fn bench_term_serial(_c: &mut Criterion) {
     println!("== term-serial cycle-model kernels ({}x{h}x{w}, 16 filters 3x3) ==", 16);
     let mut records: Vec<BenchRecord> = Vec::new();
 
-    // The once-per-layer plane build, measured on its own so the
-    // amortized and cold costs below can be read against it.
-    let (build_rec, terms) = time_kernel(
-        &format!("padded_terms_build_{h}p"),
-        5,
-        min_total,
-        Some(windows),
-        || Arc::new(PaddedTerms::for_layer(&trace)),
-    );
-    records.push(build_rec);
+    // Bulk-kernel micro-records: the scalar closed form vs the
+    // lane-parallel Booth paths, each gated byte-identical in-bench
+    // before its timing counts, plus the fused delta transform.
+    let kvals = pseudo_values(1 << 20);
+    let kn = kvals.len() as u64;
+    let mut scalar_counts = vec![0u8; kvals.len()];
+    let (rec, _) = time_kernel("booth_count_scalar_1m", 3, min_total, Some(kn), || {
+        for (d, &v) in scalar_counts.iter_mut().zip(&kvals) {
+            *d = booth_terms(black_box(v)) as u8;
+        }
+    });
+    records.push(rec);
+    let mut lane_counts = vec![0u8; kvals.len()];
+    let (rec, _) = time_kernel("booth_count_lanes_1m", 3, min_total, Some(kn), || {
+        booth_terms_slice(black_box(&kvals), &mut lane_counts);
+    });
+    assert_eq!(scalar_counts, lane_counts, "lane booth kernel diverged from scalar");
+    records.push(rec);
+    let (rec, _) = time_kernel("booth_count_swar_1m", 3, min_total, Some(kn), || {
+        booth_terms_slice_swar(black_box(&kvals), &mut lane_counts);
+    });
+    assert_eq!(scalar_counts, lane_counts, "SWAR booth kernel diverged from scalar");
+    records.push(rec);
 
-    let mut speedup_cold = f64::MAX;
-    let mut speedup_kernel = f64::MAX;
+    let dt = Tensor3::from_vec(16, 256, 256, pseudo_values(16 * 256 * 256));
+    let (rec, dplanes) = time_kernel(
+        "delta_transform_wrapping_256x256x16",
+        3,
+        min_total,
+        Some(dt.len() as u64),
+        || delta_rows_wrapping(black_box(&dt), 1),
+    );
+    assert_eq!(
+        undelta_rows_wrapping(&dplanes, 1).as_slice(),
+        dt.as_slice(),
+        "delta transform no longer roundtrips"
+    );
+    records.push(rec);
+    // Release the micro-record buffers before the cold-path loops below;
+    // see the record-ordering note there.
+    drop(dplanes);
+    drop(dt);
+    drop(lane_counts);
+    drop(scalar_counts);
+    drop(kvals);
+
+    // Record ordering matters: the reference/cold records and the
+    // standalone build records run while NO other plane set is resident,
+    // so each measures what a fresh single evaluation pays. Holding the
+    // shared planes (~115 MiB) across these loops defeats the
+    // allocator's page recycling — the dropped planes of iteration N
+    // stop being reused by iteration N+1 and every build re-faults its
+    // working set, inflating the cold records by ~50% with costs no
+    // standalone evaluation sees. The shared-plane set is therefore
+    // built after them and only the amortized records run against it.
+    let mut ref_recs = Vec::new();
+    let mut ref_results = Vec::new();
     for mode in [ValueMode::Raw, ValueMode::Differential] {
         let (ref_rec, ref_cycles) =
             time_kernel(&label("reference", mode), 2, min_total, Some(windows), || {
@@ -162,15 +219,47 @@ fn bench_term_serial(_c: &mut Criterion) {
             time_kernel(&label("planes_cold", mode), 2, min_total, Some(windows), || {
                 term_serial_layer(black_box(&trace), &cfg, mode)
             });
+        // Divergence gate: the optimized kernel must reproduce the
+        // reference cycle/slot accounting bit-for-bit.
+        assert_eq!(cold_cycles, ref_cycles, "{mode:?}: cold kernel diverged from reference");
+        ref_recs.push((ref_rec, cold_rec));
+        ref_results.push(ref_cycles);
+    }
+
+    // The once-per-layer plane build, measured on its own so the
+    // amortized and cold costs above can be read against it; the grouped
+    // variant additionally pays the cold group-max reduction — together
+    // they are the cold-path plane cost of one standalone evaluation.
+    let (grouped_rec, _) = time_kernel(
+        &format!("plane_build_grouped_{h}p"),
+        2,
+        min_total,
+        Some(windows),
+        || {
+            let t = PaddedTerms::for_layer(&trace);
+            t.grouped(cfg.terms_per_group)
+        },
+    );
+    let (build_rec, terms) = time_kernel(
+        &format!("plane_build_{h}p"),
+        5,
+        min_total,
+        Some(windows),
+        || Arc::new(PaddedTerms::for_layer(&trace)),
+    );
+    records.push(build_rec);
+    records.push(grouped_rec);
+
+    let mut speedup_cold = f64::MAX;
+    let mut speedup_kernel = f64::MAX;
+    for ((mode, (ref_rec, cold_rec)), ref_cycles) in
+        [ValueMode::Raw, ValueMode::Differential].into_iter().zip(ref_recs).zip(ref_results)
+    {
         // Amortized: planes prebuilt and shared, the sweep steady state.
         let (warm_rec, warm_cycles) =
             time_kernel(&label("planes_shared", mode), 2, min_total, Some(windows), || {
                 term_serial_layer_with_terms(black_box(&trace), &cfg, mode, &terms)
             });
-
-        // Divergence gate: the optimized kernel must reproduce the
-        // reference cycle/slot accounting bit-for-bit.
-        assert_eq!(cold_cycles, ref_cycles, "{mode:?}: cold kernel diverged from reference");
         assert_eq!(warm_cycles, ref_cycles, "{mode:?}: shared kernel diverged from reference");
 
         speedup_cold = speedup_cold.min(ref_rec.wall_ms / cold_rec.wall_ms);
@@ -230,9 +319,10 @@ fn bench_term_serial(_c: &mut Criterion) {
         !diffy_core::trace::enabled(),
         "overhead bench requires the collector off (it is off by default)"
     );
-    // The shared-plane kernel is ~0.05ms/call in smoke, ~100ms at full
-    // HD: size batches so every timed batch spans >=10ms of work.
-    let (rounds, batch) = if smoke { (6u32, 256u32) } else { (5u32, 1u32) };
+    // The shared-plane kernel is ~0.05ms/call in smoke, ~1.5ms at full
+    // HD: size batches so every timed batch spans >=100ms of work and
+    // the sub-1% comparison stays above scheduler noise.
+    let (rounds, batch) = if smoke { (6u32, 256u32) } else { (9u32, 128u32) };
     let mut bare_min = f64::MAX;
     let mut traced_min = f64::MAX;
     for _ in 0..rounds {
@@ -250,9 +340,12 @@ fn bench_term_serial(_c: &mut Criterion) {
         traced_min = traced_min.min(t.elapsed().as_secs_f64());
     }
     let overhead = traced_min / bare_min - 1.0;
-    // Full HD has ~100ms per call and a 1% budget holds easily; smoke
-    // batches are milliseconds, so grant noise a 10% allowance there.
-    let budget = if smoke { 0.10 } else { 0.01 };
+    // The gate guards against accidental work on the disabled path — a
+    // live span there costs tens of percent, so the budgets only need to
+    // sit above timer noise: the row-span walk left full-HD batches a
+    // few hundred ms where min-of-rounds still jitters ~1%, hence 2%;
+    // smoke batches are milliseconds, so grant noise 10% there.
+    let budget = if smoke { 0.10 } else { 0.02 };
     println!(
         "tracing-off span overhead: {:+.3}% (budget {:.0}%)",
         overhead * 100.0,

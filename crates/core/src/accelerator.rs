@@ -203,6 +203,37 @@ pub fn evaluate_network(trace: &NetworkTrace, opts: &EvalOptions) -> NetworkResu
     evaluate_network_with_terms(trace, opts, None)
 }
 
+/// Per-layer off-chip traffic of a whole trace under one scheme choice.
+///
+/// A pure function of `(trace, scheme)` — the bitstream encodings it
+/// counts never depend on the architecture, memory node, or any prior
+/// evaluation. Extracted so callers that price one trace repeatedly (the
+/// serve/sweep cache) can memoize it: for the concrete schemes this
+/// re-encodes every layer's input and output activation maps, which is
+/// the dominant cost of a warm evaluation.
+pub fn network_scheme_traffic(trace: &NetworkTrace, scheme: SchemeChoice) -> Vec<LayerTraffic> {
+    match scheme {
+        SchemeChoice::Scheme(s) => trace
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| layer_traffic(l, trace.omap(i), s))
+            .collect(),
+        SchemeChoice::Profiled { quantile } => network_traffic_profiled(trace, quantile),
+        SchemeChoice::Ideal => trace
+            .layers
+            .iter()
+            .map(|_| LayerTraffic::default())
+            .collect(),
+    }
+}
+
+/// A shared source of the per-layer traffic vector for the trace being
+/// evaluated, under the scheme in the caller's [`EvalOptions`]. Must
+/// return exactly [`network_scheme_traffic`] of that pair; callers use
+/// it to serve memoized traffic. Must be callable from several workers.
+pub type TrafficSource<'a> = &'a (dyn Fn() -> Arc<Vec<LayerTraffic>> + Sync);
+
 /// [`evaluate_network`] over an optional shared term-plane source.
 ///
 /// The term-serial architectures (PRA, Diffy) draw each layer's
@@ -214,6 +245,20 @@ pub fn evaluate_network_with_terms(
     trace: &NetworkTrace,
     opts: &EvalOptions,
     terms: Option<TermPlaneSource<'_>>,
+) -> NetworkResult {
+    evaluate_network_with_artifacts(trace, opts, terms, None)
+}
+
+/// [`evaluate_network_with_terms`] over an additional optional traffic
+/// source, so callers can also amortize the storage-scheme traffic model
+/// across evaluations of one `(trace, scheme)` pair. `None` computes
+/// traffic fresh; results are bit-identical either way because traffic
+/// is a pure function of that pair.
+pub fn evaluate_network_with_artifacts(
+    trace: &NetworkTrace,
+    opts: &EvalOptions,
+    terms: Option<TermPlaneSource<'_>>,
+    traffic: Option<TrafficSource<'_>>,
 ) -> NetworkResult {
     let _eval_span = crate::trace::span_args("evaluate_network", || {
         vec![
@@ -247,19 +292,9 @@ pub fn evaluate_network_with_terms(
     };
 
     let _memsys_span = crate::trace::span("memsys_model");
-    let traffic: Vec<LayerTraffic> = match opts.scheme {
-        SchemeChoice::Scheme(s) => trace
-            .layers
-            .iter()
-            .enumerate()
-            .map(|(i, l)| layer_traffic(l, trace.omap(i), s))
-            .collect(),
-        SchemeChoice::Profiled { quantile } => network_traffic_profiled(trace, quantile),
-        SchemeChoice::Ideal => trace
-            .layers
-            .iter()
-            .map(|_| LayerTraffic::default())
-            .collect(),
+    let traffic: Arc<Vec<LayerTraffic>> = match traffic {
+        Some(source) => source(),
+        None => Arc::new(network_scheme_traffic(trace, opts.scheme)),
     };
 
     let memory = match opts.scheme {

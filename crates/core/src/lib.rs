@@ -56,8 +56,9 @@ pub mod tile;
 pub mod trace;
 
 pub use accelerator::{
-    evaluate_network, evaluate_network_batch, evaluate_network_with_terms, EvalOptions,
-    NetworkResult, SchemeChoice, TermPlaneSource,
+    evaluate_network, evaluate_network_batch, evaluate_network_with_artifacts,
+    evaluate_network_with_terms, network_scheme_traffic, EvalOptions, NetworkResult,
+    SchemeChoice, TermPlaneSource, TrafficSource,
 };
 pub use dc::differential_conv2d;
 pub use json::{bench_json_string, json_escape, json_number, BenchRecord, JsonValue};

@@ -7,10 +7,13 @@
 //! stay honest.
 
 use crate::accelerator::{
-    evaluate_network, evaluate_network_with_terms, EvalOptions, NetworkResult,
+    evaluate_network, evaluate_network_with_artifacts, network_scheme_traffic, EvalOptions,
+    NetworkResult, SchemeChoice,
 };
 use crate::parallel::{run_jobs, BoundedCache, Jobs, KeyedCache};
+use diffy_encoding::StorageScheme;
 use diffy_imaging::datasets::DatasetId;
+use diffy_memsys::traffic::LayerTraffic;
 use diffy_imaging::scenes::{render_scene, SceneKind};
 use diffy_models::{run_network, CiModel, ClassModel, LayerTrace, NetworkTrace, NetworkWeights};
 use diffy_sim::PaddedTerms;
@@ -154,12 +157,35 @@ pub fn class_trace_bundle(model: ClassModel, resolution: usize, seed: u64) -> Tr
 /// output from — model, dataset, sample, trace resolution, and seed.
 pub type TraceKey = (CiModel, DatasetId, usize, usize, u64);
 
+/// Hashable identity of a [`SchemeChoice`] for the traffic memo.
+/// `Profiled`'s f64 quantile is keyed by its bit pattern — distinct bit
+/// patterns may never share a traffic vector, and identical ones are
+/// the same pure computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum SchemeKey {
+    Scheme(StorageScheme),
+    Profiled(u64),
+    Ideal,
+}
+
+impl From<SchemeChoice> for SchemeKey {
+    fn from(scheme: SchemeChoice) -> Self {
+        match scheme {
+            SchemeChoice::Scheme(s) => SchemeKey::Scheme(s),
+            SchemeChoice::Profiled { quantile } => SchemeKey::Profiled(quantile.to_bits()),
+            SchemeChoice::Ideal => SchemeKey::Ideal,
+        }
+    }
+}
+
 /// Compute-once store for the expensive artifacts of a sweep: network
 /// weights keyed by `(model, seed)`, trace bundles keyed by
-/// `(model, dataset, sample, resolution, seed)`, and per-layer
-/// term planes (`diffy_sim::PaddedTerms`) keyed by `(trace key, layer)`.
+/// `(model, dataset, sample, resolution, seed)`, per-layer term planes
+/// (`diffy_sim::PaddedTerms`) keyed by `(trace key, layer)`, and
+/// per-trace storage-scheme traffic vectors keyed by
+/// `(trace key, scheme)`.
 ///
-/// All three artifact kinds are pure functions of their keys, so cached
+/// All four artifact kinds are pure functions of their keys, so cached
 /// values are interchangeable with fresh regeneration — the cache only
 /// removes the déjà vu of recomputing them for every consumer. Safe to
 /// share across threads; concurrent requests for the same key compute it
@@ -169,6 +195,7 @@ pub struct SweepCache {
     weights: Store<(CiModel, u64), NetworkWeights>,
     traces: Store<TraceKey, TraceBundle>,
     term_planes: Store<(TraceKey, usize), PaddedTerms>,
+    traffic: Store<(TraceKey, SchemeKey), Vec<LayerTraffic>>,
 }
 
 /// One artifact store of a [`SweepCache`]: either the append-only
@@ -231,7 +258,7 @@ impl<K: Eq + std::hash::Hash + Clone, V> Default for Store<K, V> {
 }
 
 /// A point-in-time summary of a [`SweepCache`]'s counters, aggregated
-/// over its weight, trace and term-plane stores.
+/// over its weight, trace, term-plane and traffic stores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Requests served from a cached (or in-flight) artifact.
@@ -246,6 +273,8 @@ pub struct CacheStats {
     pub cached_traces: usize,
     /// Distinct per-layer term planes currently materialized.
     pub cached_term_planes: usize,
+    /// Distinct `(trace, scheme)` traffic vectors currently materialized.
+    pub cached_traffic: usize,
 }
 
 impl SweepCache {
@@ -270,6 +299,9 @@ impl SweepCache {
             weights: Store::Bounded(BoundedCache::new(traces)),
             traces: Store::Bounded(BoundedCache::new(traces)),
             term_planes: Store::Bounded(BoundedCache::new(term_planes)),
+            // Traffic vectors are small (a few structs per layer); keep
+            // several schemes' worth per resident trace.
+            traffic: Store::Bounded(BoundedCache::new(traces.saturating_mul(8))),
         }
     }
 
@@ -335,11 +367,36 @@ impl SweepCache {
         v
     }
 
+    /// Per-layer off-chip traffic of the trace identified by `key` under
+    /// `scheme`, computed once per `(trace, scheme)` pair.
+    ///
+    /// For the concrete storage schemes this is the memory-system model's
+    /// dominant cost — re-encoding every layer's activation bitstreams —
+    /// yet it is a pure function of the cached trace, so serving it from
+    /// the cache changes warm-evaluation latency, never results.
+    pub fn traffic(
+        &self,
+        key: TraceKey,
+        trace: &NetworkTrace,
+        scheme: SchemeChoice,
+    ) -> Arc<Vec<LayerTraffic>> {
+        let mut built = false;
+        let v = self.traffic.get_or_compute((key, SchemeKey::from(scheme)), || {
+            built = true;
+            network_scheme_traffic(trace, scheme)
+        });
+        if !built {
+            crate::trace::instant("cache_hit", || vec![("kind", "traffic".into())]);
+        }
+        v
+    }
+
     /// Evaluates `(model, dataset, sample)` under `eval`, drawing the
-    /// bundle **and** every layer's term planes from this cache: a sweep
-    /// that prices N architectures on one trace pays the trace build and
-    /// each plane build exactly once. Bit-identical to
-    /// [`TraceBundle::evaluate`] on a fresh bundle.
+    /// bundle, every layer's term planes, **and** the scheme's traffic
+    /// vector from this cache: a sweep that prices N architectures on one
+    /// trace pays the trace build and each plane build exactly once, and
+    /// repeated evaluations under one scheme pay the traffic model once.
+    /// Bit-identical to [`TraceBundle::evaluate`] on a fresh bundle.
     pub fn evaluate(
         &self,
         model: CiModel,
@@ -352,7 +409,8 @@ impl SweepCache {
         let key: TraceKey = (model, dataset, sample, opts.resolution, opts.seed);
         let source =
             |i: usize, layer: &LayerTrace| self.layer_terms(key, i, layer);
-        evaluate_network_with_terms(&bundle.trace, eval, Some(&source))
+        let traffic = || self.traffic(key, &bundle.trace, eval.scheme);
+        evaluate_network_with_artifacts(&bundle.trace, eval, Some(&source), Some(&traffic))
     }
 
     /// Number of distinct weight sets materialized so far.
@@ -370,18 +428,32 @@ impl SweepCache {
         self.term_planes.len()
     }
 
+    /// Number of distinct `(trace, scheme)` traffic vectors materialized
+    /// so far.
+    pub fn cached_traffic(&self) -> usize {
+        self.traffic.len()
+    }
+
     /// Aggregate hit/miss/eviction counters and residency, for the
     /// service's `/metrics` endpoint.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.weights.hits() + self.traces.hits() + self.term_planes.hits(),
-            misses: self.weights.misses() + self.traces.misses() + self.term_planes.misses(),
+            hits: self.weights.hits()
+                + self.traces.hits()
+                + self.term_planes.hits()
+                + self.traffic.hits(),
+            misses: self.weights.misses()
+                + self.traces.misses()
+                + self.term_planes.misses()
+                + self.traffic.misses(),
             evictions: self.weights.evictions()
                 + self.traces.evictions()
-                + self.term_planes.evictions(),
+                + self.term_planes.evictions()
+                + self.traffic.evictions(),
             cached_weights: self.weights.len(),
             cached_traces: self.traces.len(),
             cached_term_planes: self.term_planes.len(),
+            cached_traffic: self.traffic.len(),
         }
     }
 
@@ -391,6 +463,7 @@ impl SweepCache {
         self.weights.clear();
         self.traces.clear();
         self.term_planes.clear();
+        self.traffic.clear();
     }
 
     /// Evaluates a heterogeneous batch of points, fanning out over `par`
@@ -672,6 +745,32 @@ mod tests {
             let cached =
                 cache.evaluate(CiModel::Ircnn, DatasetId::Kodak24, 0, &opts, &eval);
             assert_eq!(cached, fresh.evaluate(&eval), "{arch:?} must be cache-invariant");
+        }
+    }
+
+    #[test]
+    fn traffic_memo_is_result_invariant_and_computed_once() {
+        // The traffic store must be invisible in results across scheme
+        // kinds (concrete, profiled, ideal), and repeated evaluations
+        // under one scheme must materialize exactly one traffic vector
+        // per (trace, scheme) pair.
+        let opts = WorkloadOptions::test_small();
+        let cache = SweepCache::new();
+        let fresh = ci_trace_bundle(CiModel::Ircnn, DatasetId::Kodak24, 0, &opts);
+        let schemes = [
+            SchemeChoice::Scheme(StorageScheme::delta_d(16)),
+            SchemeChoice::Scheme(StorageScheme::NoCompression),
+            SchemeChoice::Profiled { quantile: 0.99 },
+            SchemeChoice::Ideal,
+        ];
+        for (i, &scheme) in schemes.iter().enumerate() {
+            let eval = EvalOptions::new(Architecture::Diffy, scheme);
+            for _ in 0..2 {
+                let cached =
+                    cache.evaluate(CiModel::Ircnn, DatasetId::Kodak24, 0, &opts, &eval);
+                assert_eq!(cached, fresh.evaluate(&eval), "{scheme:?} must be memo-invariant");
+            }
+            assert_eq!(cache.cached_traffic(), i + 1, "one traffic vector per scheme");
         }
     }
 

@@ -37,16 +37,19 @@ pub fn delta_rows(t: &Tensor3<i16>, stride: usize) -> Tensor3<i32> {
     assert!(stride > 0, "stride must be positive");
     let s = t.shape();
     let mut out = Tensor3::<i32>::new(s.c, s.h, s.w);
+    let k = stride.min(s.w);
     for c in 0..s.c {
         for y in 0..s.h {
-            let row = t.row(c, y);
-            for x in 0..s.w {
-                let v = if x < stride {
-                    row[x] as i32
-                } else {
-                    row[x] as i32 - row[x - stride] as i32
-                };
-                *out.at_mut(c, y, x) = v;
+            let src = t.row(c, y);
+            let dst = out.row_mut(c, y);
+            // Single fused streaming pass per row: anchor prefix, then a
+            // branch-free zipped subtraction the compiler vectorizes
+            // (src[x] - src[x - stride] expressed as two staggered views).
+            for (d, &v) in dst[..k].iter_mut().zip(&src[..k]) {
+                *d = v as i32;
+            }
+            for (d, (&cur, &prev)) in dst[k..].iter_mut().zip(src[k..].iter().zip(src.iter())) {
+                *d = cur as i32 - prev as i32;
             }
         }
     }
@@ -64,19 +67,29 @@ pub fn undelta_rows(d: &Tensor3<i32>, stride: usize) -> Tensor3<i16> {
     assert!(stride > 0, "stride must be positive");
     let s = d.shape();
     let mut out = Tensor3::<i16>::new(s.c, s.h, s.w);
+    let k = stride.min(s.w);
     for c in 0..s.c {
         for y in 0..s.h {
-            for x in 0..s.w {
-                let v = if x < stride {
-                    *d.at(c, y, x)
-                } else {
-                    *d.at(c, y, x) + *out.at(c, y, x - stride) as i32
-                };
+            let src = d.row(c, y);
+            let dst = out.row_mut(c, y);
+            // One streaming pass per row; the prefix-sum dependency is
+            // loop-carried per stride lane but all accesses are
+            // slice-local (no per-element shape math).
+            for x in 0..k {
+                let v = src[x];
                 assert!(
                     (i16::MIN as i32..=i16::MAX as i32).contains(&v),
                     "reconstructed value {v} out of 16-bit range"
                 );
-                *out.at_mut(c, y, x) = v as i16;
+                dst[x] = v as i16;
+            }
+            for x in k..s.w {
+                let v = src[x] + dst[x - stride] as i32;
+                assert!(
+                    (i16::MIN as i32..=i16::MAX as i32).contains(&v),
+                    "reconstructed value {v} out of 16-bit range"
+                );
+                dst[x] = v as i16;
             }
         }
     }
@@ -141,18 +154,31 @@ pub fn delta_rows_wrapping(t: &Tensor3<i16>, stride: usize) -> Tensor3<i16> {
     let mut out = Tensor3::<i16>::new(s.c, s.h, s.w);
     for c in 0..s.c {
         for y in 0..s.h {
-            let row = t.row(c, y);
-            for x in 0..s.w {
-                let v = if x < stride {
-                    row[x]
-                } else {
-                    row[x].wrapping_sub(row[x - stride])
-                };
-                *out.at_mut(c, y, x) = v;
-            }
+            delta_row_wrapping_into(t.row(c, y), stride, out.row_mut(c, y));
         }
     }
     out
+}
+
+/// Wrapping strided delta of one row into a caller-provided buffer — the
+/// slice kernel behind [`delta_rows_wrapping`], also used by the
+/// term-plane builders to delta a padded row without allocating.
+///
+/// Columns `x < stride` hold the raw value; columns `x >= stride` hold
+/// `src[x].wrapping_sub(src[x - stride])`. A single branch-free streaming
+/// pass the compiler auto-vectorizes.
+///
+/// # Panics
+///
+/// Panics if `stride == 0` or `dst.len() != src.len()`.
+pub fn delta_row_wrapping_into(src: &[i16], stride: usize, dst: &mut [i16]) {
+    assert!(stride > 0, "stride must be positive");
+    assert_eq!(src.len(), dst.len(), "src/dst length mismatch");
+    let k = stride.min(src.len());
+    dst[..k].copy_from_slice(&src[..k]);
+    for (d, (&cur, &prev)) in dst[k..].iter_mut().zip(src[k..].iter().zip(src.iter())) {
+        *d = cur.wrapping_sub(prev);
+    }
 }
 
 /// Inverse of [`delta_rows_wrapping`].
@@ -160,15 +186,14 @@ pub fn undelta_rows_wrapping(d: &Tensor3<i16>, stride: usize) -> Tensor3<i16> {
     assert!(stride > 0, "stride must be positive");
     let s = d.shape();
     let mut out = Tensor3::<i16>::new(s.c, s.h, s.w);
+    let k = stride.min(s.w);
     for c in 0..s.c {
         for y in 0..s.h {
-            for x in 0..s.w {
-                let v = if x < stride {
-                    *d.at(c, y, x)
-                } else {
-                    d.at(c, y, x).wrapping_add(*out.at(c, y, x - stride))
-                };
-                *out.at_mut(c, y, x) = v;
+            let src = d.row(c, y);
+            let dst = out.row_mut(c, y);
+            dst[..k].copy_from_slice(&src[..k]);
+            for x in k..s.w {
+                dst[x] = src[x].wrapping_add(dst[x - stride]);
             }
         }
     }
@@ -282,6 +307,28 @@ mod tests {
         let exact = delta_rows(&t, 1);
         for (w, e) in wrapped.iter().zip(exact.iter()) {
             assert_eq!(*w as i32, *e);
+        }
+    }
+
+    #[test]
+    fn row_kernel_matches_naive_definition() {
+        let vs: Vec<i16> = (0..37)
+            .map(|v| (v * v * 7 - 300) as i16)
+            .chain([i16::MIN, i16::MAX, 0, -1])
+            .collect();
+        for stride in [1usize, 2, 3, 5, 41] {
+            let mut got = vec![0i16; vs.len()];
+            delta_row_wrapping_into(&vs, stride, &mut got);
+            let want: Vec<i16> = (0..vs.len())
+                .map(|x| {
+                    if x < stride {
+                        vs[x]
+                    } else {
+                        vs[x].wrapping_sub(vs[x - stride])
+                    }
+                })
+                .collect();
+            assert_eq!(got, want, "stride={stride}");
         }
     }
 

@@ -6,7 +6,8 @@ use diffy_encoding::delta::{
     delta_rows_wrapping, undelta_rows_wrapping, delta_slice_wrapping, undelta_slice_wrapping,
 };
 use diffy_encoding::precision::Signedness;
-use diffy_encoding::{booth_digits, booth_terms, booth_terms_i32, delta_rows, undelta_rows,
+use diffy_encoding::{booth_digits, booth_terms, booth_terms_i32, booth_terms_i32_reference,
+    booth_terms_slice, booth_terms_slice_swar, delta_row_wrapping_into, delta_rows, undelta_rows,
     StorageScheme};
 use diffy_tensor::Tensor3;
 use proptest::prelude::*;
@@ -45,6 +46,37 @@ proptest! {
     #[test]
     fn term_count_table_agrees(v in any::<i16>()) {
         prop_assert_eq!(booth_terms(v), booth_terms_i32(v as i32));
+    }
+
+    #[test]
+    fn closed_form_matches_digit_walk_reference(v in any::<i32>()) {
+        // popcount(v XOR 3v) == the original NAF digit-walking count.
+        prop_assert_eq!(booth_terms_i32(v), booth_terms_i32_reference(v));
+    }
+
+    #[test]
+    fn lane_kernels_match_scalar_closed_form(
+        vs in proptest::collection::vec(any::<i16>(), 0..200)
+    ) {
+        let want: Vec<u8> = vs.iter().map(|&v| booth_terms(v) as u8).collect();
+        let mut got = vec![0xFFu8; vs.len()];
+        booth_terms_slice(&vs, &mut got);
+        prop_assert_eq!(&got, &want);
+        got.fill(0xFF);
+        booth_terms_slice_swar(&vs, &mut got);
+        prop_assert_eq!(&got, &want);
+    }
+
+    #[test]
+    fn wrapping_row_kernel_matches_tensor_transform(
+        vs in proptest::collection::vec(any::<i16>(), 1..80),
+        stride in 1usize..5,
+    ) {
+        let t = Tensor3::from_vec(1, 1, vs.len(), vs.clone());
+        let d = delta_rows_wrapping(&t, stride);
+        let mut got = vec![0i16; vs.len()];
+        delta_row_wrapping_into(&vs, stride, &mut got);
+        prop_assert_eq!(d.as_slice(), &got[..]);
     }
 
     #[test]

@@ -342,6 +342,7 @@ impl Metrics {
                     ("traces", cache.cached_traces.into()),
                     ("weights", cache.cached_weights.into()),
                     ("term_planes", cache.cached_term_planes.into()),
+                    ("traffic", cache.cached_traffic.into()),
                 ]),
             ),
             (

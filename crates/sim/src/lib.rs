@@ -32,6 +32,7 @@
 pub mod config;
 pub mod potential;
 pub mod report;
+mod scratch;
 pub mod scnn;
 pub mod stripes;
 pub mod temporal;

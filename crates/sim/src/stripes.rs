@@ -10,17 +10,29 @@
 //! activation group — the position of the highest significant bit — not
 //! the number of effectual terms. It is simpler and cheaper than PRA but
 //! slower; running it on deltas quantifies the paper's suggestion.
+//!
+//! # Precision planes
+//!
+//! The cost structure is the same shape as the term-serial model's — a
+//! per-value `u8` metric, summed per position over channels and
+//! group-max-reduced per synchronization group — so the fast path reuses
+//! the [`PaddedTerms`] machinery wholesale with [`stripes_bits`] as the
+//! plane metric ([`PaddedTerms::build_with_metric`]). Precision planes
+//! are built **once per layer** with summed-area tables instead of the
+//! `Kh·Kw·C` per-window fetch walk the original loop performed;
+//! the original survives as [`stripes_layer_reference`] and the plane
+//! kernel is cross-validated against it for exact equality.
 
 use crate::config::AcceleratorConfig;
 use crate::report::{tile_partition, LayerCycles, NetworkCycles};
-use crate::term_serial::ValueMode;
+use crate::term_serial::{PaddedTerms, ValueMode};
 use diffy_models::{LayerTrace, NetworkTrace};
 
 /// Bits needed for a signed value in the Stripes datapath (sign +
 /// magnitude of the two's-complement form; zero needs 0 cycles — zero
 /// groups are skipped like zero bricks in PRA).
 #[inline]
-fn stripes_bits(v: i16) -> u32 {
+pub fn stripes_bits(v: i16) -> u32 {
     if v == 0 {
         0
     } else if v > 0 {
@@ -30,12 +42,121 @@ fn stripes_bits(v: i16) -> u32 {
     }
 }
 
+/// [`stripes_bits`] lifted to rows — the plane metric handed to
+/// [`PaddedTerms::build_with_metric`].
+fn stripes_metric(values: &[i16], out: &mut [u8]) {
+    for (o, &v) in out.iter_mut().zip(values) {
+        *o = stripes_bits(v) as u8;
+    }
+}
+
+/// Builds the dynamic-precision planes of one layer: per-channel
+/// raw/delta precision, per-position channel sums with summed-area
+/// tables, and memoized group-max cost planes — the Stripes analogue of
+/// the Booth term planes.
+pub fn stripes_planes(trace: &LayerTrace) -> PaddedTerms {
+    PaddedTerms::build_with_metric(
+        &trace.imap,
+        trace.geom.pad,
+        trace.geom.stride,
+        &stripes_metric,
+    )
+}
+
 /// Simulates one layer on a Dynamic-Stripes-style accelerator.
 ///
 /// The structure mirrors [`crate::term_serial::term_serial_layer`] — same
 /// tiles, windows and synchronization groups — but a group's brick step
 /// costs its maximum *precision* instead of its maximum term count.
+/// Builds the layer's precision planes and delegates to
+/// [`stripes_layer_with_planes`].
 pub fn stripes_layer(trace: &LayerTrace, cfg: &AcceleratorConfig, mode: ValueMode) -> LayerCycles {
+    let planes = stripes_planes(trace);
+    stripes_layer_with_planes(trace, cfg, mode, &planes)
+}
+
+/// The optimized Stripes kernel over prebuilt precision planes —
+/// bit-identical to [`stripes_layer_reference`], but each window costs
+/// O(1) summed-area lookups (dilation 1) instead of `Kh·Kw·C` activation
+/// fetches. Note Stripes dispatches pallets per output row (no packing
+/// across row boundaries), unlike the term-serial dispatcher.
+pub fn stripes_layer_with_planes(
+    trace: &LayerTrace,
+    cfg: &AcceleratorConfig,
+    mode: ValueMode,
+    planes: &PaddedTerms,
+) -> LayerCycles {
+    let fshape = trace.fmaps.shape();
+    let out = trace.out_shape();
+    let s = trace.geom.stride;
+    let d = trace.geom.dilation;
+    let grouped = planes.grouped(cfg.terms_per_group);
+
+    let (passes, spatial) = tile_partition(out.c, out.h, cfg.filters_per_tile, cfg.tiles);
+    let mut cycles_per_pass: u64 = 0;
+    let mut useful_bits: u64 = 0;
+
+    // Dense windows amortize the summed-area lookups per output row via
+    // the row-span prefixes (same trick as the term-serial walk, same
+    // integers); dilated geometries keep the direct window reads.
+    let dense = d == 1;
+    let spans_delta = mode == ValueMode::Differential;
+    let pw1 = planes.padded_dims().1 + 1;
+    let mut cost_spans = vec![0u64; if dense { pw1 } else { 0 }];
+    let mut sum_spans = vec![0u64; if dense { pw1 } else { 0 }];
+    for oy in 0..out.h {
+        let py0 = oy * s;
+        if dense {
+            grouped.cost_row_spans(spans_delta, py0, fshape.h, &mut cost_spans);
+            planes.sum_row_spans(spans_delta, py0, fshape.h, &mut sum_spans);
+        }
+        let mut px0 = 0usize;
+        while px0 < out.w {
+            let pallet_end = (px0 + cfg.windows).min(out.w);
+            let mut pallet_max: u64 = 0;
+            for ox in px0..pallet_end {
+                let use_delta = mode == ValueMode::Differential && ox != 0;
+                let px = ox * s;
+                let (col, wnd) = if dense && use_delta == spans_delta {
+                    (
+                        cost_spans[px + fshape.w] - cost_spans[px],
+                        sum_spans[px + fshape.w] - sum_spans[px],
+                    )
+                } else {
+                    (
+                        grouped.cost_window(use_delta, py0, px, fshape.h, fshape.w, d),
+                        planes.sum_window(use_delta, py0, px, fshape.h, fshape.w, d),
+                    )
+                };
+                useful_bits += wnd;
+                pallet_max = pallet_max.max(col);
+            }
+            cycles_per_pass += pallet_max;
+            px0 = pallet_end;
+        }
+    }
+
+    let cycles = (cycles_per_pass * passes).div_ceil(spatial);
+    let lane_capacity = (cfg.lanes * cfg.windows * cfg.filters_per_tile * cfg.tiles) as u64;
+    let macs = (out.c * out.h * out.w) as u64 * (fshape.c * fshape.h * fshape.w) as u64;
+    LayerCycles {
+        cycles,
+        useful_slots: useful_bits * out.c as u64,
+        total_slots: cycles * lane_capacity,
+        compute_events: useful_bits * out.c as u64,
+        filter_passes: passes,
+        macs,
+    }
+}
+
+/// The original per-window fetch walk, kept verbatim as the
+/// cross-validation oracle for the plane kernel. Semantically
+/// authoritative; never used on the hot path.
+pub fn stripes_layer_reference(
+    trace: &LayerTrace,
+    cfg: &AcceleratorConfig,
+    mode: ValueMode,
+) -> LayerCycles {
     let ishape = trace.imap.shape();
     let fshape = trace.fmaps.shape();
     let out = trace.out_shape();
@@ -137,18 +258,29 @@ mod tests {
     use diffy_tensor::{ConvGeometry, Tensor3, Tensor4};
 
     fn mk_trace(imap: Tensor3<i16>, k: usize, f: usize) -> LayerTrace {
+        mk_trace_geom(imap, k, f, ConvGeometry::same(f, f))
+    }
+
+    fn mk_trace_geom(imap: Tensor3<i16>, k: usize, f: usize, geom: ConvGeometry) -> LayerTrace {
         let c = imap.shape().c;
         LayerTrace {
             name: "t".into(),
             index: 0,
             imap,
             fmaps: Tensor4::<i16>::filled(k, c, f, f, 1),
-            geom: ConvGeometry::same(f, f),
+            geom,
             relu: true,
             requant_shift: 12,
             requant_bias: 0,
             next_stride: 1,
         }
+    }
+
+    fn pseudo_imap(c: usize, h: usize, w: usize, salt: u64) -> Tensor3<i16> {
+        let data: Vec<i16> = (0..c * h * w)
+            .map(|i| ((i as u64).wrapping_mul(6364136223846793005).wrapping_add(salt) >> 41) as i16)
+            .collect();
+        Tensor3::from_vec(c, h, w, data)
     }
 
     #[test]
@@ -159,6 +291,45 @@ mod tests {
         assert_eq!(stripes_bits(255), 9);
         assert_eq!(stripes_bits(i16::MAX), 16);
         assert_eq!(stripes_bits(i16::MIN), 16);
+    }
+
+    #[test]
+    fn plane_kernel_matches_reference_across_geometries() {
+        // Stride / pad / dilation / odd-C sweep, both value modes — the
+        // precision-plane analogue of the term-serial cross-validation.
+        for (c, h, w, k, f, geom, salt) in [
+            (16, 8, 8, 16, 3, ConvGeometry::same(3, 3), 1u64),
+            (3, 5, 17, 7, 3, ConvGeometry::same(3, 3), 2),
+            (16, 6, 33, 16, 1, ConvGeometry::unit(), 3),
+            (5, 9, 40, 8, 3, ConvGeometry::strided(2, 1), 4),
+            (8, 11, 11, 8, 3, ConvGeometry::same_dilated(3, 2), 5),
+            (1, 3, 24, 2, 1, ConvGeometry::unit(), 6),
+            (5, 14, 23, 8, 3, ConvGeometry { stride: 2, pad: 2, dilation: 2 }, 7),
+        ] {
+            let t = mk_trace_geom(pseudo_imap(c, h, w, salt), k, f, geom);
+            assert!(t.out_shape().h > 0 && t.out_shape().w > 0, "degenerate geometry");
+            for g in [1usize, 3, 16] {
+                let cfg = AcceleratorConfig::table4().with_terms_per_group(g);
+                for mode in [ValueMode::Raw, ValueMode::Differential] {
+                    let fast = stripes_layer(&t, &cfg, mode);
+                    let reference = stripes_layer_reference(&t, &cfg, mode);
+                    assert_eq!(fast, reference, "salt {salt} g {g} mode {mode:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_planes_match_fresh_build() {
+        let t = mk_trace(pseudo_imap(6, 7, 21, 11), 8, 3);
+        let cfg = AcceleratorConfig::table4();
+        let planes = stripes_planes(&t);
+        for mode in [ValueMode::Raw, ValueMode::Differential] {
+            assert_eq!(
+                stripes_layer_with_planes(&t, &cfg, mode, &planes),
+                stripes_layer(&t, &cfg, mode)
+            );
+        }
     }
 
     #[test]

@@ -44,10 +44,11 @@
 
 use crate::config::AcceleratorConfig;
 use crate::report::{LayerCycles, NetworkCycles};
-use diffy_encoding::booth_terms;
+use crate::scratch;
+use diffy_encoding::{booth_terms_slice, delta_row_wrapping_into};
 use diffy_models::{LayerTrace, NetworkTrace};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Which value stream the SIP lanes consume.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -71,10 +72,20 @@ pub struct PaddedTerms {
     c: usize,
     ph: usize,
     pw: usize,
-    /// Per-channel raw term counts, `c × ph × pw`, channels-outer.
-    raw: Vec<u8>,
+    /// Per-channel raw term counts, one `ph × pw` plane per channel.
+    ///
+    /// One allocation per channel rather than a single `c × ph × pw`
+    /// block on purpose: a full-HD 16-channel stream is ~33 MiB, past
+    /// glibc's mmap-threshold cap, so a monolithic buffer is unmapped on
+    /// every drop and every rebuild re-faults its pages from the kernel.
+    /// Per-channel planes stay modest, and — together with every other
+    /// buffer here — are recycled through the [`crate::scratch`] pool on
+    /// drop, so repeated evaluations (the bench loop, the serve layer)
+    /// reuse resident pages instead of paying ~20 ms of page faults per
+    /// build, independent of the C allocator's adaptive thresholds.
+    raw: Vec<Vec<u8>>,
     /// Per-channel delta term counts, same layout.
-    delta: Vec<u8>,
+    delta: Vec<Vec<u8>>,
     /// Per-position channel sums of `raw` (`ph × pw`).
     raw_sum: Vec<u32>,
     /// Per-position channel sums of `delta`.
@@ -135,24 +146,62 @@ fn window_total(
     }
 }
 
-/// Builds the `(ph+1) × (pw+1)` summed-area table of a `ph × pw` plane.
+/// Writes the vertical-span prefix row of a summed-area table:
+/// `out[x] = sat[py0+kh][x] - sat[py0][x]`, the sum of plane rows
+/// `py0..py0+kh` over columns `< x`. A window `[px0, px0+kw)` of that
+/// span is then `out[px0+kw] - out[px0]` — the same integer as the
+/// four-corner [`window_total`] lookup by associativity of exact `u64`
+/// sums, but row-major walks touch two sequential streams once per row
+/// instead of four scattered table reads per window.
+fn sat_row_spans(sat: &[u64], w1: usize, py0: usize, kh: usize, out: &mut [u64]) {
+    let top = &sat[py0 * w1..(py0 + 1) * w1];
+    let bot = &sat[(py0 + kh) * w1..(py0 + kh + 1) * w1];
+    for ((d, &b), &t) in out.iter_mut().zip(bot).zip(top) {
+        *d = b - t;
+    }
+}
+
+/// Builds the `(ph+1) × (pw+1)` summed-area table of a `ph × pw` plane
+/// into a pool-recycled buffer.
+///
+/// Split into two passes per row: the horizontal prefix sum (one
+/// loop-carried `u64` add per element) and a vertical add of the
+/// previous table row (independent lanes, vectorizes). The fused
+/// single-loop form chained both adds through one dependency and ran
+/// ~3× slower at full HD. Every entry is written explicitly (the zero
+/// top row and left column included), so a dirty recycled buffer is
+/// safe.
 fn summed_area(plane: &[u32], ph: usize, pw: usize) -> Vec<u64> {
     let w1 = pw + 1;
-    let mut sat = vec![0u64; (ph + 1) * w1];
+    let mut sat = scratch::take_u64((ph + 1) * w1);
+    sat[..w1].fill(0);
     for y in 0..ph {
-        let mut row_acc = 0u64;
-        for x in 0..pw {
-            row_acc += plane[y * pw + x] as u64;
-            sat[(y + 1) * w1 + (x + 1)] = sat[y * w1 + (x + 1)] + row_acc;
+        let src = &plane[y * pw..(y + 1) * pw];
+        let (prev_rows, cur_rows) = sat.split_at_mut((y + 1) * w1);
+        let prev = &prev_rows[y * w1..];
+        let cur = &mut cur_rows[..w1];
+        cur[0] = 0;
+        let mut acc = 0u64;
+        for (d, &v) in cur[1..].iter_mut().zip(src) {
+            acc += v as u64;
+            *d = acc;
+        }
+        for (d, &p) in cur[1..].iter_mut().zip(&prev[1..]) {
+            *d += p;
         }
     }
     sat
 }
 
 /// Worker count for the plane builders (available parallelism; 1 when
-/// the platform cannot report it).
+/// the platform cannot report it). Queried from the OS exactly once —
+/// `available_parallelism` reads cgroup/affinity state on every call,
+/// which used to show up on every plane build.
 fn parallelism() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    static PAR: OnceLock<usize> = OnceLock::new();
+    *PAR.get_or_init(|| {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
 }
 
 /// Runs `fill(start, slice)` over contiguous position ranges of `out`,
@@ -175,79 +224,147 @@ fn fill_positions(out: &mut [u32], fill: impl Fn(usize, &mut [u32]) + Sync) {
     }
 }
 
-/// Collapses per-channel term planes into per-position channel sums.
-fn channel_sum(terms: &[u8], c: usize, plane_len: usize) -> Vec<u32> {
-    let mut sum = vec![0u32; plane_len];
-    fill_positions(&mut sum, |start, out| {
-        let n = out.len();
-        for ch in 0..c {
-            let base = ch * plane_len + start;
-            for (dst, &t) in out.iter_mut().zip(&terms[base..base + n]) {
-                *dst += t as u32;
-            }
-        }
-    });
-    sum
-}
+/// Position-block size for the plane reductions: 4096 positions keep the
+/// `u32` accumulator block (16 KiB) plus the `u8` scratch and source rows
+/// L1-resident while the channel loop revisits them `C` times. The
+/// previous channel-major sweeps streamed the entire (up to multi-MiB)
+/// accumulator plane through cache once per channel.
+const POS_BLOCK: usize = 4096;
 
-/// Collapses per-channel term planes into the group-reduced cost plane:
-/// per position, the sum over `⌈c/g⌉` chunks of the chunk maximum.
-fn group_cost(terms: &[u8], c: usize, plane_len: usize, g: usize) -> Vec<u32> {
-    let mut cost = vec![0u32; plane_len];
-    fill_positions(&mut cost, |start, out| {
-        let n = out.len();
-        let mut chunk_max = vec![0u8; n];
-        let mut c0 = 0usize;
-        while c0 < c {
-            let c1 = (c0 + g).min(c);
-            chunk_max.fill(0);
-            for ch in c0..c1 {
-                let base = ch * plane_len + start;
-                for (m, &t) in chunk_max.iter_mut().zip(&terms[base..base + n]) {
-                    if t > *m {
-                        *m = t;
+/// Collapses per-channel term planes into per-position channel sums,
+/// position-blocked: the outer loop walks `POS_BLOCK`-sized position
+/// blocks, the inner loop walks channels, so each accumulator block is
+/// loaded once and stays hot across all `c` passes. Writes every
+/// position of `sum` (a dirty recycled buffer is safe).
+fn channel_sum_into(terms: &[Vec<u8>], sum: &mut [u32]) {
+    let c = terms.len();
+    // With ≤256 channels the block sum fits `u16` (255 × 256 = 65280),
+    // doubling the SIMD lane count of the accumulating adds; the final
+    // widening to the `u32` plane is one pass over the hot block. Wider
+    // layers fall back to accumulating in `u32` directly.
+    let narrow = c <= 256;
+    fill_positions(sum, |start, out| {
+        let mut acc16 = [0u16; POS_BLOCK];
+        for (b, blk) in out.chunks_mut(POS_BLOCK).enumerate() {
+            let s0 = start + b * POS_BLOCK;
+            let n = blk.len();
+            if narrow {
+                acc16[..n].fill(0);
+                for plane in terms {
+                    for (dst, &t) in acc16[..n].iter_mut().zip(&plane[s0..s0 + n]) {
+                        *dst += t as u16;
+                    }
+                }
+                for (dst, &t) in blk.iter_mut().zip(&acc16[..n]) {
+                    *dst = t as u32;
+                }
+            } else {
+                blk.fill(0);
+                for plane in terms {
+                    for (dst, &t) in blk.iter_mut().zip(&plane[s0..s0 + n]) {
+                        *dst += t as u32;
                     }
                 }
             }
-            for (dst, &m) in out.iter_mut().zip(&chunk_max) {
-                *dst += m as u32;
-            }
-            c0 = c1;
         }
     });
-    cost
 }
 
-/// Fills one channel's raw/delta term planes (`ph × pw` each).
+/// Collapses per-channel term planes into the group-reduced cost plane:
+/// per position, the sum over `⌈c/g⌉` chunks of the chunk maximum. Same
+/// position-blocked structure as [`channel_sum_into`]; the branch-free
+/// `max` lets the compiler vectorize the chunk reduction (`pmaxub`).
+/// The first chunk assigns and later chunks accumulate, so every
+/// position of `cost` is written (a dirty recycled buffer is safe).
+fn group_cost_into(terms: &[Vec<u8>], g: usize, cost: &mut [u32]) {
+    let c = terms.len();
+    if c == 0 {
+        cost.fill(0);
+        return;
+    }
+    fill_positions(cost, |start, out| {
+        let mut chunk_max = [0u8; POS_BLOCK];
+        for (b, blk) in out.chunks_mut(POS_BLOCK).enumerate() {
+            let s0 = start + b * POS_BLOCK;
+            let n = blk.len();
+            let mut c0 = 0usize;
+            while c0 < c {
+                let c1 = (c0 + g).min(c);
+                chunk_max[..n].fill(0);
+                for plane in &terms[c0..c1] {
+                    for (m, &t) in chunk_max[..n].iter_mut().zip(&plane[s0..s0 + n]) {
+                        *m = (*m).max(t);
+                    }
+                }
+                if c0 == 0 {
+                    for (dst, &m) in blk.iter_mut().zip(&chunk_max[..n]) {
+                        *dst = m as u32;
+                    }
+                } else {
+                    for (dst, &m) in blk.iter_mut().zip(&chunk_max[..n]) {
+                        *dst += m as u32;
+                    }
+                }
+                c0 = c1;
+            }
+        }
+    });
+}
+
+/// A per-value plane metric lifted to whole rows: `metric(values, out)`
+/// writes one `u8` per value. Term planes use the lane-parallel Booth
+/// kernel; the Stripes model supplies a dynamic-precision metric. Must
+/// map `0 → 0` (padded border rows stay at the plane's zero init) and
+/// fit every result in `u8`.
+pub trait RowMetric: Sync {
+    /// Computes the metric of each value in `values` into `out`
+    /// (equal lengths).
+    fn apply(&self, values: &[i16], out: &mut [u8]);
+}
+
+impl<F: Fn(&[i16], &mut [u8]) + Sync> RowMetric for F {
+    fn apply(&self, values: &[i16], out: &mut [u8]) {
+        self(values, out)
+    }
+}
+
+/// The Booth effectual-term metric — the lane-parallel closed-form
+/// kernel, dispatched per CPU (AVX2 / SSE2 / SWAR) and bit-identical to
+/// the scalar `booth_terms` on every path.
+fn booth_metric(values: &[i16], out: &mut [u8]) {
+    booth_terms_slice(values, out);
+}
+
+/// Fills one channel's raw/delta metric planes (`ph × pw` each).
 ///
-/// Interior rows are read through direct slice access on a reusable
-/// padded row buffer (one bounds check per row, not two per element);
-/// fully-padded border rows are all-zero values with all-zero
-/// stride-distant predecessors, so their term counts stay at the
-/// plane's zero initialization. Left/right padding of the scratch row is
-/// written once and never overwritten; only the interior span changes
-/// per row.
+/// Interior rows are staged into a reusable padded row buffer, delta'd
+/// in one fused streaming pass ([`delta_row_wrapping_into`]), and both
+/// rows pushed through the lane-parallel metric kernel — whole-row slice
+/// calls instead of two metric evaluations per element. Fully-padded
+/// border rows are all-zero values with all-zero stride-distant
+/// predecessors, so their metric stays at the plane's zero
+/// initialization. Left/right padding of the scratch rows is written
+/// once and never overwritten; only the interior span changes per row.
 #[allow(clippy::too_many_arguments)]
-fn fill_channel(
+fn fill_channel<M: RowMetric + ?Sized>(
     imap: &diffy_tensor::Tensor3<i16>,
     c: usize,
     pad: usize,
     stride: usize,
     pw: usize,
     padded_row: &mut [i16],
+    delta_row: &mut [i16],
     raw: &mut [u8],
     delta: &mut [u8],
+    metric: &M,
 ) {
     let h = imap.shape().h;
     for py in pad..pad + h {
         padded_row[pad..pad + imap.shape().w].copy_from_slice(imap.row(c, py - pad));
+        delta_row_wrapping_into(padded_row, stride, delta_row);
         let base = py * pw;
-        for px in 0..pw {
-            let v = padded_row[px];
-            raw[base + px] = booth_terms(v) as u8;
-            let prev = if px >= stride { padded_row[px - stride] } else { 0 };
-            delta[base + px] = booth_terms(v.wrapping_sub(prev)) as u8;
-        }
+        metric.apply(padded_row, &mut raw[base..base + pw]);
+        metric.apply(delta_row, &mut delta[base..base + pw]);
     }
 }
 
@@ -264,43 +381,134 @@ impl PaddedTerms {
     /// channels are disjoint, so the parallel build is bit-identical to
     /// the serial one at any worker count.
     pub fn build(imap: &diffy_tensor::Tensor3<i16>, pad: usize, stride: usize) -> Self {
+        Self::build_with_metric(imap, pad, stride, &booth_metric)
+    }
+
+    /// [`PaddedTerms::build`] under an arbitrary per-value plane metric —
+    /// the machinery (padding, row delta, channel fan-out, channel sums,
+    /// summed-area tables, memoized group reductions) is metric-agnostic,
+    /// so other cost models (e.g. the Stripes dynamic-precision planes)
+    /// reuse it wholesale.
+    pub fn build_with_metric<M: RowMetric + ?Sized>(
+        imap: &diffy_tensor::Tensor3<i16>,
+        pad: usize,
+        stride: usize,
+        metric: &M,
+    ) -> Self {
         let s = imap.shape();
         let (ph, pw) = (s.h + 2 * pad, s.w + 2 * pad);
         let plane_len = ph * pw;
-        let mut raw = vec![0u8; s.c * plane_len];
-        let mut delta = vec![0u8; s.c * plane_len];
+        // Pool-recycled buffers arrive dirty: the metric fill covers
+        // every interior row in full (the scratch row carries the zero
+        // left/right padding through the metric), so only the
+        // fully-padded border rows need explicit zeroing.
+        let border = pad * pw;
+        let take_plane = || {
+            let mut p = scratch::take_u8(plane_len);
+            p[..border].fill(0);
+            p[plane_len - border..].fill(0);
+            p
+        };
+        let mut raw: Vec<Vec<u8>> = (0..s.c).map(|_| take_plane()).collect();
+        let mut delta: Vec<Vec<u8>> = (0..s.c).map(|_| take_plane()).collect();
+        let mut raw_sum = scratch::take_u32(plane_len);
+        let mut delta_sum = scratch::take_u32(plane_len);
         let workers = parallelism().min(s.c);
         if workers > 1 && s.c * plane_len >= PAR_BUILD_THRESHOLD {
-            let per = s.c.div_ceil(workers) * plane_len;
+            let per = s.c.div_ceil(workers);
             std::thread::scope(|scope| {
                 for (t, (raw_chunk, delta_chunk)) in
                     raw.chunks_mut(per).zip(delta.chunks_mut(per)).enumerate()
                 {
-                    let first = t * (per / plane_len);
+                    let first = t * per;
                     scope.spawn(move || {
                         let mut padded_row = vec![0i16; pw];
-                        for (k, (r, d)) in raw_chunk
-                            .chunks_mut(plane_len)
-                            .zip(delta_chunk.chunks_mut(plane_len))
-                            .enumerate()
+                        let mut delta_row = vec![0i16; pw];
+                        for (k, (r, d)) in
+                            raw_chunk.iter_mut().zip(delta_chunk.iter_mut()).enumerate()
                         {
-                            fill_channel(imap, first + k, pad, stride, pw, &mut padded_row, r, d);
+                            fill_channel(
+                                imap,
+                                first + k,
+                                pad,
+                                stride,
+                                pw,
+                                &mut padded_row,
+                                &mut delta_row,
+                                r,
+                                d,
+                                metric,
+                            );
                         }
                     });
                 }
             });
+            channel_sum_into(&raw, &mut raw_sum);
+            channel_sum_into(&delta, &mut delta_sum);
         } else {
+            // Serial path: walk rows in the outer loop and channels in
+            // the inner one, accumulating the channel sums while each
+            // freshly computed metric row is still L1-resident — the
+            // channel-major order (and the separate [`channel_sum`]
+            // sweep the parallel path keeps) would re-stream all
+            // `2·C·ph·pw` term bytes from memory. Both paths add the
+            // same per-channel values in the same channel order, so the
+            // sum planes are bit-identical. Border rows of the planes
+            // are zeroed above (metric(0) = 0); the recycled sum
+            // buffers get their border rows zeroed here and every
+            // interior row either assigned (narrow) or zeroed before
+            // accumulation (wide).
+            raw_sum[..border].fill(0);
+            raw_sum[plane_len - border..].fill(0);
+            delta_sum[..border].fill(0);
+            delta_sum[plane_len - border..].fill(0);
             let mut padded_row = vec![0i16; pw];
-            for c in 0..s.c {
-                let (r, d) = (
-                    &mut raw[c * plane_len..(c + 1) * plane_len],
-                    &mut delta[c * plane_len..(c + 1) * plane_len],
-                );
-                fill_channel(imap, c, pad, stride, pw, &mut padded_row, r, d);
+            let mut delta_row = vec![0i16; pw];
+            let narrow = s.c <= 256;
+            let mut acc_raw = vec![0u16; pw];
+            let mut acc_delta = vec![0u16; pw];
+            for py in pad..pad + s.h {
+                let base = py * pw;
+                if narrow {
+                    acc_raw.fill(0);
+                    acc_delta.fill(0);
+                } else {
+                    raw_sum[base..base + pw].fill(0);
+                    delta_sum[base..base + pw].fill(0);
+                }
+                for ch in 0..s.c {
+                    padded_row[pad..pad + s.w].copy_from_slice(imap.row(ch, py - pad));
+                    delta_row_wrapping_into(&padded_row, stride, &mut delta_row);
+                    let r = &mut raw[ch][base..base + pw];
+                    let d = &mut delta[ch][base..base + pw];
+                    metric.apply(&padded_row, r);
+                    metric.apply(&delta_row, d);
+                    if narrow {
+                        for (a, &t) in acc_raw.iter_mut().zip(r.iter()) {
+                            *a += t as u16;
+                        }
+                        for (a, &t) in acc_delta.iter_mut().zip(d.iter()) {
+                            *a += t as u16;
+                        }
+                    } else {
+                        for (a, &t) in raw_sum[base..base + pw].iter_mut().zip(r.iter()) {
+                            *a += t as u32;
+                        }
+                        for (a, &t) in delta_sum[base..base + pw].iter_mut().zip(d.iter()) {
+                            *a += t as u32;
+                        }
+                    }
+                }
+                if narrow {
+                    for (dst, &a) in raw_sum[base..base + pw].iter_mut().zip(&acc_raw) {
+                        *dst = a as u32;
+                    }
+                    for (dst, &a) in delta_sum[base..base + pw].iter_mut().zip(&acc_delta) {
+                        *dst = a as u32;
+                    }
+                }
             }
         }
-        let raw_sum = channel_sum(&raw, s.c, plane_len);
-        let delta_sum = channel_sum(&delta, s.c, plane_len);
         let raw_sum_sat = summed_area(&raw_sum, ph, pw);
         let delta_sum_sat = summed_area(&delta_sum, ph, pw);
         Self {
@@ -337,14 +545,14 @@ impl PaddedTerms {
     #[inline]
     pub fn raw_at(&self, c: usize, py: usize, px: usize) -> u32 {
         debug_assert!(c < self.c && py < self.ph && px < self.pw);
-        self.raw[(c * self.ph + py) * self.pw + px] as u32
+        self.raw[c][py * self.pw + px] as u32
     }
 
     /// Delta term count at a padded position.
     #[inline]
     pub fn delta_at(&self, c: usize, py: usize, px: usize) -> u32 {
         debug_assert!(c < self.c && py < self.ph && px < self.pw);
-        self.delta[(c * self.ph + py) * self.pw + px] as u32
+        self.delta[c][py * self.pw + px] as u32
     }
 
     /// Total term count of one filter window over all channels, for the
@@ -367,6 +575,17 @@ impl PaddedTerms {
         window_total(plane, sat, self.pw, py0, px0, kh, kw, dilation)
     }
 
+    /// Vertical-span prefix of the chosen stream's sum plane over rows
+    /// `py0..py0+kh`: fills `out` (length `pw+1`) so that any
+    /// stride-1-dilation window `[px0, px0+kw)` of those rows equals
+    /// `out[px0+kw] - out[px0]` — bit-identical to [`Self::sum_window`].
+    /// Row-major walks amortize one sequential fill per output row
+    /// instead of four summed-area lookups per window.
+    pub fn sum_row_spans(&self, delta: bool, py0: usize, kh: usize, out: &mut [u64]) {
+        let sat = if delta { &self.delta_sum_sat } else { &self.raw_sum_sat };
+        sat_row_spans(sat, self.pw + 1, py0, kh, out);
+    }
+
     /// The group-reduced cost planes for synchronization group `g`,
     /// computed once per `g` and shared by every subsequent caller
     /// (both value modes, the selective ablation, `T_x` sweeps).
@@ -375,8 +594,10 @@ impl PaddedTerms {
         let mut map = self.grouped.lock().expect("group plane memo poisoned");
         Arc::clone(map.entry(g).or_insert_with(|| {
             let plane_len = self.ph * self.pw;
-            let raw_cost = group_cost(&self.raw, self.c, plane_len, g);
-            let delta_cost = group_cost(&self.delta, self.c, plane_len, g);
+            let mut raw_cost = scratch::take_u32(plane_len);
+            let mut delta_cost = scratch::take_u32(plane_len);
+            group_cost_into(&self.raw, g, &mut raw_cost);
+            group_cost_into(&self.delta, g, &mut delta_cost);
             let raw_cost_sat = summed_area(&raw_cost, self.ph, self.pw);
             let delta_cost_sat = summed_area(&delta_cost, self.ph, self.pw);
             Arc::new(GroupPlanes {
@@ -388,6 +609,33 @@ impl PaddedTerms {
                 delta_cost_sat,
             })
         }))
+    }
+}
+
+impl Drop for PaddedTerms {
+    /// Returns the plane and table buffers to the thread-local scratch
+    /// pool so the next build (same thread, any geometry that fits)
+    /// reuses resident pages instead of re-faulting fresh ones. The
+    /// memoized [`GroupPlanes`] recycle themselves when their last
+    /// `Arc` drops.
+    fn drop(&mut self) {
+        for v in self.raw.drain(..).chain(self.delta.drain(..)) {
+            scratch::put_u8(v);
+        }
+        scratch::put_u32(std::mem::take(&mut self.raw_sum));
+        scratch::put_u32(std::mem::take(&mut self.delta_sum));
+        scratch::put_u64(std::mem::take(&mut self.raw_sum_sat));
+        scratch::put_u64(std::mem::take(&mut self.delta_sum_sat));
+    }
+}
+
+impl Drop for GroupPlanes {
+    /// Same recycling as [`PaddedTerms`] for the group-reduced planes.
+    fn drop(&mut self) {
+        scratch::put_u32(std::mem::take(&mut self.raw_cost));
+        scratch::put_u32(std::mem::take(&mut self.delta_cost));
+        scratch::put_u64(std::mem::take(&mut self.raw_cost_sat));
+        scratch::put_u64(std::mem::take(&mut self.delta_cost_sat));
     }
 }
 
@@ -416,6 +664,15 @@ impl GroupPlanes {
             (&self.raw_cost, &self.raw_cost_sat)
         };
         window_total(plane, sat, self.pw, py0, px0, kh, kw, dilation)
+    }
+
+    /// Vertical-span prefix of the chosen stream's cost plane over rows
+    /// `py0..py0+kh` — the [`PaddedTerms::sum_row_spans`] analogue for
+    /// synchronization costs, bit-identical to [`Self::cost_window`] at
+    /// dilation 1.
+    pub fn cost_row_spans(&self, delta: bool, py0: usize, kh: usize, out: &mut [u64]) {
+        let sat = if delta { &self.delta_cost_sat } else { &self.raw_cost_sat };
+        sat_row_spans(sat, self.pw + 1, py0, kh, out);
     }
 
     /// Per-position cost at a padded position (test/diagnostic access).
@@ -519,21 +776,63 @@ pub fn term_serial_layer_with_terms(
     // narrow layers keep the full window-level parallelism.
     let mut pallet_max: u64 = 0;
     let mut pallet_fill = 0usize;
-    for oy in 0..geo.out.h {
-        let py0 = oy * geo.stride;
-        for ox in 0..geo.out.w {
-            let use_delta = mode == ValueMode::Differential && ox != 0;
-            let px0 = ox * geo.stride;
-            let col = grouped.cost_window(use_delta, py0, px0, geo.kh, geo.kw, geo.dilation);
-            window_terms += terms.sum_window(use_delta, py0, px0, geo.kh, geo.kw, geo.dilation);
-            if col > pallet_max {
-                pallet_max = col;
+    if geo.dilation == 1 {
+        // Dense windows: amortize the summed-area lookups over each
+        // output row. The row-span prefixes turn every window into two
+        // adjacent reads of a sequential buffer — the same integers the
+        // four-corner lookups produce, without the scattered table
+        // traffic. The one raw-stream window per differential row (ox =
+        // 0, no left neighbour) keeps the direct lookup.
+        let pw1 = terms.padded_dims().1 + 1;
+        let spans_delta = mode == ValueMode::Differential;
+        let mut cost_spans = vec![0u64; pw1];
+        let mut sum_spans = vec![0u64; pw1];
+        for oy in 0..geo.out.h {
+            let py0 = oy * geo.stride;
+            grouped.cost_row_spans(spans_delta, py0, geo.kh, &mut cost_spans);
+            terms.sum_row_spans(spans_delta, py0, geo.kh, &mut sum_spans);
+            for ox in 0..geo.out.w {
+                let px0 = ox * geo.stride;
+                let (col, wnd) = if spans_delta && ox == 0 {
+                    (
+                        grouped.cost_window(false, py0, px0, geo.kh, geo.kw, 1),
+                        terms.sum_window(false, py0, px0, geo.kh, geo.kw, 1),
+                    )
+                } else {
+                    (
+                        cost_spans[px0 + geo.kw] - cost_spans[px0],
+                        sum_spans[px0 + geo.kw] - sum_spans[px0],
+                    )
+                };
+                window_terms += wnd;
+                if col > pallet_max {
+                    pallet_max = col;
+                }
+                pallet_fill += 1;
+                if pallet_fill == cfg.windows {
+                    cycles_per_pass += pallet_max;
+                    pallet_max = 0;
+                    pallet_fill = 0;
+                }
             }
-            pallet_fill += 1;
-            if pallet_fill == cfg.windows {
-                cycles_per_pass += pallet_max;
-                pallet_max = 0;
-                pallet_fill = 0;
+        }
+    } else {
+        for oy in 0..geo.out.h {
+            let py0 = oy * geo.stride;
+            for ox in 0..geo.out.w {
+                let use_delta = mode == ValueMode::Differential && ox != 0;
+                let px0 = ox * geo.stride;
+                let col = grouped.cost_window(use_delta, py0, px0, geo.kh, geo.kw, geo.dilation);
+                window_terms += terms.sum_window(use_delta, py0, px0, geo.kh, geo.kw, geo.dilation);
+                if col > pallet_max {
+                    pallet_max = col;
+                }
+                pallet_fill += 1;
+                if pallet_fill == cfg.windows {
+                    cycles_per_pass += pallet_max;
+                    pallet_max = 0;
+                    pallet_fill = 0;
+                }
             }
         }
     }
@@ -934,6 +1233,59 @@ mod tests {
                 assert_kernels_agree(&t, &cfg_g, &format!("s{stride} d{dilation} g{g}"));
             }
         }
+    }
+
+    #[test]
+    fn rebuilds_through_dirty_scratch_pool_are_bit_identical() {
+        // The plane builders draw dirty recycled buffers from the
+        // thread-local scratch pool. Build A, snapshot every readable
+        // plane value, then pollute the pool with builds of *different*
+        // geometries (larger and smaller, padded and unpadded) so a
+        // rebuild of A recycles truncated/extended buffers full of stale
+        // data — it must reproduce the snapshot exactly, border rows
+        // included.
+        let t = mk_trace(pseudo_imap(6, 9, 31, 77), 8, 3, ConvGeometry::same(3, 3));
+        let snapshot = |terms: &PaddedTerms| {
+            let (ph, pw) = terms.padded_dims();
+            let planes = terms.grouped(4);
+            let mut vals = Vec::new();
+            for py in 0..ph {
+                for px in 0..pw {
+                    for c in 0..terms.channels() {
+                        vals.push(terms.raw_at(c, py, px));
+                        vals.push(terms.delta_at(c, py, px));
+                    }
+                    for delta in [false, true] {
+                        vals.push(planes.cost_at(delta, py, px));
+                    }
+                }
+            }
+            for (kh, kw) in [(3, 3), (1, 2)] {
+                for py0 in 0..=ph - kh {
+                    for px0 in 0..=pw - kw {
+                        for delta in [false, true] {
+                            vals.push(terms.sum_window(delta, py0, px0, kh, kw, 1) as u32);
+                            vals.push(planes.cost_window(delta, py0, px0, kh, kw, 1) as u32);
+                        }
+                    }
+                }
+            }
+            vals
+        };
+        let first = {
+            let terms = PaddedTerms::for_layer(&t);
+            snapshot(&terms)
+        };
+        for (c, h, w, pad) in [(9, 14, 40, 2), (2, 3, 5, 0), (7, 9, 31, 1)] {
+            let big = PaddedTerms::build(&pseudo_imap(c, h, w, 1000 + c as u64), pad, 1);
+            let _ = big.grouped(4);
+            drop(big);
+        }
+        let again = {
+            let terms = PaddedTerms::for_layer(&t);
+            snapshot(&terms)
+        };
+        assert_eq!(first, again, "recycled-buffer rebuild diverged");
     }
 
     #[test]

@@ -98,6 +98,12 @@ impl<T> Tensor3<T> {
         &self.data[start..start + self.shape.w]
     }
 
+    /// Mutable contiguous slice holding one row of one channel.
+    pub fn row_mut(&mut self, c: usize, y: usize) -> &mut [T] {
+        let start = self.shape.index(c, y, 0);
+        &mut self.data[start..start + self.shape.w]
+    }
+
     /// Iterator over all elements in storage order.
     pub fn iter(&self) -> std::slice::Iter<'_, T> {
         self.data.iter()
