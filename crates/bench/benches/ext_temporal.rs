@@ -8,8 +8,16 @@
 //! settings bracket the design space: a slow pan (temporal correlation
 //! dominates) and a fast pan with sensor noise (spatial correlation
 //! matters more).
+//!
+//! A second section projects the streaming steady state to full HD
+//! (1920×1080): per-frame cost of Diffy-ST against the retained previous
+//! frame vs a full spatial re-evaluation, equality-gated on per-layer
+//! effectual MACs (temporal processing is déjà vu-free — it may only
+//! change *when* work happens, never *how much*). `DIFFY_BENCH_JSON`
+//! writes the per-frame records and fps summary to disk.
 
-use diffy_bench::{banner, bench_options};
+use diffy_bench::{banner, bench_options, write_bench_json, BenchRecord};
+use diffy_core::runner::HD_PIXELS;
 use diffy_core::summary::TextTable;
 use diffy_imaging::scenes::SceneKind;
 use diffy_imaging::video::pan_sequence;
@@ -82,4 +90,84 @@ fn main() {
     println!("need the previous frame's activations buffered (CBInfer's");
     println!("storage cost, which the paper notes Diffy avoids); the combined");
     println!("mode applies Diffy's row transform to the temporal deltas.");
+    println!();
+
+    // Streaming per-frame record at full HD: the serve layer's session
+    // subsystem evaluates frame t against the retained frame t-1; this
+    // measures the same trade at the sim level, projected to 1920x1080
+    // linearly in pixel count (fully convolutional; DESIGN.md §2.3), and
+    // gates on exactness first: temporal processing is déjà vu-free, so
+    // every layer performs the same effectual MACs as a full spatial
+    // re-evaluation — only the cycle count may differ.
+    const STREAM_FRAMES: usize = 4;
+    let frames =
+        pan_sequence(SceneKind::City, opts.resolution, opts.resolution, STREAM_FRAMES, 1, 0.0, opts.seed);
+    let traces: Vec<_> = frames
+        .iter()
+        .map(|f| run_network(&model.spec(), &weights, &model.prepare_input(f, 0)))
+        .collect();
+    let traced_pixels = (opts.resolution * opts.resolution) as f64;
+    let hd_ms = |cycles: u64| {
+        (cycles as f64 * HD_PIXELS as f64 / traced_pixels) / (cfg.frequency_ghz * 1e9) * 1e3
+    };
+
+    let mut stream_table =
+        TextTable::new(vec!["frame", "full HD ms", "temporal HD ms", "speedup"]);
+    let mut records = Vec::new();
+    let mut summary: Vec<(String, f64)> = Vec::new();
+    let (mut full_ms_sum, mut temporal_ms_sum) = (0.0f64, 0.0f64);
+    for t in 1..STREAM_FRAMES {
+        let full = term_serial_network(&traces[t], &cfg, ValueMode::Differential);
+        let temporal =
+            temporal_network(&traces[t - 1], &traces[t], &cfg, TemporalMode::SpatioTemporal);
+        for (f, s) in full.layers.iter().zip(temporal.layers.iter()) {
+            assert_eq!(
+                f.macs, s.macs,
+                "frame {t}: temporal processing must stay bit-exact (same effectual MACs)"
+            );
+        }
+        let (full_ms, temporal_ms) = (hd_ms(full.total_cycles()), hd_ms(temporal.total_cycles()));
+        full_ms_sum += full_ms;
+        temporal_ms_sum += temporal_ms;
+        stream_table.row(vec![
+            t.to_string(),
+            format!("{full_ms:.2}"),
+            format!("{temporal_ms:.2}"),
+            format!("{:.2}x", full_ms / temporal_ms),
+        ]);
+        records.push(BenchRecord {
+            name: format!("hd_full_frame{t}"),
+            wall_ms: full_ms,
+            iters: 1,
+            per_second: Some(1e3 / full_ms),
+        });
+        records.push(BenchRecord {
+            name: format!("hd_temporal_frame{t}"),
+            wall_ms: temporal_ms,
+            iters: 1,
+            per_second: Some(1e3 / temporal_ms),
+        });
+    }
+    let n = (STREAM_FRAMES - 1) as f64;
+    summary.push(("hd_fps_full".to_string(), 1e3 * n / full_ms_sum));
+    summary.push(("hd_fps_temporal".to_string(), 1e3 * n / temporal_ms_sum));
+    summary.push(("temporal_speedup_vs_full".to_string(), full_ms_sum / temporal_ms_sum));
+    println!("{}", stream_table.render());
+    println!("per-frame cost at 1920x1080 (slow 1 px pan, clean): Diffy spatial");
+    println!("re-evaluation vs Diffy-ST against the retained previous frame —");
+    println!("the steady-state work of one streaming video session.");
+
+    let meta = [
+        ("model", model.name().to_string()),
+        ("traced_resolution", format!("{}x{}", opts.resolution, opts.resolution)),
+        ("projection", "1920x1080, linear in pixel count".to_string()),
+        ("content", "City pan 1 px/frame, no sensor noise".to_string()),
+        ("frames", STREAM_FRAMES.to_string()),
+        ("mode", "Diffy-ST vs Diffy full re-evaluation".to_string()),
+    ];
+    let summary_refs: Vec<(&str, f64)> =
+        summary.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    if let Some(path) = write_bench_json("ext_temporal", &meta, &records, &summary_refs) {
+        println!("wrote {}", path.display());
+    }
 }

@@ -1,8 +1,9 @@
 //! Service throughput/latency: closed-loop load against an in-process
-//! `diffy-serve` server at several client concurrency levels, in three
+//! `diffy-serve` server at several client concurrency levels, in four
 //! transport modes: one-shot (connection per request), keep-alive (one
-//! persistent connection per client) and batch (eight evaluations per
-//! `POST /evaluate/batch`).
+//! persistent connection per client), batch (eight evaluations per
+//! `POST /evaluate/batch`) and streaming (one video session per client,
+//! each "request" a `POST /session/{id}/frame`).
 //!
 //! Methodology (see EXPERIMENTS.md §"Service throughput and latency"):
 //! an ephemeral-port server is booted in-process with its default worker
@@ -19,7 +20,7 @@
 
 use diffy_bench::{bench_options, bench_smoke, write_bench_json, BenchRecord};
 use diffy_core::summary::TextTable;
-use diffy_serve::{closed_loop_mode, get, post, LoadMode, ServeConfig, Server};
+use diffy_serve::{closed_loop_mode, get, post, LoadMode, ServeConfig, Server, SessionClient};
 use std::time::Duration;
 
 /// Evaluations per `/evaluate/batch` request in batch mode.
@@ -39,7 +40,7 @@ fn main() {
     println!(
         "workload: IRCNN/Kodak24 at {resolution}x{resolution}, {total_requests} evaluations \
          per cell, closed-loop clients at concurrency {levels:?}, \
-         modes: one-shot / keep-alive / batch({BATCH_SIZE})"
+         modes: one-shot / keep-alive / batch({BATCH_SIZE}) / streaming"
     );
     println!();
 
@@ -69,6 +70,7 @@ fn main() {
     ]);
     let mut records = Vec::new();
     let mut summary: Vec<(String, f64)> = Vec::new();
+    let mut oneshot_p50_c1 = None;
     for (mode_name, key_prefix, mode) in modes {
         let mut rps_c1 = None;
         for &concurrency in levels {
@@ -98,6 +100,9 @@ fn main() {
             summary.push((format!("p99_ms_{key_prefix}c{concurrency}"), report.p99_ms));
             if concurrency == 1 {
                 rps_c1 = Some(report.throughput_rps);
+                if mode == LoadMode::OneShot {
+                    oneshot_p50_c1 = Some(report.p50_ms);
+                }
             } else if let Some(base) = rps_c1 {
                 summary.push((
                     format!("speedup_{key_prefix}c{concurrency}_vs_c1"),
@@ -106,7 +111,85 @@ fn main() {
             }
         }
     }
+
+    // Streaming sessions get their own frame budget: a session's `frames`
+    // horizon caps how many frames one client can post, so per-client
+    // frames are fixed per cell (concurrency scales total work) rather
+    // than splitting one shared budget.
+    let stream_frames: usize = if bench_smoke() { 4 } else { 16 };
+    let stream_body = format!(
+        r#"{{"model": "IRCNN", "resolution": {resolution}, "frames": {stream_frames}, "seed": 1}}"#
+    );
+    // Warm the video-frame cache with one untimed session; its last frame
+    // carries the cumulative savings ledger for the whole sequence.
+    let savings_pct = {
+        let mut warm = SessionClient::new(addr, TIMEOUT);
+        let created = warm.create(&stream_body).expect("warm-up session create");
+        assert_eq!(created.status, 200, "warm-up session failed: {}", created.body);
+        let mut last = String::new();
+        for _ in 0..stream_frames {
+            let resp = warm.frame("").expect("warm-up frame");
+            assert_eq!(resp.status, 200, "warm-up frame failed: {}", resp.body);
+            last = resp.body;
+        }
+        warm.close().expect("warm-up session close");
+        diffy_core::json::parse(&last)
+            .expect("frame body parses")
+            .get("cumulative")
+            .and_then(|c| c.get("savings_pct"))
+            .and_then(|v| v.as_f64())
+            .expect("frame response carries cumulative savings")
+    };
+    let mut stream_rps_c1 = None;
+    for &concurrency in levels {
+        let report = closed_loop_mode(
+            addr,
+            &stream_body,
+            concurrency,
+            stream_frames,
+            TIMEOUT,
+            LoadMode::Streaming,
+        );
+        assert_eq!(report.errors, 0, "streaming run must not shed");
+        table.row(vec![
+            "streaming".to_string(),
+            concurrency.to_string(),
+            report.ok.to_string(),
+            report.errors.to_string(),
+            format!("{:.2}", report.throughput_rps),
+            format!("{:.2}", report.mean_ms),
+            format!("{:.2}", report.p50_ms),
+            format!("{:.2}", report.p90_ms),
+            format!("{:.2}", report.p99_ms),
+        ]);
+        records.push(BenchRecord {
+            name: format!("serve_stream_c{concurrency}"),
+            wall_ms: report.mean_ms,
+            iters: report.ok,
+            per_second: Some(report.throughput_rps),
+        });
+        summary.push((format!("fps_stream_c{concurrency}"), report.throughput_rps));
+        summary.push((format!("p50_ms_stream_c{concurrency}"), report.p50_ms));
+        summary.push((format!("p99_ms_stream_c{concurrency}"), report.p99_ms));
+        if concurrency == 1 {
+            stream_rps_c1 = Some(report.throughput_rps);
+            if let Some(oneshot) = oneshot_p50_c1 {
+                // The headline comparison: a streamed frame (persistent
+                // connection + temporal evaluation) vs a one-shot
+                // evaluation of the same resolution.
+                summary.push(("stream_p50_vs_oneshot_c1".to_string(), report.p50_ms / oneshot));
+            }
+        } else if let Some(base) = stream_rps_c1 {
+            summary
+                .push((format!("speedup_stream_c{concurrency}_vs_c1"), report.throughput_rps / base));
+        }
+    }
+    summary.push(("stream_savings_pct".to_string(), savings_pct));
     println!("{}", table.render());
+    println!(
+        "streaming: {stream_frames} frames per session per client; cumulative temporal \
+         savings over per-frame spatial re-evaluation: {savings_pct:.1}%"
+    );
 
     // Scrape the server's own view before drain: the cache must have
     // served the repeats, and every measured request must be a 200.
@@ -116,7 +199,18 @@ fn main() {
     let hits = m.get("cache").unwrap().get("hits").unwrap().as_u64().unwrap();
     let oks = m.get("responses").unwrap().get("200").unwrap().as_u64().unwrap();
     assert!(hits > 0, "warm levels must hit the cache");
-    println!("server metrics: {oks} 200s, {hits} cache hits");
+    let s = m.get("sessions").unwrap();
+    let sget = |k: &str| s.get(k).unwrap().as_u64().unwrap();
+    assert!(sget("created") > 0, "streaming levels must have opened sessions");
+    assert_eq!(
+        sget("created"),
+        sget("closed") + sget("expired") + sget("evicted") + sget("open"),
+        "session accounting must conserve: {s:?}"
+    );
+    println!(
+        "server metrics: {oks} 200s, {hits} cache hits, {} sessions created/closed",
+        sget("created")
+    );
     println!();
 
     handle.shutdown();
@@ -128,7 +222,8 @@ fn main() {
         ("resolution", format!("{resolution}x{resolution}")),
         ("requests_per_level", total_requests.to_string()),
         ("batch_size", BATCH_SIZE.to_string()),
-        ("modes", "one-shot,keep-alive,batch".to_string()),
+        ("stream_frames_per_session", stream_frames.to_string()),
+        ("modes", "one-shot,keep-alive,batch,streaming".to_string()),
         ("server_workers", workers.to_string()),
         ("host_parallelism", num_cores().to_string()),
     ];

@@ -15,8 +15,12 @@ use diffy_encoding::StorageScheme;
 use diffy_imaging::datasets::DatasetId;
 use diffy_memsys::traffic::LayerTraffic;
 use diffy_imaging::scenes::{render_scene, SceneKind};
+use diffy_imaging::video::pan_frame;
 use diffy_models::{run_network, CiModel, ClassModel, LayerTrace, NetworkTrace, NetworkWeights};
-use diffy_sim::PaddedTerms;
+use diffy_sim::{
+    temporal_network, term_serial_network, AcceleratorConfig, NetworkCycles, PaddedTerms,
+    TemporalMode, ValueMode,
+};
 use diffy_tensor::Quantizer;
 use std::sync::{Arc, OnceLock};
 
@@ -153,6 +157,105 @@ pub fn class_trace_bundle(model: ClassModel, resolution: usize, seed: u64) -> Tr
     }
 }
 
+/// Identity of one synthetic video stream: everything a frame — and
+/// therefore its trace and its cycle results — is a pure function of.
+///
+/// The total `frames` horizon is part of the identity on purpose:
+/// [`diffy_imaging::video::pan_sequence`] renders the underlying wide
+/// scene at `w + pan_px * (frames − 1)`, so the *content* of frame `f`
+/// depends on how long the stream will run. A streaming consumer fixes
+/// the horizon up front and then every frame is a pure function of
+/// `(spec, frame index)` — which is what makes per-frame artifacts
+/// cacheable and shareable across concurrent sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VideoSpec {
+    /// Model each frame runs through.
+    pub model: CiModel,
+    /// Scene category of the panning content.
+    pub scene: SceneKind,
+    /// Square frame resolution.
+    pub resolution: usize,
+    /// Total frame horizon of the stream (fixed at stream start).
+    pub frames: usize,
+    /// Horizontal camera pan in pixels per frame.
+    pub pan_px: usize,
+    /// Per-frame sensor-noise amplitude, keyed by its `f32` bit pattern
+    /// so the spec stays `Eq + Hash` (see [`VideoSpec::noise`]).
+    pub noise_bits: u32,
+    /// Seed for the scene, the sensor noise, and the model weights.
+    pub seed: u64,
+}
+
+impl VideoSpec {
+    /// Builds a spec from a plain `f32` noise amplitude.
+    pub fn new(
+        model: CiModel,
+        scene: SceneKind,
+        resolution: usize,
+        frames: usize,
+        pan_px: usize,
+        noise: f32,
+        seed: u64,
+    ) -> Self {
+        Self { model, scene, resolution, frames, pan_px, noise_bits: noise.to_bits(), seed }
+    }
+
+    /// The sensor-noise amplitude as a float.
+    pub fn noise(&self) -> f32 {
+        f32::from_bits(self.noise_bits)
+    }
+}
+
+/// Traces frame `frame` of the video stream `spec`: renders the frame
+/// via [`pan_frame`] (bit-identical to the batch `pan_sequence` path),
+/// degrades it with the model's input preparation, and runs the network.
+///
+/// The degradation seed is `spec.seed` for every frame — a temporally
+/// static sensor pattern, the regime where cross-frame deltas are
+/// meaningful (per-frame *scene* noise is still applied by `pan_frame`).
+///
+/// # Panics
+///
+/// Panics if `frame >= spec.frames`.
+pub fn video_frame_bundle(spec: &VideoSpec, frame: usize) -> TraceBundle {
+    let weights = ci_weights(spec.model, spec.seed);
+    video_frame_bundle_with_weights(spec, &weights, frame)
+}
+
+/// [`video_frame_bundle`] with pre-generated weights (cacheable across
+/// frames and sessions).
+pub fn video_frame_bundle_with_weights(
+    spec: &VideoSpec,
+    weights: &NetworkWeights,
+    frame: usize,
+) -> TraceBundle {
+    let _span = crate::trace::span_args("video_frame_trace", || {
+        vec![
+            ("model", spec.model.to_string().into()),
+            ("frame", frame.into()),
+            ("resolution", spec.resolution.into()),
+        ]
+    });
+    let img = pan_frame(
+        spec.scene,
+        spec.resolution,
+        spec.resolution,
+        spec.frames,
+        spec.pan_px,
+        spec.noise(),
+        spec.seed,
+        frame,
+    );
+    let input = spec.model.prepare_input(&img, spec.seed);
+    let trace = run_network(&spec.model.spec(), weights, &input);
+    TraceBundle {
+        trace,
+        source_pixels: (spec.resolution * spec.resolution) as u64,
+        dataset: None,
+        sample: frame,
+    }
+}
+
 /// Cache key for a trace: everything [`ci_trace_bundle`] derives its
 /// output from — model, dataset, sample, trace resolution, and seed.
 pub type TraceKey = (CiModel, DatasetId, usize, usize, u64);
@@ -196,6 +299,17 @@ pub struct SweepCache {
     traces: Store<TraceKey, TraceBundle>,
     term_planes: Store<(TraceKey, usize), PaddedTerms>,
     traffic: Store<(TraceKey, SchemeKey), Vec<LayerTraffic>>,
+    video_frames: Store<(VideoSpec, usize), TraceBundle>,
+    video_cycles: Store<(VideoSpec, usize, VideoEval), NetworkCycles>,
+}
+
+/// Which cycle model a cached per-frame video result came from: the full
+/// single-frame spatial re-evaluation, or the temporal engine against
+/// the previous frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum VideoEval {
+    Baseline,
+    Temporal(TemporalMode),
 }
 
 /// One artifact store of a [`SweepCache`]: either the append-only
@@ -275,6 +389,11 @@ pub struct CacheStats {
     pub cached_term_planes: usize,
     /// Distinct `(trace, scheme)` traffic vectors currently materialized.
     pub cached_traffic: usize,
+    /// Distinct video frame traces currently materialized.
+    pub cached_video_frames: usize,
+    /// Distinct per-frame cycle results (baseline and temporal)
+    /// currently materialized.
+    pub cached_video_cycles: usize,
 }
 
 impl SweepCache {
@@ -302,6 +421,10 @@ impl SweepCache {
             // Traffic vectors are small (a few structs per layer); keep
             // several schemes' worth per resident trace.
             traffic: Store::Bounded(BoundedCache::new(traces.saturating_mul(8))),
+            // Video frame bundles are trace-sized; cycle results are a
+            // handful of counters per layer.
+            video_frames: Store::Bounded(BoundedCache::new(traces)),
+            video_cycles: Store::Bounded(BoundedCache::new(traces.saturating_mul(8))),
         }
     }
 
@@ -391,6 +514,81 @@ impl SweepCache {
         v
     }
 
+    /// The trace bundle of frame `frame` of the video stream `spec`,
+    /// computed once per `(spec, frame)` — N concurrent sessions over
+    /// the same stream pay each frame's trace build exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame >= spec.frames`.
+    pub fn video_frame(&self, spec: &VideoSpec, frame: usize) -> Arc<TraceBundle> {
+        let mut built = false;
+        let v = self.video_frames.get_or_compute((*spec, frame), || {
+            built = true;
+            let weights = self.weights(spec.model, spec.seed);
+            video_frame_bundle_with_weights(spec, &weights, frame)
+        });
+        if !built {
+            crate::trace::instant("cache_hit", || vec![("kind", "video_frame".into())]);
+        }
+        v
+    }
+
+    /// The full single-frame re-evaluation cost of frame `frame`: the
+    /// spatial-Diffy term-serial engine (Table IV configuration,
+    /// differential value mode) over the frame's own activations — what
+    /// a stateless server would pay for this frame. Memoized per
+    /// `(spec, frame)`; the per-session savings ledger measures the
+    /// temporal engine against this.
+    pub fn video_frame_baseline(&self, spec: &VideoSpec, frame: usize) -> Arc<NetworkCycles> {
+        let mut built = false;
+        let v = self.video_cycles.get_or_compute((*spec, frame, VideoEval::Baseline), || {
+            built = true;
+            let bundle = self.video_frame(spec, frame);
+            let _s = crate::trace::span_args("frame_baseline", || vec![("frame", frame.into())]);
+            term_serial_network(&bundle.trace, &AcceleratorConfig::table4(), ValueMode::Differential)
+        });
+        if !built {
+            crate::trace::instant("cache_hit", || vec![("kind", "video_cycles".into())]);
+        }
+        v
+    }
+
+    /// Temporal (Diffy-T / Diffy-ST, Table IV configuration) cycles of
+    /// frame `frame` evaluated against the previous frame, memoized per
+    /// `(spec, frame, mode)`.
+    ///
+    /// `prev` must be the bundle of frame `frame − 1` of the *same*
+    /// `spec` — the retained state a streaming session carries — so the
+    /// result is a pure function of the key and cached values are
+    /// interchangeable with fresh evaluation. Bit-identical to calling
+    /// [`temporal_network`] directly on the two frame traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame == 0` (nothing to difference against) or
+    /// `frame >= spec.frames`.
+    pub fn video_frame_temporal(
+        &self,
+        spec: &VideoSpec,
+        frame: usize,
+        mode: TemporalMode,
+        prev: &TraceBundle,
+    ) -> Arc<NetworkCycles> {
+        assert!(frame >= 1, "frame 0 has no previous frame");
+        let mut built = false;
+        let v = self.video_cycles.get_or_compute((*spec, frame, VideoEval::Temporal(mode)), || {
+            built = true;
+            let cur = self.video_frame(spec, frame);
+            let _s = crate::trace::span_args("frame_temporal", || vec![("frame", frame.into())]);
+            temporal_network(&prev.trace, &cur.trace, &AcceleratorConfig::table4(), mode)
+        });
+        if !built {
+            crate::trace::instant("cache_hit", || vec![("kind", "video_cycles".into())]);
+        }
+        v
+    }
+
     /// Evaluates `(model, dataset, sample)` under `eval`, drawing the
     /// bundle, every layer's term planes, **and** the scheme's traffic
     /// vector from this cache: a sweep that prices N architectures on one
@@ -441,19 +639,27 @@ impl SweepCache {
             hits: self.weights.hits()
                 + self.traces.hits()
                 + self.term_planes.hits()
-                + self.traffic.hits(),
+                + self.traffic.hits()
+                + self.video_frames.hits()
+                + self.video_cycles.hits(),
             misses: self.weights.misses()
                 + self.traces.misses()
                 + self.term_planes.misses()
-                + self.traffic.misses(),
+                + self.traffic.misses()
+                + self.video_frames.misses()
+                + self.video_cycles.misses(),
             evictions: self.weights.evictions()
                 + self.traces.evictions()
                 + self.term_planes.evictions()
-                + self.traffic.evictions(),
+                + self.traffic.evictions()
+                + self.video_frames.evictions()
+                + self.video_cycles.evictions(),
             cached_weights: self.weights.len(),
             cached_traces: self.traces.len(),
             cached_term_planes: self.term_planes.len(),
             cached_traffic: self.traffic.len(),
+            cached_video_frames: self.video_frames.len(),
+            cached_video_cycles: self.video_cycles.len(),
         }
     }
 
@@ -464,6 +670,8 @@ impl SweepCache {
         self.traces.clear();
         self.term_planes.clear();
         self.traffic.clear();
+        self.video_frames.clear();
+        self.video_cycles.clear();
     }
 
     /// Evaluates a heterogeneous batch of points, fanning out over `par`
@@ -895,6 +1103,68 @@ mod tests {
     #[should_panic(expected = "needs at least")]
     fn class_bundle_rejects_tiny_inputs() {
         let _ = class_trace_bundle(ClassModel::AlexNet, 16, 1);
+    }
+
+    #[test]
+    fn video_frame_cache_matches_fresh_path() {
+        // The cached frame store must be invisible in results: frames
+        // served through the cache are bit-identical to the free-function
+        // path, which in turn builds on the pan_sequence-identical
+        // pan_frame renderer.
+        let spec = VideoSpec::new(CiModel::Ircnn, SceneKind::City, 24, 3, 2, 0.02, 5);
+        let cache = SweepCache::new();
+        for frame in 0..spec.frames {
+            let cached = cache.video_frame(&spec, frame);
+            let fresh = video_frame_bundle(&spec, frame);
+            assert_eq!(cached.trace.output, fresh.trace.output, "frame {frame}");
+            assert_eq!(cached.sample, frame);
+            assert_eq!(cached.source_pixels, 24 * 24);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.cached_video_frames, spec.frames);
+        // A repeated request is a hit, not a rebuild.
+        cache.video_frame(&spec, 0);
+        assert_eq!(cache.stats().cached_video_frames, spec.frames);
+    }
+
+    #[test]
+    fn video_cycle_memos_match_direct_evaluation() {
+        // Baseline and temporal memos must be bit-identical to calling
+        // the sim engines directly on fresh traces, for both modes.
+        let spec = VideoSpec::new(CiModel::Ircnn, SceneKind::Nature, 24, 3, 1, 0.0, 7);
+        let cache = SweepCache::new();
+        let cfg = AcceleratorConfig::table4();
+        let fresh: Vec<TraceBundle> =
+            (0..spec.frames).map(|f| video_frame_bundle(&spec, f)).collect();
+        for (f, bundle) in fresh.iter().enumerate() {
+            let baseline = cache.video_frame_baseline(&spec, f);
+            assert_eq!(
+                *baseline,
+                term_serial_network(&bundle.trace, &cfg, ValueMode::Differential),
+                "baseline frame {f}"
+            );
+        }
+        for mode in [TemporalMode::TemporalOnly, TemporalMode::SpatioTemporal] {
+            for f in 1..spec.frames {
+                let prev = cache.video_frame(&spec, f - 1);
+                let served = cache.video_frame_temporal(&spec, f, mode, &prev);
+                let direct =
+                    temporal_network(&fresh[f - 1].trace, &fresh[f].trace, &cfg, mode);
+                assert_eq!(*served, direct, "{mode:?} frame {f}");
+                // A second request must serve the memo, not recompute.
+                let again = cache.video_frame_temporal(&spec, f, mode, &prev);
+                assert!(Arc::ptr_eq(&served, &again));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no previous frame")]
+    fn temporal_frame_zero_is_rejected() {
+        let spec = VideoSpec::new(CiModel::Ircnn, SceneKind::City, 16, 2, 1, 0.0, 1);
+        let cache = SweepCache::new();
+        let prev = cache.video_frame(&spec, 0);
+        let _ = cache.video_frame_temporal(&spec, 0, TemporalMode::TemporalOnly, &prev);
     }
 
     #[test]

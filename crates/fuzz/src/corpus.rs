@@ -180,6 +180,51 @@ pub fn proto_corpus() -> Vec<CorpusCase> {
     ]
 }
 
+/// Session-lifecycle seed corpus: op scripts (see
+/// `crate::session` for the grammar) covering every rejection class the
+/// streaming subsystem promises to classify, plus the stateful orders —
+/// expiry, eviction, double-close — that a stateless fuzzer would rarely
+/// stumble into.
+pub fn session_corpus() -> Vec<CorpusCase> {
+    const CREATE: &str =
+        r#"create {"model": "IRCNN", "resolution": 16, "frames": 2, "seed": 1}"#;
+    vec![
+        case(
+            "full_happy_lifecycle",
+            format!("{CREATE}\nframe s-1 {{\"frame\": 0}}\nframe s-1 {{\"frame\": 1}}\nclose s-1"),
+        ),
+        case("frame_before_create", "frame s-1 {}"),
+        case("unknown_session_id", format!("{CREATE}\nframe s-99 {{}}")),
+        case("malformed_session_id", format!("{CREATE}\nframe s-x {{}}\nclose ")),
+        case(
+            "expired_session_id",
+            format!("{CREATE}\nadvance 51\nsweep\nframe s-1 {{}}\nclose s-1"),
+        ),
+        case("double_close", format!("{CREATE}\nclose s-1\nclose s-1")),
+        case("wrong_resolution_frame", format!("{CREATE}\nframe s-1 {{\"resolution\": 32}}")),
+        case(
+            "wrong_frame_index",
+            format!("{CREATE}\nframe s-1 {{\"frame\": 1}}\nframe s-1 {{\"frame\": -1}}"),
+        ),
+        case(
+            "horizon_exhausted",
+            format!("{CREATE}\nframe s-1 {{}}\nframe s-1 {{}}\nframe s-1 {{}}"),
+        ),
+        case(
+            "eviction_then_frame",
+            format!("{CREATE}\n{CREATE}\n{CREATE}\nframe s-1 {{}}\nframe s-3 {{}}"),
+        ),
+        case("malformed_create_body", "create {"),
+        case("create_missing_model", "create {}"),
+        case("create_unknown_model", r#"create {"model": "nope"}"#),
+        case("create_zero_frames", r#"create {"model": "IRCNN", "frames": 0}"#),
+        case("create_invalid_mode", r#"create {"model": "IRCNN", "mode": "psychic"}"#),
+        case("create_non_utf8_noise", b"create {\"model\": \"IRCNN\", \xff}".to_vec()),
+        case("frame_malformed_body", format!("{CREATE}\nframe s-1 {{")),
+        case("empty_script", ""),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,7 +232,7 @@ mod tests {
 
     #[test]
     fn corpus_names_are_unique_within_each_target() {
-        for corpus in [http_corpus(), json_corpus(), proto_corpus()] {
+        for corpus in [http_corpus(), json_corpus(), proto_corpus(), session_corpus()] {
             let mut seen = HashSet::new();
             for c in &corpus {
                 assert!(seen.insert(c.name), "duplicate corpus name {}", c.name);

@@ -55,6 +55,7 @@ pub mod corpus;
 pub mod http;
 pub mod json;
 pub mod proto;
+pub mod session;
 
 /// Default iteration budget when neither the caller nor
 /// `DIFFY_FUZZ_ITERS` says otherwise: small enough to keep `cargo test`
@@ -170,6 +171,7 @@ fn module_for(target: &str) -> &'static str {
     match target {
         "http" => "http",
         "json" => "json",
+        "session" => "session",
         _ => "proto",
     }
 }
@@ -325,6 +327,7 @@ pub fn all_drivers() -> Vec<Box<dyn Driver>> {
         Box::new(http::HttpDriver),
         Box::new(json::JsonDriver),
         Box::new(proto::ProtoDriver),
+        Box::new(session::SessionDriver),
     ]
 }
 

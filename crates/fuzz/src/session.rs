@@ -1,0 +1,239 @@
+//! Session-lifecycle fuzzing: drive the streaming-session handlers
+//! (`diffy_serve::session`) through generated op scripts — create /
+//! frame / close / clock-advance / expiry-sweep in adversarial orders
+//! with malformed bodies and bogus ids — and assert the subsystem
+//! contract: every op answers a classified status (200 / reasoned 400 /
+//! reasoned 404), nothing panics, and the accounting conservation law
+//! `created == closed + expired + evicted + open` holds after *every*
+//! op, not just at quiescence.
+//!
+//! The input format is a line-oriented script, so failing cases inline
+//! into regression tests like every other lane:
+//!
+//! ```text
+//! create {"model": "IRCNN", "resolution": 16, "frames": 2, "seed": 1}
+//! frame s-1 {"frame": 0}
+//! advance 100
+//! sweep
+//! frame s-1 {}
+//! close s-1
+//! ```
+//!
+//! Time is virtual — `advance` moves a millisecond offset and `sweep`
+//! expires due sessions at the current virtual instant — so expiry paths
+//! run deterministically with no sleeping. Session ids are assigned
+//! `s-1, s-2, …` in creation order, so scripts can reference them
+//! textually. Frame evaluations draw from one process-wide cache over a
+//! tiny fixed spec pool, so 20 000 scripts cost a handful of real
+//! evaluations.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use diffy_core::json::parse;
+use diffy_core::runner::SweepCache;
+use diffy_serve::session::{handle_close, handle_create, handle_frame, SessionStore};
+
+use crate::corpus;
+
+/// Store shape under fuzz: small enough that generated scripts reach the
+/// eviction path (capacity) and the expiry path (idle window, virtual ms).
+const CAPACITY: usize = 2;
+const IDLE_MS: u64 = 50;
+
+/// One shared evaluation cache across every fuzz case: results are pure
+/// functions of the spec, so sharing changes cost, never outcomes.
+fn shared_cache() -> &'static SweepCache {
+    static CACHE: OnceLock<SweepCache> = OnceLock::new();
+    CACHE.get_or_init(SweepCache::new)
+}
+
+/// Deterministic checker repro tests call: runs `input` as an op script
+/// against a fresh store, asserting the subsystem contract after every
+/// op. Returns the outcome label (which status classes the script hit).
+pub fn check_input(input: &[u8]) -> String {
+    let script = String::from_utf8_lossy(input);
+    let store = SessionStore::new(CAPACITY, Duration::from_millis(IDLE_MS));
+    let cache = shared_cache();
+    let base = Instant::now();
+    let mut offset_ms = 0u64;
+    let (mut served, mut rejected, mut missed) = (false, false, false);
+
+    for line in script.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let now = base + Duration::from_millis(offset_ms);
+        let (op, rest) = line.split_once(' ').unwrap_or((line, ""));
+        let outcome = match op {
+            "create" => Some(handle_create(&store, rest, now)),
+            "frame" => {
+                let (id, body) = rest.split_once(' ').unwrap_or((rest, ""));
+                Some(handle_frame(&store, cache, id, body, now))
+            }
+            "close" => Some(handle_close(&store, rest)),
+            "advance" => {
+                offset_ms = offset_ms.saturating_add(rest.parse().unwrap_or(1));
+                None
+            }
+            "sweep" => {
+                store.sweep(now);
+                None
+            }
+            // Unknown verbs exercise nothing; the generator never emits
+            // them, but a mutated corpus entry may.
+            _ => None,
+        };
+        if let Some((status, body)) = outcome {
+            match status {
+                200 => served = true,
+                400 => rejected = true,
+                404 => missed = true,
+                other => panic!("unclassified status {other} for op {line:?}: {body}"),
+            }
+            let parsed = parse(&body)
+                .unwrap_or_else(|e| panic!("non-JSON body for op {line:?}: {e}: {body}"));
+            if status != 200 {
+                let reason = parsed.get("error").and_then(|v| v.as_str()).unwrap_or("");
+                assert!(!reason.is_empty(), "{status} without a reason for op {line:?}: {body}");
+            } else if op == "frame" {
+                let savings = parsed
+                    .get("cumulative")
+                    .and_then(|c| c.get("savings_pct"))
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or_else(|| panic!("frame 200 without a ledger: {body}"));
+                assert!(savings <= 100.0, "impossible savings {savings} for op {line:?}");
+            }
+        }
+        let stats = store.stats();
+        assert!(stats.conserved(), "conservation broken after op {line:?}: {stats:?}");
+        assert!(stats.open <= CAPACITY, "capacity breached after op {line:?}: {stats:?}");
+    }
+
+    let classes: Vec<&str> = [(served, "served"), (rejected, "reject"), (missed, "miss")]
+        .iter()
+        .filter(|(hit, _)| *hit)
+        .map(|(_, name)| *name)
+        .collect();
+    if classes.is_empty() {
+        "noop".to_string()
+    } else {
+        classes.join("+")
+    }
+}
+
+/// The session-lifecycle driver.
+pub struct SessionDriver;
+
+impl crate::Driver for SessionDriver {
+    fn name(&self) -> &'static str {
+        "session"
+    }
+
+    fn corpus(&self) -> Vec<(String, Vec<u8>)> {
+        corpus::session_corpus().into_iter().map(|c| (c.name.to_string(), c.input)).collect()
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<u8> {
+        let mut script = String::new();
+        let ops = rng.random_range(1..9usize);
+        for _ in 0..ops {
+            let line = match rng.random_range(0..10u32) {
+                0..=2 => format!("create {}", pick(rng, CREATE_BODIES)),
+                3..=6 => {
+                    format!("frame {} {}", pick(rng, IDS), pick(rng, FRAME_BODIES))
+                }
+                7 => format!("close {}", pick(rng, IDS)),
+                8 => format!("advance {}", [1u64, 10, 49, 51, 200][rng.random_range(0..5usize)]),
+                _ => "sweep".to_string(),
+            };
+            script.push_str(&line);
+            script.push('\n');
+        }
+        script.into_bytes()
+    }
+
+    fn check(&self, input: &[u8], _delivery: &mut StdRng) -> String {
+        check_input(input)
+    }
+}
+
+fn pick<'a>(rng: &mut StdRng, pool: &'a [&'a str]) -> &'a str {
+    pool[rng.random_range(0..pool.len())]
+}
+
+/// Create bodies: two valid specs from a fixed pool (so evaluation cost
+/// amortizes across the whole run) plus every rejection class.
+const CREATE_BODIES: &[&str] = &[
+    r#"{"model": "IRCNN", "resolution": 16, "frames": 2, "seed": 1}"#,
+    r#"{"model": "IRCNN", "resolution": 16, "frames": 3, "seed": 2, "mode": "temporal"}"#,
+    "{",
+    "{}",
+    r#"{"model": "nope"}"#,
+    r#"{"model": "IRCNN", "frames": 0}"#,
+    r#"{"model": "IRCNN", "frames": 65}"#,
+    r#"{"model": "IRCNN", "resolution": 1024}"#,
+    r#"{"model": "IRCNN", "noise": 2}"#,
+    r#"{"model": "IRCNN", "mode": "psychic"}"#,
+    r#"{"model": "IRCNN", "scene": "Mars"}"#,
+    r#"{"model": "IRCNN", "pan_px": 999}"#,
+];
+
+/// Frame bodies: no-guard, matching and mismatching guards, bad JSON.
+const FRAME_BODIES: &[&str] = &[
+    "",
+    "{}",
+    r#"{"frame": 0}"#,
+    r#"{"frame": 1}"#,
+    r#"{"frame": 7}"#,
+    r#"{"resolution": 16}"#,
+    r#"{"resolution": 32}"#,
+    "{",
+    r#"{"frame": -1}"#,
+];
+
+/// Id tokens: live-looking, never-created, malformed, and empty.
+const IDS: &[&str] = &["s-1", "s-2", "s-3", "s-99", "s-x", "", "evaluate"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_rng;
+    use crate::Driver;
+
+    #[test]
+    fn generator_scripts_classify_without_panicking() {
+        for i in 0..64 {
+            let input = SessionDriver.generate(&mut case_rng(41, i, 0));
+            let label = check_input(&input);
+            assert!(
+                ["noop", "served", "reject", "miss"]
+                    .iter()
+                    .any(|c| label == *c || label.contains('+')),
+                "unexpected label {label}"
+            );
+        }
+    }
+
+    #[test]
+    fn happy_lifecycle_classifies_served_only() {
+        let script = b"create {\"model\": \"IRCNN\", \"resolution\": 16, \"frames\": 2, \"seed\": 1}\n\
+                       frame s-1 {\"frame\": 0}\n\
+                       frame s-1 {\"frame\": 1}\n\
+                       close s-1\n";
+        assert_eq!(check_input(script), "served");
+    }
+
+    #[test]
+    fn expiry_script_reaches_the_miss_class() {
+        let script = b"create {\"model\": \"IRCNN\", \"resolution\": 16, \"frames\": 2, \"seed\": 1}\n\
+                       advance 51\n\
+                       sweep\n\
+                       frame s-1 {}\n";
+        assert_eq!(check_input(script), "served+miss");
+    }
+}

@@ -35,32 +35,74 @@ pub fn pan_sequence(
     assert!(h > 0 && w > 0, "empty frame");
     let full_w = w + pan_px * (frames - 1);
     let wide = render_scene(kind, h, full_w, seed);
-    let mut out = Vec::with_capacity(frames);
-    for f in 0..frames {
-        let x0 = f * pan_px;
-        let mut frame = Tensor3::<f32>::new(3, h, w);
+    (0..frames).map(|f| nth_frame(&wide, h, w, pan_px, noise, seed, f)).collect()
+}
+
+/// Renders frame `frame` of the sequence [`pan_sequence`] would produce
+/// for the same parameters, without materializing the other frames.
+///
+/// Each frame is a pure function of the full parameter set — including
+/// the total `frames` horizon, which fixes the width of the underlying
+/// wide scene — so a streaming consumer can pull frames one at a time
+/// and still land bit-identical to the batch path.
+///
+/// # Panics
+///
+/// Panics if `frame >= frames` or the sequence parameters are invalid
+/// (see [`pan_sequence`]).
+#[allow(clippy::too_many_arguments)] // pan_sequence's signature + the frame index
+pub fn pan_frame(
+    kind: SceneKind,
+    h: usize,
+    w: usize,
+    frames: usize,
+    pan_px: usize,
+    noise: f32,
+    seed: u64,
+    frame: usize,
+) -> Tensor3<f32> {
+    assert!(frames > 0, "need at least one frame");
+    assert!(frame < frames, "frame {frame} past the {frames}-frame horizon");
+    assert!(h > 0 && w > 0, "empty frame");
+    let full_w = w + pan_px * (frames - 1);
+    let wide = render_scene(kind, h, full_w, seed);
+    nth_frame(&wide, h, w, pan_px, noise, seed, frame)
+}
+
+/// Crops frame `f` out of the wide pan scene and applies its per-frame
+/// sensor noise — the one definition both [`pan_sequence`] and
+/// [`pan_frame`] share.
+fn nth_frame(
+    wide: &Tensor3<f32>,
+    h: usize,
+    w: usize,
+    pan_px: usize,
+    noise: f32,
+    seed: u64,
+    f: usize,
+) -> Tensor3<f32> {
+    let x0 = f * pan_px;
+    let mut frame = Tensor3::<f32>::new(3, h, w);
+    for c in 0..3 {
+        for y in 0..h {
+            for x in 0..w {
+                *frame.at_mut(c, y, x) = *wide.at(c, y, x0 + x);
+            }
+        }
+    }
+    if noise > 0.0 {
+        let mut rng = StdRng::seed_from_u64(seed ^ (f as u64) << 17 ^ 0x7E4);
+        let n = smooth_noise(&mut rng, h, w, 0, 0);
         for c in 0..3 {
             for y in 0..h {
                 for x in 0..w {
-                    *frame.at_mut(c, y, x) = *wide.at(c, y, x0 + x);
+                    let v = frame.at_mut(c, y, x);
+                    *v = (*v + noise * (n.at(0, y, x) - 0.5)).clamp(0.0, 1.0);
                 }
             }
         }
-        if noise > 0.0 {
-            let mut rng = StdRng::seed_from_u64(seed ^ (f as u64) << 17 ^ 0x7E4);
-            let n = smooth_noise(&mut rng, h, w, 0, 0);
-            for c in 0..3 {
-                for y in 0..h {
-                    for x in 0..w {
-                        let v = frame.at_mut(c, y, x);
-                        *v = (*v + noise * (n.at(0, y, x) - 0.5)).clamp(0.0, 1.0);
-                    }
-                }
-            }
-        }
-        out.push(frame);
     }
-    out
+    frame
 }
 
 #[cfg(test)]
@@ -111,5 +153,24 @@ mod tests {
     #[should_panic(expected = "at least one frame")]
     fn rejects_empty_sequence() {
         let _ = pan_sequence(SceneKind::Nature, 8, 8, 0, 1, 0.0, 1);
+    }
+
+    #[test]
+    fn single_frame_path_matches_batch_path_bitwise() {
+        // pan_frame(f) must equal pan_sequence(..)[f] exactly, noise
+        // included — the streaming serve layer relies on this identity.
+        for kind in [SceneKind::Nature, SceneKind::City, SceneKind::Texture] {
+            let seq = pan_sequence(kind, 12, 20, 4, 2, 0.03, 11);
+            for (f, batch) in seq.iter().enumerate() {
+                let one = pan_frame(kind, 12, 20, 4, 2, 0.03, 11, f);
+                assert_eq!(one.as_slice(), batch.as_slice(), "{kind:?} frame {f}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "past the")]
+    fn pan_frame_rejects_out_of_horizon_index() {
+        let _ = pan_frame(SceneKind::City, 8, 8, 3, 1, 0.0, 1, 3);
     }
 }

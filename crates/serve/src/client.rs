@@ -261,6 +261,59 @@ impl KeepAliveClient {
     }
 }
 
+/// A streaming-session handle over one persistent connection: `create`
+/// opens a session (`POST /session`) and remembers the returned id, and
+/// `frame`/`close` address it (`POST /session/{id}/frame`,
+/// `DELETE /session/{id}`) without the caller threading the id around.
+///
+/// Frames within one session are strictly ordered, so they ride a single
+/// [`KeepAliveClient`]; distinct sessions get distinct `SessionClient`s.
+pub struct SessionClient {
+    http: KeepAliveClient,
+    id: Option<String>,
+}
+
+impl SessionClient {
+    /// A session client for `addr`; connects lazily on the first request.
+    pub fn new(addr: SocketAddr, timeout: Duration) -> Self {
+        Self { http: KeepAliveClient::new(addr, timeout), id: None }
+    }
+
+    /// Opens a session with the given JSON body and remembers its id on
+    /// success. Returns the server's response either way — a 4xx leaves
+    /// the client without a session.
+    pub fn create(&mut self, body: &str) -> io::Result<HttpResponse> {
+        let resp = self.http.post("/session", body)?;
+        if resp.status == 200 {
+            self.id = diffy_core::json::parse(&resp.body)
+                .ok()
+                .and_then(|v| v.get("session").and_then(|s| s.as_str().map(String::from)));
+        }
+        Ok(resp)
+    }
+
+    /// The open session's id, if `create` has succeeded.
+    pub fn id(&self) -> Option<&str> {
+        self.id.as_deref()
+    }
+
+    /// Submits the next frame of the open session.
+    pub fn frame(&mut self, body: &str) -> io::Result<HttpResponse> {
+        let id = self.id.clone().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "no open session: call create first")
+        })?;
+        self.http.post(&format!("/session/{id}/frame"), body)
+    }
+
+    /// Closes the open session and forgets its id.
+    pub fn close(&mut self) -> io::Result<HttpResponse> {
+        let id = self.id.take().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "no open session: call create first")
+        })?;
+        self.http.request("DELETE", &format!("/session/{id}"), None)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +345,16 @@ mod tests {
         // And a length that covers the full sequence round-trips intact.
         let r = parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nab\xC3\xA9").unwrap();
         assert_eq!(r.body, "abé");
+    }
+
+    #[test]
+    fn session_client_requires_create_before_frame_or_close() {
+        // No connection is ever made — the guard fires before any I/O.
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let mut c = SessionClient::new(addr, Duration::from_millis(10));
+        assert!(c.id().is_none());
+        assert_eq!(c.frame("{}").unwrap_err().kind(), io::ErrorKind::InvalidInput);
+        assert_eq!(c.close().unwrap_err().kind(), io::ErrorKind::InvalidInput);
     }
 
     #[test]

@@ -83,6 +83,22 @@ impl Request {
         }
         keep || self.version == Version::Http11
     }
+
+    /// The request path split into its non-empty segments — the routing
+    /// substrate for parameterized paths like `/session/{id}/frame`.
+    /// See [`path_segments`].
+    pub fn path_segments(&self) -> Vec<&str> {
+        path_segments(&self.path)
+    }
+}
+
+/// Splits a request path into its non-empty `/`-separated segments:
+/// `"/session/s-1/frame"` → `["session", "s-1", "frame"]`. Empty
+/// segments (leading, trailing, or doubled slashes) are dropped, so
+/// `"/session//s-1/"` routes like `"/session/s-1"` — match arms see one
+/// canonical shape per route.
+pub fn path_segments(path: &str) -> Vec<&str> {
+    path.split('/').filter(|s| !s.is_empty()).collect()
 }
 
 /// A request the parser rejected, with the HTTP status the server should
@@ -818,6 +834,15 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(!text.contains("Connection: close"));
+    }
+
+    #[test]
+    fn path_segments_canonicalize_slashes() {
+        assert_eq!(path_segments("/session/s-1/frame"), vec!["session", "s-1", "frame"]);
+        assert_eq!(path_segments("/session//s-1/"), vec!["session", "s-1"]);
+        assert_eq!(path_segments("/"), Vec::<&str>::new());
+        assert_eq!(path_segments(""), Vec::<&str>::new());
+        assert_eq!(path_segments("evaluate"), vec!["evaluate"]);
     }
 
     #[test]

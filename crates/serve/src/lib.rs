@@ -29,12 +29,17 @@
 //!   moment it passes (an expired queued request is never evaluated),
 //!   and the socket read budget is the remaining deadline, re-armed
 //!   before every read — a peer trickling bytes cannot stretch it.
+//! * **Streaming sessions** — `POST /session` opens a stateful video
+//!   session that retains the previous frame's activations; each `POST
+//!   /session/{id}/frame` evaluates only the cross-frame delta through
+//!   the temporal engine (paper §V) and reports cumulative savings
+//!   against full re-evaluation. Sessions are LRU-bounded, expire when
+//!   idle, and close via `DELETE /session/{id}`.
 //! * **Graceful drain** — SIGTERM/SIGINT (opt-in), `POST /shutdown`, or
 //!   [`ServerHandle::shutdown`] stop admissions, finish the backlog, and
 //!   let [`Server::run`] return.
 //! * **Live metrics** — `GET /metrics` reports request/response counts,
-//!   queue depth, cache hit/miss/eviction counters and latency
-//!   percentiles, all maintained lock-free.
+//!   queue depth, cache and session counters and latency percentiles.
 //!
 //! ```no_run
 //! use diffy_serve::{Server, ServeConfig};
@@ -48,7 +53,8 @@
 //! # std::io::Result::Ok(())
 //! ```
 //!
-//! Endpoints: `POST /evaluate`, `POST /evaluate/batch`, `GET /metrics`,
+//! Endpoints: `POST /evaluate`, `POST /evaluate/batch`, `POST /session`,
+//! `POST /session/{id}/frame`, `DELETE /session/{id}`, `GET /metrics`,
 //! `GET /healthz`, `POST /shutdown`. See DESIGN.md §"Service layer" for
 //! the threading model and the determinism argument.
 
@@ -60,9 +66,11 @@ pub mod load;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
+pub mod session;
 
-pub use client::{get, post, HttpResponse, KeepAliveClient};
+pub use client::{get, post, HttpResponse, KeepAliveClient, SessionClient};
 pub use load::{batch_body, closed_loop, closed_loop_mode, LoadMode, LoadReport};
 pub use metrics::{CloseReason, LatencyHistogram, Metrics};
-pub use protocol::{result_to_json, BatchRequest, EvalRequest};
+pub use protocol::{result_to_json, BatchRequest, EvalRequest, FrameRequest, SessionRequest};
 pub use server::{ServeConfig, Server, ServerHandle};
+pub use session::{SessionStats, SessionStore};

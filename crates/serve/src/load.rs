@@ -7,7 +7,7 @@
 //! computed by sorting, not from histogram buckets, because these are the
 //! numbers that get committed to `BENCH_serve.json`.
 
-use crate::client::{post, KeepAliveClient};
+use crate::client::{post, KeepAliveClient, SessionClient};
 use diffy_core::json::parse as parse_json;
 use diffy_core::parallel::{run_jobs, Jobs};
 use std::net::SocketAddr;
@@ -25,6 +25,14 @@ pub enum LoadMode {
     /// Throughput still counts *evaluations* per second; the latency
     /// samples are per *batch* (each covers `size` evaluations).
     Batch(usize),
+    /// One streaming session per client: the load body is the `POST
+    /// /session` request (its `frames` horizon must cover
+    /// `requests_per_client`), then each "request" is one `POST
+    /// /session/{id}/frame`, closed-loop, and the session is deleted at
+    /// the end. Latency samples cover the frame posts only — the
+    /// create/close bookkeeping is not part of the measured stream —
+    /// so `throughput_rps` reads as frames per second.
+    Streaming,
 }
 
 /// Results of one closed-loop run at a fixed concurrency.
@@ -167,6 +175,25 @@ fn run_client(
                     _ => errors += 1,
                 }
             }
+        }
+        LoadMode::Streaming => {
+            let mut client = SessionClient::new(addr, timeout);
+            match client.create(body) {
+                Ok(resp) if resp.status == 200 && client.id().is_some() => {}
+                // No session, no frames: the whole allotment failed.
+                _ => return (latencies, ok, requests as u64),
+            }
+            for _ in 0..requests {
+                let t0 = Instant::now();
+                match client.frame("") {
+                    Ok(resp) if resp.status == 200 => {
+                        ok += 1;
+                        latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                    _ => errors += 1,
+                }
+            }
+            let _ = client.close();
         }
         LoadMode::Batch(size) => {
             let mut client = KeepAliveClient::new(addr, timeout);

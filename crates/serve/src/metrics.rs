@@ -5,6 +5,7 @@
 //! costs a handful of relaxed adds. The `/metrics` endpoint renders a
 //! snapshot as JSON through `diffy_core::json`.
 
+use crate::session::SessionStats;
 use diffy_core::json::JsonValue;
 use diffy_core::runner::CacheStats;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -290,8 +291,14 @@ impl Metrics {
 
     /// Renders the `/metrics` snapshot. `queue_depth` is sampled by the
     /// caller (the queue owns that gauge); `cache` comes from the shared
-    /// `SweepCache`.
-    pub fn to_json(&self, queue_depth: usize, queue_capacity: usize, cache: CacheStats) -> JsonValue {
+    /// `SweepCache`; `sessions` from the shared `SessionStore`.
+    pub fn to_json(
+        &self,
+        queue_depth: usize,
+        queue_capacity: usize,
+        cache: CacheStats,
+        sessions: SessionStats,
+    ) -> JsonValue {
         let mut responses: Vec<(String, JsonValue)> = STATUSES
             .iter()
             .enumerate()
@@ -343,6 +350,22 @@ impl Metrics {
                     ("weights", cache.cached_weights.into()),
                     ("term_planes", cache.cached_term_planes.into()),
                     ("traffic", cache.cached_traffic.into()),
+                    ("video_frames", cache.cached_video_frames.into()),
+                    ("video_cycles", cache.cached_video_cycles.into()),
+                ]),
+            ),
+            (
+                "sessions",
+                JsonValue::object(vec![
+                    ("open", sessions.open.into()),
+                    ("capacity", sessions.capacity.into()),
+                    ("created", sessions.created.into()),
+                    ("closed", sessions.closed.into()),
+                    ("expired", sessions.expired.into()),
+                    ("evicted", sessions.evicted.into()),
+                    ("hits", sessions.hits.into()),
+                    ("misses", sessions.misses.into()),
+                    ("frames", sessions.frames.into()),
                 ]),
             ),
             (
@@ -413,13 +436,29 @@ mod tests {
         m.record_response(200);
         m.record_response(503);
         m.latency.record(Duration::from_millis(2));
-        let v = m.to_json(1, 8, CacheStats { hits: 5, misses: 2, ..CacheStats::default() });
+        let sessions = SessionStats {
+            open: 1,
+            capacity: 4,
+            created: 3,
+            closed: 1,
+            expired: 1,
+            evicted: 0,
+            hits: 7,
+            misses: 2,
+            frames: 9,
+        };
+        let v = m.to_json(1, 8, CacheStats { hits: 5, misses: 2, ..CacheStats::default() }, sessions);
         assert_eq!(v.get("requests_total").unwrap().as_u64(), Some(3));
         assert_eq!(v.get("queue_depth").unwrap().as_u64(), Some(1));
         assert_eq!(v.get("responses").unwrap().get("200").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("responses").unwrap().get("503").unwrap().as_u64(), Some(1));
         assert_eq!(v.get("cache").unwrap().get("hits").unwrap().as_u64(), Some(5));
         assert_eq!(v.get("latency_ms").unwrap().get("count").unwrap().as_u64(), Some(1));
+        let sess = v.get("sessions").unwrap();
+        assert_eq!(sess.get("open").unwrap().as_u64(), Some(1));
+        assert_eq!(sess.get("created").unwrap().as_u64(), Some(3));
+        assert_eq!(sess.get("frames").unwrap().as_u64(), Some(9));
+        assert!(sessions.conserved(), "created == closed + expired + evicted + open");
         assert_eq!(m.responses_with(200), 2);
         assert_eq!(m.responses_with(504), 0);
         // The snapshot itself must be valid JSON.
@@ -439,7 +478,7 @@ mod tests {
         assert_eq!(m.responses_with(503), 1);
         assert_eq!(m.responses_other(), 3, "418/599/302 must not vanish");
         assert_eq!(m.responses_total(), recorded.len() as u64, "conservation");
-        let v = m.to_json(0, 8, CacheStats::default());
+        let v = m.to_json(0, 8, CacheStats::default(), SessionStats::default());
         assert_eq!(v.get("responses").unwrap().get("other").unwrap().as_u64(), Some(3));
         // Conservation holds in the rendered snapshot too.
         let rendered: u64 = STATUSES
@@ -467,7 +506,7 @@ mod tests {
         m.requests_per_conn_max.fetch_max(2, Ordering::Relaxed);
         m.connections_open.fetch_sub(2, Ordering::Relaxed);
 
-        let v = m.to_json(0, 8, CacheStats::default());
+        let v = m.to_json(0, 8, CacheStats::default(), SessionStats::default());
         let conns = v.get("connections").unwrap();
         assert_eq!(conns.get("total").unwrap().as_u64(), Some(2));
         assert_eq!(conns.get("open").unwrap().as_u64(), Some(0));
@@ -487,7 +526,7 @@ mod tests {
         m.stage(Stage::Evaluate).record(Duration::from_millis(60));
         assert_eq!(m.stage(Stage::Evaluate).count(), 2);
         assert_eq!(m.stage(Stage::Parse).count(), 0);
-        let v = m.to_json(0, 8, CacheStats::default());
+        let v = m.to_json(0, 8, CacheStats::default(), SessionStats::default());
         let stages = v.get("stages_ms").unwrap();
         for s in Stage::ALL {
             assert!(stages.get(s.name()).is_some(), "stage {} rendered", s.name());

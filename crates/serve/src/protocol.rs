@@ -12,12 +12,13 @@
 
 use diffy_core::accelerator::{EvalOptions, NetworkResult, SchemeChoice};
 use diffy_core::json::JsonValue;
-use diffy_core::runner::{WorkloadOptions, HD_PIXELS};
+use diffy_core::runner::{VideoSpec, WorkloadOptions, HD_PIXELS};
 use diffy_encoding::StorageScheme;
 use diffy_imaging::datasets::DatasetId;
+use diffy_imaging::scenes::SceneKind;
 use diffy_memsys::{MemoryNode, MemorySystem};
 use diffy_models::CiModel;
-use diffy_sim::{AcceleratorConfig, Architecture};
+use diffy_sim::{AcceleratorConfig, Architecture, NetworkCycles, TemporalMode};
 
 /// Bounds on the requested trace resolution: wide enough for every
 /// experiment in the paper, tight enough that one request cannot pin a
@@ -266,6 +267,205 @@ pub fn result_to_json(result: &NetworkResult, source_pixels: u64) -> JsonValue {
     ])
 }
 
+/// Largest accepted streaming-session frame horizon. The horizon is
+/// part of the stream's identity (pan content depends on it), so it is
+/// fixed at session create; this cap bounds both the wide-scene render
+/// and the per-session state a client can pin.
+pub const MAX_SESSION_FRAMES: usize = 64;
+/// Largest accepted per-frame camera pan, in pixels.
+pub const MAX_PAN_PX: usize = 32;
+
+/// One parsed `POST /session` body: the identity of a streaming video
+/// session — which synthetic stream to run and how to exploit the
+/// cross-frame correlation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionRequest {
+    /// Model every frame runs through.
+    pub model: CiModel,
+    /// Scene category of the panning content (the video "dataset").
+    pub scene: SceneKind,
+    /// Square frame resolution.
+    pub resolution: usize,
+    /// Total frame horizon, fixed for the session's lifetime.
+    pub frames: usize,
+    /// Horizontal camera pan in pixels per frame.
+    pub pan_px: usize,
+    /// Per-frame sensor-noise amplitude in `[0, 1]`.
+    pub noise: f32,
+    /// Seed for scene, noise, and weights.
+    pub seed: u64,
+    /// Temporal engine mode (Diffy-T or Diffy-ST).
+    pub mode: TemporalMode,
+}
+
+impl SessionRequest {
+    /// Parses and validates a session-create request from its JSON body.
+    pub fn from_json(v: &JsonValue) -> Result<SessionRequest, String> {
+        if !matches!(v, JsonValue::Object(_)) {
+            return Err("request body must be a JSON object".to_string());
+        }
+        let model = parse_model(required_str(v, "model")?)?;
+        let scene = match v.get("scene") {
+            None => SceneKind::City,
+            Some(s) => parse_scene(s.as_str().ok_or("scene must be a string")?)?,
+        };
+        let resolution_u64 = optional_u64(v, "resolution")?.unwrap_or(64);
+        if !(MIN_RESOLUTION as u64..=MAX_RESOLUTION as u64).contains(&resolution_u64) {
+            return Err(format!(
+                "resolution {resolution_u64} out of range [{MIN_RESOLUTION}, {MAX_RESOLUTION}]"
+            ));
+        }
+        let frames_u64 = optional_u64(v, "frames")?.unwrap_or(8);
+        if !(1..=MAX_SESSION_FRAMES as u64).contains(&frames_u64) {
+            return Err(format!("frames {frames_u64} out of range [1, {MAX_SESSION_FRAMES}]"));
+        }
+        let pan_u64 = optional_u64(v, "pan_px")?.unwrap_or(1);
+        if pan_u64 > MAX_PAN_PX as u64 {
+            return Err(format!("pan_px {pan_u64} out of range [0, {MAX_PAN_PX}]"));
+        }
+        let noise = match v.get("noise") {
+            None | Some(JsonValue::Null) => 0.0f32,
+            Some(n) => {
+                let f = n
+                    .as_f64()
+                    .or_else(|| n.as_u64().map(|u| u as f64))
+                    .ok_or("field `noise` must be a number")?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(format!("noise {f} out of range [0, 1]"));
+                }
+                f as f32
+            }
+        };
+        let seed = optional_u64(v, "seed")?.unwrap_or(1);
+        let mode = match v.get("mode") {
+            None => TemporalMode::SpatioTemporal,
+            Some(m) => parse_temporal_mode(m.as_str().ok_or("mode must be a string")?)?,
+        };
+        Ok(SessionRequest {
+            model,
+            scene,
+            resolution: resolution_u64 as usize, // range-checked above
+            frames: frames_u64 as usize,
+            pan_px: pan_u64 as usize,
+            noise,
+            seed,
+            mode,
+        })
+    }
+
+    /// The video-stream identity this session evaluates.
+    pub fn spec(&self) -> VideoSpec {
+        VideoSpec::new(
+            self.model,
+            self.scene,
+            self.resolution,
+            self.frames,
+            self.pan_px,
+            self.noise,
+            self.seed,
+        )
+    }
+}
+
+/// One parsed `POST /session/{id}/frame` body. Both fields are optional
+/// guards: when present they must match the session's configuration and
+/// expected next frame, so a client can detect drift (a frame posted to
+/// the wrong session, a lost response) instead of silently advancing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrameRequest {
+    /// Expected frame resolution; rejected if it differs from the
+    /// session's.
+    pub resolution: Option<u64>,
+    /// Expected frame index; rejected if it differs from the session's
+    /// next frame.
+    pub frame: Option<u64>,
+}
+
+impl FrameRequest {
+    /// Parses a frame request from its JSON body. An empty body is the
+    /// common case (no guards) — callers map it to `{}` before parsing.
+    pub fn from_json(v: &JsonValue) -> Result<FrameRequest, String> {
+        if !matches!(v, JsonValue::Object(_)) {
+            return Err("request body must be a JSON object".to_string());
+        }
+        Ok(FrameRequest {
+            resolution: optional_u64(v, "resolution")?,
+            frame: optional_u64(v, "frame")?,
+        })
+    }
+}
+
+/// Parses a scene-kind name (case-insensitive).
+pub fn parse_scene(name: &str) -> Result<SceneKind, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "nature" => Ok(SceneKind::Nature),
+        "city" => Ok(SceneKind::City),
+        "texture" => Ok(SceneKind::Texture),
+        other => Err(format!("unknown scene `{other}` (Nature/City/Texture)")),
+    }
+}
+
+/// Parses a temporal-mode name (case-insensitive; the paper's §V
+/// architecture labels are accepted as aliases).
+pub fn parse_temporal_mode(name: &str) -> Result<TemporalMode, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "temporal" | "diffy-t" => Ok(TemporalMode::TemporalOnly),
+        "spatiotemporal" | "diffy-st" => Ok(TemporalMode::SpatioTemporal),
+        other => Err(format!("unknown mode `{other}` (temporal/spatiotemporal)")),
+    }
+}
+
+/// The wire name of a scene kind.
+pub fn scene_name(scene: SceneKind) -> &'static str {
+    match scene {
+        SceneKind::Nature => "Nature",
+        SceneKind::City => "City",
+        SceneKind::Texture => "Texture",
+    }
+}
+
+/// The wire name of a temporal mode.
+pub fn temporal_mode_name(mode: TemporalMode) -> &'static str {
+    match mode {
+        TemporalMode::TemporalOnly => "temporal",
+        TemporalMode::SpatioTemporal => "spatiotemporal",
+    }
+}
+
+/// Serializes a [`NetworkCycles`] with full fidelity: every per-layer
+/// counter the term-serial engines produce, plus the derived totals.
+/// Deterministic, like [`result_to_json`] — equal results serialize to
+/// equal strings, so "session frame == direct `temporal_network`" can be
+/// asserted bytewise.
+pub fn cycles_to_json(cycles: &NetworkCycles) -> JsonValue {
+    let layers: Vec<JsonValue> = cycles
+        .layers
+        .iter()
+        .map(|l| {
+            JsonValue::object(vec![
+                ("cycles", l.cycles.into()),
+                ("useful_slots", l.useful_slots.into()),
+                ("total_slots", l.total_slots.into()),
+                ("compute_events", l.compute_events.into()),
+                ("filter_passes", l.filter_passes.into()),
+                ("macs", l.macs.into()),
+            ])
+        })
+        .collect();
+    JsonValue::object(vec![
+        ("arch", JsonValue::from(cycles.arch)),
+        ("layers", JsonValue::Array(layers)),
+        (
+            "totals",
+            JsonValue::object(vec![
+                ("cycles", cycles.total_cycles().into()),
+                ("macs", cycles.total_macs().into()),
+                ("utilization", JsonValue::from(cycles.utilization())),
+            ]),
+        ),
+    ])
+}
+
 /// The standard error body: `{"error": <message>}`.
 pub fn error_body(message: &str) -> String {
     JsonValue::object(vec![("error", JsonValue::from(message))]).to_json()
@@ -500,6 +700,103 @@ mod tests {
         assert!(b.items[1].as_ref().unwrap_err().contains("unknown model"));
         assert!(b.items[2].as_ref().unwrap_err().contains("missing required field `model`"));
         assert!(b.items[3].as_ref().unwrap_err().contains("must be a JSON object"));
+    }
+
+    #[test]
+    fn minimal_session_request_gets_defaults() {
+        let v = parse(r#"{"model": "DnCNN"}"#).unwrap();
+        let r = SessionRequest::from_json(&v).unwrap();
+        assert_eq!(r.model, CiModel::DnCnn);
+        assert_eq!(r.scene, SceneKind::City);
+        assert_eq!((r.resolution, r.frames, r.pan_px), (64, 8, 1));
+        assert_eq!((r.noise, r.seed), (0.0, 1));
+        assert_eq!(r.mode, TemporalMode::SpatioTemporal);
+        let spec = r.spec();
+        assert_eq!((spec.resolution, spec.frames, spec.seed), (64, 8, 1));
+    }
+
+    #[test]
+    fn full_session_request_parses_case_insensitively() {
+        let v = parse(
+            r#"{"model": "ircnn", "scene": "nature", "resolution": 32, "frames": 4,
+                "pan_px": 2, "noise": 0.05, "seed": 9, "mode": "Diffy-T"}"#,
+        )
+        .unwrap();
+        let r = SessionRequest::from_json(&v).unwrap();
+        assert_eq!(r.model, CiModel::Ircnn);
+        assert_eq!(r.scene, SceneKind::Nature);
+        assert_eq!((r.resolution, r.frames, r.pan_px, r.seed), (32, 4, 2, 9));
+        assert_eq!(r.mode, TemporalMode::TemporalOnly);
+        assert!((r.noise - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_session_requests_are_rejected_with_reasons() {
+        let cases = [
+            (r#"{}"#, "missing required field `model`"),
+            (r#"{"model": "nope"}"#, "unknown model"),
+            (r#"{"model": "IRCNN", "scene": "desert"}"#, "unknown scene"),
+            (r#"{"model": "IRCNN", "resolution": 8}"#, "out of range"),
+            (r#"{"model": "IRCNN", "resolution": 4096}"#, "out of range"),
+            (r#"{"model": "IRCNN", "frames": 0}"#, "out of range"),
+            (r#"{"model": "IRCNN", "frames": 65}"#, "out of range"),
+            // 2^32 + 4: would truncate into range on a 32-bit `as usize`.
+            (r#"{"model": "IRCNN", "frames": 4294967300}"#, "out of range"),
+            (r#"{"model": "IRCNN", "pan_px": 33}"#, "out of range"),
+            (r#"{"model": "IRCNN", "noise": 1.5}"#, "out of range"),
+            (r#"{"model": "IRCNN", "noise": -0.1}"#, "out of range"),
+            (r#"{"model": "IRCNN", "noise": "loud"}"#, "must be a number"),
+            (r#"{"model": "IRCNN", "seed": -1}"#, "non-negative"),
+            (r#"{"model": "IRCNN", "mode": "psychic"}"#, "unknown mode"),
+            (r#"[1]"#, "must be a JSON object"),
+        ];
+        for (body, needle) in cases {
+            let err = SessionRequest::from_json(&parse(body).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn frame_request_guards_parse() {
+        let r = FrameRequest::from_json(&parse("{}").unwrap()).unwrap();
+        assert_eq!(r, FrameRequest::default());
+        let r =
+            FrameRequest::from_json(&parse(r#"{"resolution": 32, "frame": 3}"#).unwrap()).unwrap();
+        assert_eq!((r.resolution, r.frame), (Some(32), Some(3)));
+        let err = FrameRequest::from_json(&parse(r#"{"frame": -1}"#).unwrap()).unwrap_err();
+        assert!(err.contains("non-negative"), "{err}");
+        let err = FrameRequest::from_json(&parse("[]").unwrap()).unwrap_err();
+        assert!(err.contains("JSON object"), "{err}");
+    }
+
+    #[test]
+    fn cycles_serialization_is_deterministic_and_faithful() {
+        use diffy_core::runner::{video_frame_bundle, VideoSpec};
+        use diffy_sim::temporal_network;
+        let spec = VideoSpec::new(CiModel::Ircnn, SceneKind::City, 24, 2, 1, 0.0, 3);
+        let prev = video_frame_bundle(&spec, 0);
+        let cur = video_frame_bundle(&spec, 1);
+        let cycles = temporal_network(
+            &prev.trace,
+            &cur.trace,
+            &AcceleratorConfig::table4(),
+            TemporalMode::SpatioTemporal,
+        );
+        let a = cycles_to_json(&cycles).to_json();
+        let b = cycles_to_json(&cycles.clone()).to_json();
+        assert_eq!(a, b);
+        let v = parse(&a).unwrap();
+        assert_eq!(v.get("arch").unwrap().as_str(), Some("Diffy-ST"));
+        assert_eq!(
+            v.get("totals").unwrap().get("cycles").unwrap().as_u64(),
+            Some(cycles.total_cycles())
+        );
+        let layers = v.get("layers").unwrap().as_array().unwrap();
+        assert_eq!(layers.len(), cycles.layers.len());
+        assert_eq!(
+            layers[0].get("macs").unwrap().as_u64(),
+            Some(cycles.layers[0].macs)
+        );
     }
 
     #[test]

@@ -68,10 +68,12 @@
 //! `tests/serve_e2e.rs` and `tests/serve_keepalive.rs`).
 
 use crate::http::{
-    read_request_with, write_json_response_conn, BadRequest, ReadError, Request, MAX_BODY_BYTES,
+    path_segments, read_request_with, write_json_response_conn, BadRequest, ReadError, Request,
+    MAX_BODY_BYTES,
 };
 use crate::metrics::{CloseReason, Metrics, Stage};
 use crate::protocol::{error_body, result_to_json, BatchRequest, EvalRequest};
+use crate::session::{self, SessionStore};
 use diffy_core::json::{parse as parse_json, JsonValue};
 use diffy_core::parallel::{run_jobs, Jobs};
 use diffy_core::runner::SweepCache;
@@ -145,6 +147,12 @@ pub struct ServeConfig {
     pub trace_cache: usize,
     /// Bounded-cache capacity: resident per-layer term-plane sets.
     pub plane_cache: usize,
+    /// Most streaming sessions live at once; admitting one past the
+    /// bound evicts the least-recently-used session.
+    pub max_sessions: usize,
+    /// How long a streaming session may sit without a frame request
+    /// before the sweep expires it, in milliseconds.
+    pub session_idle_ms: u64,
     /// Honor the `test_sleep_ms` request field (tests only — lets the
     /// queueing and deadline paths be exercised deterministically).
     pub test_hooks: bool,
@@ -169,6 +177,8 @@ impl Default for ServeConfig {
             idle_timeout_ms: 5_000,
             trace_cache: 64,
             plane_cache: 1024,
+            max_sessions: 256,
+            session_idle_ms: 60_000,
             test_hooks: false,
             handle_signals: false,
             trace_capture: false,
@@ -357,6 +367,7 @@ struct Shared {
     batch_fan: FanPermits,
     metrics: Metrics,
     cache: SweepCache,
+    sessions: SessionStore,
     config: ServeConfig,
     shutdown: AtomicBool,
     /// Source of accept-order request ids.
@@ -430,6 +441,8 @@ impl Server {
         assert!(config.queue_depth >= 1, "queue depth must be at least 1");
         assert!(config.max_requests_per_conn >= 1, "per-connection cap must be at least 1");
         assert!(config.idle_timeout_ms >= 1, "idle timeout must be at least 1ms");
+        assert!(config.max_sessions >= 1, "session capacity must be at least 1");
+        assert!(config.session_idle_ms >= 1, "session idle timeout must be at least 1ms");
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let parked_cap = config.queue_depth.saturating_mul(PARKED_PER_QUEUE_SLOT).max(MIN_PARKED_CAP);
@@ -439,6 +452,10 @@ impl Server {
             batch_fan: FanPermits::new(config.workers.get().saturating_sub(1)),
             metrics: Metrics::new(),
             cache: SweepCache::bounded(config.trace_cache, config.plane_cache),
+            sessions: SessionStore::new(
+                config.max_sessions,
+                Duration::from_millis(config.session_idle_ms),
+            ),
             config,
             shutdown: AtomicBool::new(false),
             req_seq: AtomicU64::new(0),
@@ -660,10 +677,15 @@ fn requeue_or_park(shared: &Shared, mut conn: QueuedConn) {
     }
 }
 
-/// Sweeps parked connections until drain, then retires whatever is left.
+/// Sweeps parked connections — and idle-expired streaming sessions —
+/// until drain, then retires whatever is left.
 fn parker_loop(shared: &Shared) {
     while !shared.draining() {
         sweep_parked(shared);
+        let expired = shared.sessions.sweep(Instant::now());
+        if expired > 0 {
+            trace::instant("sessions_expired", || vec![("count", (expired as u64).into())]);
+        }
         std::thread::sleep(PARK_SWEEP);
     }
     // Closing the lot refuses late parkers under the lot's own lock, so
@@ -774,41 +796,79 @@ fn handle_connection(shared: &Shared, mut conn: QueuedConn) {
         && !shared.draining()
         && conn.served + 1 < shared.config.max_requests_per_conn;
 
-    let healthy = match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/evaluate") => handle_evaluate(shared, &mut conn, &request, dequeued_at, keep),
-        ("POST", "/evaluate/batch") => {
-            handle_evaluate_batch(shared, &mut conn, &request, dequeued_at, keep)
+    // Session routes carry an id path segment, so they dispatch on
+    // canonicalized segments; everything else matches the literal path.
+    let segs = path_segments(&request.path);
+    let healthy = match (request.method.as_str(), segs.as_slice()) {
+        ("POST", ["session"]) => {
+            handle_session(shared, &mut conn, dequeued_at, keep, "session_create", |now| {
+                match std::str::from_utf8(&request.body) {
+                    Ok(text) => session::handle_create(&shared.sessions, text, now),
+                    Err(_) => (400, error_body("body must be UTF-8 JSON")),
+                }
+            })
         }
-        ("GET", "/trace") => {
-            let body = trace::Collector::global().snapshot().to_chrome_json().to_json();
-            respond(shared, &mut conn, 200, &body, keep)
+        ("POST", ["session", id, "frame"]) => {
+            handle_session(shared, &mut conn, dequeued_at, keep, "session_frame", |now| {
+                match std::str::from_utf8(&request.body) {
+                    Ok(text) => {
+                        session::handle_frame(&shared.sessions, &shared.cache, id, text, now)
+                    }
+                    Err(_) => (400, error_body("body must be UTF-8 JSON")),
+                }
+            })
         }
-        ("GET", "/metrics") => {
-            let body = shared
-                .metrics
-                .to_json(shared.queue.depth(), shared.config.queue_depth, shared.cache.stats())
-                .to_json();
-            respond(shared, &mut conn, 200, &body, keep)
+        ("DELETE", ["session", id]) => {
+            handle_session(shared, &mut conn, dequeued_at, keep, "session_close", |_now| {
+                session::handle_close(&shared.sessions, id)
+            })
         }
-        ("GET", "/healthz") => {
-            let draining = shared.draining();
-            let body = JsonValue::object(vec![
-                ("status", JsonValue::from(if draining { "draining" } else { "ok" })),
-            ])
-            .to_json();
-            respond(shared, &mut conn, 200, &body, keep)
-        }
-        ("POST", "/shutdown") => {
-            shared.shutdown.store(true, Ordering::SeqCst);
-            keep = false;
-            let body = JsonValue::object(vec![("draining", JsonValue::Bool(true))]).to_json();
-            respond(shared, &mut conn, 200, &body, false)
-        }
-        ("POST" | "GET", "/evaluate" | "/evaluate/batch" | "/metrics" | "/healthz"
-        | "/shutdown" | "/trace") => {
+        (_, ["session"] | ["session", _] | ["session", _, "frame"]) => {
             respond(shared, &mut conn, 405, &error_body("method not allowed"), keep)
         }
-        _ => respond(shared, &mut conn, 404, &error_body("no such endpoint"), keep),
+        _ => match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/evaluate") => {
+                handle_evaluate(shared, &mut conn, &request, dequeued_at, keep)
+            }
+            ("POST", "/evaluate/batch") => {
+                handle_evaluate_batch(shared, &mut conn, &request, dequeued_at, keep)
+            }
+            ("GET", "/trace") => {
+                let body = trace::Collector::global().snapshot().to_chrome_json().to_json();
+                respond(shared, &mut conn, 200, &body, keep)
+            }
+            ("GET", "/metrics") => {
+                let body = shared
+                    .metrics
+                    .to_json(
+                        shared.queue.depth(),
+                        shared.config.queue_depth,
+                        shared.cache.stats(),
+                        shared.sessions.stats(),
+                    )
+                    .to_json();
+                respond(shared, &mut conn, 200, &body, keep)
+            }
+            ("GET", "/healthz") => {
+                let draining = shared.draining();
+                let body = JsonValue::object(vec![
+                    ("status", JsonValue::from(if draining { "draining" } else { "ok" })),
+                ])
+                .to_json();
+                respond(shared, &mut conn, 200, &body, keep)
+            }
+            ("POST", "/shutdown") => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                keep = false;
+                let body = JsonValue::object(vec![("draining", JsonValue::Bool(true))]).to_json();
+                respond(shared, &mut conn, 200, &body, false)
+            }
+            ("POST" | "GET", "/evaluate" | "/evaluate/batch" | "/metrics" | "/healthz"
+            | "/shutdown" | "/trace") => {
+                respond(shared, &mut conn, 405, &error_body("method not allowed"), keep)
+            }
+            _ => respond(shared, &mut conn, 404, &error_body("no such endpoint"), keep),
+        },
     };
 
     if keep && healthy {
@@ -1123,6 +1183,53 @@ fn evaluate_batch_item(
     }
 }
 
+/// Shared pipeline for the three session routes: the request trace span
+/// (tagged with the route kind), queue-wait accounting, a panic-fenced
+/// evaluation stage, and the response write. Session work rides the
+/// `evaluate` stage histogram — frame pricing runs the same engine the
+/// one-shot path does — so `/metrics` needs no new stage taxonomy.
+fn handle_session(
+    shared: &Shared,
+    conn: &mut QueuedConn,
+    dequeued_at: Instant,
+    keep: bool,
+    kind: &'static str,
+    run: impl FnOnce(Instant) -> (u16, String),
+) -> bool {
+    let anchored_at = conn.anchor;
+    let req_id = conn.req_id;
+    let collector = trace::Collector::global();
+    let _req_span = collector.span_from("request", collector.ns_of(anchored_at), || {
+        vec![("req", req_id.into()), ("kind", kind.into())]
+    });
+    let queue_wait = dequeued_at.saturating_duration_since(anchored_at);
+    shared.metrics.stage(Stage::QueueWait).record(queue_wait);
+    collector.record_manual(
+        Stage::QueueWait.name(),
+        collector.ns_of(anchored_at),
+        queue_wait.as_nanos().min(u128::from(u64::MAX)) as u64,
+        Vec::new,
+    );
+
+    let stage_start = Instant::now();
+    let outcome = {
+        let _s = collector.span(Stage::Evaluate.name());
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(stage_start)))
+    };
+    shared.metrics.stage(Stage::Evaluate).record(stage_start.elapsed());
+    let (status, body) =
+        outcome.unwrap_or_else(|_| (500, error_body("session evaluation failed")));
+
+    let write_start = Instant::now();
+    let healthy = {
+        let _s = collector.span(Stage::Write.name());
+        respond(shared, conn, status, &body, keep)
+    };
+    shared.metrics.stage(Stage::Write).record(write_start.elapsed());
+    shared.metrics.latency.record(anchored_at.elapsed());
+    healthy
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1227,6 +1334,7 @@ mod tests {
             batch_fan: FanPermits::new(0),
             metrics: Metrics::new(),
             cache: SweepCache::bounded(1, 1),
+            sessions: SessionStore::new(1, Duration::from_secs(1)),
             config: ServeConfig::default(),
             shutdown: AtomicBool::new(false),
             req_seq: AtomicU64::new(0),

@@ -118,6 +118,11 @@ serve options:
   --idle-timeout-ms N
                     close a keep-alive connection idle for N ms between
                     requests, >= 1 (default 5000)
+  --max-sessions N  streaming sessions held at once, >= 1 (default 256);
+                    admitting one past the bound evicts the LRU session
+  --session-idle-ms N
+                    expire a streaming session with no frame request for
+                    N ms, >= 1 (default 60000)
   --trace-out FILE  also serves the live capture at GET /trace; the file is
                     written when the server drains
 
@@ -386,11 +391,25 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
             .filter(|&n: &u64| n >= 1)
             .ok_or_else(|| format!("bad --idle-timeout-ms {v} (want an integer >= 1)"))?;
     }
+    if let Some(v) = parse_flag(rest, "--max-sessions")? {
+        config.max_sessions = v
+            .parse()
+            .ok()
+            .filter(|&n: &usize| n >= 1)
+            .ok_or_else(|| format!("bad --max-sessions {v} (want an integer >= 1)"))?;
+    }
+    if let Some(v) = parse_flag(rest, "--session-idle-ms")? {
+        config.session_idle_ms = v
+            .parse()
+            .ok()
+            .filter(|&n: &u64| n >= 1)
+            .ok_or_else(|| format!("bad --session-idle-ms {v} (want an integer >= 1)"))?;
+    }
     config.trace_capture = parse_flag(rest, "--trace-out")?.is_some();
     let server = diffy::serve::Server::bind(config).map_err(|e| format!("bind failed: {e}"))?;
     println!("diffy-serve listening on http://{}", server.local_addr());
     println!(
-        "POST /evaluate | POST /evaluate/batch | GET /metrics | GET /trace | GET /healthz | POST /shutdown"
+        "POST /evaluate | POST /evaluate/batch | POST /session | POST /session/{{id}}/frame | DELETE /session/{{id}} | GET /metrics | GET /trace | GET /healthz | POST /shutdown"
     );
     server.run().map_err(|e| format!("server failed: {e}"))
 }

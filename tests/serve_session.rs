@@ -1,0 +1,283 @@
+//! End-to-end tests of the streaming-session subsystem: a real server on
+//! an ephemeral loopback port, driven by real TCP session clients.
+//!
+//! The load-bearing assertion mirrors `serve_e2e.rs`: the per-frame
+//! counters served through a session must equal, byte for byte, the
+//! serialization of a direct in-process `temporal_network` evaluation of
+//! the same stream — under 8 concurrent sessions, at any worker count.
+//! The rest closes the lifecycle accounting: idle expiry, LRU eviction,
+//! and the conservation law `created == closed + expired + evicted +
+//! open` in the `/metrics` sessions block.
+
+use diffy::core::parallel::{run_jobs, Jobs};
+use diffy::core::runner::{video_frame_bundle, VideoSpec};
+use diffy::imaging::scenes::SceneKind;
+use diffy::models::CiModel;
+use diffy::serve::protocol::cycles_to_json;
+use diffy::serve::{get, post, ServeConfig, Server, ServerHandle, SessionClient};
+use diffy::sim::{
+    temporal_network, term_serial_network, AcceleratorConfig, TemporalMode, ValueMode,
+};
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Generous client-side timeout; tests assert on statuses, not latency.
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Boots a server on an ephemeral port and runs it on its own thread.
+fn boot(config: ServeConfig) -> (SocketAddr, ServerHandle, JoinHandle<()>) {
+    let server = Server::bind(ServeConfig { addr: "127.0.0.1:0".into(), ..config })
+        .expect("bind on an ephemeral port");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, thread)
+}
+
+/// One test stream: the `POST /session` body and the spec/mode it pins.
+#[derive(Clone, Copy)]
+struct Stream {
+    body: &'static str,
+    spec: (CiModel, SceneKind, usize, usize, usize, u64),
+    mode: TemporalMode,
+}
+
+const STREAMS: [Stream; 4] = [
+    Stream {
+        body: r#"{"model": "IRCNN", "scene": "City", "resolution": 16, "frames": 4,
+                  "pan_px": 1, "seed": 5, "mode": "spatiotemporal"}"#,
+        spec: (CiModel::Ircnn, SceneKind::City, 16, 4, 1, 5),
+        mode: TemporalMode::SpatioTemporal,
+    },
+    Stream {
+        body: r#"{"model": "IRCNN", "scene": "Nature", "resolution": 16, "frames": 4,
+                  "pan_px": 2, "seed": 9, "mode": "temporal"}"#,
+        spec: (CiModel::Ircnn, SceneKind::Nature, 16, 4, 2, 9),
+        mode: TemporalMode::TemporalOnly,
+    },
+    Stream {
+        body: r#"{"model": "DnCNN", "scene": "Texture", "resolution": 16, "frames": 4,
+                  "pan_px": 1, "seed": 3, "mode": "spatiotemporal"}"#,
+        spec: (CiModel::DnCnn, SceneKind::Texture, 16, 4, 1, 3),
+        mode: TemporalMode::SpatioTemporal,
+    },
+    Stream {
+        body: r#"{"model": "VDSR", "scene": "City", "resolution": 16, "frames": 4,
+                  "pan_px": 1, "seed": 7, "mode": "spatiotemporal"}"#,
+        spec: (CiModel::Vdsr, SceneKind::City, 16, 4, 1, 7),
+        mode: TemporalMode::SpatioTemporal,
+    },
+];
+
+/// The exact `result` bodies a correct server must serve for a stream:
+/// frame 0 full spatial (Diffy differential), later frames through
+/// `temporal_network` against the previous frame — no server, no cache.
+fn direct_frame_results(stream: &Stream) -> Vec<String> {
+    let (model, scene, res, frames, pan, seed) = stream.spec;
+    let spec = VideoSpec::new(model, scene, res, frames, pan, 0.0, seed);
+    let cfg = AcceleratorConfig::table4();
+    let bundles: Vec<_> = (0..frames).map(|f| video_frame_bundle(&spec, f)).collect();
+    (0..frames)
+        .map(|f| {
+            let cycles = if f == 0 {
+                term_serial_network(&bundles[0].trace, &cfg, ValueMode::Differential)
+            } else {
+                temporal_network(&bundles[f - 1].trace, &bundles[f].trace, &cfg, stream.mode)
+            };
+            cycles_to_json(&cycles).to_json()
+        })
+        .collect()
+}
+
+/// The sessions block of `/metrics`, as parsed JSON.
+fn sessions_metrics(addr: SocketAddr) -> diffy::core::json::JsonValue {
+    let m = diffy::core::json::parse(&get(addr, "/metrics", TIMEOUT).unwrap().body).unwrap();
+    m.get("sessions").unwrap().clone()
+}
+
+/// Asserts the conservation law on a quiesced server's sessions block.
+fn assert_conserved(sessions: &diffy::core::json::JsonValue) {
+    let n = |k: &str| sessions.get(k).unwrap().as_u64().unwrap();
+    assert_eq!(
+        n("created"),
+        n("closed") + n("expired") + n("evicted") + n("open"),
+        "conservation law must hold: {sessions:?}"
+    );
+}
+
+#[test]
+fn eight_concurrent_sessions_serve_bit_identical_temporal_frames() {
+    let expected: Vec<Vec<String>> = STREAMS.iter().map(direct_frame_results).collect();
+    let (addr, handle, thread) = boot(ServeConfig::default());
+
+    // Eight concurrent sessions, two per stream — every stream runs cold
+    // and warm against the shared cache, with frames interleaving across
+    // sessions and workers.
+    let clients: Vec<_> = (0..8)
+        .map(|i| {
+            let stream = STREAMS[i % STREAMS.len()];
+            move || {
+                let mut client = SessionClient::new(addr, TIMEOUT);
+                let created = client.create(stream.body).expect("create");
+                assert_eq!(created.status, 200, "body: {}", created.body);
+                let frames = stream.spec.3;
+                let mut results = Vec::with_capacity(frames);
+                for f in 0..frames {
+                    // The explicit index guard also exercises per-session
+                    // frame ordering under concurrency.
+                    let resp = client.frame(&format!("{{\"frame\": {f}}}")).expect("frame");
+                    assert_eq!(resp.status, 200, "frame {f} body: {}", resp.body);
+                    let v = diffy::core::json::parse(&resp.body).unwrap();
+                    assert_eq!(v.get("frame").unwrap().as_u64(), Some(f as u64));
+                    results.push(v.get("result").unwrap().to_json());
+                }
+                let closed = client.close().expect("close");
+                assert_eq!(closed.status, 200, "body: {}", closed.body);
+                (i % STREAMS.len(), results)
+            }
+        })
+        .collect();
+    for (which, results) in run_jobs(clients, Jobs::new(8)) {
+        assert_eq!(
+            results, expected[which],
+            "served frames must equal direct temporal evaluation (stream {which})"
+        );
+    }
+
+    // Quiesced: every session was created and explicitly closed.
+    let sessions = sessions_metrics(addr);
+    assert_eq!(sessions.get("created").unwrap().as_u64(), Some(8));
+    assert_eq!(sessions.get("closed").unwrap().as_u64(), Some(8));
+    assert_eq!(sessions.get("open").unwrap().as_u64(), Some(0));
+    assert_eq!(sessions.get("frames").unwrap().as_u64(), Some(8 * 4));
+    assert_conserved(&sessions);
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn session_results_are_identical_across_worker_counts() {
+    // The full frame bodies — counters, ids and the cumulative savings
+    // ledger — must not depend on the server's parallelism.
+    let run = |workers: usize| -> Vec<String> {
+        let (addr, handle, thread) =
+            boot(ServeConfig { workers: Jobs::new(workers), ..ServeConfig::default() });
+        let mut client = SessionClient::new(addr, TIMEOUT);
+        let created = client.create(STREAMS[0].body).expect("create");
+        assert_eq!(created.status, 200, "body: {}", created.body);
+        let mut bodies = vec![created.body];
+        for _ in 0..STREAMS[0].spec.3 {
+            let resp = client.frame("").expect("frame");
+            assert_eq!(resp.status, 200, "body: {}", resp.body);
+            bodies.push(resp.body);
+        }
+        handle.shutdown();
+        thread.join().unwrap();
+        bodies
+    };
+    assert_eq!(run(1), run(4), "served bytes must be identical at any --jobs");
+}
+
+#[test]
+fn idle_sessions_expire_and_the_accounting_conserves() {
+    let (addr, handle, thread) = boot(ServeConfig {
+        session_idle_ms: 100,
+        ..ServeConfig::default()
+    });
+
+    let mut a = SessionClient::new(addr, TIMEOUT);
+    let mut b = SessionClient::new(addr, TIMEOUT);
+    assert_eq!(a.create(STREAMS[0].body).unwrap().status, 200);
+    assert_eq!(b.create(STREAMS[1].body).unwrap().status, 200);
+    assert_eq!(a.frame("").unwrap().status, 200);
+
+    // Past the idle window the parker sweep (every ~5 ms) must expire
+    // both sessions; poll rather than trust one sleep.
+    let mut expired = 0;
+    for _ in 0..100 {
+        std::thread::sleep(Duration::from_millis(20));
+        expired = sessions_metrics(addr).get("expired").unwrap().as_u64().unwrap();
+        if expired == 2 {
+            break;
+        }
+    }
+    assert_eq!(expired, 2, "both idle sessions must expire");
+
+    // An expired session's id is gone — frames and deletes both 404.
+    let resp = a.frame("").unwrap();
+    assert_eq!(resp.status, 404, "body: {}", resp.body);
+    assert!(resp.body.contains("unknown or expired"), "body: {}", resp.body);
+    assert_eq!(b.close().unwrap().status, 404);
+
+    let sessions = sessions_metrics(addr);
+    assert_eq!(sessions.get("open").unwrap().as_u64(), Some(0));
+    assert_conserved(&sessions);
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn capacity_bound_evicts_lru_and_the_accounting_conserves() {
+    let (addr, handle, thread) = boot(ServeConfig {
+        max_sessions: 2,
+        ..ServeConfig::default()
+    });
+
+    let mut a = SessionClient::new(addr, TIMEOUT);
+    let mut b = SessionClient::new(addr, TIMEOUT);
+    let mut c = SessionClient::new(addr, TIMEOUT);
+    assert_eq!(a.create(STREAMS[0].body).unwrap().status, 200);
+    assert_eq!(b.create(STREAMS[1].body).unwrap().status, 200);
+    // Touch a so b is the LRU when c is admitted at capacity.
+    assert_eq!(a.frame("").unwrap().status, 200);
+    assert_eq!(c.create(STREAMS[2].body).unwrap().status, 200);
+
+    let resp = b.frame("").unwrap();
+    assert_eq!(resp.status, 404, "evicted session must be gone: {}", resp.body);
+    assert_eq!(a.frame("").unwrap().status, 200, "recently-used session survives");
+    assert_eq!(c.frame("").unwrap().status, 200);
+
+    // Close one, leave one open, double-close for the 404: every exit
+    // path is on the books exactly once.
+    assert_eq!(a.close().unwrap().status, 200);
+    let sessions = sessions_metrics(addr);
+    assert_eq!(sessions.get("created").unwrap().as_u64(), Some(3));
+    assert_eq!(sessions.get("evicted").unwrap().as_u64(), Some(1));
+    assert_eq!(sessions.get("closed").unwrap().as_u64(), Some(1));
+    assert_eq!(sessions.get("open").unwrap().as_u64(), Some(1));
+    assert_conserved(&sessions);
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn session_routes_reject_bad_methods_and_bad_requests() {
+    let (addr, handle, thread) = boot(ServeConfig::default());
+
+    // Wrong methods on session routes are 405, not 404.
+    assert_eq!(get(addr, "/session", TIMEOUT).unwrap().status, 405);
+    assert_eq!(get(addr, "/session/s-1", TIMEOUT).unwrap().status, 405);
+    assert_eq!(get(addr, "/session/s-1/frame", TIMEOUT).unwrap().status, 405);
+    assert_eq!(post(addr, "/session/s-1", "", TIMEOUT).unwrap().status, 405);
+
+    // Reasoned 4xx on malformed lifecycles.
+    let resp = post(addr, "/session", r#"{"frames": 2}"#, TIMEOUT).unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("model"), "body: {}", resp.body);
+    let resp = post(addr, "/session/s-99/frame", "", TIMEOUT).unwrap();
+    assert_eq!(resp.status, 404);
+    assert!(resp.body.contains("unknown or expired"), "body: {}", resp.body);
+
+    // Nothing above opened a session; misses are counted, law holds.
+    let sessions = sessions_metrics(addr);
+    assert_eq!(sessions.get("created").unwrap().as_u64(), Some(0));
+    assert!(sessions.get("misses").unwrap().as_u64().unwrap() >= 1);
+    assert_conserved(&sessions);
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
