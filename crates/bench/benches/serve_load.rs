@@ -216,6 +216,82 @@ fn main() {
     handle.shutdown();
     thread.join().expect("server drains");
 
+    // -- Disk-tier cold start -------------------------------------------
+    // Precompute the workload into a scratch artifact directory, then
+    // boot a *fresh* server over it with warmup: its very first request
+    // is served off the memory tier loaded from disk — no trace build,
+    // no evaluation — which is the cold-start story `diffy precompute`
+    // + `diffy serve --artifact-dir --warmup` sells. Measured one-shot
+    // and keep-alive at c1, so p50 is the honest per-request latency.
+    let art_dir =
+        std::env::temp_dir().join(format!("diffy-bench-artifacts-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&art_dir);
+    {
+        use diffy_serve::protocol::EvalRequest;
+        let req = EvalRequest::from_json(&diffy_core::json::parse(&body).unwrap())
+            .expect("bench body is a valid request");
+        let tier = diffy_core::DiskTier::open(&art_dir).expect("open scratch artifact dir");
+        let cache = diffy_core::SweepCache::new().with_disk(tier);
+        cache.evaluate_keyed(
+            req.model,
+            req.dataset,
+            req.sample,
+            &req.workload(),
+            &req.eval_options(),
+        );
+    }
+    let cold_server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        artifact_dir: Some(art_dir.to_string_lossy().into_owned()),
+        warmup: true,
+        ..Default::default()
+    })
+    .expect("bind cold-start server");
+    let cold_addr = cold_server.local_addr();
+    let cold_handle = cold_server.handle();
+    let cold_thread = std::thread::spawn(move || cold_server.run().expect("cold server run"));
+    let cold_requests = if bench_smoke() { 12 } else { 60 };
+    let mut cold_table = TextTable::new(vec![
+        "mode", "clients", "ok", "errors", "rps", "mean ms", "p50 ms", "p90 ms", "p99 ms",
+    ]);
+    for (mode_name, key_prefix, mode) in
+        [("disk-cold", "disk_cold_", LoadMode::OneShot), ("disk-warm-ka", "disk_ka_", LoadMode::KeepAlive)]
+    {
+        let report = closed_loop_mode(cold_addr, &body, 1, cold_requests, TIMEOUT, mode);
+        assert_eq!(report.errors, 0, "cold-start run must not shed");
+        cold_table.row(vec![
+            mode_name.to_string(),
+            "1".to_string(),
+            report.ok.to_string(),
+            report.errors.to_string(),
+            format!("{:.2}", report.throughput_rps),
+            format!("{:.2}", report.mean_ms),
+            format!("{:.2}", report.p50_ms),
+            format!("{:.2}", report.p90_ms),
+            format!("{:.2}", report.p99_ms),
+        ]);
+        records.push(BenchRecord {
+            name: format!("serve_{key_prefix}c1"),
+            wall_ms: report.mean_ms,
+            iters: report.ok,
+            per_second: Some(report.throughput_rps),
+        });
+        summary.push((format!("rps_{key_prefix}c1"), report.throughput_rps));
+        summary.push((format!("p50_ms_{key_prefix}c1"), report.p50_ms));
+        summary.push((format!("p99_ms_{key_prefix}c1"), report.p99_ms));
+    }
+    println!("disk-tier cold start: precomputed artifacts, fresh server, --warmup");
+    println!("{}", cold_table.render());
+    // The server's own view: warmup means the requests above never went
+    // back to disk, and nothing was corrupt.
+    let m = diffy_core::json::parse(&get(cold_addr, "/metrics", TIMEOUT).unwrap().body).unwrap();
+    let disk = m.get("cache").unwrap().get("disk").unwrap();
+    assert_eq!(disk.get("hits").unwrap().as_u64(), Some(0), "warmed serve must skip disk");
+    assert_eq!(disk.get("corrupt").unwrap().as_u64(), Some(0));
+    cold_handle.shutdown();
+    cold_thread.join().expect("cold server drains");
+    let _ = std::fs::remove_dir_all(&art_dir);
+
     let meta = [
         ("model", "IRCNN".to_string()),
         ("dataset", "Kodak24".to_string()),
@@ -223,7 +299,8 @@ fn main() {
         ("requests_per_level", total_requests.to_string()),
         ("batch_size", BATCH_SIZE.to_string()),
         ("stream_frames_per_session", stream_frames.to_string()),
-        ("modes", "one-shot,keep-alive,batch,streaming".to_string()),
+        ("modes", "one-shot,keep-alive,batch,streaming,disk-cold".to_string()),
+        ("disk_cold_requests", cold_requests.to_string()),
         ("server_workers", workers.to_string()),
         ("host_parallelism", num_cores().to_string()),
     ];

@@ -14,6 +14,9 @@
 //!   minimum tiles × memory-node search for real-time HD.
 //! * [`experiment`] — the registry mapping every table and figure of the
 //!   paper to its bench target.
+//! * [`artifact`] — the disk tier of the sweep cache: validated,
+//!   atomically-written artifact files that let `diffy precompute` and
+//!   `diffy serve --artifact-dir` turn evaluation into lookup.
 //! * [`json`] — the hand-rolled JSON document model: the deterministic
 //!   emitter behind the committed `BENCH_*.json` files and the strict
 //!   parser the evaluation service reads requests with.
@@ -42,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod accelerator;
+pub mod artifact;
 pub mod datapath;
 pub mod dc;
 pub mod experiment;
@@ -60,6 +64,11 @@ pub use accelerator::{
     evaluate_network_with_terms, network_scheme_traffic, EvalOptions, NetworkResult,
     SchemeChoice, TermPlaneSource, TrafficSource,
 };
+pub use artifact::{
+    decode_artifact, result_key, ArtifactError, DiskStats, DiskTier, EvalArtifact,
+};
+pub use diffy_imaging::datasets::DatasetId;
+pub use diffy_models::CiModel;
 pub use dc::differential_conv2d;
 pub use json::{bench_json_string, json_escape, json_number, BenchRecord, JsonValue};
 pub use parallel::{run_jobs, BoundedCache, Jobs, KeyedCache};

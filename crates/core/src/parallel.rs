@@ -19,7 +19,7 @@
 //! (the loser of the insertion race blocks on the winner's `OnceLock`
 //! rather than recomputing).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -250,16 +250,30 @@ impl<K: Eq + Hash + Clone, V> Default for KeyedCache<K, V> {
 /// concurrent requests for a live key compute once and share the result.
 /// An evicted key is simply recomputed on next request — values are pure
 /// functions of their keys, so eviction affects cost, never results.
+///
+/// Request accounting distinguishes three outcomes: a **miss** ran the
+/// computation, a **hit** found a completed value resident, and a
+/// **shared** request arrived while another thread's computation for the
+/// same key was still in flight — it paid (most of) the compute latency
+/// even though its own closure never ran, so lumping it in with hits
+/// would overstate how well the cache absorbs load.
 pub struct BoundedCache<K, V> {
     inner: Mutex<BoundedInner<K, V>>,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    shared: AtomicU64,
     evictions: AtomicU64,
 }
 
 struct BoundedInner<K, V> {
     map: HashMap<K, BoundedEntry<V>>,
+    /// LRU index: `last_used` tick → key. The access clock advances on
+    /// every request, so ticks are unique and this is a total order over
+    /// residents; the first entry is always the least-recently-used key,
+    /// making eviction O(log n) instead of a whole-map scan under the
+    /// lock.
+    order: BTreeMap<u64, K>,
     /// Monotonic access clock for LRU ordering.
     tick: u64,
 }
@@ -278,10 +292,15 @@ impl<K: Eq + Hash + Clone, V> BoundedCache<K, V> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "bounded cache needs capacity of at least 1");
         Self {
-            inner: Mutex::new(BoundedInner { map: HashMap::new(), tick: 0 }),
+            inner: Mutex::new(BoundedInner {
+                map: HashMap::new(),
+                order: BTreeMap::new(),
+                tick: 0,
+            }),
             capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            shared: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
     }
@@ -295,29 +314,35 @@ impl<K: Eq + Hash + Clone, V> BoundedCache<K, V> {
     /// evicting an in-flight key never cancels or corrupts its
     /// computation — the evictee just becomes invisible to new requests.
     pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> Arc<V> {
-        let cell = {
+        // `complete` is sampled under the map lock, so the hit/shared
+        // classification is fixed at acquisition time: a request that
+        // finds an in-flight cell counts as `shared` even if the
+        // computation happens to finish before it blocks.
+        let (cell, complete) = {
             let mut inner = self.inner.lock().expect("cache map poisoned");
             inner.tick += 1;
             let now = inner.tick;
             if let Some(entry) = inner.map.get_mut(&key) {
+                let prev = entry.last_used;
                 entry.last_used = now;
-                Arc::clone(&entry.cell)
+                let cell = Arc::clone(&entry.cell);
+                let complete = cell.get().is_some();
+                inner.order.remove(&prev);
+                inner.order.insert(now, key);
+                (cell, complete)
             } else {
                 if inner.map.len() >= self.capacity {
-                    let lru = inner
-                        .map
-                        .iter()
-                        .min_by_key(|(_, e)| e.last_used)
-                        .map(|(k, _)| k.clone())
-                        .expect("map is non-empty at capacity");
+                    let (_, lru) =
+                        inner.order.pop_first().expect("order index tracks the map");
                     inner.map.remove(&lru);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
                 let cell = Arc::new(OnceLock::new());
                 inner
                     .map
-                    .insert(key, BoundedEntry { cell: Arc::clone(&cell), last_used: now });
-                cell
+                    .insert(key.clone(), BoundedEntry { cell: Arc::clone(&cell), last_used: now });
+                inner.order.insert(now, key);
+                (cell, false)
             }
         };
         let mut computed = false;
@@ -325,7 +350,13 @@ impl<K: Eq + Hash + Clone, V> BoundedCache<K, V> {
             computed = true;
             Arc::new(compute())
         }));
-        let counter = if computed { &self.misses } else { &self.hits };
+        let counter = if computed {
+            &self.misses
+        } else if complete {
+            &self.hits
+        } else {
+            &self.shared
+        };
         counter.fetch_add(1, Ordering::Relaxed);
         value
     }
@@ -346,7 +377,7 @@ impl<K: Eq + Hash + Clone, V> BoundedCache<K, V> {
         self.capacity
     }
 
-    /// Requests served from a resident (or in-flight) entry.
+    /// Requests served from a resident *completed* value.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
@@ -356,6 +387,12 @@ impl<K: Eq + Hash + Clone, V> BoundedCache<K, V> {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Requests that arrived while another thread's computation for the
+    /// same key was in flight and shared its result (paying the wait).
+    pub fn shared(&self) -> u64 {
+        self.shared.load(Ordering::Relaxed)
+    }
+
     /// Entries evicted to make room so far.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
@@ -363,7 +400,9 @@ impl<K: Eq + Hash + Clone, V> BoundedCache<K, V> {
 
     /// Drops every resident entry (counters are preserved).
     pub fn clear(&self) {
-        self.inner.lock().expect("cache map poisoned").map.clear();
+        let mut inner = self.inner.lock().expect("cache map poisoned");
+        inner.map.clear();
+        inner.order.clear();
     }
 }
 
@@ -471,6 +510,67 @@ mod tests {
         assert!(recomputed.get(), "evicted key must recompute");
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.shared(), 0, "no concurrency here, nothing shared");
+    }
+
+    #[test]
+    fn bounded_cache_eviction_order_pins_strict_lru() {
+        // Pins the eviction policy: the victim is the least recently
+        // *used* key (touches refresh recency), not the oldest insert.
+        let cache: BoundedCache<u32, u32> = BoundedCache::new(3);
+        for k in [1, 2, 3] {
+            cache.get_or_compute(k, || k);
+        }
+        // Recency order is now 1 < 2 < 3; refresh 1 then 2 → 3 < 1 < 2.
+        cache.get_or_compute(1, || unreachable!("resident"));
+        cache.get_or_compute(2, || unreachable!("resident"));
+        // Admitting 4 must evict 3.
+        cache.get_or_compute(4, || 4);
+        assert_eq!(cache.evictions(), 1);
+        cache.get_or_compute(1, || unreachable!("1 survived the eviction"));
+        cache.get_or_compute(2, || unreachable!("2 survived the eviction"));
+        let recomputed = std::cell::Cell::new(false);
+        cache.get_or_compute(3, || {
+            recomputed.set(true);
+            3
+        });
+        assert!(recomputed.get(), "3 was the LRU victim");
+        assert_eq!(cache.evictions(), 2, "re-admitting 3 evicts again at capacity");
+    }
+
+    #[test]
+    fn bounded_cache_counts_in_flight_waiters_as_shared() {
+        // Pins the accounting split: a request that finds a *completed*
+        // value is a hit; one that arrives while the computation is still
+        // in flight is `shared` (it waited the compute time, so it must
+        // not inflate the hit rate). Classification happens under the map
+        // lock, so releasing the computation afterwards cannot flip it.
+        use std::sync::mpsc;
+        let cache: BoundedCache<u32, u32> = BoundedCache::new(4);
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel();
+        let cache = &cache;
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                cache.get_or_compute(1, || {
+                    entered_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                    10
+                });
+            });
+            entered_rx.recv().unwrap();
+            // The computation is now provably in flight.
+            let waiter = s.spawn(|| *cache.get_or_compute(1, || unreachable!("in flight")));
+            // Give the waiter time to classify itself before releasing.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            release_tx.send(()).unwrap();
+            assert_eq!(waiter.join().unwrap(), 10);
+        });
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.shared(), 1, "in-flight waiter is shared, not a hit");
+        assert_eq!(cache.hits(), 0);
+        cache.get_or_compute(1, || unreachable!("resident"));
+        assert_eq!(cache.hits(), 1, "completed-value lookups stay hits");
     }
 
     #[test]
@@ -510,7 +610,10 @@ mod tests {
         });
         assert_eq!(calls.load(Ordering::SeqCst), 1);
         assert_eq!(cache.misses(), 1);
-        assert_eq!(cache.hits(), 7);
+        // The 7 non-computing threads each either found the value already
+        // complete (hit) or waited on the in-flight computation (shared) —
+        // the split depends on scheduling, the sum does not.
+        assert_eq!(cache.hits() + cache.shared(), 7);
     }
 
     #[test]

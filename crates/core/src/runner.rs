@@ -10,6 +10,7 @@ use crate::accelerator::{
     evaluate_network, evaluate_network_with_artifacts, network_scheme_traffic, EvalOptions,
     NetworkResult, SchemeChoice,
 };
+use crate::artifact::{result_key, DiskStats, DiskTier, EvalArtifact};
 use crate::parallel::{run_jobs, BoundedCache, Jobs, KeyedCache};
 use diffy_encoding::StorageScheme;
 use diffy_imaging::datasets::DatasetId;
@@ -288,11 +289,17 @@ impl From<SchemeChoice> for SchemeKey {
 /// per-trace storage-scheme traffic vectors keyed by
 /// `(trace key, scheme)`.
 ///
-/// All four artifact kinds are pure functions of their keys, so cached
+/// All artifact kinds are pure functions of their keys, so cached
 /// values are interchangeable with fresh regeneration — the cache only
 /// removes the déjà vu of recomputing them for every consumer. Safe to
 /// share across threads; concurrent requests for the same key compute it
 /// once (see [`KeyedCache`]).
+///
+/// With [`SweepCache::with_disk`] the cache becomes *tiered*: completed
+/// evaluations ([`EvalArtifact`]s, keyed by the canonical
+/// [`result_key`]) are looked up memory-first, then on the disk
+/// artifact store, and only then computed — with a write-through so the
+/// next cold start finds them. See [`SweepCache::evaluate_keyed`].
 #[derive(Default)]
 pub struct SweepCache {
     weights: Store<(CiModel, u64), NetworkWeights>,
@@ -301,6 +308,8 @@ pub struct SweepCache {
     traffic: Store<(TraceKey, SchemeKey), Vec<LayerTraffic>>,
     video_frames: Store<(VideoSpec, usize), TraceBundle>,
     video_cycles: Store<(VideoSpec, usize, VideoEval), NetworkCycles>,
+    results: Store<String, EvalArtifact>,
+    disk: Option<DiskTier>,
 }
 
 /// Which cycle model a cached per-frame video result came from: the full
@@ -357,6 +366,16 @@ impl<K: Eq + std::hash::Hash + Clone, V> Store<K, V> {
         }
     }
 
+    /// Requests that waited on another thread's in-flight computation.
+    /// The unbounded cache counts these as hits (documented there), so
+    /// only the bounded variant reports them separately.
+    fn shared(&self) -> u64 {
+        match self {
+            Store::Unbounded(_) => 0,
+            Store::Bounded(c) => c.shared(),
+        }
+    }
+
     fn clear(&self) {
         match self {
             Store::Unbounded(c) => c.clear(),
@@ -394,6 +413,14 @@ pub struct CacheStats {
     /// Distinct per-frame cycle results (baseline and temporal)
     /// currently materialized.
     pub cached_video_cycles: usize,
+    /// Requests that waited on another thread's in-flight computation
+    /// (bounded stores only — neither a clean hit nor a fresh miss).
+    pub shared: u64,
+    /// Distinct complete evaluation results currently materialized in
+    /// the memory tier.
+    pub cached_results: usize,
+    /// Disk artifact tier counters (all zero when no tier is attached).
+    pub disk: DiskStats,
 }
 
 impl SweepCache {
@@ -425,7 +452,42 @@ impl SweepCache {
             // handful of counters per layer.
             video_frames: Store::Bounded(BoundedCache::new(traces)),
             video_cycles: Store::Bounded(BoundedCache::new(traces.saturating_mul(8))),
+            // Complete results are small (a few counters per layer);
+            // keep several schemes/architectures' worth per resident
+            // trace.
+            results: Store::Bounded(BoundedCache::new(traces.saturating_mul(8))),
+            disk: None,
         }
+    }
+
+    /// Attaches a disk artifact tier: [`SweepCache::evaluate_keyed`]
+    /// reads through it on memory misses and writes computed results
+    /// back, so a future cold start (or a sibling process sharing the
+    /// directory) serves them by lookup.
+    pub fn with_disk(mut self, tier: DiskTier) -> Self {
+        self.disk = Some(tier);
+        self
+    }
+
+    /// The attached disk tier, if any.
+    pub fn disk(&self) -> Option<&DiskTier> {
+        self.disk.as_ref()
+    }
+
+    /// Loads every valid artifact from the disk tier into the memory
+    /// result tier (for `serve --warmup`); invalid files are counted
+    /// corrupt by the tier and skipped. Returns the number of results
+    /// warmed; 0 when no tier is attached or the directory is
+    /// unreadable.
+    pub fn warm_from_disk(&self) -> usize {
+        let Some(disk) = &self.disk else { return 0 };
+        let Ok(artifacts) = disk.load_all() else { return 0 };
+        let mut warmed = 0;
+        for (key, artifact) in artifacts {
+            self.results.get_or_compute(key, || artifact);
+            warmed += 1;
+        }
+        warmed
     }
 
     /// The process-wide cache shared by the CLI and report paths.
@@ -611,6 +673,51 @@ impl SweepCache {
         evaluate_network_with_artifacts(&bundle.trace, eval, Some(&source), Some(&traffic))
     }
 
+    /// Tiered evaluation of `(model, dataset, sample)` under `eval`:
+    /// memory result tier first, then the disk artifact store (when one
+    /// is attached via [`SweepCache::with_disk`]), then
+    /// [`SweepCache::evaluate`] — with a best-effort write-through so
+    /// the computed result is on disk for the next cold start.
+    ///
+    /// Every tier is bit-identical to fresh evaluation: the memory tier
+    /// holds the value the compute path produced, and disk artifacts
+    /// are fingerprint-validated on read ([`crate::artifact`]) — a
+    /// corrupt, truncated or version-skewed file degrades to recompute
+    /// (counted in [`DiskStats::corrupt`]), never serves wrong bits.
+    pub fn evaluate_keyed(
+        &self,
+        model: CiModel,
+        dataset: DatasetId,
+        sample: usize,
+        opts: &WorkloadOptions,
+        eval: &EvalOptions,
+    ) -> Arc<EvalArtifact> {
+        let key = result_key(model, dataset, sample, opts, eval);
+        self.results.get_or_compute(key.clone(), || {
+            if let Some(disk) = &self.disk {
+                match disk.load(&key) {
+                    Ok(Some(artifact)) => {
+                        crate::trace::instant("cache_hit", || vec![("kind", "disk".into())]);
+                        return artifact;
+                    }
+                    Ok(None) => {}
+                    // Counted corrupt by the tier; recompute below and
+                    // let the write-through repair the file.
+                    Err(_) => {}
+                }
+            }
+            let source_pixels = self.bundle(model, dataset, sample, opts).source_pixels;
+            let result = self.evaluate(model, dataset, sample, opts, eval);
+            let artifact = EvalArtifact { result, source_pixels };
+            if let Some(disk) = &self.disk {
+                // Best-effort: a full or read-only disk degrades the
+                // tier to memory + compute, never the request.
+                let _ = disk.store(&key, &artifact);
+            }
+            artifact
+        })
+    }
+
     /// Number of distinct weight sets materialized so far.
     pub fn cached_weights(&self) -> usize {
         self.weights.len()
@@ -641,25 +748,37 @@ impl SweepCache {
                 + self.term_planes.hits()
                 + self.traffic.hits()
                 + self.video_frames.hits()
-                + self.video_cycles.hits(),
+                + self.video_cycles.hits()
+                + self.results.hits(),
             misses: self.weights.misses()
                 + self.traces.misses()
                 + self.term_planes.misses()
                 + self.traffic.misses()
                 + self.video_frames.misses()
-                + self.video_cycles.misses(),
+                + self.video_cycles.misses()
+                + self.results.misses(),
             evictions: self.weights.evictions()
                 + self.traces.evictions()
                 + self.term_planes.evictions()
                 + self.traffic.evictions()
                 + self.video_frames.evictions()
-                + self.video_cycles.evictions(),
+                + self.video_cycles.evictions()
+                + self.results.evictions(),
             cached_weights: self.weights.len(),
             cached_traces: self.traces.len(),
             cached_term_planes: self.term_planes.len(),
             cached_traffic: self.traffic.len(),
             cached_video_frames: self.video_frames.len(),
             cached_video_cycles: self.video_cycles.len(),
+            shared: self.weights.shared()
+                + self.traces.shared()
+                + self.term_planes.shared()
+                + self.traffic.shared()
+                + self.video_frames.shared()
+                + self.video_cycles.shared()
+                + self.results.shared(),
+            cached_results: self.results.len(),
+            disk: self.disk.as_ref().map(DiskTier::stats).unwrap_or_default(),
         }
     }
 
@@ -672,6 +791,7 @@ impl SweepCache {
         self.traffic.clear();
         self.video_frames.clear();
         self.video_cycles.clear();
+        self.results.clear();
     }
 
     /// Evaluates a heterogeneous batch of points, fanning out over `par`
@@ -1174,5 +1294,129 @@ mod tests {
             assert!(!ds.is_empty());
             assert!(ds.contains(&DatasetId::Hd33), "{m} must include HD33");
         }
+    }
+
+    fn scratch_artifact_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("diffy-runner-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn disk_hit_is_bit_identical_to_fresh_compute() {
+        // The tentpole invariant: a result served from a disk artifact
+        // written by one cache must be bit-identical to a fresh
+        // evaluation in another — both the NetworkResult and the
+        // serving metadata (source_pixels).
+        let dir = scratch_artifact_dir("bitident");
+        let opts = WorkloadOptions::test_small();
+        let eval = EvalOptions::new(Architecture::Diffy, SchemeChoice::Ideal);
+
+        let writer = SweepCache::bounded(4, 64)
+            .with_disk(crate::artifact::DiskTier::open(&dir).unwrap());
+        let computed =
+            writer.evaluate_keyed(CiModel::Ircnn, DatasetId::Kodak24, 0, &opts, &eval);
+        assert_eq!(writer.stats().disk.misses, 1, "first request misses the empty tier");
+
+        // A brand-new cache over the same directory: the only shared
+        // state is the artifact file.
+        let reader = SweepCache::bounded(4, 64)
+            .with_disk(crate::artifact::DiskTier::open(&dir).unwrap());
+        let served =
+            reader.evaluate_keyed(CiModel::Ircnn, DatasetId::Kodak24, 0, &opts, &eval);
+        assert_eq!(*served, *computed, "disk hit must serve identical bits");
+        let stats = reader.stats();
+        assert_eq!(stats.disk.hits, 1, "second process hits the artifact");
+        assert_eq!(stats.disk.misses, 0);
+
+        let fresh = SweepCache::new()
+            .evaluate(CiModel::Ircnn, DatasetId::Kodak24, 0, &opts, &eval);
+        assert_eq!(served.result, fresh, "disk tier must be invisible in results");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_artifact_degrades_to_recompute_and_repairs() {
+        let dir = scratch_artifact_dir("corrupt");
+        let opts = WorkloadOptions::test_small();
+        let eval = EvalOptions::new(Architecture::Diffy, SchemeChoice::Ideal);
+
+        let writer = SweepCache::bounded(4, 64)
+            .with_disk(crate::artifact::DiskTier::open(&dir).unwrap());
+        let computed =
+            writer.evaluate_keyed(CiModel::Ircnn, DatasetId::Kodak24, 0, &opts, &eval);
+
+        // Truncate the artifact on disk to simulate a torn file.
+        let key = result_key(CiModel::Ircnn, DatasetId::Kodak24, 0, &opts, &eval);
+        let path = writer.disk().unwrap().path_for(&key);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+
+        let reader = SweepCache::bounded(4, 64)
+            .with_disk(crate::artifact::DiskTier::open(&dir).unwrap());
+        let served =
+            reader.evaluate_keyed(CiModel::Ircnn, DatasetId::Kodak24, 0, &opts, &eval);
+        assert_eq!(*served, *computed, "recompute after corruption, same bits");
+        assert_eq!(reader.stats().disk.corrupt, 1, "the torn file is counted");
+
+        // The write-through repaired the artifact: a third cache hits.
+        let repaired = SweepCache::bounded(4, 64)
+            .with_disk(crate::artifact::DiskTier::open(&dir).unwrap());
+        let again =
+            repaired.evaluate_keyed(CiModel::Ircnn, DatasetId::Kodak24, 0, &opts, &eval);
+        assert_eq!(*again, *computed);
+        assert_eq!(repaired.stats().disk.hits, 1, "repair makes the next read a hit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_from_disk_populates_memory_tier() {
+        let dir = scratch_artifact_dir("warmup");
+        let opts = WorkloadOptions::test_small();
+        let evals = [
+            EvalOptions::new(Architecture::Diffy, SchemeChoice::Ideal),
+            EvalOptions::new(Architecture::Pra, SchemeChoice::Ideal),
+        ];
+        let writer = SweepCache::bounded(4, 64)
+            .with_disk(crate::artifact::DiskTier::open(&dir).unwrap());
+        let expected: Vec<_> = evals
+            .iter()
+            .map(|e| writer.evaluate_keyed(CiModel::Ircnn, DatasetId::Kodak24, 0, &opts, e))
+            .collect();
+
+        let warmed_cache = SweepCache::bounded(4, 64)
+            .with_disk(crate::artifact::DiskTier::open(&dir).unwrap());
+        assert_eq!(warmed_cache.warm_from_disk(), 2, "both artifacts warm");
+        let stats = warmed_cache.stats();
+        assert_eq!(stats.cached_results, 2);
+        assert_eq!(stats.disk.hits, 0, "warmup is not request traffic");
+
+        // Warmed requests are pure memory hits: no disk read, no compute
+        // (the trace/weight stores stay empty).
+        for (e, want) in evals.iter().zip(&expected) {
+            let got =
+                warmed_cache.evaluate_keyed(CiModel::Ircnn, DatasetId::Kodak24, 0, &opts, e);
+            assert_eq!(*got, **want);
+        }
+        let after = warmed_cache.stats();
+        assert_eq!(after.disk.hits + after.disk.misses, 0, "served from memory");
+        assert_eq!(after.cached_traces, 0, "no compute path was taken");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evaluate_keyed_without_disk_matches_evaluate() {
+        let opts = WorkloadOptions::test_small();
+        let eval = EvalOptions::new(Architecture::Diffy, SchemeChoice::Ideal);
+        let cache = SweepCache::new();
+        let keyed = cache.evaluate_keyed(CiModel::Ircnn, DatasetId::Kodak24, 0, &opts, &eval);
+        let plain = cache.evaluate(CiModel::Ircnn, DatasetId::Kodak24, 0, &opts, &eval);
+        assert_eq!(keyed.result, plain);
+        assert_eq!(
+            keyed.source_pixels,
+            cache.bundle(CiModel::Ircnn, DatasetId::Kodak24, 0, &opts).source_pixels
+        );
+        assert_eq!(cache.stats().disk, crate::artifact::DiskStats::default());
     }
 }

@@ -1,5 +1,5 @@
-//! Standalone fuzz entrypoint: `fuzz [http|json|protocol|session|all]
-//! [flags]`.
+//! Standalone fuzz entrypoint:
+//! `fuzz [http|json|protocol|session|artifact|all] [flags]`.
 //!
 //! Runs the requested drivers, prints an outcome census per driver, and
 //! on any contract violation prints a ready-to-paste regression test,
@@ -20,7 +20,7 @@ use diffy_fuzz::{all_drivers, run_driver, Driver, FuzzConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fuzz [http|json|protocol|session|all] [--iters N] [--seed S] \
+        "usage: fuzz [http|json|protocol|session|artifact|all] [--iters N] [--seed S] \
          [--time-cap-ms T] [--failures-dir DIR]"
     );
     std::process::exit(2);
@@ -61,7 +61,7 @@ fn main() -> ExitCode {
                     Some(Duration::from_millis(parse_u64(&flag_value("--time-cap-ms"), "--time-cap-ms")));
             }
             "--failures-dir" => failures_dir = Some(flag_value("--failures-dir")),
-            "http" | "json" | "protocol" | "session" | "all" if !positional_seen => {
+            "http" | "json" | "protocol" | "session" | "artifact" | "all" if !positional_seen => {
                 target = arg.clone();
                 positional_seen = true;
             }

@@ -225,6 +225,53 @@ pub fn session_corpus() -> Vec<CorpusCase> {
     ]
 }
 
+/// Artifact-store seed corpus: one named entry per decode failure class
+/// (see `crate::artifact`), each derived from a *real* artifact document
+/// by the same mutation a torn write, bit rot, or version migration
+/// would apply. `artifact::tests::corpus_entries_classify_as_named` pins
+/// the expected classification for every entry.
+pub fn artifact_corpus() -> Vec<CorpusCase> {
+    let base = crate::artifact::base_document();
+    // A payload with a *correct* fingerprint but a broken shape: the only
+    // way to reach the payload-class rejection, since any blind byte
+    // mutation trips the fingerprint check first.
+    let broken_payload = r#"{"model": "IRCNN"}"#;
+    let canonical = diffy_core::json::parse(broken_payload)
+        .expect("literal payload parses")
+        .to_json();
+    let honest_fingerprint =
+        diffy_core::artifact::fnv1a64(canonical.as_bytes());
+    vec![
+        case("valid_artifact", base),
+        case("truncated_halfway", &base[..base.len() / 2]),
+        case("bad_format_marker", base.replace("diffy-artifact", "diffy-artefact")),
+        case("missing_format_marker", base.replace("\"format\"", "\"fmt\"")),
+        case("version_skew_future", base.replace("\"version\":1", "\"version\":999")),
+        case("fingerprint_flip", {
+            // Perturb the *last* fingerprint digit: the value changes but
+            // stays in u64 range, so only the fingerprint check can trip.
+            let start = base.find("\"fingerprint\":").expect("fingerprint field") + 14;
+            let digits = base[start..].bytes().take_while(u8::is_ascii_digit).count();
+            let pos = start + digits - 1;
+            let (head, tail) = base.split_at(pos);
+            let old = tail.as_bytes()[0];
+            let new = if old == b'9' { b'1' } else { old + 1 };
+            format!("{head}{}{}", new as char, &tail[1..])
+        }),
+        case("interior_json_mangled", base.replace("\"cycles\":", "\"cycles\":1")),
+        case(
+            "payload_shape_with_honest_fingerprint",
+            format!(
+                "{{\"format\": \"diffy-artifact\", \"version\": 1, \"key\": \"k\", \
+                 \"fingerprint\": {honest_fingerprint}, \"payload\": {canonical}}}"
+            ),
+        ),
+        case("not_json", "{"),
+        case("empty_file", ""),
+        case("non_utf8", b"\xff\xfe{}".to_vec()),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,7 +279,9 @@ mod tests {
 
     #[test]
     fn corpus_names_are_unique_within_each_target() {
-        for corpus in [http_corpus(), json_corpus(), proto_corpus(), session_corpus()] {
+        for corpus in
+            [http_corpus(), json_corpus(), proto_corpus(), session_corpus(), artifact_corpus()]
+        {
             let mut seen = HashSet::new();
             for c in &corpus {
                 assert!(seen.insert(c.name), "duplicate corpus name {}", c.name);

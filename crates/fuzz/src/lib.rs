@@ -51,6 +51,7 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+pub mod artifact;
 pub mod corpus;
 pub mod http;
 pub mod json;
@@ -172,6 +173,7 @@ fn module_for(target: &str) -> &'static str {
         "http" => "http",
         "json" => "json",
         "session" => "session",
+        "artifact" => "artifact",
         _ => "proto",
     }
 }
@@ -328,6 +330,7 @@ pub fn all_drivers() -> Vec<Box<dyn Driver>> {
         Box::new(json::JsonDriver),
         Box::new(proto::ProtoDriver),
         Box::new(session::SessionDriver),
+        Box::new(artifact::ArtifactDriver),
     ]
 }
 

@@ -345,6 +345,7 @@ impl Metrics {
                 JsonValue::object(vec![
                     ("hits", cache.hits.into()),
                     ("misses", cache.misses.into()),
+                    ("shared", cache.shared.into()),
                     ("evictions", cache.evictions.into()),
                     ("traces", cache.cached_traces.into()),
                     ("weights", cache.cached_weights.into()),
@@ -352,6 +353,16 @@ impl Metrics {
                     ("traffic", cache.cached_traffic.into()),
                     ("video_frames", cache.cached_video_frames.into()),
                     ("video_cycles", cache.cached_video_cycles.into()),
+                    ("results", cache.cached_results.into()),
+                    (
+                        "disk",
+                        JsonValue::object(vec![
+                            ("hits", cache.disk.hits.into()),
+                            ("misses", cache.disk.misses.into()),
+                            ("corrupt", cache.disk.corrupt.into()),
+                            ("bytes", cache.disk.bytes.into()),
+                        ]),
+                    ),
                 ]),
             ),
             (
@@ -447,12 +458,25 @@ mod tests {
             misses: 2,
             frames: 9,
         };
-        let v = m.to_json(1, 8, CacheStats { hits: 5, misses: 2, ..CacheStats::default() }, sessions);
+        let cache_stats = CacheStats {
+            hits: 5,
+            misses: 2,
+            shared: 1,
+            disk: diffy_core::artifact::DiskStats { hits: 4, misses: 3, corrupt: 1, bytes: 2048 },
+            ..CacheStats::default()
+        };
+        let v = m.to_json(1, 8, cache_stats, sessions);
         assert_eq!(v.get("requests_total").unwrap().as_u64(), Some(3));
         assert_eq!(v.get("queue_depth").unwrap().as_u64(), Some(1));
         assert_eq!(v.get("responses").unwrap().get("200").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("responses").unwrap().get("503").unwrap().as_u64(), Some(1));
         assert_eq!(v.get("cache").unwrap().get("hits").unwrap().as_u64(), Some(5));
+        assert_eq!(v.get("cache").unwrap().get("shared").unwrap().as_u64(), Some(1));
+        let disk = v.get("cache").unwrap().get("disk").unwrap();
+        assert_eq!(disk.get("hits").unwrap().as_u64(), Some(4));
+        assert_eq!(disk.get("misses").unwrap().as_u64(), Some(3));
+        assert_eq!(disk.get("corrupt").unwrap().as_u64(), Some(1));
+        assert_eq!(disk.get("bytes").unwrap().as_u64(), Some(2048));
         assert_eq!(v.get("latency_ms").unwrap().get("count").unwrap().as_u64(), Some(1));
         let sess = v.get("sessions").unwrap();
         assert_eq!(sess.get("open").unwrap().as_u64(), Some(1));

@@ -75,6 +75,7 @@ use crate::metrics::{CloseReason, Metrics, Stage};
 use crate::protocol::{error_body, result_to_json, BatchRequest, EvalRequest};
 use crate::session::{self, SessionStore};
 use diffy_core::json::{parse as parse_json, JsonValue};
+use diffy_core::artifact::DiskTier;
 use diffy_core::parallel::{run_jobs, Jobs};
 use diffy_core::runner::SweepCache;
 use diffy_core::trace;
@@ -147,6 +148,15 @@ pub struct ServeConfig {
     pub trace_cache: usize,
     /// Bounded-cache capacity: resident per-layer term-plane sets.
     pub plane_cache: usize,
+    /// Directory of precomputed evaluation artifacts to attach as the
+    /// cache's disk tier (`diffy serve --artifact-dir`). Evaluations
+    /// read through it and write computed results back; a non-writable
+    /// path is a hard bind error.
+    pub artifact_dir: Option<String>,
+    /// Load every valid artifact from `artifact_dir` into the memory
+    /// tier before serving (`--warmup`), so hot keys are sub-millisecond
+    /// from the first request.
+    pub warmup: bool,
     /// Most streaming sessions live at once; admitting one past the
     /// bound evicts the least-recently-used session.
     pub max_sessions: usize,
@@ -177,6 +187,8 @@ impl Default for ServeConfig {
             idle_timeout_ms: 5_000,
             trace_cache: 64,
             plane_cache: 1024,
+            artifact_dir: None,
+            warmup: false,
             max_sessions: 256,
             session_idle_ms: 60_000,
             test_hooks: false,
@@ -443,6 +455,20 @@ impl Server {
         assert!(config.idle_timeout_ms >= 1, "idle timeout must be at least 1ms");
         assert!(config.max_sessions >= 1, "session capacity must be at least 1");
         assert!(config.session_idle_ms >= 1, "session idle timeout must be at least 1ms");
+        let mut cache = SweepCache::bounded(config.trace_cache, config.plane_cache);
+        if let Some(dir) = &config.artifact_dir {
+            // A broken artifact dir must fail the bind, not degrade
+            // every request: opening probes writability (the tier
+            // write-through and `precompute` both need it).
+            let tier = DiskTier::open(dir).map_err(|e| {
+                io::Error::new(e.kind(), format!("artifact dir `{dir}` is not usable: {e}"))
+            })?;
+            cache = cache.with_disk(tier);
+            if config.warmup {
+                let warmed = cache.warm_from_disk();
+                trace::instant("warmup", || vec![("artifacts", (warmed as u64).into())]);
+            }
+        }
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let parked_cap = config.queue_depth.saturating_mul(PARKED_PER_QUEUE_SLOT).max(MIN_PARKED_CAP);
@@ -451,7 +477,7 @@ impl Server {
             parked: ParkingLot::new(parked_cap),
             batch_fan: FanPermits::new(config.workers.get().saturating_sub(1)),
             metrics: Metrics::new(),
-            cache: SweepCache::bounded(config.trace_cache, config.plane_cache),
+            cache,
             sessions: SessionStore::new(
                 config.max_sessions,
                 Duration::from_millis(config.session_idle_ms),
@@ -972,36 +998,38 @@ fn evaluate_stages(
         }
     }
 
-    // Stage 1: materialize the trace (cache-shared across requests).
-    let workload = eval_req.workload();
+    // Stage 1: under the tiered store, trace materialization is lazy —
+    // it happens inside the evaluation stage, and only on a full tier
+    // miss (a memory- or disk-hit request never builds a trace at all).
+    // The stage keeps its slot in the span taxonomy and histograms so
+    // the pipeline still tiles end to end; it now brackets only the
+    // request's workload/options decode.
     let stage_start = Instant::now();
-    let run = {
+    let (workload, eval) = {
         let _s = collector.span(Stage::Trace.name());
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            shared.cache.bundle(eval_req.model, eval_req.dataset, eval_req.sample, &workload)
-        }))
+        (eval_req.workload(), eval_req.eval_options())
     };
     metrics.stage(Stage::Trace).record(stage_start.elapsed());
-    let bundle = match run {
-        Ok(b) => b,
-        Err(_) => return (500, error_body("trace generation failed")),
-    };
-    if Instant::now() >= deadline {
-        return expired("traced");
-    }
 
-    // Stage 2: price the trace on the requested architecture.
-    let eval = eval_req.eval_options();
+    // Stage 2: resolve the result through the tiers — memory result
+    // store, then disk artifacts, then compute (which draws traces and
+    // term planes from the same shared stores the sweeps use).
     let stage_start = Instant::now();
     let run = {
         let _s = collector.span(Stage::Evaluate.name());
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            shared.cache.evaluate(eval_req.model, eval_req.dataset, eval_req.sample, &workload, &eval)
+            shared.cache.evaluate_keyed(
+                eval_req.model,
+                eval_req.dataset,
+                eval_req.sample,
+                &workload,
+                &eval,
+            )
         }))
     };
     metrics.stage(Stage::Evaluate).record(stage_start.elapsed());
-    let result = match run {
-        Ok(r) => r,
+    let artifact = match run {
+        Ok(a) => a,
         Err(_) => return (500, error_body("evaluation failed")),
     };
     if Instant::now() >= deadline {
@@ -1012,7 +1040,7 @@ fn evaluate_stages(
     let stage_start = Instant::now();
     let body = {
         let _s = collector.span(Stage::Serialize.name());
-        result_to_json(&result, bundle.source_pixels).to_json()
+        result_to_json(&artifact.result, artifact.source_pixels).to_json()
     };
     metrics.stage(Stage::Serialize).record(stage_start.elapsed());
     (200, body)
@@ -1166,18 +1194,15 @@ fn evaluate_batch_item(
     }
     let workload = req.workload();
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let bundle = shared.cache.bundle(req.model, req.dataset, req.sample, &workload);
-        let result =
-            shared.cache.evaluate(req.model, req.dataset, req.sample, &workload, &req.eval_options());
-        (result, bundle.source_pixels)
+        shared.cache.evaluate_keyed(req.model, req.dataset, req.sample, &workload, &req.eval_options())
     }));
     match run {
         Err(_) => item_error(500, "evaluation failed"),
-        Ok((result, source_pixels)) => (
+        Ok(artifact) => (
             200,
             JsonValue::object(vec![
                 ("status", 200u64.into()),
-                ("result", result_to_json(&result, source_pixels)),
+                ("result", result_to_json(&artifact.result, artifact.source_pixels)),
             ]),
         ),
     }

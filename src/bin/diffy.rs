@@ -56,6 +56,7 @@ fn main() -> ExitCode {
         "report" => cmd_report(rest),
         "experiments" => cmd_experiments(),
         "serve" => cmd_serve(rest),
+        "precompute" => cmd_precompute(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -97,6 +98,8 @@ commands:
   report            Markdown workload report (--res, --seed apply)
   experiments       map of paper tables/figures to bench targets
   serve             run the evaluation service (POST /evaluate, GET /metrics)
+  precompute        materialize evaluation artifacts for a grid of requests
+                    into --out DIR (resumable: existing artifacts are skipped)
 
 options:
   --res N           trace resolution (default 64)
@@ -123,8 +126,23 @@ serve options:
   --session-idle-ms N
                     expire a streaming session with no frame request for
                     N ms, >= 1 (default 60000)
+  --artifact-dir DIR
+                    attach DIR as the cache's disk tier: requests read
+                    through precomputed artifacts and write results back;
+                    a non-writable DIR fails startup
+  --warmup          with --artifact-dir, load every valid artifact into
+                    memory before serving (hot keys are sub-ms immediately)
   --trace-out FILE  also serves the live capture at GET /trace; the file is
                     written when the server drains
+
+precompute options:
+  --out DIR         artifact directory to fill (required; created if absent)
+  --models LIST     comma-separated models, or `all` (default all)
+  --datasets LIST   comma-separated datasets (default: each model's own set)
+  --archs LIST      comma-separated architectures (default Diffy)
+  --schemes LIST    comma-separated schemes (default DeltaD16)
+  --samples N       sample indices 0..N per dataset (default 1)
+  --res/--seed/--memory/--jobs as above; defaults match the serve protocol's
 
 models: DnCNN, FFDNet, IRCNN, JointNet, VDSR";
 
@@ -405,6 +423,11 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
             .filter(|&n: &u64| n >= 1)
             .ok_or_else(|| format!("bad --session-idle-ms {v} (want an integer >= 1)"))?;
     }
+    config.artifact_dir = parse_flag(rest, "--artifact-dir")?;
+    config.warmup = rest.iter().any(|a| a == "--warmup");
+    if config.warmup && config.artifact_dir.is_none() {
+        return Err("--warmup requires --artifact-dir".to_string());
+    }
     config.trace_capture = parse_flag(rest, "--trace-out")?.is_some();
     let server = diffy::serve::Server::bind(config).map_err(|e| format!("bind failed: {e}"))?;
     println!("diffy-serve listening on http://{}", server.local_addr());
@@ -412,6 +435,128 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
         "POST /evaluate | POST /evaluate/batch | POST /session | POST /session/{{id}}/frame | DELETE /session/{{id}} | GET /metrics | GET /trace | GET /healthz | POST /shutdown"
     );
     server.run().map_err(|e| format!("server failed: {e}"))
+}
+
+/// Splits a comma-separated list flag, resolving each name through
+/// `lookup`; `None` means the flag was absent.
+fn parse_list<T>(
+    rest: &[String],
+    flag: &str,
+    lookup: impl Fn(&str) -> Result<T, String>,
+) -> Result<Option<Vec<T>>, String> {
+    match parse_flag(rest, flag)? {
+        None => Ok(None),
+        Some(list) => list
+            .split(',')
+            .map(|name| lookup(name.trim()))
+            .collect::<Result<Vec<T>, String>>()
+            .map(Some),
+    }
+}
+
+fn cmd_precompute(rest: &[String]) -> Result<(), String> {
+    use diffy::core::artifact::DiskTier;
+    use diffy::core::runner::datasets_for;
+
+    let out = parse_flag(rest, "--out")?.ok_or("precompute requires --out DIR")?;
+    let jobs = parse_jobs(rest)?;
+    let opts = parse_opts(rest)?;
+    let memory = parse_memory(rest)?;
+    let samples: usize = match parse_flag(rest, "--samples")? {
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|&n: &usize| n >= 1)
+            .ok_or_else(|| format!("bad --samples {v} (want an integer >= 1)"))?,
+        None => 1,
+    };
+    let models = match parse_flag(rest, "--models")?.as_deref() {
+        None | Some("all") => CiModel::ALL.to_vec(),
+        Some(_) => parse_list(rest, "--models", |name| {
+            CiModel::ALL
+                .into_iter()
+                .find(|m| m.name().eq_ignore_ascii_case(name))
+                .ok_or_else(|| format!("unknown model `{name}`"))
+        })?
+        .expect("flag present"),
+    };
+    let datasets = parse_list(rest, "--datasets", |name| {
+        DatasetId::ALL
+            .into_iter()
+            .find(|d| d.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| format!("unknown dataset `{name}`"))
+    })?;
+    let archs = parse_list(rest, "--archs", |name| {
+        [Architecture::Vaa, Architecture::Pra, Architecture::Diffy, Architecture::Scnn]
+            .into_iter()
+            .find(|a| a.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| format!("unknown arch `{name}` (VAA/PRA/Diffy/SCNN)"))
+    })?
+    .unwrap_or_else(|| vec![Architecture::Diffy]);
+    let schemes = parse_list(rest, "--schemes", |name| {
+        parse_scheme(&["--scheme".to_string(), name.to_string()])
+    })?
+    .unwrap_or_else(|| vec![SchemeChoice::Scheme(StorageScheme::delta_d(16))]);
+
+    // Enumerate the grid; resumability = skip keys whose artifact file
+    // already exists (`contains` is an existence probe — a corrupt file
+    // still heals on its first serve-side read-through).
+    let tier = DiskTier::open(&out)
+        .map_err(|e| format!("artifact dir `{out}` is not usable: {e}"))?;
+    let mut points = Vec::new();
+    let mut skipped = 0usize;
+    for &model in &models {
+        let model_datasets = match &datasets {
+            Some(list) => list.clone(),
+            None => datasets_for(model),
+        };
+        for dataset in model_datasets {
+            for sample in 0..samples.min(dataset.samples()) {
+                for &arch in &archs {
+                    for &scheme in &schemes {
+                        let eval = EvalOptions {
+                            arch,
+                            cfg: AcceleratorConfig::table4(),
+                            scheme,
+                            memory,
+                        };
+                        let key = diffy::core::artifact::result_key(
+                            model, dataset, sample, &opts, &eval,
+                        );
+                        if tier.contains(&key) {
+                            skipped += 1;
+                        } else {
+                            points.push((model, dataset, sample, eval));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // One shared cache + tier for the whole run: points sharing a trace
+    // build it once, and every computed result is written through
+    // atomically (safe alongside a live `serve` on the same directory).
+    let cache = SweepCache::new().with_disk(tier);
+    let todo = points.len();
+    let tasks: Vec<_> = points
+        .into_iter()
+        .map(|(model, dataset, sample, eval)| {
+            let cache = &cache;
+            let opts = &opts;
+            move || {
+                cache.evaluate_keyed(model, dataset, sample, opts, &eval);
+            }
+        })
+        .collect();
+    diffy::core::parallel::run_jobs(tasks, jobs);
+
+    let disk = cache.disk().expect("tier attached above").stats();
+    println!(
+        "precompute: {todo} computed, {skipped} already on disk, {} bytes written -> {out}",
+        disk.bytes
+    );
+    Ok(())
 }
 
 fn cmd_experiments() -> Result<(), String> {
