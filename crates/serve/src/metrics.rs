@@ -204,6 +204,23 @@ pub struct Metrics {
     pub batch_items_total: AtomicU64,
     /// Connections turned away because the admission queue was full.
     pub queue_rejected_total: AtomicU64,
+    /// Times the event loop returned from its readiness wait (epoll
+    /// wakeups). With N idle parked connections this grows with *events
+    /// and ticks*, not with N — the sweep-free claim `tests/serve_epoll.rs`
+    /// asserts.
+    pub poller_wakeups_total: AtomicU64,
+    /// Parked keep-alive connections currently owned by the event loop
+    /// (gauge).
+    pub poller_parked: AtomicU64,
+    /// Parked connections moved to the admission queue because their
+    /// next request's bytes arrived.
+    pub poller_unparked_total: AtomicU64,
+    /// Parked connections retired because their idle window expired with
+    /// no request bytes (quiet closes — no attempt was pending).
+    pub poller_expired_total: AtomicU64,
+    /// Connections the parking lot refused (full or closed); retired
+    /// quietly, before any next attempt existed.
+    pub poller_park_refused_total: AtomicU64,
     /// Requests (or batch items) whose deadline expired before
     /// completion.
     pub deadline_expired_total: AtomicU64,
@@ -229,6 +246,11 @@ impl Metrics {
             idle_closed_total: AtomicU64::new(0),
             batch_items_total: AtomicU64::new(0),
             queue_rejected_total: AtomicU64::new(0),
+            poller_wakeups_total: AtomicU64::new(0),
+            poller_parked: AtomicU64::new(0),
+            poller_unparked_total: AtomicU64::new(0),
+            poller_expired_total: AtomicU64::new(0),
+            poller_park_refused_total: AtomicU64::new(0),
             deadline_expired_total: AtomicU64::new(0),
             responses: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: LatencyHistogram::new(),
@@ -338,6 +360,16 @@ impl Metrics {
             ("queue_depth", queue_depth.into()),
             ("queue_capacity", queue_capacity.into()),
             ("queue_rejected_total", self.queue_rejected_total.load(Ordering::Relaxed).into()),
+            (
+                "poller",
+                JsonValue::object(vec![
+                    ("wakeups", self.poller_wakeups_total.load(Ordering::Relaxed).into()),
+                    ("parked", self.poller_parked.load(Ordering::Relaxed).into()),
+                    ("unparked", self.poller_unparked_total.load(Ordering::Relaxed).into()),
+                    ("expired", self.poller_expired_total.load(Ordering::Relaxed).into()),
+                    ("park_refused", self.poller_park_refused_total.load(Ordering::Relaxed).into()),
+                ]),
+            ),
             ("deadline_expired_total", self.deadline_expired_total.load(Ordering::Relaxed).into()),
             ("responses", JsonValue::Object(responses)),
             (
@@ -399,6 +431,21 @@ impl Default for Metrics {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Renders a sharded deployment's `/metrics` body: the router's own
+/// forwarding counters plus every instance's scraped snapshot, so one
+/// scrape of the router shows the whole fleet. `routed[i]` counts
+/// requests forwarded to shard `i`; `instances[i]` is shard `i`'s own
+/// `/metrics` JSON (or `null` when a scrape failed — visible, not
+/// silently dropped).
+pub fn shards_to_json(routed: &[u64], route_errors: u64, instances: Vec<JsonValue>) -> JsonValue {
+    JsonValue::object(vec![
+        ("count", routed.len().into()),
+        ("routed", JsonValue::Array(routed.iter().map(|&n| n.into()).collect())),
+        ("route_errors", route_errors.into()),
+        ("instances", JsonValue::Array(instances)),
+    ])
 }
 
 #[cfg(test)]
@@ -539,6 +586,38 @@ mod tests {
         assert_eq!(conns.get("aborted").unwrap().as_u64(), Some(1));
         assert_eq!(conns.get("idle_closed").unwrap().as_u64(), Some(1));
         assert_eq!(v.get("batch_items_total").unwrap().as_u64(), Some(0));
+        assert!(diffy_core::json::parse(&v.to_json()).is_ok());
+    }
+
+    #[test]
+    fn poller_block_renders_event_loop_counters() {
+        let m = Metrics::new();
+        m.poller_wakeups_total.fetch_add(12, Ordering::Relaxed);
+        m.poller_parked.store(3, Ordering::Relaxed);
+        m.poller_unparked_total.fetch_add(2, Ordering::Relaxed);
+        m.poller_expired_total.fetch_add(1, Ordering::Relaxed);
+        let v = m.to_json(0, 8, CacheStats::default(), SessionStats::default());
+        let p = v.get("poller").unwrap();
+        assert_eq!(p.get("wakeups").unwrap().as_u64(), Some(12));
+        assert_eq!(p.get("parked").unwrap().as_u64(), Some(3));
+        assert_eq!(p.get("unparked").unwrap().as_u64(), Some(2));
+        assert_eq!(p.get("expired").unwrap().as_u64(), Some(1));
+        assert_eq!(p.get("park_refused").unwrap().as_u64(), Some(0));
+        assert!(diffy_core::json::parse(&v.to_json()).is_ok());
+    }
+
+    #[test]
+    fn shards_block_carries_per_shard_routing_and_snapshots() {
+        let inst = Metrics::new().to_json(0, 8, CacheStats::default(), SessionStats::default());
+        let v = shards_to_json(&[5, 3], 1, vec![inst, JsonValue::Null]);
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("route_errors").unwrap().as_u64(), Some(1));
+        let routed = v.get("routed").unwrap().as_array().unwrap();
+        assert_eq!(routed[0].as_u64(), Some(5));
+        assert_eq!(routed[1].as_u64(), Some(3));
+        let instances = v.get("instances").unwrap().as_array().unwrap();
+        assert!(instances[0].get("poller").is_some());
+        assert!(matches!(instances[1], JsonValue::Null));
         assert!(diffy_core::json::parse(&v.to_json()).is_ok());
     }
 

@@ -4,15 +4,19 @@
 //!
 //! # Threading model
 //!
-//! `Server::run` launches one acceptor, one parker (sweeping idle
-//! keep-alive connections), plus `workers` evaluation workers as jobs on
-//! `diffy_core::parallel::run_jobs` — the same scoped-thread pool the
-//! sweeps use, here with one long-lived loop per slot. The acceptor
-//! polls a non-blocking listener, counts the connection, and tries to
-//! enqueue it; workers block on the queue's condvar and drain it until
-//! shutdown. There is no per-request thread spawn and no unbounded
-//! buffering anywhere: memory and concurrency are fixed at startup
-//! (batch fan-out draws on a fixed server-wide permit pool).
+//! `Server::run` launches one *event loop* plus `workers` evaluation
+//! workers as jobs on `diffy_core::parallel::run_jobs` — the same
+//! scoped-thread pool the sweeps use, here with one long-lived loop per
+//! slot. The event loop blocks on an epoll [`Poller`] that owns the
+//! listener and every parked keep-alive socket: it accepts and enqueues
+//! new connections when the listener is ready, and moves a parked
+//! connection to the queue the moment its next request's first byte
+//! arrives — no accept polling, no per-socket sweeps. Workers block on
+//! the queue's condvar and drain it until shutdown; every connection a
+//! worker dequeues is read-ready (or imminently so). There is no
+//! per-request thread spawn and no unbounded buffering anywhere: memory
+//! and concurrency are fixed at startup (batch fan-out draws on a fixed
+//! server-wide permit pool).
 //!
 //! # Keep-alive
 //!
@@ -22,12 +26,14 @@
 //! is *re-enqueued* through the same bounded queue new connections use —
 //! a chatty client waits its turn behind everyone else instead of
 //! monopolizing a worker. A connection with no request bytes yet is
-//! *parked* in a separate bounded lot, outside the admission queue: a
-//! dedicated parker thread polls parked sockets non-blockingly, moves
-//! one back into the queue the moment its next request's first byte
-//! arrives, and closes it once its idle window (`idle_timeout_ms`)
-//! passes. Idle clients therefore never pin a worker, never occupy an
-//! admission slot, and cost no per-connection worker churn; every
+//! *parked* in a separate bounded lot, outside the admission queue: the
+//! worker makes the socket non-blocking, hands it to the event loop
+//! (via the lot inbox plus a poller wake), and the event loop registers
+//! it with epoll. From then on the connection costs nothing until its
+//! readiness event fires — ten thousand idle clients hold zero worker
+//! threads and generate zero periodic syscalls (asserted in
+//! `tests/serve_epoll.rs`). The event loop closes a parked connection
+//! once its idle window (`idle_timeout_ms`) passes, and every
 //! connection is closed after `max_requests_per_conn` responses.
 //!
 //! # Backpressure
@@ -55,7 +61,14 @@
 //! Every admitted request attempt ends as exactly one response, one
 //! abort (connection died mid-request) or one idle close (peer finished
 //! a keep-alive conversation) — `/metrics` conservation is exact, not
-//! best-effort, and `tests/serve_keepalive.rs` asserts it.
+//! best-effort, and `tests/serve_keepalive.rs` asserts it. An attempt is
+//! counted when there is evidence a request exists: at accept for a
+//! connection's first request, and at its next request's *byte arrival*
+//! for keep-alive reuses. A parked connection that idles out or whose
+//! peer hangs up between requests therefore closes *quietly* — no
+//! attempt was pending, so nothing is recorded against the conservation
+//! law (the retirement is visible in the `poller` metrics block
+//! instead).
 //!
 //! # Determinism
 //!
@@ -72,6 +85,7 @@ use crate::http::{
     MAX_BODY_BYTES,
 };
 use crate::metrics::{CloseReason, Metrics, Stage};
+use crate::poller::{self, Poller, FIRST_CONN_TOKEN, LISTENER_TOKEN};
 use crate::protocol::{error_body, result_to_json, BatchRequest, EvalRequest};
 use crate::session::{self, SessionStore};
 use diffy_core::json::{parse as parse_json, JsonValue};
@@ -79,29 +93,57 @@ use diffy_core::artifact::DiskTier;
 use diffy_core::parallel::{run_jobs, Jobs};
 use diffy_core::runner::SweepCache;
 use diffy_core::trace;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::io::{self, BufReader};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// How often the parker sweeps parked keep-alive connections: each sweep
-/// is one non-blocking `peek` per parked socket, so an actively
-/// resuming client is picked up within a few milliseconds while idle
-/// connections cost a handful of syscalls per sweep — not a continuous
-/// pop/peek/re-push cycle through the admission queue.
-const PARK_SWEEP: Duration = Duration::from_millis(5);
+/// Baseline readiness-wait timeout of the event loop. Readiness events
+/// interrupt it immediately; the tick only bounds how stale the session
+/// sweep and the drain check can get, so it can be far coarser than the
+/// old 5 ms peek sweep.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// Readiness-wait clamp while unparked connections are stranded by a
+/// full admission queue: retry their hand-off on this cadence instead of
+/// waiting out a whole tick.
+const JAM_RETRY: Duration = Duration::from_millis(2);
+
+/// Most connections accepted per listener readiness event before the
+/// event loop services other work; the level-triggered listener is
+/// simply reported ready again on the next wait.
+const ACCEPT_BURST: usize = 256;
+
+/// Pause after `accept` fails with EMFILE/ENFILE: the listener stays
+/// level-triggered-ready while a connection is pending, so without a
+/// backoff the event loop would spin hot on failing accepts until a
+/// descriptor frees up.
+const ACCEPT_FD_BACKOFF: Duration = Duration::from_millis(10);
+
+/// `errno` values for process/system descriptor exhaustion (POSIX
+/// values, identical on Linux and the BSDs).
+const ENFILE: i32 = 23;
+const EMFILE: i32 = 24;
 
 /// Parked-connection capacity per admission-queue slot (floored at
-/// [`MIN_PARKED_CAP`]): idle keep-alive connections wait in the lot, so
-/// this — not `queue_depth` — bounds how many idle clients the server
-/// keeps open.
+/// [`MIN_PARKED_CAP`]) for the *inbox* — the bounded worker-to-event-loop
+/// hand-off. The inbox only holds connections for the instants between a
+/// worker's park and the loop's next absorb pass, so queue-proportional
+/// capacity is plenty.
 const PARKED_PER_QUEUE_SLOT: usize = 8;
 
-/// Minimum parking-lot capacity, so tiny-queue configurations still hold
-/// a sensible number of idle keep-alive clients.
+/// Minimum parking-inbox capacity, so tiny-queue configurations still
+/// absorb park bursts without refusals.
 const MIN_PARKED_CAP: usize = 64;
+
+/// Bound on the event loop's watch set — the idle keep-alive connections
+/// held open concurrently. Watched sockets cost one fd and one epoll
+/// registration each (no threads, no sweeps), so the bound is fd budget,
+/// not queue geometry: 16k idle clients per instance, then refusals.
+const MAX_WATCHED: usize = 16_384;
 
 /// Wall-clock budget of a lingering close on a worker thread. The byte
 /// cap alone is no bound in time: a peer trickling one byte per
@@ -284,11 +326,13 @@ struct ParkedConn {
     idle_deadline: Instant,
 }
 
-/// The bounded lot of parked keep-alive connections. Parked sockets are
-/// non-blocking; only the parker thread touches them, with one `peek`
-/// per sweep. Keeping them here — not in the admission queue — means
-/// `queue_depth` idle clients cannot starve fresh connections into 503s,
-/// and workers never burn cycles cycling idle connections.
+/// The bounded inbox of parked keep-alive connections, on their way
+/// from a worker to the event loop. Parked sockets are non-blocking; a
+/// worker pushes here and wakes the poller, and the event loop drains
+/// the inbox and registers each socket with epoll. Keeping idle
+/// connections here — not in the admission queue — means `queue_depth`
+/// idle clients cannot starve fresh connections into 503s, and workers
+/// never burn cycles cycling idle connections.
 struct ParkingLot {
     state: Mutex<LotState>,
     capacity: usize,
@@ -371,11 +415,14 @@ impl Drop for PermitGuard<'_> {
     }
 }
 
-/// State shared between the acceptor, the parker, the workers and
+/// State shared between the event loop, the workers and
 /// [`ServerHandle`]s.
 struct Shared {
     queue: ConnQueue,
     parked: ParkingLot,
+    /// Readiness notification: the event loop waits on it; workers wake
+    /// it when they park a connection into the lot inbox.
+    poller: Poller,
     batch_fan: FanPermits,
     metrics: Metrics,
     cache: SweepCache,
@@ -475,6 +522,9 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: ConnQueue::new(config.queue_depth),
             parked: ParkingLot::new(parked_cap),
+            poller: Poller::new().map_err(|e| {
+                io::Error::new(e.kind(), format!("readiness poller setup failed: {e}"))
+            })?,
             batch_fan: FanPermits::new(config.workers.get().saturating_sub(1)),
             metrics: Metrics::new(),
             cache,
@@ -504,9 +554,9 @@ impl Server {
         &self.shared.config
     }
 
-    /// Serves until graceful drain completes: acceptor + parker +
-    /// workers run as one scoped-thread pool; on shutdown the acceptor
-    /// stops admitting, queued requests are still answered, parked
+    /// Serves until graceful drain completes: the event loop + workers
+    /// run as one scoped-thread pool; on shutdown the event loop stops
+    /// admitting, queued requests are still answered, parked
     /// connections are retired, then all threads join.
     pub fn run(self) -> io::Result<()> {
         if self.shared.config.handle_signals {
@@ -516,27 +566,112 @@ impl Server {
             trace::Collector::global().start();
         }
         self.listener.set_nonblocking(true)?;
+        self.shared.poller.register_listener(&self.listener, LISTENER_TOKEN)?;
         let workers = self.shared.config.workers.get();
         let shared = &self.shared;
         let listener = &self.listener;
 
-        let mut jobs: Vec<Box<dyn FnOnce() + Send>> = Vec::with_capacity(workers + 2);
-        jobs.push(Box::new(move || accept_loop(shared, listener)));
-        jobs.push(Box::new(move || parker_loop(shared)));
+        let mut jobs: Vec<Box<dyn FnOnce() + Send>> = Vec::with_capacity(workers + 1);
+        jobs.push(Box::new(move || event_loop(shared, listener)));
         for _ in 0..workers {
             jobs.push(Box::new(move || worker_loop(shared)));
         }
-        run_jobs(jobs, Jobs::new(workers + 2));
+        run_jobs(jobs, Jobs::new(workers + 1));
         Ok(())
     }
 }
 
-/// Accepts connections until drain, enqueueing or shedding each, then
-/// closes the queue so workers finish the backlog and exit.
-fn accept_loop(shared: &Shared, listener: &TcpListener) {
-    loop {
-        if shared.draining() {
+/// The event loop's mutable state: every parked socket it watches, the
+/// idle-deadline order over them, connections stranded by a full queue,
+/// and the token source.
+struct LoopState {
+    /// Parked connections by poller token.
+    watched: HashMap<u64, ParkedConn>,
+    /// Idle deadlines, soonest first. Entries whose token has already
+    /// been unparked are stale and skipped (the map is authoritative).
+    expiry: BinaryHeap<Reverse<(Instant, u64)>>,
+    /// Read-ready connections a full admission queue refused: their
+    /// next attempt is already counted, they stay *non-blocking*, and
+    /// the loop retries the hand-off on the [`JAM_RETRY`] cadence.
+    jammed: VecDeque<ParkedConn>,
+    next_token: u64,
+}
+
+/// The event-driven core: one thread blocking on the poller, owning the
+/// listener and every parked keep-alive socket. Accepts are admitted or
+/// shed; parked sockets are unparked the instant their next request's
+/// bytes arrive and retired when their idle window passes. On drain it
+/// retires everything and closes the queue so workers finish the
+/// backlog and exit.
+fn event_loop(shared: &Shared, listener: &TcpListener) {
+    let mut state = LoopState {
+        watched: HashMap::new(),
+        expiry: BinaryHeap::new(),
+        jammed: VecDeque::new(),
+        next_token: FIRST_CONN_TOKEN,
+    };
+    let mut ready: Vec<u64> = Vec::new();
+    while !shared.draining() {
+        let timeout = wait_timeout(&state);
+        if shared.poller.wait(&mut ready, timeout).is_err() {
+            // A broken poller cannot be recovered mid-flight; drain.
+            shared.shutdown.store(true, Ordering::SeqCst);
             break;
+        }
+        shared.metrics.poller_wakeups_total.fetch_add(1, Ordering::Relaxed);
+        for &token in &ready {
+            match token {
+                LISTENER_TOKEN => accept_ready(shared, listener),
+                token => unpark_ready(shared, &mut state, token),
+            }
+        }
+        absorb_inbox(shared, &mut state);
+        expire_idle(shared, &mut state);
+        retry_jammed(shared, &mut state);
+        let expired = shared.sessions.sweep(Instant::now());
+        if expired > 0 {
+            trace::instant("sessions_expired", || vec![("count", (expired as u64).into())]);
+        }
+        shared.metrics.poller_parked.store(state.watched.len() as u64, Ordering::Relaxed);
+    }
+    // Drain: closing the lot refuses late parkers under the lot's own
+    // lock, so no connection can slip in behind this retirement and
+    // leak. Parked connections carry no pending attempt — quiet closes;
+    // jammed ones do — their stranded attempts end as idle closes.
+    for p in shared.parked.close() {
+        close_conn_quiet(shared, p.conn);
+    }
+    for (_, p) in state.watched.drain() {
+        let _ = shared.poller.deregister(&p.conn.writer);
+        close_conn_quiet(shared, p.conn);
+    }
+    for p in state.jammed {
+        close_conn(shared, p.conn, Some(CloseReason::Idle));
+    }
+    shared.metrics.poller_parked.store(0, Ordering::Relaxed);
+    shared.queue.close();
+}
+
+/// How long the event loop may block: the baseline tick, cut to the
+/// next idle expiry, or the jam-retry cadence while hand-offs are
+/// pending.
+fn wait_timeout(state: &LoopState) -> Duration {
+    let mut timeout = POLL_TICK;
+    if let Some(Reverse((due, _))) = state.expiry.peek() {
+        timeout = timeout.min(due.saturating_duration_since(Instant::now()));
+    }
+    if !state.jammed.is_empty() {
+        timeout = timeout.min(JAM_RETRY);
+    }
+    timeout
+}
+
+/// Services a listener readiness event: accepts (bounded by
+/// [`ACCEPT_BURST`]), counts, and enqueues or sheds each connection.
+fn accept_ready(shared: &Shared, listener: &TcpListener) {
+    for _ in 0..ACCEPT_BURST {
+        if shared.draining() {
+            return;
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -571,21 +706,156 @@ fn accept_loop(shared: &Shared, listener: &TcpListener) {
                     m.queue_rejected_total.fetch_add(1, Ordering::Relaxed);
                     trace::instant("queue_shed", || vec![("req", req_id.into())]);
                     respond(shared, &mut rejected, 503, &error_body("queue full"), false);
-                    // Shortened linger: this is the sole accept thread,
-                    // and a shed storm must not stall every new accept.
+                    // Shortened linger: this is the event-loop thread,
+                    // and a shed storm must not stall accepts or parked
+                    // readiness.
                     close_conn_within(shared, rejected, None, SHED_LINGER_BUDGET);
                 }
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // Descriptor exhaustion (EMFILE/ENFILE): accepting is
+            // impossible until something closes, but the pending
+            // connection keeps the level-triggered listener readable —
+            // without a pause the event loop would spin hot on failing
+            // accepts. Back off a beat; retirements free descriptors.
+            Err(e) if matches!(e.raw_os_error(), Some(EMFILE) | Some(ENFILE)) => {
+                std::thread::sleep(ACCEPT_FD_BACKOFF);
+                return;
+            }
             // Transient accept failures (e.g. the peer reset before the
-            // handshake finished) should not kill the server.
-            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            // handshake finished) should not kill the server; the
+            // level-triggered listener will report again if more wait.
+            Err(_) => return,
         }
     }
-    shared.queue.close();
+}
+
+/// Moves connections a worker just parked from the lot inbox into the
+/// poller's watch set. [`MAX_WATCHED`] bounds the watch set (the inbox
+/// itself is drained every pass): past it, parked connections are
+/// refused and retired quietly, exactly as a full lot refused them
+/// pre-epoll.
+fn absorb_inbox(shared: &Shared, state: &mut LoopState) {
+    for p in shared.parked.take_all() {
+        if state.watched.len() >= MAX_WATCHED {
+            shared.metrics.poller_park_refused_total.fetch_add(1, Ordering::Relaxed);
+            close_conn_quiet(shared, p.conn);
+            continue;
+        }
+        let token = state.next_token;
+        state.next_token += 1;
+        match shared.poller.register(&p.conn.writer, token) {
+            Ok(()) => {
+                state.expiry.push(Reverse((p.idle_deadline, token)));
+                state.watched.insert(token, p);
+            }
+            // A socket that cannot be watched cannot be resumed; no
+            // attempt is pending, so it retires quietly.
+            Err(_) => close_conn_quiet(shared, p.conn),
+        }
+    }
+}
+
+/// Services a readiness event on a parked connection: EOF retires it
+/// quietly (the peer finished the conversation; no attempt was
+/// pending), bytes begin its next counted attempt and hand it to the
+/// admission queue.
+fn unpark_ready(shared: &Shared, state: &mut LoopState, token: u64) {
+    // Tokens can go stale (unparked by an earlier event this round, or
+    // expired): the watch map is authoritative.
+    let Some(mut p) = state.watched.remove(&token) else { return };
+    let _ = shared.poller.deregister(&p.conn.writer);
+    let mut probe = [0u8; 1];
+    match p.conn.writer.peek(&mut probe) {
+        Ok(0) => close_conn_quiet(shared, p.conn),
+        Ok(_) => {
+            begin_next_attempt(shared, &mut p.conn);
+            enqueue_unparked(shared, state, p);
+        }
+        Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted) => {
+            // Spurious readiness: re-watch under the same deadline.
+            match shared.poller.register(&p.conn.writer, token) {
+                Ok(()) => {
+                    state.expiry.push(Reverse((p.idle_deadline, token)));
+                    state.watched.insert(token, p);
+                }
+                Err(_) => close_conn_quiet(shared, p.conn),
+            }
+        }
+        Err(_) => close_conn_quiet(shared, p.conn),
+    }
+}
+
+/// Hands an unparked connection (attempt already counted) to the
+/// admission queue. The socket is made blocking only when the queue
+/// actually takes it; when the queue is full it *stays non-blocking*
+/// and waits on the jam list — the pre-epoll parker flipped it to
+/// blocking before the push and re-parked it that way on failure,
+/// leaving a socket whose next sweep `peek` could stall the parker
+/// thread for its stale read timeout.
+fn enqueue_unparked(shared: &Shared, state: &mut LoopState, p: ParkedConn) {
+    let ParkedConn { conn, idle_deadline } = p;
+    if conn.writer.set_nonblocking(false).is_err() {
+        return close_conn(shared, conn, Some(CloseReason::Aborted));
+    }
+    match shared.queue.try_push(conn) {
+        Ok(()) => {
+            shared.metrics.poller_unparked_total.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(conn) => {
+            if conn.writer.set_nonblocking(true).is_err() {
+                return close_conn(shared, conn, Some(CloseReason::Aborted));
+            }
+            state.jammed.push_back(ParkedConn { conn, idle_deadline });
+        }
+    }
+}
+
+/// Retires watched connections whose idle window has passed. No attempt
+/// is pending on a parked connection, so these are quiet closes,
+/// surfaced via `poller.expired` instead of the request ledger.
+fn expire_idle(shared: &Shared, state: &mut LoopState) {
+    let now = Instant::now();
+    while let Some(Reverse((due, token))) = state.expiry.peek().copied() {
+        if due > now {
+            break;
+        }
+        state.expiry.pop();
+        // Already unparked or retired → stale entry, skip.
+        if let Some(p) = state.watched.remove(&token) {
+            let _ = shared.poller.deregister(&p.conn.writer);
+            shared.metrics.poller_expired_total.fetch_add(1, Ordering::Relaxed);
+            close_conn_quiet(shared, p.conn);
+        }
+    }
+}
+
+/// Retries the queue hand-off for jam-stranded connections; ones whose
+/// idle window passed while stranded close with their counted attempt
+/// recorded as an idle close (the bound on how long a jam can strand
+/// them).
+fn retry_jammed(shared: &Shared, state: &mut LoopState) {
+    let now = Instant::now();
+    for p in std::mem::take(&mut state.jammed) {
+        if p.idle_deadline <= now {
+            close_conn(shared, p.conn, Some(CloseReason::Idle));
+        } else {
+            enqueue_unparked(shared, state, p);
+        }
+    }
+}
+
+/// Counts and ids a keep-alive connection's next request attempt. Called
+/// only once the attempt's existence is evidenced by buffered or
+/// arrived bytes — a dead or silent connection never counts a reuse.
+fn begin_next_attempt(shared: &Shared, conn: &mut QueuedConn) {
+    shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.keepalive_reuses_total.fetch_add(1, Ordering::Relaxed);
+    conn.req_id = shared.req_seq.fetch_add(1, Ordering::Relaxed) + 1;
+    // Anchor at the bytes' arrival: deadlines and queue-wait measure
+    // this request, not the client's think time.
+    conn.anchor = Instant::now();
 }
 
 /// Drains the queue until it is closed and empty.
@@ -638,12 +908,23 @@ fn close_conn_within(
     if conn.served == 0 || unanswered.is_some() {
         return; // nothing was answered; nothing to protect with a linger
     }
+    // The socket may arrive here still in non-blocking mode (a parked
+    // connection the lot refused, a jam-stranded one): restore blocking
+    // so the drain reads below honor their timeouts. Treating the
+    // resulting `WouldBlock` as a fatal error instead used to skip the
+    // linger entirely — an immediate close whose RST could eat the very
+    // response the linger exists to protect.
+    if conn.writer.set_nonblocking(false).is_err() {
+        return;
+    }
     let _ = conn.writer.shutdown(Shutdown::Write);
     let linger_deadline = Instant::now() + linger;
     let mut scratch = [0u8; 4096];
     let mut drained = 0usize;
     // Stop at the peer's close, an error, one body's worth, or the
-    // linger budget — whichever comes first.
+    // linger budget — whichever comes first. A timed-out read is not an
+    // error: it spends its slice of the budget and the loop head decides
+    // whether any remains.
     while drained <= MAX_BODY_BYTES {
         let remaining = linger_deadline.saturating_duration_since(Instant::now());
         if remaining.is_zero() {
@@ -651,127 +932,106 @@ fn close_conn_within(
         }
         let _ = conn.writer.set_read_timeout(Some(remaining.min(Duration::from_millis(500))));
         match io::Read::read(&mut conn.writer, &mut scratch) {
-            Ok(0) | Err(_) => break,
+            Ok(0) => break,
             Ok(n) => drained += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => break,
         }
     }
 }
 
-/// Hands a connection its next request attempt (counted, id'd) after a
-/// keep-alive response, then either re-enqueues it — its next request is
-/// already buffered or arrives within [`PARK_GRACE`], so it waits its
-/// turn behind every other queued connection — or parks it in the lot
-/// until its next request's first byte arrives. A full (or closed)
-/// queue or lot ends the conversation instead — bounded state beats
-/// unbounded politeness.
+/// Retires a connection with *no* request attempt pending: the peer went
+/// silent or hung up between requests, after its last response was
+/// answered. Nothing is recorded against the request ledger (no attempt
+/// was counted for it), and there is no linger — the quiet paths are
+/// reached only when a peek found silence or EOF, so no unread bytes
+/// can trigger an RST that would eat a response.
+fn close_conn_quiet(shared: &Shared, conn: QueuedConn) {
+    shared.metrics.connections_open.fetch_sub(1, Ordering::Relaxed);
+    shared.metrics.requests_per_conn_max.fetch_max(u64::from(conn.served), Ordering::Relaxed);
+}
+
+/// Disposes of a connection after a keep-alive response: a connection
+/// whose next request is already buffered or arrives within
+/// [`PARK_GRACE`] begins its next *counted* attempt and re-enters the
+/// admission queue — it waits its turn behind every other queued
+/// connection — while a silent one is parked (non-blocking) with the
+/// event loop until its next request's first byte arrives. The next
+/// attempt is counted only once its bytes exist: a connection that
+/// turns out dead here never inflates `keepalive_reuses_total` with a
+/// reuse that carried no request, and a parked retirement stays off the
+/// request ledger entirely. A full (or closed) queue or lot ends the
+/// conversation instead — bounded state beats unbounded politeness.
 fn requeue_or_park(shared: &Shared, mut conn: QueuedConn) {
-    shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-    shared.metrics.keepalive_reuses_total.fetch_add(1, Ordering::Relaxed);
-    conn.req_id = shared.req_seq.fetch_add(1, Ordering::Relaxed) + 1;
-    conn.anchor = Instant::now();
     if conn.reader.buffer().is_empty() {
         // A closed-loop client's next request lands within a round-trip:
-        // one short peek catches it and keeps the connection on the hot
-        // path. Silence past the grace parks it — this is the only peek
-        // an idle connection ever costs a worker.
+        // one short readiness wait catches it and keeps the connection
+        // on the hot path. Silence past the grace parks it — this is the
+        // only wait an idle connection ever costs a worker. The wait is
+        // `poll(2)`, not a blocking peek under `SO_RCVTIMEO`: socket
+        // timeouts round up to kernel timer ticks (~8 ms for a 2 ms
+        // grace), which would cap one worker at ~125 parks/s.
+        let quiet = match poller::wait_readable(&conn.writer, PARK_GRACE) {
+            Ok(ready) => !ready,
+            Err(_) => return close_conn_quiet(shared, conn),
+        };
+        if quiet {
+            let idle_deadline =
+                Instant::now() + Duration::from_millis(shared.config.idle_timeout_ms);
+            if conn.writer.set_nonblocking(true).is_err() {
+                return close_conn_quiet(shared, conn);
+            }
+            match shared.parked.try_park(ParkedConn { conn, idle_deadline }) {
+                // The event loop may be mid-wait: wake it to absorb
+                // the inbox and register the socket.
+                Ok(()) => shared.poller.wake(),
+                Err(p) => {
+                    shared.metrics.poller_park_refused_total.fetch_add(1, Ordering::Relaxed);
+                    close_conn_quiet(shared, p.conn);
+                }
+            }
+            return;
+        }
+        // Readable: bound the peek so a spurious readiness on a
+        // blocking socket cannot stall the worker.
         let _ = conn.writer.set_read_timeout(Some(PARK_GRACE));
         let mut probe = [0u8; 1];
         match conn.writer.peek(&mut probe) {
-            Ok(0) => return close_conn(shared, conn, Some(CloseReason::Idle)),
-            Ok(_) => {
-                // Re-anchor to the bytes' arrival, not the response.
-                conn.anchor = Instant::now();
-            }
+            // The peer finished the conversation (EOF) before any next
+            // request existed: nothing is pending, retire quietly.
+            Ok(0) => return close_conn_quiet(shared, conn),
+            Ok(_) => {}
             Err(e)
                 if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
             {
                 let idle_deadline =
-                    conn.anchor + Duration::from_millis(shared.config.idle_timeout_ms);
+                    Instant::now() + Duration::from_millis(shared.config.idle_timeout_ms);
                 if conn.writer.set_nonblocking(true).is_err() {
-                    return close_conn(shared, conn, Some(CloseReason::Aborted));
+                    return close_conn_quiet(shared, conn);
                 }
-                if let Err(p) = shared.parked.try_park(ParkedConn { conn, idle_deadline }) {
-                    close_conn(shared, p.conn, Some(CloseReason::Idle));
+                match shared.parked.try_park(ParkedConn { conn, idle_deadline }) {
+                    Ok(()) => shared.poller.wake(),
+                    Err(p) => {
+                        shared.metrics.poller_park_refused_total.fetch_add(1, Ordering::Relaxed);
+                        close_conn_quiet(shared, p.conn);
+                    }
                 }
                 return;
             }
-            Err(_) => return close_conn(shared, conn, Some(CloseReason::Aborted)),
+            Err(_) => return close_conn_quiet(shared, conn),
         }
     }
+    // Bytes exist (buffered pipeline or grace-peek arrival): this is a
+    // real next attempt.
+    begin_next_attempt(shared, &mut conn);
     if let Err(conn) = shared.queue.try_push(conn) {
         close_conn(shared, conn, Some(CloseReason::Idle));
-    }
-}
-
-/// Sweeps parked connections — and idle-expired streaming sessions —
-/// until drain, then retires whatever is left.
-fn parker_loop(shared: &Shared) {
-    while !shared.draining() {
-        sweep_parked(shared);
-        let expired = shared.sessions.sweep(Instant::now());
-        if expired > 0 {
-            trace::instant("sessions_expired", || vec![("count", (expired as u64).into())]);
-        }
-        std::thread::sleep(PARK_SWEEP);
-    }
-    // Closing the lot refuses late parkers under the lot's own lock, so
-    // no connection can slip in behind this final sweep and leak.
-    for p in shared.parked.close() {
-        close_conn(shared, p.conn, Some(CloseReason::Idle));
-    }
-}
-
-/// One parker sweep: close dead or idle-expired parked connections, move
-/// ones whose next request has begun arriving into the admission queue,
-/// and re-park the rest.
-fn sweep_parked(shared: &Shared) {
-    let mut probe = [0u8; 1];
-    for mut p in shared.parked.take_all() {
-        if shared.draining() {
-            close_conn(shared, p.conn, Some(CloseReason::Idle));
-            continue;
-        }
-        match p.conn.writer.peek(&mut probe) {
-            Ok(0) => close_conn(shared, p.conn, Some(CloseReason::Idle)),
-            Ok(_) => {
-                // The next request starts the moment its bytes arrive:
-                // re-anchor so queue-wait and the deadline measure this
-                // request, not the client's think time.
-                if p.conn.writer.set_nonblocking(false).is_err() {
-                    close_conn(shared, p.conn, Some(CloseReason::Aborted));
-                    continue;
-                }
-                p.conn.anchor = Instant::now();
-                let idle_deadline = p.idle_deadline;
-                if let Err(conn) = shared.queue.try_push(p.conn) {
-                    // Queue full: the bytes wait in the socket and the
-                    // connection stays parked (still under its idle
-                    // window, which bounds how long a jammed queue can
-                    // strand it) to retry next sweep.
-                    repark(shared, ParkedConn { conn, idle_deadline });
-                }
-            }
-            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
-                if Instant::now() >= p.idle_deadline {
-                    close_conn(shared, p.conn, Some(CloseReason::Idle));
-                } else {
-                    repark(shared, p);
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => repark(shared, p),
-            Err(_) => close_conn(shared, p.conn, Some(CloseReason::Aborted)),
-        }
-    }
-}
-
-/// Returns a still-idle connection to the lot (restoring non-blocking
-/// mode), closing it if the lot refuses.
-fn repark(shared: &Shared, p: ParkedConn) {
-    if p.conn.writer.set_nonblocking(true).is_err() {
-        return close_conn(shared, p.conn, Some(CloseReason::Aborted));
-    }
-    if let Err(p) = shared.parked.try_park(p) {
-        close_conn(shared, p.conn, Some(CloseReason::Idle));
     }
 }
 
@@ -1353,17 +1613,7 @@ mod tests {
                 std::thread::sleep(Duration::from_millis(50));
             }
         });
-        let shared = Shared {
-            queue: ConnQueue::new(1),
-            parked: ParkingLot::new(1),
-            batch_fan: FanPermits::new(0),
-            metrics: Metrics::new(),
-            cache: SweepCache::bounded(1, 1),
-            sessions: SessionStore::new(1, Duration::from_secs(1)),
-            config: ServeConfig::default(),
-            shutdown: AtomicBool::new(false),
-            req_seq: AtomicU64::new(0),
-        };
+        let shared = test_shared();
         shared.metrics.connections_open.fetch_add(1, Ordering::Relaxed);
         let closing = Instant::now();
         close_conn_within(&shared, conn, None, Duration::from_millis(200));
@@ -1373,6 +1623,62 @@ mod tests {
             "linger must stop at its budget, held {held:?}"
         );
         trickler.join().unwrap();
+    }
+
+    fn test_shared() -> Shared {
+        Shared {
+            queue: ConnQueue::new(1),
+            parked: ParkingLot::new(1),
+            poller: Poller::new().unwrap(),
+            batch_fan: FanPermits::new(0),
+            metrics: Metrics::new(),
+            cache: SweepCache::bounded(1, 1),
+            sessions: SessionStore::new(1, Duration::from_secs(1)),
+            config: ServeConfig::default(),
+            shutdown: AtomicBool::new(false),
+            req_seq: AtomicU64::new(0),
+        }
+    }
+
+    #[test]
+    fn lingering_close_drains_a_nonblocking_socket_against_its_budget() {
+        // Regression: a connection can reach its close while the socket
+        // is still in non-blocking mode (a parked connection the lot
+        // refused, a jam-stranded one). The drain loop used to treat the
+        // resulting `WouldBlock` as `Err(_) => break`, skipping the
+        // linger entirely — the close raced the peer's final read and an
+        // RST could eat the response. The close must restore blocking
+        // mode and drain against its budget.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap(); // as a parked socket would be
+        let conn = QueuedConn {
+            reader: BufReader::new(server_side.try_clone().unwrap()),
+            writer: server_side,
+            anchor: Instant::now(),
+            req_id: 1,
+            served: 1, // answered: close_conn must linger
+        };
+        let peer = std::thread::spawn(move || {
+            // The peer is mid-send when the server decides to close: its
+            // trailing bytes land 150 ms in, then it hangs up.
+            std::thread::sleep(Duration::from_millis(150));
+            let _ = client.write_all(b"tail");
+            std::thread::sleep(Duration::from_millis(30));
+        });
+        let shared = test_shared();
+        shared.metrics.connections_open.fetch_add(1, Ordering::Relaxed);
+        let closing = Instant::now();
+        close_conn_within(&shared, conn, None, Duration::from_millis(1_000));
+        let held = closing.elapsed();
+        peer.join().unwrap();
+        assert!(
+            held >= Duration::from_millis(100),
+            "nonblocking socket must not skip the linger (returned in {held:?})"
+        );
+        assert!(held < Duration::from_millis(1_500), "and the budget still bounds it: {held:?}");
     }
 
     #[test]

@@ -1,0 +1,779 @@
+//! Horizontal sharding: N server instances, each owning a private
+//! `SweepCache` partition, behind a thin fan-out router.
+//!
+//! The partition function is a **consistent-hash ring** ([`ShardRing`]):
+//! every shard contributes [`VNODES`] virtual points hashed onto a u64
+//! circle, and a request's trace key routes to the first point at or
+//! after the key's own hash. Growing the ring from N to N+1 shards moves
+//! only the keys that land on the new shard's points — every other key
+//! keeps its cache partition warm (the same partition-stability argument
+//! the module-to-processor mapping in the berkeley-emulation-engine
+//! compiler leans on).
+//!
+//! Routing is by **trace key**, not by connection: two clients asking
+//! for the same `(model, dataset, sample, resolution, seed)` grid point
+//! always reach the same shard and share its cache entry, while
+//! request-only knobs (`deadline_ms`, `test_sleep_ms`) don't affect
+//! placement. Requests that carry no single trace key route
+//! deterministically anyway: batches by body hash, streaming sessions to
+//! a fixed *session-home* shard (sessions are stateful, and instance ids
+//! like `s-1` are only unique within one instance), `/trace` to shard 0.
+//!
+//! The router itself is deliberately thin: it never parses responses, it
+//! relays the downstream body bytes verbatim upstream
+//! ([`KeepAliveClient::request_raw`]) and re-emits the shard's status and
+//! body through the same [`write_json_response_conn`] the single-instance
+//! server uses — which is what makes routed responses byte-identical to
+//! the unsharded path (asserted in `tests/serve_shards.rs`). Router-local
+//! endpoints are the ones that span shards: `GET /metrics` aggregates
+//! every instance's snapshot plus the routing table, `POST /shutdown`
+//! drains all instances, `GET /healthz` answers from the router.
+
+use std::collections::VecDeque;
+use std::io::{self, BufReader};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use diffy_core::json::JsonValue;
+use diffy_core::parallel::{run_jobs, Jobs};
+
+use crate::client::KeepAliveClient;
+use crate::http::{path_segments, read_request_with, write_json_response_conn};
+use crate::metrics;
+use crate::poller::{Poller, LISTENER_TOKEN};
+use crate::protocol::{error_body, EvalRequest};
+use crate::server::{ServeConfig, Server, ServerHandle};
+
+/// Virtual points each shard contributes to the ring. 64 keeps the
+/// per-shard key share within a few percent of uniform while the whole
+/// ring for 16 shards still fits in a kilobyte.
+pub const VNODES: usize = 64;
+
+/// How long the router's accept loop sleeps in the poller when nothing
+/// is ready — also the drain-notice latency bound.
+const ROUTER_POLL_TICK: Duration = Duration::from_millis(25);
+
+/// Upper bound on accepts drained per listener wakeup, so one readiness
+/// event can't monopolize the loop under an accept storm.
+const ROUTER_ACCEPT_BURST: usize = 256;
+
+/// Cap on the idle read window a router worker arms while waiting for a
+/// downstream request. Bounds how long a worker can sit on a silent
+/// keep-alive connection during drain; clients reconnect transparently.
+const ROUTER_IDLE_SLICE: Duration = Duration::from_secs(2);
+
+/// Write budget for responses relayed downstream.
+const ROUTER_WRITE_BUDGET: Duration = Duration::from_secs(10);
+
+/// 64-bit FNV-1a — the ring's hash. Stable across runs and platforms
+/// (no `RandomState`), cheap on short keys, and good enough dispersion
+/// that 64 vnodes per shard land within a few percent of uniform.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A consistent-hash ring over `shards` partitions.
+#[derive(Debug, Clone)]
+pub struct ShardRing {
+    /// `(point_hash, shard)` sorted by hash; lookup is a binary search
+    /// for the first point at or after the key's hash, wrapping to the
+    /// first point.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl ShardRing {
+    /// A ring over `shards` partitions ([`VNODES`] points each).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "a shard ring needs at least one shard");
+        let mut points = Vec::with_capacity(shards * VNODES);
+        for shard in 0..shards {
+            for vnode in 0..VNODES {
+                points.push((fnv1a(format!("shard-{shard}-vnode-{vnode}").as_bytes()), shard));
+            }
+        }
+        points.sort_unstable();
+        // A hash collision between two shards' points would make lookup
+        // order-dependent; keep the first (lowest shard) deterministically.
+        points.dedup_by_key(|p| p.0);
+        Self { points, shards }
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning hash `h`: first ring point at or after `h`,
+    /// wrapping around the circle.
+    pub fn shard_of_hash(&self, h: u64) -> usize {
+        let i = self.points.partition_point(|&(p, _)| p < h);
+        self.points[if i == self.points.len() { 0 } else { i }].1
+    }
+
+    /// The shard owning a string key.
+    pub fn shard_of_key(&self, key: &str) -> usize {
+        self.shard_of_hash(fnv1a(key.as_bytes()))
+    }
+
+    /// The shard owning a byte string (fallback for bodies with no
+    /// single trace key).
+    pub fn shard_of_bytes(&self, bytes: &[u8]) -> usize {
+        self.shard_of_hash(fnv1a(bytes))
+    }
+}
+
+/// The canonical trace key of a `POST /evaluate` body: the workload
+/// identity `(model, dataset, sample, resolution, seed)` with protocol
+/// defaults applied, so `{"model":"ircnn","dataset":"kodak24"}` and the
+/// same request spelled with explicit `"sample":0` route to the same
+/// shard. Request-only knobs (deadline, arch, scheme, memory, test
+/// hooks) are deliberately excluded: they don't change which trace is
+/// cached. `None` when the body doesn't parse as an evaluation request —
+/// the shard will reject it with the same 4xx whichever instance sees it.
+pub fn trace_key(body: &[u8]) -> Option<String> {
+    let text = std::str::from_utf8(body).ok()?;
+    let value = diffy_core::json::parse(text).ok()?;
+    let req = EvalRequest::from_json(&value).ok()?;
+    Some(format!(
+        "{:?}|{}|{}|{}|{}",
+        req.model, req.dataset, req.sample, req.resolution, req.seed
+    ))
+}
+
+/// Where a request routes, given the ring and the fixed session-home
+/// shard. Free function (not a `RouterState` method) so unit tests can
+/// exercise the routing table without booting instances.
+fn route_for(ring: &ShardRing, session_home: usize, method: &str, path: &str, body: &[u8]) -> usize {
+    let segments = path_segments(path);
+    match segments.as_slice() {
+        // Sessions are stateful and their ids are per-instance, so all
+        // session traffic lives on one designated shard.
+        ["session", ..] => session_home,
+        ["evaluate"] => match trace_key(body) {
+            Some(key) => ring.shard_of_key(&key),
+            None => ring.shard_of_bytes(body),
+        },
+        // A batch can span many trace keys; route the whole batch by its
+        // body hash — any shard computes it correctly, placement is just
+        // a cache-affinity heuristic.
+        ["evaluate", "batch"] => ring.shard_of_bytes(body),
+        // The capture endpoint reads one server's trace ring; pin it.
+        ["trace", ..] => 0,
+        _ => {
+            // Unknown/other paths still route deterministically: hash
+            // method + path + body so repeated probes hit one shard.
+            let mut keyed = Vec::with_capacity(method.len() + path.len() + body.len() + 2);
+            keyed.extend_from_slice(method.as_bytes());
+            keyed.push(b' ');
+            keyed.extend_from_slice(path.as_bytes());
+            keyed.push(b' ');
+            keyed.extend_from_slice(body);
+            ring.shard_of_bytes(&keyed)
+        }
+    }
+}
+
+/// Configuration for a sharded ensemble.
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Router listen address (the address clients connect to). Shard
+    /// instances bind ephemeral loopback ports of their own; the router
+    /// reaches them in-process.
+    pub addr: String,
+    /// Number of server instances. Must be at least 1.
+    pub shards: usize,
+    /// Router forwarding workers (each owns one downstream connection at
+    /// a time plus a lazy upstream connection per shard).
+    pub router_workers: usize,
+    /// Per-instance configuration. `addr` and `handle_signals` are
+    /// managed by the ensemble: each instance binds its own port, and
+    /// signal handling (if requested) is installed once.
+    pub base: ServeConfig,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            shards: 2,
+            router_workers: 4,
+            base: ServeConfig::default(),
+        }
+    }
+}
+
+/// Shared router state: the ring, the shard endpoints, and the routing
+/// counters `GET /metrics` reports.
+struct RouterState {
+    ring: ShardRing,
+    shard_addrs: Vec<SocketAddr>,
+    handles: Vec<ServerHandle>,
+    session_home: usize,
+    routed: Vec<AtomicU64>,
+    route_errors: AtomicU64,
+    requests: AtomicU64,
+    draining: AtomicBool,
+    idle_timeout: Duration,
+    forward_timeout: Duration,
+    max_requests_per_conn: u32,
+}
+
+impl RouterState {
+    /// Whether the ensemble is draining — set locally (`POST /shutdown`
+    /// through the router, [`ShardedHandle::shutdown`], signals) or
+    /// observed on any instance (e.g. a shutdown posted straight to a
+    /// shard): one draining instance drains the ensemble, so the
+    /// conservation laws hold across every ledger at exit.
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst) || self.handles.iter().any(|h| h.is_shutting_down())
+    }
+
+    /// Starts the drain everywhere.
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        for handle in &self.handles {
+            handle.shutdown();
+        }
+    }
+}
+
+/// A bounded handoff of accepted router connections to the forwarding
+/// workers. Full queue → the acceptor sheds with `503` instead of
+/// queueing unboundedly, mirroring the instance-level admission policy.
+struct StreamQueue {
+    inner: Mutex<(VecDeque<TcpStream>, bool)>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl StreamQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues unless full or closed; the stream comes back on refusal
+    /// so the acceptor can shed it.
+    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut inner = self.inner.lock().expect("router queue poisoned");
+        if inner.1 || inner.0.len() >= self.capacity {
+            return Err(stream);
+        }
+        inner.0.push_back(stream);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next connection; `None` once closed and empty.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut inner = self.inner.lock().expect("router queue poisoned");
+        loop {
+            if let Some(stream) = inner.0.pop_front() {
+                return Some(stream);
+            }
+            if inner.1 {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("router queue poisoned");
+        }
+    }
+
+    /// Closes the queue; blocked `pop`s drain the backlog then return
+    /// `None`.
+    fn close(&self) {
+        self.inner.lock().expect("router queue poisoned").1 = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Handle to a running [`ShardedServer`]: trigger and observe the drain
+/// from another thread.
+#[derive(Clone)]
+pub struct ShardedHandle {
+    state: Arc<RouterState>,
+}
+
+impl ShardedHandle {
+    /// Starts a graceful drain of the router and every instance.
+    pub fn shutdown(&self) {
+        self.state.begin_drain();
+    }
+
+    /// Whether the ensemble has begun draining.
+    pub fn is_shutting_down(&self) -> bool {
+        self.state.draining()
+    }
+}
+
+/// N bound server instances plus the bound router listener; [`run`] them
+/// as one scoped-thread ensemble.
+///
+/// [`run`]: ShardedServer::run
+pub struct ShardedServer {
+    router: TcpListener,
+    local_addr: SocketAddr,
+    instances: Vec<Server>,
+    state: Arc<RouterState>,
+    router_workers: usize,
+}
+
+impl ShardedServer {
+    /// Binds the router address and `shards` instances on ephemeral
+    /// loopback ports. Nothing is served until [`ShardedServer::run`].
+    pub fn bind(cfg: ShardedConfig) -> io::Result<ShardedServer> {
+        if cfg.shards == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "--shards must be at least 1",
+            ));
+        }
+        let router = TcpListener::bind(&cfg.addr)?;
+        let local_addr = router.local_addr()?;
+        // Instances bind ephemeral ports on the router's interface; the
+        // unspecified address is normalized to loopback for connecting.
+        let instance_ip = connectable_ip(local_addr.ip());
+
+        let mut instances = Vec::with_capacity(cfg.shards);
+        let mut shard_addrs = Vec::with_capacity(cfg.shards);
+        let mut handles = Vec::with_capacity(cfg.shards);
+        for shard in 0..cfg.shards {
+            let mut base = cfg.base.clone();
+            base.addr = SocketAddr::new(instance_ip, 0).to_string();
+            // One signal-handler installation covers the process; every
+            // instance's drain check consults the same flag.
+            base.handle_signals = cfg.base.handle_signals && shard == 0;
+            let instance = Server::bind(base)?;
+            shard_addrs.push(SocketAddr::new(instance_ip, instance.local_addr().port()));
+            handles.push(instance.handle());
+            instances.push(instance);
+        }
+
+        let ring = ShardRing::new(cfg.shards);
+        let session_home = ring.shard_of_key("__session_home__");
+        let state = Arc::new(RouterState {
+            routed: (0..cfg.shards).map(|_| AtomicU64::new(0)).collect(),
+            route_errors: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            idle_timeout: Duration::from_millis(cfg.base.idle_timeout_ms.max(10)),
+            forward_timeout: Duration::from_millis(cfg.base.deadline_ms) + Duration::from_secs(10),
+            max_requests_per_conn: cfg.base.max_requests_per_conn.max(1),
+            ring,
+            shard_addrs,
+            handles,
+            session_home,
+        });
+        Ok(ShardedServer {
+            router,
+            local_addr,
+            instances,
+            state,
+            router_workers: cfg.router_workers.max(1),
+        })
+    }
+
+    /// The router's bound address (clients connect here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The bound address of each shard instance, in shard order.
+    pub fn shard_addrs(&self) -> Vec<SocketAddr> {
+        self.state.shard_addrs.clone()
+    }
+
+    /// A handle for triggering/observing the drain from another thread.
+    pub fn handle(&self) -> ShardedHandle {
+        ShardedHandle { state: Arc::clone(&self.state) }
+    }
+
+    /// Serves until drained: every instance's full worker pool and event
+    /// loop, the router acceptor, and the forwarding workers run as one
+    /// scoped-thread ensemble; returns once all of them have exited.
+    pub fn run(self) -> io::Result<()> {
+        let ShardedServer { router, instances, state, router_workers, .. } = self;
+        router.set_nonblocking(true)?;
+        let poller = Poller::new()?;
+        poller.register_listener(&router, LISTENER_TOKEN)?;
+        // Queue depth mirrors a single instance's admission bound scaled
+        // by the worker count so the router sheds before it hoards.
+        let queue = Arc::new(StreamQueue::new(router_workers * 4));
+
+        let mut jobs: Vec<Box<dyn FnOnce() -> io::Result<()> + Send>> =
+            Vec::with_capacity(instances.len() + 1 + router_workers);
+        for instance in instances {
+            jobs.push(Box::new(move || instance.run()));
+        }
+        {
+            let state = Arc::clone(&state);
+            let queue = Arc::clone(&queue);
+            jobs.push(Box::new(move || router_accept(&state, &router, &poller, &queue)));
+        }
+        for _ in 0..router_workers {
+            let state = Arc::clone(&state);
+            let queue = Arc::clone(&queue);
+            jobs.push(Box::new(move || {
+                router_worker(&state, &queue);
+                Ok(())
+            }));
+        }
+
+        let n = jobs.len();
+        let results = run_jobs(jobs, Jobs::new(n));
+        results.into_iter().collect::<io::Result<Vec<()>>>().map(|_| ())
+    }
+}
+
+/// Loopback counterpart of an unspecified bind address, so upstream
+/// clients have something connectable.
+fn connectable_ip(ip: IpAddr) -> IpAddr {
+    match ip {
+        IpAddr::V4(v4) if v4.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+        IpAddr::V6(v6) if v6.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        other => other,
+    }
+}
+
+/// The router's accept loop: blocks in the poller, drains the listener
+/// in bounded bursts, sheds with `503` when the worker queue is full.
+fn router_accept(
+    state: &RouterState,
+    listener: &TcpListener,
+    poller: &Poller,
+    queue: &StreamQueue,
+) -> io::Result<()> {
+    let mut ready = Vec::new();
+    while !state.draining() {
+        poller.wait(&mut ready, ROUTER_POLL_TICK)?;
+        if !ready.contains(&LISTENER_TOKEN) {
+            continue;
+        }
+        for _ in 0..ROUTER_ACCEPT_BURST {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nodelay(true);
+                    if let Err(stream) = queue.try_push(stream) {
+                        shed(stream);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+    queue.close();
+    Ok(())
+}
+
+/// Refuses an accepted connection with `503` — the router-level
+/// admission bound.
+fn shed(stream: TcpStream) {
+    let mut stream = stream;
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = write_json_response_conn(&mut stream, 503, &error_body("router queue full"), false);
+}
+
+/// One forwarding worker: serves queued connections to completion, one
+/// at a time, reusing a lazy upstream connection per shard across all of
+/// them.
+fn router_worker(state: &RouterState, queue: &StreamQueue) {
+    let mut upstreams: Vec<Option<KeepAliveClient>> =
+        (0..state.shard_addrs.len()).map(|_| None).collect();
+    while let Some(stream) = queue.pop() {
+        serve_router_conn(state, stream, &mut upstreams);
+    }
+}
+
+/// Lazily connects the worker's upstream client for `shard`.
+fn upstream<'a>(
+    state: &RouterState,
+    upstreams: &'a mut [Option<KeepAliveClient>],
+    shard: usize,
+) -> &'a mut KeepAliveClient {
+    upstreams[shard]
+        .get_or_insert_with(|| KeepAliveClient::new(state.shard_addrs[shard], state.forward_timeout))
+}
+
+/// Serves one downstream connection until it closes, goes idle, errors,
+/// or hits the per-connection request cap.
+fn serve_router_conn(
+    state: &RouterState,
+    stream: TcpStream,
+    upstreams: &mut [Option<KeepAliveClient>],
+) {
+    // The listener is nonblocking; the accepted socket must not be.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let Ok(clone) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(clone);
+    let mut writer = stream;
+    let _ = writer.set_write_timeout(Some(ROUTER_WRITE_BUDGET));
+    // Idle window per read; capped so drain never waits long on a silent
+    // peer. A client whose pause exceeds the cap just reconnects.
+    let idle = state.idle_timeout.min(ROUTER_IDLE_SLICE);
+    let mut served: u32 = 0;
+
+    loop {
+        let mut tick = || writer.set_read_timeout(Some(idle));
+        let request = match read_request_with(&mut reader, &mut tick) {
+            // Idle close or a broken connection: nothing to answer.
+            Err(_) => return,
+            Ok(Err(bad)) => {
+                // Parser-level rejections poison the framing; answer and
+                // close, exactly like the single-instance server.
+                let _ = write_json_response_conn(
+                    &mut writer,
+                    bad.status,
+                    &error_body(&bad.message),
+                    false,
+                );
+                return;
+            }
+            Ok(Ok(request)) => request,
+        };
+
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        served += 1;
+        let keep = request.keep_alive()
+            && served < state.max_requests_per_conn
+            && !state.draining();
+
+        let ok = match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/shutdown") => {
+                state.begin_drain();
+                let body = JsonValue::object(vec![("draining", JsonValue::Bool(true))]).to_json();
+                let _ = write_json_response_conn(&mut writer, 200, &body, false);
+                return;
+            }
+            ("GET", "/healthz") => {
+                let draining = state.draining();
+                let body = JsonValue::object(vec![(
+                    "status",
+                    JsonValue::from(if draining { "draining" } else { "ok" }),
+                )])
+                .to_json();
+                write_json_response_conn(&mut writer, 200, &body, keep).is_ok()
+            }
+            ("GET", "/metrics") => {
+                let body = aggregate_metrics(state, upstreams);
+                write_json_response_conn(&mut writer, 200, &body, keep).is_ok()
+            }
+            _ => {
+                let shard = route_for(
+                    &state.ring,
+                    state.session_home,
+                    &request.method,
+                    &request.path,
+                    &request.body,
+                );
+                match upstream(state, upstreams, shard).request_raw(
+                    &request.method,
+                    &request.path,
+                    &request.body,
+                ) {
+                    Ok(resp) => {
+                        state.routed[shard].fetch_add(1, Ordering::Relaxed);
+                        write_json_response_conn(&mut writer, resp.status, &resp.body, keep).is_ok()
+                    }
+                    Err(_) => {
+                        state.route_errors.fetch_add(1, Ordering::Relaxed);
+                        let _ = write_json_response_conn(
+                            &mut writer,
+                            503,
+                            &error_body("shard unavailable"),
+                            false,
+                        );
+                        false
+                    }
+                }
+            }
+        };
+        if !ok || !keep {
+            return;
+        }
+    }
+}
+
+/// The router's `GET /metrics` body: router counters plus every shard's
+/// own snapshot (scraped over the worker's upstream connections), so one
+/// request exposes the whole ensemble — including the per-shard
+/// conservation check `requests == responses + aborted + idle_closed`.
+fn aggregate_metrics(state: &RouterState, upstreams: &mut [Option<KeepAliveClient>]) -> String {
+    let shards = state.shard_addrs.len();
+    let mut instances = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let snapshot = match upstream(state, upstreams, shard).get("/metrics") {
+            Ok(resp) if resp.status == 200 => {
+                diffy_core::json::parse(&resp.body).unwrap_or(JsonValue::Null)
+            }
+            _ => JsonValue::Null,
+        };
+        instances.push(snapshot);
+    }
+    let routed: Vec<u64> = state.routed.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+    JsonValue::object(vec![
+        (
+            "router",
+            JsonValue::object(vec![
+                ("requests_total", state.requests.load(Ordering::Relaxed).into()),
+                ("draining", JsonValue::Bool(state.draining())),
+            ]),
+        ),
+        (
+            "shards",
+            metrics::shards_to_json(
+                &routed,
+                state.route_errors.load(Ordering::Relaxed),
+                instances,
+            ),
+        ),
+    ])
+    .to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_deterministic_and_covers_every_shard() {
+        let ring = ShardRing::new(4);
+        let again = ShardRing::new(4);
+        let mut hits = [0usize; 4];
+        for i in 0..10_000 {
+            let key = format!("trace-key-{i}");
+            let shard = ring.shard_of_key(&key);
+            assert_eq!(shard, again.shard_of_key(&key), "placement must be deterministic");
+            hits[shard] += 1;
+        }
+        for (shard, &n) in hits.iter().enumerate() {
+            assert!(n > 0, "shard {shard} owns no keys");
+            // 64 vnodes/shard keeps shares near uniform; a shard owning
+            // less than a tenth or more than half of a uniform draw
+            // would mean the ring is badly skewed.
+            assert!((250..=5000).contains(&n), "shard {shard} owns {n}/10000 keys");
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_only_moves_keys_onto_the_new_shard() {
+        let three = ShardRing::new(3);
+        let four = ShardRing::new(4);
+        let mut moved = 0usize;
+        for i in 0..10_000 {
+            let key = format!("trace-key-{i}");
+            let before = three.shard_of_key(&key);
+            let after = four.shard_of_key(&key);
+            if before != after {
+                assert_eq!(after, 3, "key {key} moved {before}->{after}, not onto the new shard");
+                moved += 1;
+            }
+        }
+        // Expected churn is ~1/4 of keys; anything near-total means the
+        // partition is not consistent at all.
+        assert!(moved < 5_000, "{moved}/10000 keys moved on a single-shard grow");
+        assert!(moved > 0, "growing the ring moved nothing — new shard owns no keys");
+    }
+
+    #[test]
+    fn trace_key_is_the_workload_identity_with_defaults_applied() {
+        let explicit =
+            br#"{"model":"ircnn","dataset":"kodak24","sample":0,"resolution":64,"seed":1}"#;
+        let defaulted = br#"{"model":"ircnn","dataset":"kodak24"}"#;
+        let key = trace_key(explicit).expect("explicit body must key");
+        assert_eq!(Some(key.clone()), trace_key(defaulted), "defaults must normalize");
+        // Request-only knobs don't affect placement.
+        let with_deadline = br#"{"model":"ircnn","dataset":"kodak24","deadline_ms":100}"#;
+        assert_eq!(Some(key), trace_key(with_deadline));
+        // Different grid point, different key.
+        let other = trace_key(br#"{"model":"ircnn","dataset":"kodak24","seed":7}"#).unwrap();
+        assert_ne!(trace_key(defaulted).unwrap(), other);
+        // Garbage carries no key.
+        assert_eq!(trace_key(b"not json"), None);
+        assert_eq!(trace_key(br#"{"model":"nope","dataset":"kodak24"}"#), None);
+    }
+
+    #[test]
+    fn routing_pins_sessions_trace_and_spreads_evaluations() {
+        let ring = ShardRing::new(4);
+        let home = ring.shard_of_key("__session_home__");
+        // All session traffic — create, frame, delete — lands on home.
+        assert_eq!(route_for(&ring, home, "POST", "/session", b"{}"), home);
+        assert_eq!(route_for(&ring, home, "POST", "/session/s-1/frame", b"{}"), home);
+        assert_eq!(route_for(&ring, home, "DELETE", "/session/s-9", b""), home);
+        // Trace capture reads shard 0's ring.
+        assert_eq!(route_for(&ring, home, "GET", "/trace", b""), 0);
+        // Evaluations route by trace key: same grid point, same shard,
+        // regardless of request-only knobs.
+        let a = route_for(
+            &ring,
+            home,
+            "POST",
+            "/evaluate",
+            br#"{"model":"ircnn","dataset":"kodak24"}"#,
+        );
+        let b = route_for(
+            &ring,
+            home,
+            "POST",
+            "/evaluate",
+            br#"{"model":"ircnn","dataset":"kodak24","deadline_ms":5000}"#,
+        );
+        assert_eq!(a, b);
+        // The grid as a whole spreads across shards.
+        let mut shards_hit = std::collections::HashSet::new();
+        for seed in 0..64u64 {
+            let body = format!(r#"{{"model":"ircnn","dataset":"kodak24","seed":{seed}}}"#);
+            shards_hit.insert(route_for(&ring, home, "POST", "/evaluate", body.as_bytes()));
+        }
+        assert!(shards_hit.len() >= 2, "evaluation keys all routed to one shard");
+    }
+
+    #[test]
+    fn zero_shards_is_a_config_error_not_a_panic() {
+        let cfg = ShardedConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: 0,
+            ..ShardedConfig::default()
+        };
+        match ShardedServer::bind(cfg) {
+            Ok(_) => panic!("shards=0 must be rejected"),
+            Err(err) => assert_eq!(err.kind(), io::ErrorKind::InvalidInput),
+        }
+    }
+
+    #[test]
+    fn stream_queue_sheds_when_full_and_drains_after_close() {
+        let q = StreamQueue::new(1);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _c1 = TcpStream::connect(addr).unwrap();
+        let _c2 = TcpStream::connect(addr).unwrap();
+        let (s1, _) = listener.accept().unwrap();
+        let (s2, _) = listener.accept().unwrap();
+        assert!(q.try_push(s1).is_ok());
+        assert!(q.try_push(s2).is_err(), "second push must be refused at capacity 1");
+        q.close();
+        assert!(q.pop().is_some(), "backlog drains after close");
+        assert!(q.pop().is_none(), "then the queue reports closed");
+    }
+}

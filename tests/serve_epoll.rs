@@ -1,0 +1,269 @@
+//! End-to-end tests of the event-driven serve core: idle keep-alive
+//! connections must cost nothing (no worker dequeues, no per-connection
+//! sweep churn — only the poller's own timeout wakeups), and the
+//! full-queue re-park path must keep stranded sockets non-blocking so a
+//! jam never stalls the event loop.
+//!
+//! The idle-connection count scales with `DIFFY_TEST_IDLE_CONNS`
+//! (default 2000). Every connection costs the test process *three*
+//! descriptors — the client end plus the server's two cloned halves —
+//! so 10k connections need a ~32k fd limit with headroom; CI raises
+//! `ulimit -n` and runs the 10k configuration from the issue.
+
+use diffy::core::json::JsonValue;
+use diffy::core::parallel::Jobs;
+use diffy::serve::{get, ServeConfig, Server, ServerHandle};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Generous client-side timeout; tests assert on statuses, not latency.
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Boots a server on an ephemeral port and runs it on its own thread.
+fn boot(config: ServeConfig) -> (SocketAddr, ServerHandle, JoinHandle<()>) {
+    let server = Server::bind(ServeConfig { addr: "127.0.0.1:0".into(), ..config })
+        .expect("bind on an ephemeral port");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, thread)
+}
+
+fn metrics(addr: SocketAddr) -> JsonValue {
+    let resp = get(addr, "/metrics", TIMEOUT).expect("metrics");
+    assert_eq!(resp.status, 200);
+    diffy::core::json::parse(&resp.body).expect("metrics body is JSON")
+}
+
+fn counter(m: &JsonValue, block: &str, key: &str) -> u64 {
+    m.get(block)
+        .and_then(|b| b.get(key))
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|| panic!("metrics missing {block}.{key}: {m:?}"))
+}
+
+/// One keep-alive request/response on a raw socket: write, then read the
+/// head and the exact `Content-Length` body so the connection stays
+/// cleanly framed for the next request.
+fn roundtrip(conn: &mut TcpStream, request: &[u8]) -> String {
+    conn.write_all(request).expect("write request");
+    read_response(conn)
+}
+
+/// Reads one already-requested, `Content-Length`-framed 200 response.
+fn read_response(conn: &mut TcpStream) -> String {
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    assert!(line.starts_with("HTTP/1.1 200"), "got: {line}");
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).expect("header line");
+        if header == "\r\n" {
+            break;
+        }
+        if let Some((k, v)) = header.split_once(':') {
+            if k.eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse().expect("content length");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    String::from_utf8(body).expect("utf8 body")
+}
+
+const HEALTHZ: &[u8] = b"GET /healthz HTTP/1.1\r\nConnection: keep-alive\r\n\r\n";
+
+#[test]
+fn idle_keepalive_connections_hold_no_workers_and_cause_no_sweep_churn() {
+    let n: usize = std::env::var("DIFFY_TEST_IDLE_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000);
+
+    // One worker: if idle connections occupied workers — or cycled
+    // through the admission queue — this configuration would visibly
+    // starve. A long idle window keeps every connection parked for the
+    // whole observation.
+    let (addr, handle, thread) = boot(ServeConfig {
+        workers: Jobs::new(1),
+        idle_timeout_ms: 120_000,
+        ..ServeConfig::default()
+    });
+
+    // Open n keep-alive connections, serve one request on each, and
+    // leave them all idle — parked in the event loop's watch set.
+    let mut conns = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut conn = TcpStream::connect(addr).unwrap_or_else(|e| {
+            panic!("connect {i}/{n} failed ({e}); raise the fd limit or lower DIFFY_TEST_IDLE_CONNS")
+        });
+        conn.set_read_timeout(Some(TIMEOUT)).expect("read timeout");
+        let body = roundtrip(&mut conn, HEALTHZ);
+        assert!(body.contains("ok"), "conn {i}: {body}");
+        conns.push(conn);
+    }
+
+    // Wait until the event loop has absorbed every connection into its
+    // watch set (the hand-off rides the parking inbox, so allow a beat).
+    let parked_deadline = Instant::now() + Duration::from_secs(10);
+    let mut m = metrics(addr);
+    while counter(&m, "poller", "parked") < n as u64 {
+        assert!(
+            Instant::now() < parked_deadline,
+            "only {}/{n} connections parked: {m:?}",
+            counter(&m, "poller", "parked")
+        );
+        std::thread::sleep(Duration::from_millis(25));
+        m = metrics(addr);
+    }
+
+    // Observation window: n idle connections, zero traffic. The only
+    // activity the server may show is the poller's own timeout wakeups —
+    // no requests, no unparks, no queue occupancy.
+    let before = metrics(addr);
+    std::thread::sleep(Duration::from_millis(600));
+    let after = metrics(addr);
+
+    let requests_delta =
+        after.get("requests_total").unwrap().as_u64().unwrap()
+            - before.get("requests_total").unwrap().as_u64().unwrap();
+    assert_eq!(
+        requests_delta, 1,
+        "idle connections must produce no requests (the 1 is this /metrics probe)"
+    );
+    assert_eq!(
+        counter(&after, "poller", "unparked"),
+        counter(&before, "poller", "unparked"),
+        "no idle connection may be handed to a worker"
+    );
+    assert_eq!(counter(&after, "poller", "parked"), n as u64, "every connection stays parked");
+    assert_eq!(
+        after.get("queue_depth").unwrap().as_u64(),
+        Some(0),
+        "idle connections must not occupy the admission queue"
+    );
+    // Wakeup cadence is the poll tick (25ms), not per-connection: 600ms
+    // of idling across n connections is a few dozen wakeups, not O(n).
+    let wakeups_delta =
+        counter(&after, "poller", "wakeups") - counter(&before, "poller", "wakeups");
+    assert!(
+        wakeups_delta < 120,
+        "{wakeups_delta} poller wakeups over 600ms of idleness — sweeping, not waiting"
+    );
+
+    // The parked fleet is still live: each of a sample of connections
+    // serves its next request after the idle spell.
+    for conn in conns.iter_mut().take(8) {
+        let body = roundtrip(conn, HEALTHZ);
+        assert!(body.contains("ok"), "parked connection failed to resume: {body}");
+    }
+
+    drop(conns);
+    handle.shutdown();
+    thread.join().expect("server drains");
+}
+
+#[test]
+fn full_queue_repark_keeps_stranded_sockets_nonblocking_and_recovers() {
+    // Regression for the parker-era bug: a read-ready parked connection
+    // refused by a full admission queue was re-parked as a *blocking*
+    // socket, so the next sweep's peek could stall the parker for the
+    // stale read-timeout. The event loop must keep jammed connections
+    // non-blocking, retry the hand-off, and serve them once the queue
+    // frees — while staying responsive throughout.
+    let (addr, handle, thread) = boot(ServeConfig {
+        workers: Jobs::new(1),
+        queue_depth: 1,
+        idle_timeout_ms: 30_000,
+        test_hooks: true,
+        ..ServeConfig::default()
+    });
+
+    // Three parked keep-alive connections, opened one at a time: a fresh
+    // connection occupies a queue slot until its first request is served
+    // (admission is at accept), and with queue_depth=1 the slot must be
+    // free — the connection parked — before the next one arrives.
+    let park_one = || {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        conn.set_read_timeout(Some(TIMEOUT)).expect("read timeout");
+        roundtrip(&mut conn, HEALTHZ);
+        conn
+    };
+    let mut a = park_one();
+    let mut b = park_one();
+    let mut c = park_one();
+
+    // Jam the single worker with a slow evaluation on `a`, then wake `b`
+    // and `c` while it runs: the first unpark takes the only queue slot,
+    // the second finds the queue full and must strand — non-blocking —
+    // until the worker frees a slot.
+    let slow = br#"{"model": "IRCNN", "dataset": "Kodak24", "resolution": 32, "test_sleep_ms": 700}"#;
+    let slow_req = format!(
+        "POST /evaluate HTTP/1.1\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+        slow.len()
+    );
+    a.write_all(slow_req.as_bytes()).expect("slow head");
+    a.write_all(slow).expect("slow body");
+    std::thread::sleep(Duration::from_millis(100)); // worker picks up `a`
+    b.write_all(HEALTHZ).expect("wake b");
+    c.write_all(HEALTHZ).expect("wake c");
+
+    // The event loop must stay live while `c` is stranded: the jam is on
+    // the admission queue, not on the poller thread. All three requests
+    // then complete correctly, in bounded time.
+    let t0 = Instant::now();
+    let slow_body = read_response(&mut a);
+    assert!(slow_body.contains("layers"), "slow evaluation body: {slow_body}");
+    for (name, conn) in [("b", &mut b), ("c", &mut c)] {
+        let body = read_response(conn);
+        assert!(body.contains("ok"), "stranded connection {name} never recovered: {body}");
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "jammed connections took {:?} to recover",
+        t0.elapsed()
+    );
+
+    drop((a, b, c));
+    handle.shutdown();
+    thread.join().expect("server drains");
+}
+
+#[test]
+fn dead_idle_connection_is_never_counted_as_a_keepalive_reuse() {
+    // Regression for the accounting bug: the reuse counter incremented
+    // before the grace peek, so a connection that turned out dead was
+    // booked as a reuse that never carried a request. A reuse must only
+    // count once the next request's bytes actually exist.
+    let (addr, handle, thread) = boot(ServeConfig::default());
+
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(TIMEOUT)).expect("read timeout");
+    roundtrip(&mut conn, HEALTHZ);
+    drop(conn); // closes without a second request
+
+    // The event loop notices the close and retires the parked socket;
+    // nothing about that retirement is a reuse or a request.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let m = metrics(addr);
+        if counter(&m, "poller", "parked") == 0 {
+            assert_eq!(
+                counter(&m, "connections", "keepalive_reuses"),
+                0,
+                "a dead idle connection must not count as a reuse: {m:?}"
+            );
+            break;
+        }
+        assert!(Instant::now() < deadline, "dead connection never retired: {m:?}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    handle.shutdown();
+    thread.join().expect("server drains");
+}

@@ -1,0 +1,217 @@
+//! End-to-end tests of the sharded ensemble: N real server instances
+//! behind the real fan-out router, driven by real TCP clients.
+//!
+//! The load-bearing assertion carries over from `serve_e2e.rs`
+//! unchanged: a response routed through the router must equal, byte for
+//! byte, the serialization of a direct in-process evaluation — at every
+//! shard count, under 8 concurrent keep-alive clients. Sharding is a
+//! placement optimization; it must never be observable in the bytes.
+
+use diffy::core::parallel::{run_jobs, Jobs};
+use diffy::core::runner::ci_trace_bundle;
+use diffy::serve::protocol::EvalRequest;
+use diffy::serve::{
+    get, post, result_to_json, KeepAliveClient, ServeConfig, SessionClient, ShardedConfig,
+    ShardedHandle, ShardedServer,
+};
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Generous client-side timeout; tests assert on statuses, not latency.
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Four distinct requests spanning models, architectures and schemes —
+/// the same spread `serve_e2e.rs` pins against the single instance.
+const BODIES: [&str; 4] = [
+    r#"{"model": "IRCNN", "dataset": "Kodak24", "resolution": 32}"#,
+    r#"{"model": "DnCNN", "dataset": "Kodak24", "resolution": 32, "arch": "VAA"}"#,
+    r#"{"model": "IRCNN", "dataset": "McMaster", "resolution": 32, "scheme": "Ideal"}"#,
+    r#"{"model": "VDSR", "dataset": "Kodak24", "resolution": 32, "seed": 7}"#,
+];
+
+/// Boots a sharded ensemble on ephemeral ports, router included.
+fn boot(shards: usize, base: ServeConfig) -> (SocketAddr, ShardedHandle, JoinHandle<()>) {
+    let ensemble = ShardedServer::bind(ShardedConfig {
+        addr: "127.0.0.1:0".into(),
+        shards,
+        base: ServeConfig { addr: "127.0.0.1:0".into(), ..base },
+        ..ShardedConfig::default()
+    })
+    .expect("bind ensemble on ephemeral ports");
+    let addr = ensemble.local_addr();
+    let handle = ensemble.handle();
+    let thread = std::thread::spawn(move || ensemble.run().expect("ensemble run"));
+    (addr, handle, thread)
+}
+
+/// The exact body a correct server must serve for `body`: parse the
+/// request the same way, evaluate directly (no server, no cache), and
+/// serialize deterministically.
+fn direct_evaluation(body: &str) -> String {
+    let parsed = diffy::core::json::parse(body).expect("test body is valid JSON");
+    let req = EvalRequest::from_json(&parsed).expect("test body is a valid request");
+    let bundle = ci_trace_bundle(req.model, req.dataset, req.sample, &req.workload());
+    let result = bundle.evaluate(&req.eval_options());
+    result_to_json(&result, bundle.source_pixels).to_json()
+}
+
+#[test]
+fn routed_responses_are_bit_identical_to_direct_evaluation_at_every_shard_count() {
+    let expected: Vec<String> = BODIES.iter().map(|b| direct_evaluation(b)).collect();
+
+    for shards in [1usize, 2, 4] {
+        let (addr, handle, thread) = boot(shards, ServeConfig::default());
+
+        // Eight concurrent keep-alive clients (two per request body),
+        // each issuing its request twice — every body served cold and
+        // warm, completions interleaving across router workers and
+        // shards.
+        let clients: Vec<_> = (0..8)
+            .map(|i| {
+                let body = BODIES[i % BODIES.len()];
+                move || {
+                    let mut client = KeepAliveClient::new(addr, TIMEOUT);
+                    let mut responses = Vec::new();
+                    for _ in 0..2 {
+                        responses.push(client.post("/evaluate", body).expect("post"));
+                    }
+                    (i % BODIES.len(), responses)
+                }
+            })
+            .collect();
+        for (which, responses) in run_jobs(clients, Jobs::new(8)) {
+            for resp in responses {
+                assert_eq!(resp.status, 200, "shards={shards} body: {}", resp.body);
+                assert_eq!(
+                    resp.body, expected[which],
+                    "routed bytes must equal the direct evaluation \
+                     (shards={shards}, request {which})"
+                );
+            }
+        }
+
+        handle.shutdown();
+        thread.join().expect("ensemble drains");
+    }
+}
+
+#[test]
+fn batches_and_sessions_round_through_the_router_bit_identically() {
+    let (addr, handle, thread) = boot(2, ServeConfig::default());
+
+    // A batch spanning all four bodies: item results must match the
+    // standalone evaluations exactly, in request order.
+    let items: Vec<String> = BODIES.iter().map(|b| b.to_string()).collect();
+    let batch = format!(r#"{{"items": [{}]}}"#, items.join(", "));
+    let resp = post(addr, "/evaluate/batch", &batch, TIMEOUT).expect("batch");
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    let parsed = diffy::core::json::parse(&resp.body).expect("batch body is JSON");
+    let results = parsed.get("items").and_then(|r| r.as_array()).expect("items array");
+    assert_eq!(results.len(), BODIES.len());
+    for (i, item) in results.iter().enumerate() {
+        assert_eq!(item.get("status").and_then(|s| s.as_u64()), Some(200), "item {i}");
+        let expected = direct_evaluation(BODIES[i]);
+        assert_eq!(
+            item.get("result").expect("item result").to_json(),
+            expected,
+            "batch item {i} must match its standalone evaluation"
+        );
+    }
+
+    // A streaming session through the router: sessions are stateful, so
+    // the router pins them to one shard — the full lifecycle must work
+    // and frames must answer 200 with the session's own id.
+    let mut session = SessionClient::new(addr, TIMEOUT);
+    let created = session
+        .create(
+            r#"{"model": "IRCNN", "scene": "City", "resolution": 16, "frames": 4,
+                "pan_px": 1, "seed": 5, "mode": "spatiotemporal"}"#,
+        )
+        .expect("create");
+    assert_eq!(created.status, 200, "body: {}", created.body);
+    let id = session.id().expect("created session has an id").to_string();
+    for f in 0..4 {
+        let resp = session.frame(&format!(r#"{{"frame": {f}}}"#)).expect("frame");
+        assert_eq!(resp.status, 200, "frame {f} body: {}", resp.body);
+        assert!(resp.body.contains(&id), "frame {f} must echo session {id}: {}", resp.body);
+    }
+    assert_eq!(session.close().expect("close").status, 200);
+
+    handle.shutdown();
+    thread.join().expect("ensemble drains");
+}
+
+#[test]
+fn router_metrics_aggregate_every_shard_and_each_ledger_conserves() {
+    let (addr, handle, thread) = boot(2, ServeConfig::default());
+
+    for body in BODIES {
+        assert_eq!(post(addr, "/evaluate", body, TIMEOUT).expect("post").status, 200);
+    }
+
+    let resp = get(addr, "/metrics", TIMEOUT).expect("metrics");
+    assert_eq!(resp.status, 200);
+    let m = diffy::core::json::parse(&resp.body).expect("metrics body is JSON");
+    let shards = m.get("shards").expect("shards block");
+    assert_eq!(shards.get("count").and_then(|c| c.as_u64()), Some(2));
+    assert_eq!(shards.get("route_errors").and_then(|e| e.as_u64()), Some(0));
+
+    // Every forwarded request is attributed to exactly one shard.
+    let routed: u64 = shards
+        .get("routed")
+        .and_then(|r| r.as_array())
+        .expect("routed array")
+        .iter()
+        .map(|n| n.as_u64().unwrap())
+        .sum();
+    assert_eq!(routed, BODIES.len() as u64, "all evaluations must be attributed");
+
+    // Each instance snapshot carries its own conservation law:
+    // requests == responses + aborted + idle_closed.
+    let instances = shards.get("instances").and_then(|i| i.as_array()).expect("instances");
+    assert_eq!(instances.len(), 2);
+    for (i, snapshot) in instances.iter().enumerate() {
+        let conns = snapshot.get("connections").unwrap_or_else(|| {
+            panic!("shard {i} snapshot missing from the aggregate: {snapshot:?}")
+        });
+        let requests = snapshot.get("requests_total").and_then(|v| v.as_u64()).unwrap();
+        let responses: u64 = {
+            let r = snapshot.get("responses").expect("responses block");
+            let diffy::core::json::JsonValue::Object(members) = r else {
+                panic!("responses is an object")
+            };
+            members.iter().map(|(_, v)| v.as_u64().unwrap()).sum()
+        };
+        let aborted = conns.get("aborted").and_then(|v| v.as_u64()).unwrap();
+        let idle = conns.get("idle_closed").and_then(|v| v.as_u64()).unwrap();
+        let accounted = responses + aborted + idle;
+        // The shard's in-flight scrape (this very /metrics fan-out) is
+        // counted as a request but not yet answered, so each ledger runs
+        // exactly one ahead at sampling time.
+        assert_eq!(
+            requests,
+            accounted + 1,
+            "shard {i}: requests {requests} vs accounted {accounted}: {snapshot:?}"
+        );
+    }
+
+    handle.shutdown();
+    thread.join().expect("ensemble drains");
+}
+
+#[test]
+fn shutdown_through_the_router_drains_the_whole_ensemble() {
+    let (addr, handle, thread) = boot(2, ServeConfig::default());
+
+    let health = get(addr, "/healthz", TIMEOUT).expect("healthz");
+    assert_eq!(health.status, 200);
+    assert!(health.body.contains("ok"), "body: {}", health.body);
+
+    let resp = post(addr, "/shutdown", "", TIMEOUT).expect("shutdown");
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.contains("draining"), "body: {}", resp.body);
+    assert!(handle.is_shutting_down());
+
+    thread.join().expect("router and every instance drain");
+}
